@@ -1,0 +1,44 @@
+//! §V-A ablation: tabular-model query cost vs the analytic model (the
+//! table exists to make I/V and derivative queries cheap).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qwm::device::model::{DeviceModel, Geometry, TermVoltage};
+use qwm::device::{Mosfet, Polarity, TableModel, Technology};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let tech = Technology::cmosp35();
+    let analytic = Mosfet::new(tech.clone(), Polarity::Nmos);
+    let table = TableModel::with_defaults(tech.clone(), Polarity::Nmos).unwrap();
+    let geom = Geometry::new(1.5e-6, tech.l_min);
+    // A spread of query points covering all regions.
+    let points: Vec<TermVoltage> = (0..64)
+        .map(|i| {
+            let f = i as f64 / 63.0;
+            TermVoltage::new(0.4 + 2.9 * f, 3.3 - 2.0 * f, 1.2 * f)
+        })
+        .collect();
+    c.bench_function("iv_eval/analytic", |b| {
+        b.iter(|| {
+            for tv in &points {
+                black_box(analytic.iv_eval(&geom, *tv).unwrap());
+            }
+        })
+    });
+    c.bench_function("iv_eval/tabular", |b| {
+        b.iter(|| {
+            for tv in &points {
+                black_box(table.iv_eval(&geom, *tv).unwrap());
+            }
+        })
+    });
+    c.bench_function("characterize/0.1V_grid", |b| {
+        b.iter(|| TableModel::characterize(tech.clone(), Polarity::Nmos, 0.1).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §II ablation: Newton–Raphson vs successive-chords iteration in the
+//! SPICE baseline (the TETA trade-off: more iterations, far fewer
+//! factorizations).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qwm::circuit::cells;
+use qwm::circuit::waveform::Waveform;
+use qwm::device::{analytic_models, Technology};
+use qwm::spice::engine::{initial_uniform, simulate, IterationScheme, TransientConfig};
+
+fn bench_iteration_schemes(c: &mut Criterion) {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let stage = cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap();
+    let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
+    let init = initial_uniform(&stage, &models, tech.vdd);
+    for (label, scheme) in [
+        ("newton_raphson", IterationScheme::NewtonRaphson),
+        ("successive_chords", IterationScheme::SuccessiveChords),
+    ] {
+        let cfg = TransientConfig {
+            iteration: scheme,
+            ..TransientConfig::hspice_1ps(300e-12)
+        };
+        c.bench_function(&format!("spice_transient/{label}"), |b| {
+            b.iter(|| simulate(&stage, &models, &inputs, &init, &cfg).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_iteration_schemes
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Figure 10: decoder-tree path with exponentially growing wires. QWM
+//! runs on the AWE π-macromodel reduction; the SPICE golden runs on the
+//! fully distributed RC ladders. Waveform pairs at the two terminals of
+//! each wire appear closely spaced, as in the paper.
+use qwm::circuit::cells;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::spice::engine::{simulate, TransientConfig};
+use qwm_bench::{fall_setup, write_columns, Bench};
+use std::time::Instant;
+
+fn main() {
+    let bench = Bench::new();
+    let levels = 3;
+    let base_len = 200e-6;
+    let awe = cells::decoder_path_awe(&bench.tech, levels, base_len, cells::DEFAULT_LOAD, 16)
+        .expect("awe decoder");
+    let dist =
+        cells::decoder_path_distributed(&bench.tech, levels, base_len, cells::DEFAULT_LOAD, 16)
+            .expect("distributed decoder");
+
+    // QWM on the π-reduced stage.
+    let (inputs_a, init_a, out_a) = fall_setup(&bench, &awe);
+    let t0 = Instant::now();
+    let q = evaluate(
+        &awe,
+        &bench.qwm_models,
+        &inputs_a,
+        &init_a,
+        out_a,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )
+    .expect("qwm on AWE stage");
+    let t_qwm = t0.elapsed();
+    let d_q = q.delay_50(bench.tech.vdd, 0.0).unwrap();
+
+    // SPICE on the distributed stage.
+    let (inputs_d, init_d, out_d) = fall_setup(&bench, &dist);
+    let horizon = (3.0 * d_q).max(500e-12);
+    let s = simulate(
+        &dist,
+        &bench.spice_models,
+        &inputs_d,
+        &init_d,
+        &TransientConfig::hspice_1ps(horizon),
+    )
+    .expect("spice on distributed stage");
+    let d_s = s
+        .waveform(out_d)
+        .unwrap()
+        .crossing(bench.tech.vdd / 2.0, false)
+        .expect("spice falls");
+
+    // Waveform pairs at the terminals of each wire (both engines).
+    let mut names = vec![];
+    for l in 0..levels {
+        names.push(format!("t{l}"));
+        names.push(if l + 1 == levels { "out".into() } else { format!("w{l}") });
+    }
+    let mut rows = Vec::new();
+    for (i, &t) in s.times.iter().enumerate() {
+        let mut row = vec![t];
+        for n in &names {
+            let node = dist.node_by_name(n).unwrap();
+            row.push(s.voltages[node.0][i]);
+        }
+        rows.push(row);
+    }
+    let p1 = write_columns(
+        "fig10_spice_pairs.dat",
+        "t then v at wire terminals t0 w0 t1 w1 t2 out (SPICE, distributed wires)",
+        &rows,
+    );
+    let mut q_rows = Vec::new();
+    for (k, w) in q.waveforms.iter().enumerate() {
+        for (t, v) in w.breakpoints() {
+            q_rows.push(vec![k as f64 + 1.0, t, v]);
+        }
+    }
+    let p2 = write_columns("fig10_qwm_breakpoints.dat", "chain-node t v (QWM on AWE pi models)", &q_rows);
+    println!("Figure 10 data -> {} and {}", p1.display(), p2.display());
+
+    println!(
+        "decoder path ({levels} levels, wires {:.0}/{:.0}/{:.0} um):",
+        base_len * 1e6,
+        base_len * 2e6,
+        base_len * 4e6
+    );
+    println!(
+        "  qwm+AWE delay {:.2} ps in {:?}; spice(distributed,1ps) delay {:.2} ps in {:?}",
+        d_q * 1e12,
+        t_qwm,
+        d_s * 1e12,
+        s.elapsed
+    );
+    println!(
+        "  accuracy {:.2}%  speedup {:.1}x",
+        100.0 - 100.0 * (d_q - d_s).abs() / d_s,
+        s.elapsed.as_secs_f64() / t_qwm.as_secs_f64()
+    );
+}

@@ -1,0 +1,88 @@
+//! Figure 9: 6-NMOS stack (the Manchester carry chain's longest path)
+//! — QWM's critical points against the dense SPICE waveforms.
+use qwm::circuit::cells;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::num::stats::compare_series;
+use qwm::spice::engine::{simulate, TransientConfig};
+use qwm_bench::{fall_setup, write_columns, Bench};
+
+fn main() {
+    let bench = Bench::new();
+    let stage = cells::manchester_longest_path(&bench.tech, 4, cells::DEFAULT_LOAD).unwrap();
+    let (inputs, init, out) = fall_setup(&bench, &stage);
+
+    let q = evaluate(
+        &stage,
+        &bench.qwm_models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )
+    .expect("qwm");
+    let horizon = q.output_crossings.last().map(|c| c.1 * 1.2).unwrap_or(500e-12);
+    let s = simulate(
+        &stage,
+        &bench.spice_models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps(horizon),
+    )
+    .expect("spice");
+
+    // QWM critical points per chain node (what the paper plots as
+    // straight lines between points).
+    let mut bp_rows = Vec::new();
+    for (k, w) in q.waveforms.iter().enumerate() {
+        for (t, v) in w.breakpoints() {
+            bp_rows.push(vec![k as f64 + 1.0, t, v]);
+        }
+    }
+    let p1 = write_columns("fig9_qwm_breakpoints.dat", "node t v (QWM critical points)", &bp_rows);
+
+    // Dense SPICE traces for the same chain nodes.
+    let mut sp_rows = Vec::new();
+    for (i, &t) in s.times.iter().enumerate() {
+        let mut row = vec![t];
+        for node in &q.chain.nodes[1..] {
+            row.push(s.voltages[node.0][i]);
+        }
+        sp_rows.push(row);
+    }
+    let p2 = write_columns("fig9_spice_waveforms.dat", "t v_node1 .. v_node6 (SPICE 1ps)", &sp_rows);
+    println!("Figure 9 data -> {} and {}", p1.display(), p2.display());
+
+    // Accuracy: sample QWM's output waveform on the SPICE grid.
+    let qw = q.output_waveform();
+    let span_end = qw.breakpoints().last().unwrap().0;
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    for (i, &t) in s.times.iter().enumerate() {
+        if t <= span_end {
+            got.push(qw.voltage(t));
+            want.push(s.voltages[out.0][i]);
+        }
+    }
+    let cmp = compare_series(&got, &want, 0.05).expect("series compare");
+    let d_q = q.delay_50(bench.tech.vdd, 0.0).unwrap();
+    let d_s = s
+        .waveform(out)
+        .unwrap()
+        .crossing(bench.tech.vdd / 2.0, false)
+        .unwrap();
+    println!(
+        "output waveform: mean |err| {:.2}% (accuracy {:.2}%), rms {:.3} V",
+        cmp.mean_pct,
+        100.0 - cmp.mean_pct,
+        cmp.rms_abs
+    );
+    println!(
+        "50% delay: qwm {:.2} ps vs spice {:.2} ps ({:.2}% error)",
+        d_q * 1e12,
+        d_s * 1e12,
+        100.0 * (d_q - d_s).abs() / d_s
+    );
+    println!("critical points committed: {}", q.critical_points.len());
+}

@@ -1,0 +1,40 @@
+//! Incremental STA: full analysis vs re-analysis after one transistor
+//! resize (the calibration brief's incremental-speedup experiment).
+use qwm::circuit::waveform::TransitionKind;
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::QwmEvaluator;
+use qwm::sta::graph::inverter_chain;
+use qwm_bench::Bench;
+use std::time::Instant;
+
+fn main() {
+    let bench = Bench::new();
+    for depth in [8usize, 16, 32] {
+        let nl = inverter_chain(&bench.tech, depth, 10e-15);
+        let mut engine = StaEngine::new(nl, &bench.qwm_models, TransitionKind::Fall)
+            .expect("engine");
+        let ev = QwmEvaluator::default();
+        let t0 = Instant::now();
+        let full = engine.run(&ev).expect("full run");
+        let t_full = t0.elapsed();
+
+        // Resize one middle inverter's NMOS and re-run incrementally.
+        engine
+            .resize_device(depth, 3.0 * bench.tech.w_min)
+            .expect("resize");
+        let t0 = Instant::now();
+        let incr = engine.run(&ev).expect("incremental run");
+        let t_incr = t0.elapsed();
+
+        println!(
+            "depth {depth:3}: full {} evals in {:?}; incremental {} evals (stage + its driver) in {:?}; speedup {:.1}x; worst arrival {:.1} ps -> {:.1} ps",
+            full.evaluations,
+            t_full,
+            incr.evaluations,
+            t_incr,
+            t_full.as_secs_f64() / t_incr.as_secs_f64().max(1e-9),
+            full.worst.unwrap().1 * 1e12,
+            incr.worst.unwrap().1 * 1e12,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table II: QWM vs the SPICE baseline on randomly sized NMOS stacks,
+//! lengths 5–10, three seeded width configurations each.
+use qwm_bench::{compare_fall, print_row, print_summary, print_table_header, table2_workload, Bench};
+
+fn main() {
+    let bench = Bench::new();
+    println!("Table II — QWM vs SPICE-class baseline, random transistor stacks\n");
+    print_table_header();
+    let mut rows = Vec::new();
+    for (name, stage) in table2_workload(&bench) {
+        let row = compare_fall(&bench, &name, &stage, 10).expect("comparison");
+        print_row(&row);
+        rows.push(row);
+    }
+    println!();
+    print_summary(&rows);
+
+    println!("\nwith the refined evaluator (midpoint caps + adaptive splitting — beyond the paper):\n");
+    qwm_bench::print_table_header();
+    let mut refined = Vec::new();
+    for (name, stage) in table2_workload(&bench) {
+        let row = qwm_bench::compare_fall_with(
+            &bench,
+            &name,
+            &stage,
+            10,
+            &qwm::core::evaluate::QwmConfig::refined(),
+        )
+        .expect("comparison");
+        print_row(&row);
+        refined.push(row);
+    }
+    println!();
+    print_summary(&refined);
+}

@@ -1,0 +1,125 @@
+//! Monte-Carlo statistical timing: QWM's order-of-magnitude speedup is
+//! what makes per-sample re-evaluation affordable (the use case the
+//! PARADE-style parametric-delay literature targets).
+//!
+//! Each sample perturbs the technology (±30 mV threshold σ, ±5 % k' σ,
+//! Gaussian, seeded), rebuilds the analytic models and re-times the
+//! paper's 6-NMOS stack with QWM. A handful of SPICE samples calibrate
+//! what the same study would cost with the baseline.
+
+use qwm::circuit::cells;
+use qwm::circuit::waveform::{TransitionKind, Waveform};
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::device::{analytic_models, Technology};
+use qwm::num::stats::{mean, normal_from_uniforms, percentile, std_dev};
+use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
+use qwm_bench::write_columns;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let nominal = Technology::cmosp35();
+    let samples = 200usize;
+    let sigma_vt = 0.030; // 30 mV
+    let sigma_kp = 0.05; // 5 %
+    let mut rng = StdRng::seed_from_u64(0x5151a7);
+
+    let stage = cells::manchester_longest_path(&nominal, 4, cells::DEFAULT_LOAD).unwrap();
+    let out = stage.node_by_name("out").unwrap();
+    let inputs: Vec<Waveform> = (0..stage.inputs().len())
+        .map(|_| Waveform::step(0.0, 0.0, nominal.vdd))
+        .collect();
+
+    let normal = |rng: &mut StdRng| normal_from_uniforms(rng.gen::<f64>(), rng.gen::<f64>());
+
+    let t0 = Instant::now();
+    let mut delays = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let tech = nominal.with_variation(
+            sigma_vt * normal(&mut rng),
+            sigma_vt * normal(&mut rng),
+            (1.0 + sigma_kp * normal(&mut rng)).max(0.5),
+            (1.0 + sigma_kp * normal(&mut rng)).max(0.5),
+        );
+        let models = analytic_models(&tech);
+        let init = initial_uniform(&stage, &models, tech.vdd);
+        let r = evaluate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            out,
+            TransitionKind::Fall,
+            &QwmConfig::default(),
+        )
+        .expect("qwm sample");
+        delays.push(r.delay_50(tech.vdd, 0.0).expect("delay"));
+    }
+    let qwm_elapsed = t0.elapsed();
+
+    let m = mean(&delays).unwrap();
+    let s = std_dev(&delays).unwrap();
+    let p50 = percentile(&delays, 0.5).unwrap();
+    let p99 = percentile(&delays, 0.99).unwrap();
+    println!("Monte-Carlo timing of the 6-NMOS stack ({samples} samples, sigma_vt = 30 mV, sigma_kp = 5%):");
+    println!(
+        "  mean {:.2} ps  sigma {:.2} ps ({:.1}%)  median {:.2} ps  p99 {:.2} ps",
+        m * 1e12,
+        s * 1e12,
+        100.0 * s / m,
+        p50 * 1e12,
+        p99 * 1e12
+    );
+    println!("  QWM wall time: {qwm_elapsed:?} total ({:?}/sample)", qwm_elapsed / samples as u32);
+
+    // Calibrate the SPICE-per-sample cost on 5 nominal-ish samples.
+    let spice_probe = 5usize;
+    let t0 = Instant::now();
+    for i in 0..spice_probe {
+        let tech = nominal.with_variation(
+            sigma_vt * (i as f64 / spice_probe as f64 - 0.5),
+            0.0,
+            1.0,
+            1.0,
+        );
+        let models = analytic_models(&tech);
+        let init = initial_uniform(&stage, &models, tech.vdd);
+        let r = simulate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            &TransientConfig::hspice_1ps(3.5 * m),
+        )
+        .expect("spice sample");
+        let _ = r
+            .waveform(out)
+            .unwrap()
+            .crossing(tech.vdd / 2.0, false)
+            .expect("falls");
+    }
+    let spice_per = t0.elapsed() / spice_probe as u32;
+    println!(
+        "  SPICE(1ps) per-sample cost: {spice_per:?} -> full study would take {:?} ({:.1}x the QWM study)",
+        spice_per * samples as u32,
+        (spice_per * samples as u32).as_secs_f64() / qwm_elapsed.as_secs_f64()
+    );
+
+    // Histogram for plotting.
+    let bins = 24usize;
+    let lo = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut hist = vec![0usize; bins];
+    for &d in &delays {
+        let b = (((d - lo) / (hi - lo)) * bins as f64).min(bins as f64 - 1.0) as usize;
+        hist[b] += 1;
+    }
+    let rows: Vec<Vec<f64>> = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| vec![lo + (hi - lo) * (i as f64 + 0.5) / bins as f64, c as f64])
+        .collect();
+    let path = write_columns("variation_histogram.dat", "delay_s count (MC histogram)", &rows);
+    println!("  histogram -> {}", path.display());
+}

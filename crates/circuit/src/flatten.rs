@@ -1,0 +1,187 @@
+//! Whole-netlist flattening: one `LogicStage` for the entire circuit.
+//!
+//! Channel-connected partitioning (the paper's approach) confines each
+//! solve to a small stage, but some analyses need the *whole* circuit in
+//! one system: ring oscillators (every gate driven by another stage's
+//! output), latches and keepers (feedback inside a component), or simply
+//! validating the stage-by-stage STA against a flat full-circuit
+//! transient. Flattening maps every net to a stage node and drives gates
+//! from **nodes** (`Edge::gate_node`) unless the gate net is a declared
+//! primary input, which stays an external stage input.
+
+use crate::netlist::Netlist;
+use crate::stage::{DeviceKind, LogicStage, NodeId};
+use qwm_num::Result;
+use std::collections::HashMap;
+
+/// The flattened circuit plus net↔node bookkeeping.
+#[derive(Debug)]
+pub struct FlatCircuit {
+    /// The whole netlist as one stage.
+    pub stage: LogicStage,
+    /// Stage node for each netlist net (rails included).
+    pub node_of_net: HashMap<crate::netlist::NetId, NodeId>,
+}
+
+/// Flattens a netlist into a single stage. Primary inputs become stage
+/// inputs; every other gate is node-driven. Primary outputs become stage
+/// outputs (all non-rail nets if none are declared).
+///
+/// # Errors
+///
+/// Propagates netlist validation and stage construction failures.
+pub fn flatten_netlist(netlist: &Netlist) -> Result<FlatCircuit> {
+    netlist.validate()?;
+    let mut b = LogicStage::builder("flat");
+    let mut node_of_net: HashMap<crate::netlist::NetId, NodeId> = HashMap::new();
+    let map = |b: &mut crate::stage::StageBuilder,
+                   map: &mut HashMap<crate::netlist::NetId, NodeId>,
+                   net: crate::netlist::NetId|
+     -> NodeId {
+        if let Some(&n) = map.get(&net) {
+            return n;
+        }
+        let n = if net == netlist.vdd() {
+            b.vdd()
+        } else if net == netlist.gnd() {
+            b.gnd()
+        } else {
+            b.node(netlist.net_name(net))
+        };
+        map.insert(net, n);
+        n
+    };
+
+    let primary: Vec<crate::netlist::NetId> = netlist.primary_inputs().to_vec();
+    for d in netlist.devices() {
+        let src = map(&mut b, &mut node_of_net, d.src);
+        let snk = map(&mut b, &mut node_of_net, d.snk);
+        match d.kind {
+            DeviceKind::Wire => {
+                b.wire(src, snk, d.geom.w, d.geom.l);
+            }
+            kind => {
+                let gate = d.gate.expect("transistor has a gate");
+                if primary.contains(&gate) {
+                    let input = b.input(netlist.net_name(gate));
+                    b.transistor(kind, input, src, snk, d.geom);
+                } else {
+                    let gate_node = map(&mut b, &mut node_of_net, gate);
+                    b.transistor_gated_by_node(kind, gate_node, src, snk, d.geom);
+                }
+            }
+        }
+    }
+    // Loads and outputs.
+    let nets: Vec<crate::netlist::NetId> = node_of_net.keys().copied().collect();
+    for net in nets {
+        let c = netlist.cap(net);
+        if c > 0.0 {
+            let n = node_of_net[&net];
+            b.load(n, c);
+        }
+    }
+    let outs: Vec<crate::netlist::NetId> = if netlist.primary_outputs().is_empty() {
+        node_of_net
+            .keys()
+            .copied()
+            .filter(|&n| !netlist.is_rail(n))
+            .collect()
+    } else {
+        netlist.primary_outputs().to_vec()
+    };
+    for net in outs {
+        let n = map(&mut b, &mut node_of_net, net);
+        b.output(n);
+    }
+    Ok(FlatCircuit {
+        stage: b.build()?,
+        node_of_net,
+    })
+}
+
+/// Builds a ring oscillator netlist: `stages` (odd) inverters in a loop,
+/// each output loaded with `load`. Net names are `r0 … r{stages-1}`;
+/// every net is a primary output (there are no primary inputs).
+///
+/// # Errors
+///
+/// Returns an error for an even or zero stage count (a ring must invert).
+pub fn ring_oscillator(
+    tech: &qwm_device::Technology,
+    stages: usize,
+    load: f64,
+) -> Result<Netlist> {
+    if stages == 0 || stages.is_multiple_of(2) {
+        return Err(qwm_num::NumError::InvalidInput {
+            context: "ring_oscillator",
+            detail: format!("{stages} stages (must be odd)"),
+        });
+    }
+    use qwm_device::model::Geometry;
+    let mut nl = Netlist::new();
+    let (vdd, gnd) = (nl.vdd(), nl.gnd());
+    let gn = Geometry::new(tech.w_min, tech.l_min);
+    let gp = Geometry::new(2.0 * tech.w_min, tech.l_min);
+    let nets: Vec<_> = (0..stages).map(|i| nl.net(&format!("r{i}"))).collect();
+    for i in 0..stages {
+        let inp = nets[(i + stages - 1) % stages];
+        let out = nets[i];
+        nl.add_transistor(format!("MN{i}"), DeviceKind::Nmos, inp, out, gnd, gn);
+        nl.add_transistor(format!("MP{i}"), DeviceKind::Pmos, inp, vdd, out, gp);
+        nl.add_cap(out, load);
+        nl.add_primary_output(out);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_device::Technology;
+
+    #[test]
+    fn flatten_maps_gates_correctly() {
+        let tech = Technology::cmosp35();
+        // Two inverters in series: `a` primary, `x` internal.
+        let deck = "\
+MN1 x a 0 0 nmos W=0.5u L=0.35u
+MP1 x a vdd vdd pmos W=1u L=0.35u
+MN2 z x 0 0 nmos W=0.5u L=0.35u
+MP2 z x vdd vdd pmos W=1u L=0.35u
+Cz z 0 10f
+.input a
+.output z
+";
+        let nl = crate::parser::parse_netlist(deck).unwrap();
+        let flat = flatten_netlist(&nl).unwrap();
+        assert_eq!(flat.stage.inputs().len(), 1, "only `a` is external");
+        // MN2/MP2 are node-gated by x.
+        let x = flat.stage.node_by_name("x").unwrap();
+        let node_gated = flat
+            .stage
+            .edges()
+            .iter()
+            .filter(|e| e.gate_node == Some(x))
+            .count();
+        assert_eq!(node_gated, 2);
+        let _ = tech;
+    }
+
+    #[test]
+    fn ring_netlist_shape() {
+        let tech = Technology::cmosp35();
+        let nl = ring_oscillator(&tech, 5, 5e-15).unwrap();
+        assert_eq!(nl.devices().len(), 10);
+        assert!(nl.primary_inputs().is_empty());
+        assert_eq!(nl.primary_outputs().len(), 5);
+        assert!(ring_oscillator(&tech, 4, 5e-15).is_err());
+        let flat = flatten_netlist(&nl).unwrap();
+        assert_eq!(flat.stage.inputs().len(), 0);
+        assert!(flat
+            .stage
+            .edges()
+            .iter()
+            .all(|e| e.gate_node.is_some()));
+    }
+}

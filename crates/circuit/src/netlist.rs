@@ -1,0 +1,303 @@
+//! Flat transistor-level netlists.
+//!
+//! Full circuits (the decoder tree, carry chains, multi-gate paths) are
+//! captured as a flat netlist of transistors, wires and capacitors over
+//! named nets. The STA front end partitions a netlist into logic stages
+//! (channel-connected components — see [`crate::partition`]) because "not
+//! every design cell created by designers maps naturally to a logic
+//! stage" (paper §I): stages must be constructed dynamically from the
+//! connectivity.
+
+use crate::stage::DeviceKind;
+use qwm_device::model::Geometry;
+use qwm_num::{NumError, Result};
+use std::collections::HashMap;
+
+/// Index of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// A transistor or wire instance.
+#[derive(Debug, Clone)]
+pub struct NetDevice {
+    /// Instance name (e.g. `M1`).
+    pub name: String,
+    /// Element kind.
+    pub kind: DeviceKind,
+    /// Gate net (`None` for wires).
+    pub gate: Option<NetId>,
+    /// First channel terminal.
+    pub src: NetId,
+    /// Second channel terminal.
+    pub snk: NetId,
+    /// Geometry.
+    pub geom: Geometry,
+}
+
+/// A flat circuit: named nets, devices, explicit capacitors and
+/// primary-I/O declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    by_name: HashMap<String, NetId>,
+    devices: Vec<NetDevice>,
+    caps: HashMap<NetId, f64>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// An empty netlist with `vdd` and `gnd` nets pre-created.
+    pub fn new() -> Self {
+        let mut n = Netlist::default();
+        n.net("vdd");
+        n.net("gnd");
+        n
+    }
+
+    /// The supply net.
+    pub fn vdd(&self) -> NetId {
+        NetId(0)
+    }
+
+    /// The ground net.
+    pub fn gnd(&self) -> NetId {
+        NetId(1)
+    }
+
+    /// Whether `id` is one of the two rails.
+    pub fn is_rail(&self, id: NetId) -> bool {
+        id == self.vdd() || id == self.gnd()
+    }
+
+    /// Gets or creates a net by name (`"0"` aliases `gnd`, `"vdd!"` /
+    /// `"vcc"` alias `vdd`).
+    pub fn net(&mut self, name: &str) -> NetId {
+        let canonical = match name {
+            "0" | "GND" | "gnd!" => "gnd",
+            "vdd!" | "VDD" | "vcc" => "vdd",
+            other => other,
+        };
+        if let Some(&id) = self.by_name.get(canonical) {
+            return id;
+        }
+        let id = NetId(self.names.len());
+        self.names.push(canonical.to_string());
+        self.by_name.insert(canonical.to_string(), id);
+        id
+    }
+
+    /// Looks a net up without creating it.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Net name by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Adds a transistor.
+    pub fn add_transistor(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        gate: NetId,
+        src: NetId,
+        snk: NetId,
+        geom: Geometry,
+    ) -> usize {
+        debug_assert!(kind != DeviceKind::Wire);
+        self.devices.push(NetDevice {
+            name: name.into(),
+            kind,
+            gate: Some(gate),
+            src,
+            snk,
+            geom,
+        });
+        self.devices.len() - 1
+    }
+
+    /// Adds a wire segment of the given `w × l`.
+    pub fn add_wire(&mut self, name: impl Into<String>, a: NetId, b: NetId, w: f64, l: f64) -> usize {
+        self.devices.push(NetDevice {
+            name: name.into(),
+            kind: DeviceKind::Wire,
+            gate: None,
+            src: a,
+            snk: b,
+            geom: Geometry::new(w, l),
+        });
+        self.devices.len() - 1
+    }
+
+    /// Adds grounded capacitance at a net (accumulates).
+    pub fn add_cap(&mut self, net: NetId, value: f64) {
+        *self.caps.entry(net).or_insert(0.0) += value;
+    }
+
+    /// Declares a primary input net.
+    pub fn add_primary_input(&mut self, net: NetId) {
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+    }
+
+    /// Declares a primary output net.
+    pub fn add_primary_output(&mut self, net: NetId) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[NetDevice] {
+        &self.devices
+    }
+
+    /// Replaces the geometry of device `index` (transistor sizing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for an unknown device or
+    /// non-positive dimensions.
+    pub fn set_device_geometry(&mut self, index: usize, geom: Geometry) -> Result<()> {
+        if geom.w <= 0.0 || geom.l <= 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "Netlist::set_device_geometry",
+                detail: format!("w={} l={}", geom.w, geom.l),
+            });
+        }
+        match self.devices.get_mut(index) {
+            Some(d) => {
+                d.geom = geom;
+                Ok(())
+            }
+            None => Err(NumError::InvalidInput {
+                context: "Netlist::set_device_geometry",
+                detail: format!("device {index} out of range"),
+            }),
+        }
+    }
+
+    /// Explicit grounded capacitance at `net`.
+    pub fn cap(&self, net: NetId) -> f64 {
+        self.caps.get(&net).copied().unwrap_or(0.0)
+    }
+
+    /// Declared primary inputs.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Declared primary outputs.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Number of nets (including the rails).
+    pub fn net_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Basic sanity validation: every declared primary I/O exists and
+    /// every device has distinct channel terminals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] on violations.
+    pub fn validate(&self) -> Result<()> {
+        for d in &self.devices {
+            if d.src == d.snk {
+                return Err(NumError::InvalidInput {
+                    context: "Netlist::validate",
+                    detail: format!("device {} shorts a net to itself", d.name),
+                });
+            }
+            if d.geom.w <= 0.0 || d.geom.l <= 0.0 {
+                return Err(NumError::InvalidInput {
+                    context: "Netlist::validate",
+                    detail: format!("device {} has non-positive geometry", d.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_device::tech::Technology;
+
+    #[test]
+    fn rails_and_aliases() {
+        let mut n = Netlist::new();
+        assert_eq!(n.net("0"), n.gnd());
+        assert_eq!(n.net("GND"), n.gnd());
+        assert_eq!(n.net("vdd!"), n.vdd());
+        assert!(n.is_rail(n.vdd()));
+        let x = n.net("x");
+        assert!(!n.is_rail(x));
+        assert_eq!(n.net_name(n.gnd()), "gnd");
+    }
+
+    #[test]
+    fn nets_are_interned() {
+        let mut n = Netlist::new();
+        let a = n.net("a");
+        assert_eq!(n.net("a"), a);
+        assert_eq!(n.find_net("a"), Some(a));
+        assert_eq!(n.find_net("b"), None);
+        assert_eq!(n.net_count(), 3);
+    }
+
+    #[test]
+    fn caps_accumulate() {
+        let mut n = Netlist::new();
+        let a = n.net("a");
+        n.add_cap(a, 1e-15);
+        n.add_cap(a, 2e-15);
+        assert!((n.cap(a) - 3e-15).abs() < 1e-24);
+        assert_eq!(n.cap(n.gnd()), 0.0);
+    }
+
+    #[test]
+    fn io_declarations_dedupe() {
+        let mut n = Netlist::new();
+        let a = n.net("a");
+        n.add_primary_input(a);
+        n.add_primary_input(a);
+        assert_eq!(n.primary_inputs(), &[a]);
+        n.add_primary_output(a);
+        assert_eq!(n.primary_outputs(), &[a]);
+    }
+
+    #[test]
+    fn validation_catches_shorts_and_bad_geometry() {
+        let t = Technology::cmosp35();
+        let mut n = Netlist::new();
+        let a = n.net("a");
+        let g = n.net("g");
+        n.add_transistor(
+            "M1",
+            DeviceKind::Nmos,
+            g,
+            a,
+            a,
+            Geometry::new(t.w_min, t.l_min),
+        );
+        assert!(n.validate().is_err());
+
+        let mut n = Netlist::new();
+        let a = n.net("a");
+        let b = n.net("b");
+        n.add_wire("W1", a, b, 0.0, 1e-6);
+        assert!(n.validate().is_err());
+    }
+}

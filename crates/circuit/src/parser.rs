@@ -1,0 +1,253 @@
+//! A SPICE-subset netlist parser.
+//!
+//! Enough of the classic deck syntax to describe the paper's circuits in
+//! text form:
+//!
+//! ```text
+//! * comment
+//! M<name> <drain> <gate> <source> <body> <nmos|pmos> W=1u L=0.35u
+//! W<name> <a> <b> W=0.6u L=40u          ; wire segment (w × l geometry)
+//! C<name> <node> 0 10f                  ; grounded capacitor
+//! .input  a b
+//! .output z
+//! .end
+//! ```
+//!
+//! Values accept the usual engineering suffixes
+//! (`f p n u m k meg g`). Net `0` aliases ground.
+
+use crate::netlist::Netlist;
+use crate::stage::DeviceKind;
+use qwm_device::model::Geometry;
+use qwm_num::{NumError, Result};
+
+/// Parses an engineering-notation value like `0.35u` or `10f`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on malformed numbers.
+pub fn parse_value(s: &str) -> Result<f64> {
+    let lower = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = lower.strip_suffix('g') {
+        (stripped, 1e9)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| NumError::InvalidInput {
+            context: "parse_value",
+            detail: format!("malformed value {s:?}"),
+        })
+}
+
+fn parse_kv(token: &str, key: &str) -> Option<Result<f64>> {
+    let lower = token.to_ascii_lowercase();
+    lower
+        .strip_prefix(&format!("{key}="))
+        .map(parse_value)
+}
+
+/// Parses a deck into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on any malformed line, with the
+/// 1-based line number in the message.
+pub fn parse_netlist(text: &str) -> Result<Netlist> {
+    let mut nl = Netlist::new();
+    let bad = |line_no: usize, why: &str| NumError::InvalidInput {
+        context: "parse_netlist",
+        detail: format!("line {line_no}: {why}"),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let head = tokens[0];
+        let upper = head.to_ascii_uppercase();
+        if upper == ".END" {
+            break;
+        }
+        if upper == ".INPUT" {
+            for t in &tokens[1..] {
+                let id = nl.net(t);
+                nl.add_primary_input(id);
+            }
+            continue;
+        }
+        if upper == ".OUTPUT" {
+            for t in &tokens[1..] {
+                let id = nl.net(t);
+                nl.add_primary_output(id);
+            }
+            continue;
+        }
+        match upper.chars().next() {
+            Some('M') => {
+                // M<name> d g s b <nmos|pmos> W=.. L=..
+                if tokens.len() < 8 {
+                    return Err(bad(line_no, "transistor needs 8 fields"));
+                }
+                let d = nl.net(tokens[1]);
+                let g = nl.net(tokens[2]);
+                let s = nl.net(tokens[3]);
+                // tokens[4] = body, recorded implicitly by polarity.
+                let kind = match tokens[5].to_ascii_lowercase().as_str() {
+                    "nmos" | "n" => DeviceKind::Nmos,
+                    "pmos" | "p" => DeviceKind::Pmos,
+                    other => return Err(bad(line_no, &format!("unknown model {other:?}"))),
+                };
+                let mut w = None;
+                let mut l = None;
+                for t in &tokens[6..] {
+                    if let Some(v) = parse_kv(t, "w") {
+                        w = Some(v?);
+                    } else if let Some(v) = parse_kv(t, "l") {
+                        l = Some(v?);
+                    }
+                }
+                let (w, l) = match (w, l) {
+                    (Some(w), Some(l)) => (w, l),
+                    _ => return Err(bad(line_no, "transistor needs W= and L=")),
+                };
+                nl.add_transistor(head, kind, g, d, s, Geometry::new(w, l));
+            }
+            Some('W') => {
+                // W<name> a b W=.. L=..
+                if tokens.len() < 5 {
+                    return Err(bad(line_no, "wire needs 5 fields"));
+                }
+                let a = nl.net(tokens[1]);
+                let b = nl.net(tokens[2]);
+                let mut w = None;
+                let mut l = None;
+                for t in &tokens[3..] {
+                    if let Some(v) = parse_kv(t, "w") {
+                        w = Some(v?);
+                    } else if let Some(v) = parse_kv(t, "l") {
+                        l = Some(v?);
+                    }
+                }
+                let (w, l) = match (w, l) {
+                    (Some(w), Some(l)) => (w, l),
+                    _ => return Err(bad(line_no, "wire needs W= and L=")),
+                };
+                nl.add_wire(head, a, b, w, l);
+            }
+            Some('C') => {
+                // C<name> node 0 value
+                if tokens.len() < 4 {
+                    return Err(bad(line_no, "capacitor needs 4 fields"));
+                }
+                let a = nl.net(tokens[1]);
+                let b = nl.net(tokens[2]);
+                let v = parse_value(tokens[3])?;
+                let node = if b == nl.gnd() {
+                    a
+                } else if a == nl.gnd() {
+                    b
+                } else {
+                    return Err(bad(line_no, "only grounded capacitors are supported"));
+                };
+                nl.add_cap(node, v);
+            }
+            _ => return Err(bad(line_no, &format!("unrecognized card {head:?}"))),
+        }
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_suffixes() {
+        assert!((parse_value("10f").unwrap() - 10e-15).abs() < 1e-22);
+        assert!((parse_value("0.35u").unwrap() - 0.35e-6).abs() < 1e-14);
+        assert_eq!(parse_value("1MEG").unwrap(), 1e6);
+        assert_eq!(parse_value("2k").unwrap(), 2e3);
+        assert_eq!(parse_value("3").unwrap(), 3.0);
+        assert!(parse_value("oops").is_err());
+    }
+
+    #[test]
+    fn parses_an_inverter_deck() {
+        let deck = "\
+* simple inverter
+MN1 out a 0 0 nmos W=0.5u L=0.35u
+MP1 out a vdd vdd pmos W=1u L=0.35u
+Cload out 0 10f
+.input a
+.output out
+.end
+ignored after end
+";
+        let nl = parse_netlist(deck).unwrap();
+        assert_eq!(nl.devices().len(), 2);
+        let out = nl.find_net("out").unwrap();
+        assert!((nl.cap(out) - 10e-15).abs() < 1e-24);
+        assert_eq!(nl.primary_inputs().len(), 1);
+        assert_eq!(nl.primary_outputs(), &[out]);
+    }
+
+    #[test]
+    fn parses_wires_and_comments() {
+        let deck = "\
+W1 a b W=0.6u L=40u ; long wire
+C1 0 b 5f
+";
+        let nl = parse_netlist(deck).unwrap();
+        assert_eq!(nl.devices().len(), 1);
+        let b = nl.find_net("b").unwrap();
+        assert!((nl.cap(b) - 5e-15).abs() < 1e-22);
+    }
+
+    #[test]
+    fn error_reporting_includes_line_numbers() {
+        let e = parse_netlist("M1 a b\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+        let e = parse_netlist("MN1 out a 0 0 nmos W=1u AD=1p\n").unwrap_err();
+        assert!(e.to_string().contains("W= and L="));
+        let e = parse_netlist("X1 whatever\n").unwrap_err();
+        assert!(e.to_string().contains("unrecognized"));
+        let e = parse_netlist("MN1 out a 0 0 bjt W=1u L=1u\n").unwrap_err();
+        assert!(e.to_string().contains("unknown model"));
+        let e = parse_netlist("C1 a b 1f\n").unwrap_err();
+        assert!(e.to_string().contains("grounded"));
+    }
+
+    #[test]
+    fn roundtrip_through_partition() {
+        let deck = "\
+MN1 x a 0 0 nmos W=0.5u L=0.35u
+MP1 x a vdd vdd pmos W=1u L=0.35u
+MN2 z x 0 0 nmos W=0.5u L=0.35u
+MP2 z x vdd vdd pmos W=1u L=0.35u
+.input a
+.output z
+";
+        let nl = parse_netlist(deck).unwrap();
+        let parts = crate::partition::partition(&nl).unwrap();
+        assert_eq!(parts.len(), 2);
+    }
+}

@@ -1,0 +1,295 @@
+//! Channel-connected-component partitioning.
+//!
+//! "Circuit partitioning is used so that differential equation solving is
+//! confined within small circuit partitions, called logic stages.
+//! Typically, a logic stage is a set of channel-connected transistors and
+//! wire segments" (paper §I). Two nets belong to the same stage when a
+//! transistor channel or a wire connects them; gates do **not** connect
+//! (they form the stage boundary), and the rails belong to every stage.
+//!
+//! Each component is lowered to a [`LogicStage`]: its gate nets become
+//! stage inputs, and nets that either drive downstream gates or are
+//! primary outputs become stage outputs.
+
+use crate::netlist::{NetId, Netlist};
+use crate::stage::{DeviceKind, LogicStage};
+use qwm_num::{NumError, Result};
+use std::collections::{HashMap, HashSet};
+
+/// One extracted stage plus its connectivity back to the netlist.
+#[derive(Debug)]
+pub struct StagePartition {
+    /// The lowered logic stage (node/input names are net names).
+    pub stage: LogicStage,
+    /// Nets driving this stage's inputs, aligned with `stage.inputs()`.
+    pub input_nets: Vec<NetId>,
+    /// Nets exposed as stage outputs, aligned with `stage.outputs()`.
+    pub output_nets: Vec<NetId>,
+    /// Netlist device indices included in this stage.
+    pub device_indices: Vec<usize>,
+}
+
+/// Union-find over net indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Partitions a netlist into channel-connected logic stages.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if the netlist fails validation or
+/// a component contains no devices (unreachable by construction).
+pub fn partition(netlist: &Netlist) -> Result<Vec<StagePartition>> {
+    netlist.validate()?;
+    let n = netlist.net_count();
+    let mut dsu = Dsu::new(n);
+    for d in netlist.devices() {
+        // Rails never merge components.
+        if !netlist.is_rail(d.src) && !netlist.is_rail(d.snk) {
+            dsu.union(d.src.0, d.snk.0);
+        }
+    }
+
+    // Group devices by the component of their non-rail terminal.
+    let mut comp_devices: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, d) in netlist.devices().iter().enumerate() {
+        let anchor = if !netlist.is_rail(d.src) {
+            d.src.0
+        } else if !netlist.is_rail(d.snk) {
+            d.snk.0
+        } else {
+            // A device strung rail-to-rail: its own singleton component,
+            // keyed by a sentinel (device index offset past all nets).
+            comp_devices.entry(n + i).or_default().push(i);
+            continue;
+        };
+        let root = dsu.find(anchor);
+        comp_devices.entry(root).or_default().push(i);
+    }
+
+    // Which nets drive gates anywhere (stage outputs must include them).
+    let mut gate_nets: HashSet<NetId> = HashSet::new();
+    for d in netlist.devices() {
+        if let Some(g) = d.gate {
+            gate_nets.insert(g);
+        }
+    }
+    let primary_outputs: HashSet<NetId> = netlist.primary_outputs().iter().copied().collect();
+
+    let mut roots: Vec<usize> = comp_devices.keys().copied().collect();
+    roots.sort_unstable();
+
+    let mut result = Vec::new();
+    for root in roots {
+        let device_indices = &comp_devices[&root];
+        if device_indices.is_empty() {
+            return Err(NumError::InvalidInput {
+                context: "partition",
+                detail: "empty component".to_string(),
+            });
+        }
+        let mut b = LogicStage::builder(format!("stage_{}", result.len()));
+        let mut input_nets = Vec::new();
+        let mut output_nets = Vec::new();
+        let mut member_nets: Vec<NetId> = Vec::new();
+        let map_node = |b: &mut crate::stage::StageBuilder, nl: &Netlist, id: NetId| {
+            if id == nl.vdd() {
+                b.vdd()
+            } else if id == nl.gnd() {
+                b.gnd()
+            } else {
+                b.node(nl.net_name(id))
+            }
+        };
+        for &di in device_indices {
+            let d = &netlist.devices()[di];
+            let src = map_node(&mut b, netlist, d.src);
+            let snk = map_node(&mut b, netlist, d.snk);
+            for t in [d.src, d.snk] {
+                if !netlist.is_rail(t) && !member_nets.contains(&t) {
+                    member_nets.push(t);
+                }
+            }
+            match d.kind {
+                DeviceKind::Wire => {
+                    b.wire(src, snk, d.geom.w, d.geom.l);
+                }
+                kind => {
+                    let gate = d.gate.expect("transistor has a gate");
+                    let input = b.input(netlist.net_name(gate));
+                    if !input_nets.contains(&gate) {
+                        input_nets.push(gate);
+                    }
+                    let mut e_geom = d.geom;
+                    // Preserve explicit junction data if present.
+                    e_geom.w = d.geom.w;
+                    b.transistor(kind, input, src, snk, e_geom);
+                }
+            }
+        }
+        // Attach explicit caps and declare outputs.
+        for &net in &member_nets {
+            let node = map_node(&mut b, netlist, net);
+            let c = netlist.cap(net);
+            if c > 0.0 {
+                b.load(node, c);
+            }
+            if gate_nets.contains(&net) || primary_outputs.contains(&net) {
+                b.output(node);
+                output_nets.push(net);
+            }
+        }
+        // A stage with no natural output exposes every member net (it is
+        // observable only internally, e.g. a test fixture).
+        if output_nets.is_empty() {
+            for &net in &member_nets {
+                let node = map_node(&mut b, netlist, net);
+                b.output(node);
+                output_nets.push(net);
+            }
+        }
+        let stage = b.build()?;
+        result.push(StagePartition {
+            stage,
+            input_nets,
+            output_nets,
+            device_indices: device_indices.clone(),
+        });
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_device::model::Geometry;
+    use qwm_device::tech::Technology;
+
+    /// Two inverters in series: inv1 drives net `x`, inv2 drives `z`.
+    fn two_inverters() -> Netlist {
+        let t = Technology::cmosp35();
+        let g = Geometry::new(t.w_min, t.l_min);
+        let gp = Geometry::new(2.0 * t.w_min, t.l_min);
+        let mut n = Netlist::new();
+        let (vdd, gnd) = (n.vdd(), n.gnd());
+        let a = n.net("a");
+        let x = n.net("x");
+        let z = n.net("z");
+        n.add_transistor("MN1", DeviceKind::Nmos, a, x, gnd, g);
+        n.add_transistor("MP1", DeviceKind::Pmos, a, vdd, x, gp);
+        n.add_transistor("MN2", DeviceKind::Nmos, x, z, gnd, g);
+        n.add_transistor("MP2", DeviceKind::Pmos, x, vdd, z, gp);
+        n.add_primary_input(a);
+        n.add_primary_output(z);
+        n
+    }
+
+    #[test]
+    fn two_inverters_make_two_stages() {
+        let nl = two_inverters();
+        let parts = partition(&nl).unwrap();
+        assert_eq!(parts.len(), 2);
+        for p in &parts {
+            assert_eq!(p.stage.edge_count(), 2);
+            assert_eq!(p.input_nets.len(), 1);
+            assert_eq!(p.output_nets.len(), 1);
+        }
+        // Stage driven by `a` outputs `x`; stage driven by `x` outputs `z`.
+        let x = nl.find_net("x").unwrap();
+        let a = nl.find_net("a").unwrap();
+        let by_input: Vec<_> = parts.iter().map(|p| p.input_nets[0]).collect();
+        assert!(by_input.contains(&a));
+        assert!(by_input.contains(&x));
+    }
+
+    #[test]
+    fn pass_transistor_merges_stages() {
+        // NAND output channel-connected to a pass transistor: one stage
+        // (the paper's Figure 1 point).
+        let t = Technology::cmosp35();
+        let g = Geometry::new(t.w_min, t.l_min);
+        let mut n = Netlist::new();
+        let (vdd, gnd) = (n.vdd(), n.gnd());
+        let a = n.net("a");
+        let bn = n.net("b");
+        let mid = n.net("mid");
+        let y = n.net("y");
+        let z = n.net("z");
+        let en = n.net("en");
+        n.add_transistor("MN1", DeviceKind::Nmos, a, mid, gnd, g);
+        n.add_transistor("MN2", DeviceKind::Nmos, bn, y, mid, g);
+        n.add_transistor("MP1", DeviceKind::Pmos, a, vdd, y, g);
+        n.add_transistor("MP2", DeviceKind::Pmos, bn, vdd, y, g);
+        // Pass transistor from y to z (channel-connected!).
+        n.add_transistor("MPASS", DeviceKind::Nmos, en, y, z, g);
+        n.add_primary_output(z);
+        let parts = partition(&n).unwrap();
+        assert_eq!(parts.len(), 1, "channel connection keeps one stage");
+        assert_eq!(parts[0].stage.edge_count(), 5);
+        assert_eq!(parts[0].input_nets.len(), 3);
+    }
+
+    #[test]
+    fn wires_merge_components() {
+        let t = Technology::cmosp35();
+        let g = Geometry::new(t.w_min, t.l_min);
+        let mut n = Netlist::new();
+        let gnd = n.gnd();
+        let a = n.net("a");
+        let x = n.net("x");
+        let y = n.net("y");
+        n.add_transistor("MN1", DeviceKind::Nmos, a, x, gnd, g);
+        n.add_wire("W1", x, y, 0.6e-6, 50e-6);
+        n.add_primary_output(y);
+        let parts = partition(&n).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].stage.edge_count(), 2);
+    }
+
+    #[test]
+    fn explicit_caps_carry_over() {
+        let mut nl = two_inverters();
+        let x = nl.find_net("x").unwrap();
+        nl.add_cap(x, 7e-15);
+        let parts = partition(&nl).unwrap();
+        let p = parts
+            .iter()
+            .find(|p| p.output_nets.contains(&x))
+            .expect("stage driving x");
+        let node = p.stage.node_by_name("x").unwrap();
+        assert!((p.stage.node(node).load_cap - 7e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn outputs_are_gate_drivers_or_primaries() {
+        let nl = two_inverters();
+        let parts = partition(&nl).unwrap();
+        let x = nl.find_net("x").unwrap();
+        let z = nl.find_net("z").unwrap();
+        let mut outs: Vec<NetId> = parts.iter().flat_map(|p| p.output_nets.clone()).collect();
+        outs.sort();
+        assert_eq!(outs, vec![x, z]);
+    }
+}

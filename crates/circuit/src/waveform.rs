@@ -1,0 +1,367 @@
+//! Voltage waveforms: inputs, outputs and timing metrics.
+//!
+//! Waveform evaluation (paper Definition 3) maps input waveforms
+//! `G : I → T → ℝ` and load capacitances to output waveforms
+//! `V : O → T → ℝ`. Both engines in this workspace produce and consume
+//! piecewise-linear sampled waveforms; QWM's native piecewise-quadratic
+//! pieces are sampled into the same representation for comparison and
+//! plotting. Timing metrics (50 % delay, 10–90 % slew) are computed here
+//! so every experiment measures them identically.
+
+use qwm_num::{NumError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear waveform: time-sorted `(t, v)` samples, held flat
+/// before the first and after the last sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    points: Vec<(f64, f64)>,
+}
+
+impl Waveform {
+    /// A constant waveform.
+    ///
+    /// ```
+    /// let w = qwm_circuit::waveform::Waveform::constant(3.3);
+    /// assert_eq!(w.value(1e-9), 3.3);
+    /// ```
+    pub fn constant(v: f64) -> Self {
+        Waveform {
+            points: vec![(0.0, v)],
+        }
+    }
+
+    /// An idealized step from `v0` to `v1` at time `t0` (implemented as a
+    /// 1 ps ramp so both engines see a finite slope).
+    pub fn step(t0: f64, v0: f64, v1: f64) -> Self {
+        Self::ramp(t0, 1e-12, v0, v1)
+    }
+
+    /// A linear ramp from `v0` to `v1` starting at `t0` with the given
+    /// rise time.
+    pub fn ramp(t0: f64, rise: f64, v0: f64, v1: f64) -> Self {
+        let rise = rise.max(1e-15);
+        Waveform {
+            points: vec![(t0, v0), (t0 + rise, v1)],
+        }
+    }
+
+    /// Builds a waveform from arbitrary samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] on empty input, non-finite
+    /// values or non-increasing times.
+    pub fn from_samples(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(NumError::InvalidInput {
+                context: "Waveform::from_samples",
+                detail: "no samples".to_string(),
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(NumError::InvalidInput {
+                    context: "Waveform::from_samples",
+                    detail: format!("non-increasing time at t={}", w[1].0),
+                });
+            }
+        }
+        if points.iter().any(|p| !p.0.is_finite() || !p.1.is_finite()) {
+            return Err(NumError::InvalidInput {
+                context: "Waveform::from_samples",
+                detail: "non-finite sample".to_string(),
+            });
+        }
+        Ok(Waveform { points })
+    }
+
+    /// The underlying samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Value at time `t` (linear interpolation, flat extension).
+    pub fn value(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the containing segment.
+        let idx = pts.partition_point(|p| p.0 <= t);
+        let (t0, v0) = pts[idx - 1];
+        let (t1, v1) = pts[idx];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Time derivative at `t` (the slope of the containing segment; zero
+    /// outside the sampled span).
+    pub fn slope(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t < pts[0].0 || t >= pts[pts.len() - 1].0 || pts.len() < 2 {
+            return 0.0;
+        }
+        let idx = pts.partition_point(|p| p.0 <= t).max(1);
+        let (t0, v0) = pts[idx - 1];
+        let (t1, v1) = pts[idx];
+        (v1 - v0) / (t1 - t0)
+    }
+
+    /// Final (settled) value.
+    pub fn final_value(&self) -> f64 {
+        self.points[self.points.len() - 1].1
+    }
+
+    /// Initial value.
+    pub fn initial_value(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// First time the waveform crosses `level` in the given direction
+    /// (`rising = true` for upward crossings), or `None`.
+    pub fn crossing(&self, level: f64, rising: bool) -> Option<f64> {
+        let pts = &self.points;
+        for w in pts.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            let crosses = if rising {
+                v0 <= level && v1 > level
+            } else {
+                v0 >= level && v1 < level
+            };
+            if crosses {
+                if (v1 - v0).abs() < f64::MIN_POSITIVE {
+                    return Some(t0);
+                }
+                return Some(t0 + (level - v0) * (t1 - t0) / (v1 - v0));
+            }
+        }
+        None
+    }
+
+    /// Shifts the waveform in time by `dt`.
+    pub fn shifted(&self, dt: f64) -> Self {
+        Waveform {
+            points: self.points.iter().map(|&(t, v)| (t + dt, v)).collect(),
+        }
+    }
+
+    /// Resamples onto a uniform grid of `n ≥ 2` points spanning
+    /// `[t0, t1]` — used when comparing waveforms from different engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for `n < 2` or a reversed span.
+    pub fn resample(&self, t0: f64, t1: f64, n: usize) -> Result<Vec<(f64, f64)>> {
+        if n < 2 || t1.is_nan() || t0.is_nan() || t1 <= t0 {
+            return Err(NumError::InvalidInput {
+                context: "Waveform::resample",
+                detail: format!("n={n} span=[{t0}, {t1}]"),
+            });
+        }
+        Ok((0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+                (t, self.value(t))
+            })
+            .collect())
+    }
+}
+
+/// Direction of an output transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// Output falls (pull-down / discharge).
+    Fall,
+    /// Output rises (pull-up / charge).
+    Rise,
+}
+
+/// Timing metrics of one transition, measured against Vdd fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingMetrics {
+    /// 50 %-to-50 % propagation delay from the reference instant \[s\].
+    pub delay: f64,
+    /// 10–90 % (or 90–10 %) transition time \[s\].
+    pub slew: f64,
+}
+
+/// 50 %-to-50 % propagation delay between an input transition and the
+/// output transition it causes (opposite polarity for inverting stages,
+/// controlled by `output_kind`).
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if either waveform misses its 50 %
+/// crossing.
+pub fn delay_between(
+    input: &Waveform,
+    output: &Waveform,
+    output_kind: TransitionKind,
+    vdd: f64,
+) -> Result<f64> {
+    let half = 0.5 * vdd;
+    let input_rising = input.final_value() > input.initial_value();
+    let t_in = input
+        .crossing(half, input_rising)
+        .ok_or_else(|| NumError::InvalidInput {
+            context: "delay_between",
+            detail: "input never crosses 50%".to_string(),
+        })?;
+    let t_out = output
+        .crossing(half, output_kind == TransitionKind::Rise)
+        .ok_or_else(|| NumError::InvalidInput {
+            context: "delay_between",
+            detail: "output never crosses 50%".to_string(),
+        })?;
+    Ok(t_out - t_in)
+}
+
+/// Measures propagation delay and slew of `output` for a transition in
+/// `kind` direction, referenced to `t_ref` (typically the input's 50 %
+/// crossing), under supply `vdd`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if the output never crosses the
+/// required levels.
+pub fn measure_transition(
+    output: &Waveform,
+    kind: TransitionKind,
+    t_ref: f64,
+    vdd: f64,
+) -> Result<TimingMetrics> {
+    let half = 0.5 * vdd;
+    let (lo, hi) = (0.1 * vdd, 0.9 * vdd);
+    let missing = |what: &str| NumError::InvalidInput {
+        context: "measure_transition",
+        detail: format!("output never crosses {what}"),
+    };
+    match kind {
+        TransitionKind::Fall => {
+            let t50 = output.crossing(half, false).ok_or_else(|| missing("50%"))?;
+            let t90 = output.crossing(hi, false).ok_or_else(|| missing("90%"))?;
+            let t10 = output.crossing(lo, false).ok_or_else(|| missing("10%"))?;
+            Ok(TimingMetrics {
+                delay: t50 - t_ref,
+                slew: t10 - t90,
+            })
+        }
+        TransitionKind::Rise => {
+            let t50 = output.crossing(half, true).ok_or_else(|| missing("50%"))?;
+            let t10 = output.crossing(lo, true).ok_or_else(|| missing("10%"))?;
+            let t90 = output.crossing(hi, true).ok_or_else(|| missing("90%"))?;
+            Ok(TimingMetrics {
+                delay: t50 - t_ref,
+                slew: t90 - t10,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_step_shapes() {
+        let c = Waveform::constant(1.5);
+        assert_eq!(c.value(-1.0), 1.5);
+        assert_eq!(c.value(1.0), 1.5);
+        assert_eq!(c.final_value(), 1.5);
+
+        let s = Waveform::step(1e-9, 0.0, 3.3);
+        assert_eq!(s.value(0.0), 0.0);
+        assert_eq!(s.value(2e-9), 3.3);
+        assert_eq!(s.initial_value(), 0.0);
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let r = Waveform::ramp(0.0, 1e-9, 0.0, 3.3);
+        assert!((r.value(0.5e-9) - 1.65).abs() < 1e-12);
+        assert!((r.slope(0.5e-9) - 3.3e9).abs() < 1.0);
+        assert_eq!(r.slope(2e-9), 0.0);
+    }
+
+    #[test]
+    fn crossings_both_directions() {
+        let r = Waveform::ramp(0.0, 1e-9, 0.0, 3.3);
+        let t = r.crossing(1.65, true).unwrap();
+        assert!((t - 0.5e-9).abs() < 1e-15);
+        assert!(r.crossing(1.65, false).is_none());
+
+        let f = Waveform::ramp(0.0, 1e-9, 3.3, 0.0);
+        let t = f.crossing(1.65, false).unwrap();
+        assert!((t - 0.5e-9).abs() < 1e-15);
+        assert!(f.crossing(5.0, true).is_none());
+    }
+
+    #[test]
+    fn from_samples_validation() {
+        assert!(Waveform::from_samples(vec![]).is_err());
+        assert!(Waveform::from_samples(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(Waveform::from_samples(vec![(0.0, f64::NAN)]).is_err());
+        assert!(Waveform::from_samples(vec![(0.0, 1.0), (1.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn value_uses_binary_search_consistently() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i * i) as f64)).collect();
+        let w = Waveform::from_samples(pts).unwrap();
+        assert_eq!(w.value(50.0), 2500.0);
+        assert!((w.value(50.5) - 0.5 * (2500.0 + 2601.0)).abs() < 1e-9);
+        assert_eq!(w.value(1e9), 99.0 * 99.0);
+    }
+
+    #[test]
+    fn shifted_and_resampled() {
+        let r = Waveform::ramp(0.0, 1e-9, 0.0, 1.0).shifted(1e-9);
+        assert_eq!(r.value(1e-9), 0.0);
+        assert_eq!(r.value(2e-9), 1.0);
+        let s = r.resample(0.0, 3e-9, 4).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], (0.0, 0.0));
+        assert_eq!(s[3].1, 1.0);
+        assert!(r.resample(0.0, 1e-9, 1).is_err());
+        assert!(r.resample(1e-9, 0.0, 4).is_err());
+    }
+
+    #[test]
+    fn fall_metrics() {
+        // Linear fall from 3.3 to 0 over 1 ns starting at t = 1 ns.
+        let f = Waveform::ramp(1e-9, 1e-9, 3.3, 0.0);
+        let m = measure_transition(&f, TransitionKind::Fall, 1e-9, 3.3).unwrap();
+        assert!((m.delay - 0.5e-9).abs() < 1e-15);
+        assert!((m.slew - 0.8e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rise_metrics() {
+        let r = Waveform::ramp(0.0, 2e-9, 0.0, 3.3);
+        let m = measure_transition(&r, TransitionKind::Rise, 0.0, 3.3).unwrap();
+        assert!((m.delay - 1e-9).abs() < 1e-15);
+        assert!((m.slew - 1.6e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delay_between_waveforms() {
+        let input = Waveform::ramp(0.0, 2e-12, 0.0, 3.3); // 50% at 1 ps
+        let output = Waveform::ramp(10e-12, 4e-12, 3.3, 0.0); // 50% at 12 ps
+        let d = delay_between(&input, &output, TransitionKind::Fall, 3.3).unwrap();
+        assert!((d - 11e-12).abs() < 1e-15);
+        // Missing crossings error out.
+        let flat = Waveform::constant(3.3);
+        assert!(delay_between(&flat, &output, TransitionKind::Fall, 3.3).is_err());
+        assert!(delay_between(&input, &flat, TransitionKind::Fall, 3.3).is_err());
+    }
+
+    #[test]
+    fn metrics_error_when_level_unreached() {
+        let f = Waveform::ramp(0.0, 1e-9, 3.3, 2.0); // never reaches 50%
+        assert!(measure_transition(&f, TransitionKind::Fall, 0.0, 3.3).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Piecewise quadratic waveforms — QWM's native output representation.
+//!
+//! Within one region `[τ, τ′]` a node's discharge current is modeled as
+//! linear, `I(t) = I_τ + α (t − τ)`, so its voltage is the quadratic of
+//! paper Eq. (6):
+//!
+//! ```text
+//! V(t) = V_τ + [I_τ (t − τ) + ½ α (t − τ)²] / C
+//! ```
+//!
+//! A transient is a sequence of such pieces separated by the critical
+//! points. The pieces carry enough state to evaluate voltage, current
+//! and crossings in closed form.
+
+use qwm_circuit::waveform::Waveform;
+use qwm_num::{NumError, Result};
+
+/// One quadratic piece of a node's voltage waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadraticPiece {
+    /// Region start time τ \[s\].
+    pub t0: f64,
+    /// Region end time τ′ \[s\].
+    pub t1: f64,
+    /// Voltage at τ \[V\].
+    pub v0: f64,
+    /// Charge/discharge current at τ \[A\] (paper Eq. (2)).
+    pub i0: f64,
+    /// Current slope α \[A/s\] — the piece's single free parameter.
+    pub alpha: f64,
+    /// Node capacitance used in this region \[F\].
+    pub cap: f64,
+}
+
+impl QuadraticPiece {
+    /// Voltage at `t` (valid on `[t0, t1]`, extrapolates outside).
+    pub fn voltage(&self, t: f64) -> f64 {
+        let dt = t - self.t0;
+        self.v0 + (self.i0 * dt + 0.5 * self.alpha * dt * dt) / self.cap
+    }
+
+    /// Current at `t`.
+    pub fn current(&self, t: f64) -> f64 {
+        self.i0 + self.alpha * (t - self.t0)
+    }
+
+    /// Voltage at the end of the piece.
+    pub fn end_voltage(&self) -> f64 {
+        self.voltage(self.t1)
+    }
+
+    /// Current at the end of the piece.
+    pub fn end_current(&self) -> f64 {
+        self.current(self.t1)
+    }
+
+    /// Earliest `t ∈ [t0, t1]` with `voltage(t) == level`, if any
+    /// (closed-form quadratic solve).
+    pub fn crossing(&self, level: f64) -> Option<f64> {
+        // v0 + (i0 dt + a/2 dt²)/C = level
+        let rhs = (level - self.v0) * self.cap;
+        let a = 0.5 * self.alpha;
+        let b = self.i0;
+        let c = -rhs;
+        let span = self.t1 - self.t0;
+        let mut best: Option<f64> = None;
+        let mut consider = |dt: f64| {
+            if (-1e-15..=span * (1.0 + 1e-9)).contains(&dt) {
+                let t = self.t0 + dt.max(0.0);
+                if best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        };
+        if a.abs() < 1e-30 {
+            if b.abs() > 1e-30 {
+                consider(-c / b);
+            }
+        } else {
+            let disc = b * b - 4.0 * a * c;
+            if disc >= 0.0 {
+                let sq = disc.sqrt();
+                consider((-b + sq) / (2.0 * a));
+                consider((-b - sq) / (2.0 * a));
+            }
+        }
+        best
+    }
+}
+
+/// A node's full piecewise-quadratic transient.
+#[derive(Debug, Clone, Default)]
+pub struct PiecewiseQuadratic {
+    pieces: Vec<QuadraticPiece>,
+}
+
+impl PiecewiseQuadratic {
+    /// An empty waveform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a piece; its start must meet the previous piece's end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] on temporal gaps/overlaps or a
+    /// non-positive region span.
+    pub fn push(&mut self, piece: QuadraticPiece) -> Result<()> {
+        if piece.t1 <= piece.t0 {
+            return Err(NumError::InvalidInput {
+                context: "PiecewiseQuadratic::push",
+                detail: format!("empty region [{}, {}]", piece.t0, piece.t1),
+            });
+        }
+        if let Some(last) = self.pieces.last() {
+            if (piece.t0 - last.t1).abs() > 1e-18 + 1e-9 * last.t1.abs() {
+                return Err(NumError::InvalidInput {
+                    context: "PiecewiseQuadratic::push",
+                    detail: format!("gap: previous ends {} next starts {}", last.t1, piece.t0),
+                });
+            }
+        }
+        self.pieces.push(piece);
+        Ok(())
+    }
+
+    /// The underlying pieces.
+    pub fn pieces(&self) -> &[QuadraticPiece] {
+        &self.pieces
+    }
+
+    /// Whether no pieces have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Voltage at `t` (clamped to the covered span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform is empty.
+    pub fn voltage(&self, t: f64) -> f64 {
+        assert!(!self.pieces.is_empty(), "empty piecewise waveform");
+        let first = &self.pieces[0];
+        if t <= first.t0 {
+            return first.v0;
+        }
+        for p in &self.pieces {
+            if t <= p.t1 {
+                return p.voltage(t);
+            }
+        }
+        self.pieces.last().unwrap().end_voltage()
+    }
+
+    /// Current at `t` (zero outside the covered span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform is empty.
+    pub fn current(&self, t: f64) -> f64 {
+        assert!(!self.pieces.is_empty(), "empty piecewise waveform");
+        if t < self.pieces[0].t0 || t > self.pieces.last().unwrap().t1 {
+            return 0.0;
+        }
+        for p in &self.pieces {
+            if t <= p.t1 {
+                return p.current(t);
+            }
+        }
+        0.0
+    }
+
+    /// Earliest crossing of `level` over the whole transient.
+    pub fn crossing(&self, level: f64) -> Option<f64> {
+        self.pieces.iter().find_map(|p| p.crossing(level))
+    }
+
+    /// The critical points `(τ, V(τ))` — region boundaries including the
+    /// start of the first region. Fig. 9 plots exactly these.
+    pub fn breakpoints(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(self.pieces.len() + 1);
+        if let Some(first) = self.pieces.first() {
+            out.push((first.t0, first.v0));
+        }
+        for p in &self.pieces {
+            out.push((p.t1, p.end_voltage()));
+        }
+        out
+    }
+
+    /// Densely samples into a PWL [`Waveform`] with `per_piece ≥ 1`
+    /// samples per region (for engine-vs-engine comparison plots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if the waveform is empty.
+    pub fn to_waveform(&self, per_piece: usize) -> Result<Waveform> {
+        if self.pieces.is_empty() {
+            return Err(NumError::InvalidInput {
+                context: "PiecewiseQuadratic::to_waveform",
+                detail: "no pieces".to_string(),
+            });
+        }
+        let per = per_piece.max(1);
+        let mut samples = Vec::new();
+        for p in &self.pieces {
+            for j in 0..per {
+                let t = p.t0 + (p.t1 - p.t0) * j as f64 / per as f64;
+                samples.push((t, p.voltage(t)));
+            }
+        }
+        let last = self.pieces.last().unwrap();
+        samples.push((last.t1, last.end_voltage()));
+        // Guard against degenerate duplicate times from tiny regions.
+        samples.dedup_by(|b, a| b.0 <= a.0);
+        Waveform::from_samples(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piece(t0: f64, t1: f64, v0: f64, i0: f64, alpha: f64, cap: f64) -> QuadraticPiece {
+        QuadraticPiece {
+            t0,
+            t1,
+            v0,
+            i0,
+            alpha,
+            cap,
+        }
+    }
+
+    #[test]
+    fn quadratic_evaluation_matches_closed_form() {
+        // C dV/dt = I0 + α(t−t0); V(t) from Eq. (6).
+        let p = piece(1e-12, 5e-12, 3.3, -1e-3, 2e8, 10e-15);
+        let dt = 2e-12;
+        let want = 3.3 + (-1e-3 * dt + 0.5 * 2e8 * dt * dt) / 10e-15;
+        assert!((p.voltage(1e-12 + dt) - want).abs() < 1e-9);
+        assert!((p.current(1e-12 + dt) - (-1e-3 + 2e8 * dt)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_linear_piece() {
+        // Pure linear fall: alpha = 0, slope = i0/C = −1 V/ps.
+        let p = piece(0.0, 4e-12, 4.0, -1e-3, 0.0, 1e-15);
+        let t = p.crossing(2.0).unwrap();
+        assert!((t - 2e-12).abs() < 1e-18);
+        assert!(p.crossing(5.0).is_none());
+    }
+
+    #[test]
+    fn crossing_picks_earliest_root_in_span() {
+        // Parabola dipping then rising: v = 1 − t + t²-ish scaled.
+        let p = piece(0.0, 2.0, 1.0, -1.0, 1.0, 1.0);
+        // v(t) = 1 − t + 0.5 t²; crosses 0.6: t² /2 − t + 0.4 = 0 →
+        // t = 1 ± √0.2 → earliest ≈ 0.5528.
+        let t = p.crossing(0.6).unwrap();
+        assert!((t - (1.0 - 0.2f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_enforces_continuity_in_time() {
+        let mut w = PiecewiseQuadratic::new();
+        w.push(piece(0.0, 1e-12, 3.3, 0.0, 0.0, 1e-15)).unwrap();
+        assert!(w.push(piece(2e-12, 3e-12, 3.3, 0.0, 0.0, 1e-15)).is_err());
+        assert!(w.push(piece(1e-12, 1e-12, 3.3, 0.0, 0.0, 1e-15)).is_err());
+        w.push(piece(1e-12, 3e-12, 3.3, -1e-4, 0.0, 1e-15)).unwrap();
+        assert_eq!(w.pieces().len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn waveform_lookup_spans_pieces() {
+        let mut w = PiecewiseQuadratic::new();
+        w.push(piece(0.0, 1e-12, 3.3, 0.0, 0.0, 1e-15)).unwrap();
+        w.push(piece(1e-12, 3e-12, 3.3, -1e-3, 0.0, 1e-15)).unwrap();
+        assert_eq!(w.voltage(-1.0), 3.3);
+        assert_eq!(w.voltage(0.5e-12), 3.3);
+        let v_end = 3.3 + (-1e-3 * 2e-12) / 1e-15;
+        assert!((w.voltage(10.0) - v_end).abs() < 1e-9);
+        assert_eq!(w.current(0.5e-12), 0.0);
+        assert!((w.current(2e-12) + 1e-3).abs() < 1e-12);
+        assert_eq!(w.current(1.0), 0.0, "outside span");
+    }
+
+    #[test]
+    fn breakpoints_and_global_crossing() {
+        let mut w = PiecewiseQuadratic::new();
+        w.push(piece(0.0, 1e-12, 3.3, 0.0, 0.0, 1e-15)).unwrap();
+        w.push(piece(1e-12, 3e-12, 3.3, -1e-3, 0.0, 1e-15)).unwrap();
+        let bp = w.breakpoints();
+        assert_eq!(bp.len(), 3);
+        assert_eq!(bp[0], (0.0, 3.3));
+        assert_eq!(bp[1].0, 1e-12);
+        // Crossing 2.3 V: 1 V drop at 1 V/ps after t = 1 ps.
+        let t = w.crossing(2.3).unwrap();
+        assert!((t - 2e-12).abs() < 1e-16);
+    }
+
+    #[test]
+    fn sampling_into_pwl() {
+        let mut w = PiecewiseQuadratic::new();
+        w.push(piece(0.0, 2e-12, 3.3, -1e-3, 1e8, 1e-15)).unwrap();
+        let pwl = w.to_waveform(8).unwrap();
+        for j in 0..=16 {
+            let t = 2e-12 * j as f64 / 16.0;
+            assert!((pwl.value(t) - w.voltage(t)).abs() < 0.2, "t={t}");
+        }
+        assert!(PiecewiseQuadratic::new().to_waveform(4).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Higher-order region solves: two collocation points per region.
+//!
+//! The paper parameterizes its method by `r`, the number of free
+//! parameters per node waveform per region: "If r parameters are chosen
+//! to characterize each output waveform, then r·K equations need to be
+//! generated — r time points need to be chosen" (§IV-A), and its
+//! conclusion flags richer waveform models as future work. This module
+//! implements `r = 2`: each region carries **two** matched time points —
+//! its midpoint and its end — making the node current piecewise linear
+//! over two half-intervals (equivalently, the voltage two chained
+//! quadratics) instead of one.
+//!
+//! The coupled system has `2K + 1` unknowns
+//! `(V_mid, V_end, τ′)` and is solved by damped Newton with a dense LU
+//! update (the Jacobian is block-tridiagonal; at the paper's K ≤ 10 the
+//! dense solve is not worth specializing — the point of `r = 2` is
+//! accuracy, not speed).
+
+use crate::solver::{ChainContext, EndCondition, RegionOptions, RegionState, RegionSolution};
+use qwm_num::matrix::Matrix;
+use qwm_num::{NumError, Result};
+
+/// The outcome of a two-point region solve: the midpoint state plus the
+/// usual end-of-region solution. Committing it produces two quadratic
+/// pieces.
+#[derive(Debug, Clone)]
+pub struct TwoPointSolution {
+    /// Midpoint time `τ + Δ/2`.
+    pub tau_mid: f64,
+    /// Node voltages at the midpoint.
+    pub v_mid: Vec<f64>,
+    /// Node currents at the midpoint (device-consistent).
+    pub i_mid: Vec<f64>,
+    /// The end-of-region solution (same shape as the `r = 1` solver's).
+    pub end: RegionSolution,
+    /// Current slopes over the first half-interval.
+    pub alphas_first: Vec<f64>,
+}
+
+/// Solves one region with two collocation points (`r = 2`).
+///
+/// Residuals (trapezoidal charge balance over each half-interval, with
+/// `h = Δ/2`):
+///
+/// ```text
+/// F1_k: C_k (Vm_k − V_k)  − h/2 (I_τk + Im_k) = 0
+/// F2_k: C_k (Ve_k − Vm_k) − h/2 (Im_k + Ie_k) = 0
+/// F3 : end condition at (V_end, τ′)
+/// ```
+///
+/// where `Im_k`, `Ie_k` are the device-predicted node currents
+/// `J_{k+1} − J_k` at the midpoint and end.
+///
+/// # Errors
+///
+/// Returns [`NumError::NoConvergence`] when Newton stalls and propagates
+/// device/linear-algebra failures.
+pub fn solve_region_two_point(
+    ctx: &ChainContext<'_>,
+    state: &RegionState,
+    cond: EndCondition,
+    dt_guess: f64,
+    opts: &RegionOptions,
+    spent: &mut usize,
+) -> Result<TwoPointSolution> {
+    let n = ctx.chain.len();
+    let vdd = ctx.models.tech().vdd;
+    let mut t_end = state.tau + dt_guess.max(opts.min_delta);
+    if let EndCondition::FixedTime { t } = cond {
+        t_end = t;
+        if t_end <= state.tau + opts.min_delta {
+            return Err(NumError::InvalidInput {
+                context: "solve_region_two_point",
+                detail: "fixed end time not after region start".to_string(),
+            });
+        }
+    }
+
+    // Seed: explicit Euler to the midpoint and end.
+    let h0 = 0.5 * (t_end - state.tau);
+    let mut vm: Vec<f64> = (0..n)
+        .map(|k| (state.v[k] + state.i[k] * h0 / state.caps[k]).clamp(-0.5, vdd + 0.5))
+        .collect();
+    let mut ve: Vec<f64> = (0..n)
+        .map(|k| (state.v[k] + state.i[k] * 2.0 * h0 / state.caps[k]).clamp(-0.5, vdd + 0.5))
+        .collect();
+
+    let dim = 2 * n + 1;
+    let mut iterations = 0usize;
+    for _ in 0..opts.max_iterations {
+        iterations += 1;
+        *spent += 1;
+        let delta = (t_end - state.tau).max(opts.min_delta);
+        let h = 0.5 * delta;
+        let t_mid = state.tau + h;
+
+        let im = ctx.node_currents_with_derivs(&vm, t_mid)?;
+        let ie = ctx.node_currents_with_derivs(&ve, t_end)?;
+
+        // Residuals.
+        let mut f = vec![0.0; dim];
+        for k in 0..n {
+            f[k] = state.caps[k] * (vm[k] - state.v[k]) - 0.5 * h * (state.i[k] + im.i[k]);
+            f[n + k] = state.caps[k] * (ve[k] - vm[k]) - 0.5 * h * (im.i[k] + ie.i[k]);
+        }
+        let g_res = match cond {
+            EndCondition::TurnOn { element } => ctx.excess(element, &ve, t_end),
+            EndCondition::Crossing { node, level } => ve[node - 1] - level,
+            EndCondition::FixedTime { .. } => 0.0,
+        };
+        f[2 * n] = g_res;
+
+        // Residuals are charges; dividing by the half-interval gives an
+        // equivalent average-current error, comparable with the r = 1
+        // solver's current tolerance.
+        let f_norm = f[..2 * n]
+            .iter()
+            .fold(0.0_f64, |m, x| m.max(x.abs() / h));
+        let cond_ok = match cond {
+            EndCondition::FixedTime { .. } => true,
+            _ => g_res.abs() < opts.tol_condition_v,
+        };
+        if f_norm < opts.tol_current && cond_ok {
+            // Device-consistent outputs.
+            let alphas_first: Vec<f64> = (0..n).map(|k| (im.i[k] - state.i[k]) / h).collect();
+            let alphas_second: Vec<f64> = (0..n).map(|k| (ie.i[k] - im.i[k]) / h).collect();
+            return Ok(TwoPointSolution {
+                tau_mid: t_mid,
+                v_mid: vm,
+                i_mid: im.i,
+                end: RegionSolution {
+                    tau_next: t_end,
+                    v_next: ve,
+                    i_next: ie.i,
+                    alphas: alphas_second,
+                    iterations,
+                },
+                alphas_first,
+            });
+        }
+
+        // Dense Jacobian.
+        let mut jac = Matrix::zeros(dim, dim)?;
+        for k in 0..n {
+            // F1_k = C (Vm_k − V_k) − h/2 (Iτ_k + Im_k)
+            jac.add(k, k, state.caps[k]);
+            for (col, dv) in im.deriv_triplet(k) {
+                jac.add(k, col, -0.5 * h * dv);
+            }
+            // ∂F1/∂τ′: h = (τ′−τ)/2 ⇒ ∂h/∂τ′ = 1/2; gate motion at t_mid
+            // also scales by 1/2.
+            let dtau = -0.25 * (state.i[k] + im.i[k]) - 0.5 * h * (0.5 * im.d_t[k]);
+            jac.add(k, 2 * n, dtau);
+
+            // F2_k = C (Ve_k − Vm_k) − h/2 (Im_k + Ie_k)
+            jac.add(n + k, n + k, state.caps[k]);
+            jac.add(n + k, k, -state.caps[k]);
+            for (col, dv) in im.deriv_triplet(k) {
+                jac.add(n + k, col, -0.5 * h * dv);
+            }
+            for (col, dv) in ie.deriv_triplet(k) {
+                jac.add(n + k, n + col, -0.5 * h * dv);
+            }
+            let dtau2 =
+                -0.25 * (im.i[k] + ie.i[k]) - 0.5 * h * (0.5 * im.d_t[k] + ie.d_t[k]);
+            jac.add(n + k, 2 * n, dtau2);
+        }
+        // Condition row.
+        match cond {
+            EndCondition::TurnOn { element } => {
+                let hfd = 1e-6;
+                for idx in [element.saturating_sub(1), element] {
+                    if idx == 0 || idx > n {
+                        continue;
+                    }
+                    let mut vp = ve.clone();
+                    vp[idx - 1] += hfd;
+                    let mut vq = ve.clone();
+                    vq[idx - 1] -= hfd;
+                    let d = (ctx.excess(element, &vp, t_end) - ctx.excess(element, &vq, t_end))
+                        / (2.0 * hfd);
+                    jac.add(2 * n, n + idx - 1, d);
+                }
+                let ht = 1e-15;
+                let d_t = (ctx.excess(element, &ve, t_end + ht)
+                    - ctx.excess(element, &ve, t_end - ht))
+                    / (2.0 * ht);
+                jac.add(2 * n, 2 * n, d_t);
+            }
+            EndCondition::Crossing { node, .. } => {
+                jac.add(2 * n, n + node - 1, 1.0);
+            }
+            EndCondition::FixedTime { .. } => {
+                jac.add(2 * n, 2 * n, 1.0);
+            }
+        }
+
+        let step = jac.solve(&f)?;
+        if !step.iter().all(|s| s.is_finite()) {
+            return Err(NumError::NoConvergence {
+                method: "qwm region (r=2, non-finite step)",
+                iterations,
+                residual: f_norm,
+            });
+        }
+        for k in 0..n {
+            vm[k] = (vm[k] - step[k].clamp(-opts.max_dv, opts.max_dv)).clamp(-0.5, vdd + 0.5);
+            ve[k] = (ve[k] - step[n + k].clamp(-opts.max_dv, opts.max_dv))
+                .clamp(-0.5, vdd + 0.5);
+        }
+        if !matches!(cond, EndCondition::FixedTime { .. }) {
+            let max_dt = 2.0 * delta + 1e-12;
+            t_end = (t_end - step[2 * n].clamp(-max_dt, max_dt)).max(state.tau + opts.min_delta);
+        }
+    }
+    Err(NumError::NoConvergence {
+        method: "qwm region (r=2)",
+        iterations,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+    use crate::solver::solve_region;
+    use qwm_circuit::cells;
+    use qwm_circuit::waveform::{TransitionKind, Waveform};
+    use qwm_device::{analytic_models, Technology};
+
+    fn ctx_setup(
+        k: usize,
+    ) -> (
+        Technology,
+        qwm_device::ModelSet,
+        qwm_circuit::LogicStage,
+        Vec<Waveform>,
+    ) {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let stage = cells::nmos_stack(&tech, &vec![1.5e-6; k], 20e-15).unwrap();
+        let inputs: Vec<Waveform> = (0..k).map(|_| Waveform::constant(tech.vdd)).collect();
+        (tech, models, stage, inputs)
+    }
+
+    #[test]
+    fn two_point_matches_one_point_on_an_easy_region() {
+        let (tech, models, stage, inputs) = ctx_setup(2);
+        let out = stage.node_by_name("out").unwrap();
+        let chain = Chain::extract(&stage, out, TransitionKind::Fall).unwrap();
+        let ctx = ChainContext {
+            stage: &stage,
+            chain: &chain,
+            models: &models,
+            inputs: &inputs,
+            rail_v: 0.0,
+        };
+        let v0 = vec![2.0, 3.0];
+        let caps = ctx.node_caps(&v0);
+        let i0 = ctx.node_currents(&v0, 0.0).unwrap();
+        let state = RegionState {
+            tau: 0.0,
+            v: v0,
+            i: i0,
+            caps,
+        };
+        let cond = EndCondition::Crossing {
+            node: 2,
+            level: 2.5,
+        };
+        let opts = RegionOptions::default();
+        let r1 = solve_region(&ctx, &state, cond, 5e-12, &opts).unwrap();
+        let mut spent = 0;
+        let r2 = solve_region_two_point(&ctx, &state, cond, 5e-12, &opts, &mut spent).unwrap();
+        // Same event, slightly different (better-resolved) time.
+        assert!((r2.end.tau_next - r1.tau_next).abs() / r1.tau_next < 0.05);
+        assert!((r2.end.v_next[1] - 2.5).abs() < 1e-6);
+        // Midpoint sits between the endpoints in time and voltage.
+        assert!(r2.tau_mid > 0.0 && r2.tau_mid < r2.end.tau_next);
+        assert!(r2.v_mid[1] < state.v[1] && r2.v_mid[1] > r2.end.v_next[1]);
+        assert!((tech.vdd - 3.3).abs() < 1e-12);
+        assert!(spent > 0);
+    }
+
+    #[test]
+    fn two_point_fixed_time_advances_both_halves() {
+        let (_tech, models, stage, inputs) = ctx_setup(3);
+        let out = stage.node_by_name("out").unwrap();
+        let chain = Chain::extract(&stage, out, TransitionKind::Fall).unwrap();
+        let ctx = ChainContext {
+            stage: &stage,
+            chain: &chain,
+            models: &models,
+            inputs: &inputs,
+            rail_v: 0.0,
+        };
+        let v0 = vec![1.5, 2.5, 3.2];
+        let caps = ctx.node_caps(&v0);
+        let i0 = ctx.node_currents(&v0, 0.0).unwrap();
+        let state = RegionState {
+            tau: 0.0,
+            v: v0.clone(),
+            i: i0,
+            caps,
+        };
+        let mut spent = 0;
+        let sol = solve_region_two_point(
+            &ctx,
+            &state,
+            EndCondition::FixedTime { t: 10e-12 },
+            0.0,
+            &RegionOptions::default(),
+            &mut spent,
+        )
+        .unwrap();
+        assert!((sol.end.tau_next - 10e-12).abs() < 1e-18);
+        assert!((sol.tau_mid - 5e-12).abs() < 1e-18);
+        for (k, &v0k) in v0.iter().enumerate() {
+            assert!(sol.v_mid[k] <= v0k + 1e-9);
+            assert!(sol.end.v_next[k] <= sol.v_mid[k] + 1e-9);
+        }
+        // Bad fixed time rejected.
+        assert!(solve_region_two_point(
+            &ctx,
+            &state,
+            EndCondition::FixedTime { t: -1.0 },
+            0.0,
+            &RegionOptions::default(),
+            &mut spent,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Parasitic capacitance models.
+//!
+//! The paper's device model (Definition 2) contributes voltage-dependent
+//! parasitic capacitance to the source and sink nodes of every edge and a
+//! gate capacitance to every input — "the parasitic capacitances depend
+//! not only on the device geometry, but also the terminal voltages"
+//! (§III-B). We implement the standard junction model
+//! `Cj(V) = Cj0 / (1 + V/φB)^m` with separate area and sidewall terms,
+//! plus overlap (Miller) and channel capacitances.
+
+use crate::model::{Geometry, Polarity};
+use crate::tech::Technology;
+
+/// Reverse-biased junction capacitance at node voltage `v`.
+///
+/// The reverse bias is `v` for NMOS junctions (body at ground) and
+/// `Vdd − v` for PMOS junctions (body at Vdd); forward bias is clamped to
+/// zero so the model stays defined for slight overshoots.
+///
+/// ```
+/// use qwm_device::caps::junction_cap;
+/// use qwm_device::model::Polarity;
+/// use qwm_device::tech::Technology;
+///
+/// let t = Technology::cmosp35();
+/// let c0 = junction_cap(&t, Polarity::Nmos, 1e-12, 4e-6, 0.0);
+/// let c3 = junction_cap(&t, Polarity::Nmos, 1e-12, 4e-6, 3.3);
+/// assert!(c3 < c0);
+/// ```
+pub fn junction_cap(tech: &Technology, polarity: Polarity, area: f64, perim: f64, v: f64) -> f64 {
+    let bias = match polarity {
+        Polarity::Nmos => v,
+        Polarity::Pmos => tech.vdd - v,
+    }
+    .max(0.0);
+    let area_term = tech.cj * area / (1.0 + bias / tech.pb).powf(tech.mj);
+    let sw_term = tech.cjsw * perim / (1.0 + bias / tech.pb).powf(tech.mjsw);
+    area_term + sw_term
+}
+
+/// Gate capacitance presented to the input net: full channel oxide plus
+/// both overlaps.
+pub fn gate_cap(tech: &Technology, geom: &Geometry) -> f64 {
+    tech.cox * geom.w * geom.l + 2.0 * tech.c_overlap * geom.w
+}
+
+/// Channel + overlap capacitance contributed to *one* diffusion terminal:
+/// half the channel oxide plus that terminal's overlap. Covers the Miller
+/// coupling path in lumped-to-ground form, the approximation both engines
+/// share.
+pub fn channel_side_cap(tech: &Technology, geom: &Geometry) -> f64 {
+    0.5 * tech.cox * geom.w * geom.l + tech.c_overlap * geom.w
+}
+
+/// Total wire capacitance for a `w × l` wire segment: parallel-plate plus
+/// fringe on both edges.
+pub fn wire_cap(tech: &Technology, w: f64, l: f64) -> f64 {
+    tech.wire_c_area * w * l + 2.0 * tech.wire_c_fringe * l
+}
+
+/// Wire resistance for a `w × l` segment from sheet resistance.
+pub fn wire_res(tech: &Technology, w: f64, l: f64) -> f64 {
+    tech.wire_r_sq * l / w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn junction_cap_monotone_in_reverse_bias() {
+        let t = Technology::cmosp35();
+        let mut prev = f64::INFINITY;
+        for i in 0..=33 {
+            let v = i as f64 * 0.1;
+            let c = junction_cap(&t, Polarity::Nmos, 1e-12, 4e-6, v);
+            assert!(c > 0.0);
+            assert!(c < prev, "cap must shrink with bias at v={v}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn pmos_junction_mirrors_nmos() {
+        let t = Technology::cmosp35();
+        let n = junction_cap(&t, Polarity::Nmos, 1e-12, 4e-6, 1.0);
+        let p = junction_cap(&t, Polarity::Pmos, 1e-12, 4e-6, t.vdd - 1.0);
+        assert!((n - p).abs() < 1e-20);
+    }
+
+    #[test]
+    fn forward_bias_clamps() {
+        let t = Technology::cmosp35();
+        let at_zero = junction_cap(&t, Polarity::Nmos, 1e-12, 4e-6, 0.0);
+        let neg = junction_cap(&t, Polarity::Nmos, 1e-12, 4e-6, -0.4);
+        assert_eq!(at_zero, neg);
+    }
+
+    #[test]
+    fn gate_cap_dominated_by_oxide_for_large_devices() {
+        let t = Technology::cmosp35();
+        let small = gate_cap(&t, &Geometry::new(0.5e-6, 0.35e-6));
+        let big = gate_cap(&t, &Geometry::new(5.0e-6, 0.35e-6));
+        assert!(big > 9.0 * small / 1.5, "scales roughly with width");
+        // Femtofarad scale for minimum devices.
+        assert!(small > 1e-16 && small < 1e-14, "{small}");
+    }
+
+    #[test]
+    fn side_caps_sum_below_gate_cap_plus_overlap() {
+        let t = Technology::cmosp35();
+        let g = Geometry::new(1e-6, 0.35e-6);
+        let two_sides = 2.0 * channel_side_cap(&t, &g);
+        assert!((two_sides - gate_cap(&t, &g)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn wire_parasitics_scale_with_length() {
+        let t = Technology::cmosp35();
+        let c1 = wire_cap(&t, 0.6e-6, 10e-6);
+        let c2 = wire_cap(&t, 0.6e-6, 20e-6);
+        assert!((c2 - 2.0 * c1).abs() < 1e-20);
+        let r1 = wire_res(&t, 0.6e-6, 10e-6);
+        let r2 = wire_res(&t, 0.6e-6, 20e-6);
+        assert!((r2 - 2.0 * r1).abs() < 1e-12);
+        assert!(r1 > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Device models for the QWM transistor-level timing toolkit.
+//!
+//! This crate supplies the physics every engine in the workspace shares:
+//!
+//! * [`tech`] — CMOSP35-class technology constants (3.3 V, 0.35 µm);
+//! * [`model`] — the `DeviceModel` trait (paper Definition 2): I/V,
+//!   threshold/saturation voltages and per-terminal parasitic caps;
+//! * [`mosfet`] — the analytic Level-1+ MOSFET (body effect +
+//!   channel-length modulation), the reference physics standing in for
+//!   the paper's BSIM3;
+//! * [`table`] — the compressed tabular model of §V-A: a (Vs, Vg) grid of
+//!   7-parameter fits (quadratic triode, linear saturation) with bilinear
+//!   interpolation — what QWM actually queries;
+//! * [`caps`] — junction/overlap/gate/wire capacitance models;
+//! * [`wire`] — wire segments as linear devices (π-lumped).
+//!
+//! # Example
+//!
+//! Characterize a tabular NMOS model and compare it against the analytic
+//! reference:
+//!
+//! ```
+//! use qwm_device::model::{DeviceModel, Geometry, Polarity, TermVoltage};
+//! use qwm_device::mosfet::Mosfet;
+//! use qwm_device::table::TableModel;
+//! use qwm_device::tech::Technology;
+//!
+//! # fn main() -> Result<(), qwm_num::NumError> {
+//! let tech = Technology::cmosp35();
+//! let analytic = Mosfet::new(tech.clone(), Polarity::Nmos);
+//! let table = TableModel::characterize(tech, Polarity::Nmos, 0.1)?;
+//!
+//! let geom = Geometry::new(1.0e-6, 0.35e-6);
+//! let tv = TermVoltage::new(3.3, 3.3, 0.0); // gate high, full Vds
+//! let i_ref = analytic.iv(&geom, tv)?;
+//! let i_tab = table.iv(&geom, tv)?;
+//! assert!((i_tab - i_ref).abs() < 0.05 * i_ref);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod caps;
+pub mod model;
+pub mod mosfet;
+pub mod table;
+pub mod tech;
+pub mod wire;
+
+pub use model::{DeviceModel, Geometry, IvEval, ModelSet, Polarity, TermVoltage};
+pub use mosfet::Mosfet;
+pub use table::TableModel;
+pub use tech::Technology;
+pub use wire::WireModel;
+
+/// Builds the default analytic model set (reference physics — what the
+/// SPICE baseline integrates).
+pub fn analytic_models(tech: &Technology) -> ModelSet {
+    ModelSet::new(
+        Box::new(Mosfet::new(tech.clone(), Polarity::Nmos)),
+        Box::new(Mosfet::new(tech.clone(), Polarity::Pmos)),
+    )
+}
+
+/// Builds the default tabular model set at the paper's 0.1 V grid pitch
+/// (what the QWM engine queries).
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn tabular_models(tech: &Technology) -> qwm_num::Result<ModelSet> {
+    Ok(ModelSet::new(
+        Box::new(TableModel::with_defaults(tech.clone(), Polarity::Nmos)?),
+        Box::new(TableModel::with_defaults(tech.clone(), Polarity::Pmos)?),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sets_build() {
+        let tech = Technology::cmosp35();
+        let a = analytic_models(&tech);
+        let t = tabular_models(&tech).unwrap();
+        assert_eq!(a.tech().vdd, 3.3);
+        assert_eq!(t.tech().vdd, 3.3);
+        let g = Geometry::new(1e-6, 0.35e-6);
+        let tv = TermVoltage::new(3.3, 3.3, 0.0);
+        let ia = a.for_polarity(Polarity::Nmos).iv(&g, tv).unwrap();
+        let it = t.for_polarity(Polarity::Nmos).iv(&g, tv).unwrap();
+        assert!(ia > 0.0 && it > 0.0);
+    }
+}

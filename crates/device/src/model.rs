@@ -1,0 +1,233 @@
+//! The device-model abstraction (paper Definition 2).
+//!
+//! A `DeviceModel` maps geometric parameters and a terminal-voltage
+//! configuration to the current flowing from the edge's source node to
+//! its sink node, plus the threshold/saturation voltages and the
+//! parasitic capacitance contributions at each terminal. Both the
+//! analytic model ([`crate::mosfet::Mosfet`]) and the compressed tabular
+//! model the paper builds in §V-A implement this trait, so the SPICE
+//! baseline and the QWM engine can each be run against either.
+
+use crate::tech::Technology;
+use qwm_num::Result;
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device: conducts when the gate is high relative to the
+    /// lower terminal; body tied to ground.
+    Nmos,
+    /// P-channel device: conducts when the gate is low relative to the
+    /// higher terminal; body tied to Vdd.
+    Pmos,
+}
+
+/// Geometric parameters of a circuit element (paper Definition 1's
+/// `w, l` plus the optional junction geometry of §III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Drawn width \[m\].
+    pub w: f64,
+    /// Drawn length \[m\].
+    pub l: f64,
+    /// Source-junction area \[m²\]; `None` derives `w · l_diff`.
+    pub area_src: Option<f64>,
+    /// Source-junction perimeter \[m\]; `None` derives `2·(w + l_diff)`.
+    pub perim_src: Option<f64>,
+    /// Drain-junction area \[m²\].
+    pub area_snk: Option<f64>,
+    /// Drain-junction perimeter \[m\].
+    pub perim_snk: Option<f64>,
+}
+
+impl Geometry {
+    /// A transistor of drawn size `w × l` with default junction geometry.
+    ///
+    /// ```
+    /// let g = qwm_device::model::Geometry::new(1.0e-6, 0.35e-6);
+    /// assert_eq!(g.w, 1.0e-6);
+    /// ```
+    pub fn new(w: f64, l: f64) -> Self {
+        Geometry {
+            w,
+            l,
+            area_src: None,
+            perim_src: None,
+            area_snk: None,
+            perim_snk: None,
+        }
+    }
+
+    /// Source junction area, defaulting to `w · l_diff`.
+    pub fn src_area(&self, tech: &Technology) -> f64 {
+        self.area_src.unwrap_or(self.w * tech.l_diff)
+    }
+
+    /// Source junction perimeter, defaulting to `2(w + l_diff)`.
+    pub fn src_perim(&self, tech: &Technology) -> f64 {
+        self.perim_src.unwrap_or(2.0 * (self.w + tech.l_diff))
+    }
+
+    /// Sink junction area, defaulting to `w · l_diff`.
+    pub fn snk_area(&self, tech: &Technology) -> f64 {
+        self.area_snk.unwrap_or(self.w * tech.l_diff)
+    }
+
+    /// Sink junction perimeter, defaulting to `2(w + l_diff)`.
+    pub fn snk_perim(&self, tech: &Technology) -> f64 {
+        self.perim_snk.unwrap_or(2.0 * (self.w + tech.l_diff))
+    }
+}
+
+/// Terminal voltage configuration of a circuit edge (paper Definition 2):
+/// the gate (`input`) voltage plus the absolute voltages of the edge's
+/// source and sink nodes. All in volts, node-referenced (body terminals
+/// are implicit: ground for NMOS, Vdd for PMOS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermVoltage {
+    /// Gate voltage (undefined/ignored for wire segments).
+    pub input: f64,
+    /// Voltage of the edge's source node.
+    pub src: f64,
+    /// Voltage of the edge's sink node.
+    pub snk: f64,
+}
+
+impl TermVoltage {
+    /// Convenience constructor.
+    pub fn new(input: f64, src: f64, snk: f64) -> Self {
+        TermVoltage { input, src, snk }
+    }
+}
+
+/// Current and its partial derivatives with respect to the three terminal
+/// voltages — everything a Newton iteration needs from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IvEval {
+    /// Current flowing from the source node to the sink node \[A\].
+    pub i: f64,
+    /// ∂i/∂input (gate transconductance seen at node level).
+    pub d_input: f64,
+    /// ∂i/∂src.
+    pub d_src: f64,
+    /// ∂i/∂snk.
+    pub d_snk: f64,
+}
+
+/// A device model (paper Definition 2): I/V relationship, threshold and
+/// saturation voltages, and terminal capacitance contributions.
+pub trait DeviceModel: Send + Sync {
+    /// Which technology the model was built for.
+    fn tech(&self) -> &Technology;
+
+    /// Current from the source node to the sink node for the given
+    /// geometry and terminal voltages (`iv` in Definition 2).
+    ///
+    /// # Errors
+    ///
+    /// Tabular models may reject voltages far outside the characterized
+    /// range.
+    fn iv(&self, geom: &Geometry, tv: TermVoltage) -> Result<f64> {
+        Ok(self.iv_eval(geom, tv)?.i)
+    }
+
+    /// Current plus node-voltage derivatives.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DeviceModel::iv`].
+    fn iv_eval(&self, geom: &Geometry, tv: TermVoltage) -> Result<IvEval>;
+
+    /// Effective threshold voltage, including body effect, referenced to
+    /// the conduction source terminal implied by `tv` (`threshold` in
+    /// Definition 2).
+    fn threshold(&self, tv: TermVoltage) -> f64;
+
+    /// Gate overdrive (`v_gs,eff − Vt`): positive when the device
+    /// conducts. The QWM critical-point condition is `turn_on_excess = 0`
+    /// for the next transistor along the charge/discharge path.
+    fn turn_on_excess(&self, tv: TermVoltage) -> f64;
+
+    /// Saturation voltage `Vdsat` for the given terminal configuration.
+    fn vdsat(&self, tv: TermVoltage) -> f64;
+
+    /// Parasitic capacitance contributed to the source node at source
+    /// voltage `v` (`srccap` in Definition 2) \[F\].
+    fn src_cap(&self, geom: &Geometry, v: f64) -> f64;
+
+    /// Parasitic capacitance contributed to the sink node at sink voltage
+    /// `v` (`snkcap` in Definition 2) \[F\].
+    fn snk_cap(&self, geom: &Geometry, v: f64) -> f64;
+
+    /// Capacitance presented to the input (gate) net (`inputcap`) \[F\].
+    fn input_cap(&self, geom: &Geometry) -> f64;
+}
+
+/// The set of models a circuit is evaluated under — one per device kind
+/// (paper: `model : Device → DeviceModel`).
+pub struct ModelSet {
+    /// Model used for NMOS edges.
+    pub nmos: Box<dyn DeviceModel>,
+    /// Model used for PMOS edges.
+    pub pmos: Box<dyn DeviceModel>,
+}
+
+impl ModelSet {
+    /// Builds a model set from NMOS and PMOS models.
+    pub fn new(nmos: Box<dyn DeviceModel>, pmos: Box<dyn DeviceModel>) -> Self {
+        ModelSet { nmos, pmos }
+    }
+
+    /// The model for a given polarity.
+    pub fn for_polarity(&self, p: Polarity) -> &dyn DeviceModel {
+        match p {
+            Polarity::Nmos => self.nmos.as_ref(),
+            Polarity::Pmos => self.pmos.as_ref(),
+        }
+    }
+
+    /// The shared technology (taken from the NMOS model).
+    pub fn tech(&self) -> &Technology {
+        self.nmos.tech()
+    }
+}
+
+impl std::fmt::Debug for ModelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSet").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_defaults_derive_from_ldiff() {
+        let tech = Technology::cmosp35();
+        let g = Geometry::new(2.0e-6, 0.35e-6);
+        assert!((g.src_area(&tech) - 2.0e-6 * tech.l_diff).abs() < 1e-18);
+        assert!((g.src_perim(&tech) - 2.0 * (2.0e-6 + tech.l_diff)).abs() < 1e-12);
+        assert_eq!(g.src_area(&tech), g.snk_area(&tech));
+    }
+
+    #[test]
+    fn geometry_explicit_junctions_win() {
+        let tech = Technology::cmosp35();
+        let g = Geometry {
+            area_src: Some(1e-12),
+            perim_snk: Some(5e-6),
+            ..Geometry::new(1e-6, 0.35e-6)
+        };
+        assert_eq!(g.src_area(&tech), 1e-12);
+        assert_eq!(g.snk_perim(&tech), 5e-6);
+    }
+
+    #[test]
+    fn term_voltage_roundtrip() {
+        let tv = TermVoltage::new(3.3, 1.0, 0.0);
+        assert_eq!(tv.input, 3.3);
+        assert_eq!(tv.src, 1.0);
+        assert_eq!(tv.snk, 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Analytic MOSFET model (Level-1+ square law with body effect and
+//! channel-length modulation).
+//!
+//! This plays the role BSIM3 played in the paper: the *reference*
+//! physics. The SPICE-class baseline engine integrates it directly; the
+//! tabular model of [`crate::table`] is characterized from it, mirroring
+//! the paper's HSPICE-sweep → 7-parameter-fit pipeline (§V-A).
+//!
+//! The model is evaluated at **node level**: terminal roles (conduction
+//! source vs. drain) are assigned from the instantaneous voltages, so
+//! pass transistors and stack transistors conduct correctly in either
+//! direction. PMOS devices are handled by mirroring every voltage through
+//! Vdd, which turns them into NMOS-shaped problems with their own
+//! `(k'ₚ, Vt0ₚ)`.
+
+use crate::caps;
+use crate::model::{DeviceModel, Geometry, IvEval, Polarity, TermVoltage};
+use crate::tech::Technology;
+use qwm_num::Result;
+
+/// Per-unit-(W/L) channel current and its partials in the conduction
+/// frame (`vds ≥ 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct CoreEval {
+    pub i: f64,
+    pub d_vgs: f64,
+    pub d_vds: f64,
+    pub d_vsb: f64,
+}
+
+/// Square-law channel current per unit W/L for `vds ≥ 0`.
+///
+/// Continuous and C¹ across both the cutoff and saturation boundaries
+/// (the triode/saturation expressions and their `∂/∂vds` agree at
+/// `vds = vov`), which keeps Newton iterations well behaved.
+pub(crate) fn ids_core(tech: &Technology, kp: f64, vt0: f64, vgs: f64, vds: f64, vsb: f64) -> CoreEval {
+    debug_assert!(vds >= 0.0, "ids_core requires the conduction frame");
+    let vt = tech.vt_body(vt0, vsb);
+    let dvt = tech.vt_body_deriv(vsb);
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        return CoreEval::default();
+    }
+    let clm = 1.0 + tech.lambda * vds;
+    if vds < vov {
+        // Triode region.
+        let f = vov * vds - 0.5 * vds * vds;
+        let d_vgs = kp * vds * clm;
+        CoreEval {
+            i: kp * f * clm,
+            d_vgs,
+            d_vds: kp * ((vov - vds) * clm + f * tech.lambda),
+            d_vsb: -dvt * d_vgs,
+        }
+    } else {
+        // Saturation region.
+        let d_vgs = kp * vov * clm;
+        CoreEval {
+            i: 0.5 * kp * vov * vov * clm,
+            d_vgs,
+            d_vds: 0.5 * kp * vov * vov * tech.lambda,
+            d_vsb: -dvt * d_vgs,
+        }
+    }
+}
+
+/// Maps a conduction-frame [`CoreEval`] to node-level current and
+/// derivatives for an N-channel edge whose higher terminal is `src`.
+fn nmos_eval(tech: &Technology, kp: f64, vt0: f64, tv: TermVoltage, wl: f64) -> IvEval {
+    if tv.src >= tv.snk {
+        let e = ids_core(tech, kp, vt0, tv.input - tv.snk, tv.src - tv.snk, tv.snk);
+        IvEval {
+            i: wl * e.i,
+            d_input: wl * e.d_vgs,
+            d_src: wl * e.d_vds,
+            d_snk: wl * (-e.d_vgs - e.d_vds + e.d_vsb),
+        }
+    } else {
+        let e = ids_core(tech, kp, vt0, tv.input - tv.src, tv.snk - tv.src, tv.src);
+        IvEval {
+            i: -wl * e.i,
+            d_input: -wl * e.d_vgs,
+            d_snk: -wl * e.d_vds,
+            d_src: -wl * (-e.d_vgs - e.d_vds + e.d_vsb),
+        }
+    }
+}
+
+/// The analytic transistor model for one polarity.
+#[derive(Debug, Clone)]
+pub struct Mosfet {
+    tech: Technology,
+    polarity: Polarity,
+}
+
+impl Mosfet {
+    /// Builds the model for `polarity` under `tech`.
+    ///
+    /// ```
+    /// use qwm_device::mosfet::Mosfet;
+    /// use qwm_device::model::{DeviceModel, Geometry, Polarity, TermVoltage};
+    /// use qwm_device::tech::Technology;
+    ///
+    /// # fn main() -> Result<(), qwm_num::NumError> {
+    /// let n = Mosfet::new(Technology::cmosp35(), Polarity::Nmos);
+    /// let geom = Geometry::new(1.0e-6, 0.35e-6);
+    /// // Gate high, drain at Vdd, source at ground: saturation current.
+    /// let i = n.iv(&geom, TermVoltage::new(3.3, 3.3, 0.0))?;
+    /// assert!(i > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(tech: Technology, polarity: Polarity) -> Self {
+        Mosfet { tech, polarity }
+    }
+
+    /// Device polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    fn params(&self) -> (f64, f64) {
+        match self.polarity {
+            Polarity::Nmos => (self.tech.kp_n, self.tech.vt0_n),
+            Polarity::Pmos => (self.tech.kp_p, self.tech.vt0_p),
+        }
+    }
+}
+
+impl DeviceModel for Mosfet {
+    fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    fn iv_eval(&self, geom: &Geometry, tv: TermVoltage) -> Result<IvEval> {
+        let (kp, vt0) = self.params();
+        let wl = geom.w / geom.l;
+        match self.polarity {
+            Polarity::Nmos => Ok(nmos_eval(&self.tech, kp, vt0, tv, wl)),
+            Polarity::Pmos => {
+                // Mirror every voltage through Vdd; the mirrored problem
+                // is NMOS-shaped. Current negates; node derivatives carry
+                // over unchanged (two sign flips cancel).
+                let vdd = self.tech.vdd;
+                let m = TermVoltage::new(vdd - tv.input, vdd - tv.src, vdd - tv.snk);
+                let e = nmos_eval(&self.tech, kp, vt0, m, wl);
+                Ok(IvEval {
+                    i: -e.i,
+                    d_input: e.d_input,
+                    d_src: e.d_src,
+                    d_snk: e.d_snk,
+                })
+            }
+        }
+    }
+
+    fn threshold(&self, tv: TermVoltage) -> f64 {
+        match self.polarity {
+            Polarity::Nmos => {
+                let vs = tv.src.min(tv.snk);
+                self.tech.vt_body(self.tech.vt0_n, vs)
+            }
+            Polarity::Pmos => {
+                let vs = tv.src.max(tv.snk);
+                self.tech.vt_body(self.tech.vt0_p, self.tech.vdd - vs)
+            }
+        }
+    }
+
+    fn turn_on_excess(&self, tv: TermVoltage) -> f64 {
+        match self.polarity {
+            Polarity::Nmos => {
+                let vs = tv.src.min(tv.snk);
+                tv.input - vs - self.threshold(tv)
+            }
+            Polarity::Pmos => {
+                let vs = tv.src.max(tv.snk);
+                vs - tv.input - self.threshold(tv)
+            }
+        }
+    }
+
+    fn vdsat(&self, tv: TermVoltage) -> f64 {
+        self.turn_on_excess(tv).max(0.0)
+    }
+
+    fn src_cap(&self, geom: &Geometry, v: f64) -> f64 {
+        caps::junction_cap(
+            &self.tech,
+            self.polarity,
+            geom.src_area(&self.tech),
+            geom.src_perim(&self.tech),
+            v,
+        ) + caps::channel_side_cap(&self.tech, geom)
+    }
+
+    fn snk_cap(&self, geom: &Geometry, v: f64) -> f64 {
+        caps::junction_cap(
+            &self.tech,
+            self.polarity,
+            geom.snk_area(&self.tech),
+            geom.snk_perim(&self.tech),
+            v,
+        ) + caps::channel_side_cap(&self.tech, geom)
+    }
+
+    fn input_cap(&self, geom: &Geometry) -> f64 {
+        caps::gate_cap(&self.tech, geom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> Mosfet {
+        Mosfet::new(Technology::cmosp35(), Polarity::Nmos)
+    }
+    fn pmos() -> Mosfet {
+        Mosfet::new(Technology::cmosp35(), Polarity::Pmos)
+    }
+    fn geom() -> Geometry {
+        Geometry::new(1.0e-6, 0.35e-6)
+    }
+
+    #[test]
+    fn cutoff_carries_no_current() {
+        let tv = TermVoltage::new(0.0, 3.3, 0.0);
+        assert_eq!(nmos().iv(&geom(), tv).unwrap(), 0.0);
+        // PMOS with gate at Vdd is off.
+        let tv = TermVoltage::new(3.3, 3.3, 0.0);
+        assert_eq!(pmos().iv(&geom(), tv).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nmos_saturation_and_triode_magnitudes() {
+        let n = nmos();
+        let sat = n.iv(&geom(), TermVoltage::new(3.3, 3.3, 0.0)).unwrap();
+        let tri = n.iv(&geom(), TermVoltage::new(3.3, 0.1, 0.0)).unwrap();
+        assert!(sat > tri, "saturation current exceeds shallow triode");
+        assert!(sat > 1e-4 && sat < 1e-2, "~mA-class for W/L≈2.9: {sat}");
+    }
+
+    #[test]
+    fn current_is_antisymmetric_in_terminal_swap() {
+        // Swapping src/snk must exactly negate the current (pass gates).
+        let n = nmos();
+        let a = n.iv(&geom(), TermVoltage::new(3.3, 2.0, 0.5)).unwrap();
+        let b = n.iv(&geom(), TermVoltage::new(3.3, 0.5, 2.0)).unwrap();
+        assert!((a + b).abs() < 1e-18);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn pmos_sources_current_from_high_terminal() {
+        // Gate low, src at Vdd, snk at 0: current flows src → snk.
+        let p = pmos();
+        let i = p.iv(&geom(), TermVoltage::new(0.0, 3.3, 0.0)).unwrap();
+        assert!(i > 0.0);
+        // Mirror symmetry with NMOS magnitudes at matched overdrives,
+        // scaled by the mobility ratio.
+        let t = Technology::cmosp35();
+        let n = Mosfet::new(
+            Technology {
+                vt0_n: t.vt0_p,
+                ..t.clone()
+            },
+            Polarity::Nmos,
+        );
+        let i_n = n.iv(&geom(), TermVoltage::new(3.3, 3.3, 0.0)).unwrap();
+        let ratio = i / i_n;
+        assert!((ratio - t.kp_p / t.kp_n).abs() < 1e-6 * ratio.abs().max(1.0));
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-7;
+        for model in [nmos(), pmos()] {
+            for &(vg, vs, vk) in &[
+                (3.3, 2.0, 0.5),
+                (3.3, 0.5, 2.0),
+                (1.5, 3.0, 2.8),
+                (0.3, 2.0, 0.0), // NMOS off, PMOS on
+                (2.0, 1.0, 1.0), // zero vds
+            ] {
+                let g = geom();
+                let f = |vg: f64, vs: f64, vk: f64| {
+                    model.iv(&g, TermVoltage::new(vg, vs, vk)).unwrap()
+                };
+                let e = model
+                    .iv_eval(&g, TermVoltage::new(vg, vs, vk))
+                    .unwrap();
+                let fd_g = (f(vg + h, vs, vk) - f(vg - h, vs, vk)) / (2.0 * h);
+                let fd_s = (f(vg, vs + h, vk) - f(vg, vs - h, vk)) / (2.0 * h);
+                let fd_k = (f(vg, vs, vk + h) - f(vg, vs, vk - h)) / (2.0 * h);
+                let tol = 1e-5 * (e.i.abs().max(1e-6)) / 1e-6;
+                assert!((e.d_input - fd_g).abs() < tol, "d_input at ({vg},{vs},{vk})");
+                assert!((e.d_src - fd_s).abs() < tol, "d_src at ({vg},{vs},{vk})");
+                assert!((e.d_snk - fd_k).abs() < tol, "d_snk at ({vg},{vs},{vk})");
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_across_saturation_boundary() {
+        let n = nmos();
+        let g = geom();
+        // vov at vsb=0 with vgs = 2.0: vov = 2.0 - vt0 = 1.45.
+        let vov = 2.0 - Technology::cmosp35().vt0_n;
+        let below = n.iv(&g, TermVoltage::new(2.0, vov - 1e-9, 0.0)).unwrap();
+        let above = n.iv(&g, TermVoltage::new(2.0, vov + 1e-9, 0.0)).unwrap();
+        assert!((below - above).abs() < 1e-9 * below.abs());
+    }
+
+    #[test]
+    fn body_effect_reduces_current() {
+        let n = nmos();
+        let g = geom();
+        // Same vgs/vds but lifted source: body effect raises Vt.
+        let low = n.iv(&g, TermVoltage::new(3.3, 1.0, 0.0)).unwrap();
+        let lifted = n.iv(&g, TermVoltage::new(3.3 + 1.0, 2.0, 1.0)).unwrap();
+        assert!(lifted < low);
+    }
+
+    #[test]
+    fn threshold_and_excess() {
+        let n = nmos();
+        let t = Technology::cmosp35();
+        let tv = TermVoltage::new(3.3, 3.3, 0.0);
+        assert_eq!(n.threshold(tv), t.vt0_n);
+        assert!((n.turn_on_excess(tv) - (3.3 - t.vt0_n)).abs() < 1e-12);
+        assert_eq!(n.vdsat(tv), n.turn_on_excess(tv));
+
+        // Lifted source engages the body effect.
+        let tv2 = TermVoltage::new(3.3, 3.3, 1.0);
+        assert!(n.threshold(tv2) > t.vt0_n);
+
+        let p = pmos();
+        let tvp = TermVoltage::new(0.0, 3.3, 0.0);
+        assert_eq!(p.threshold(tvp), t.vt0_p);
+        assert!((p.turn_on_excess(tvp) - (3.3 - t.vt0_p)).abs() < 1e-12);
+        // PMOS off at gate = Vdd.
+        assert!(p.turn_on_excess(TermVoltage::new(3.3, 3.3, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn current_scales_with_geometry() {
+        let n = nmos();
+        let tv = TermVoltage::new(3.3, 3.3, 0.0);
+        let i1 = n.iv(&Geometry::new(1.0e-6, 0.35e-6), tv).unwrap();
+        let i2 = n.iv(&Geometry::new(2.0e-6, 0.35e-6), tv).unwrap();
+        let i3 = n.iv(&Geometry::new(1.0e-6, 0.70e-6), tv).unwrap();
+        assert!((i2 - 2.0 * i1).abs() < 1e-12);
+        assert!((i3 - 0.5 * i1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caps_are_positive_and_voltage_dependent() {
+        let n = nmos();
+        let g = geom();
+        let c0 = n.src_cap(&g, 0.0);
+        let c3 = n.src_cap(&g, 3.3);
+        assert!(c0 > 0.0);
+        assert!(c3 < c0, "junction cap shrinks with reverse bias");
+        assert!(n.input_cap(&g) > 0.0);
+    }
+}

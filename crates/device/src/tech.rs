@@ -1,0 +1,255 @@
+//! Technology parameters.
+//!
+//! The paper characterizes devices for "the CMOSP35 technology"
+//! (a 0.35 µm, 3.3 V CMOS process) from HSPICE/BSIM3 sweeps. We carry an
+//! equivalent parameter set for the analytic Level-1+ model in
+//! [`crate::mosfet`]: square-law conduction with body effect and
+//! channel-length modulation, plus the parasitic-capacitance constants of
+//! [`crate::caps`]. The absolute values are textbook 0.35 µm numbers
+//! (Rabaey, *Digital Integrated Circuits*), which is all the shape-level
+//! reproduction needs — both engines consume the *same* technology, so
+//! QWM-vs-SPICE comparisons are self-consistent.
+
+/// Process and supply constants shared by every device instance.
+///
+/// All quantities are in SI units (volts, amps, farads, meters) except
+/// where noted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Supply voltage `Vdd` \[V\].
+    pub vdd: f64,
+    /// NMOS transconductance parameter `k'ₙ = µₙ·Cox` \[A/V²\].
+    pub kp_n: f64,
+    /// PMOS transconductance parameter `k'ₚ = µₚ·Cox` \[A/V²\].
+    pub kp_p: f64,
+    /// NMOS zero-bias threshold voltage \[V\] (positive).
+    pub vt0_n: f64,
+    /// PMOS zero-bias threshold voltage \[V\] (positive magnitude).
+    pub vt0_p: f64,
+    /// Body-effect coefficient γ \[V^½\] (same magnitude both polarities).
+    pub gamma: f64,
+    /// Surface potential `2·φ_F` \[V\].
+    pub phi: f64,
+    /// Channel-length modulation λ \[1/V\].
+    pub lambda: f64,
+    /// Gate-oxide capacitance per area `Cox` \[F/m²\].
+    pub cox: f64,
+    /// Gate-drain/source overlap capacitance per width \[F/m\].
+    pub c_overlap: f64,
+    /// Zero-bias junction area capacitance `Cj0` \[F/m²\].
+    pub cj: f64,
+    /// Zero-bias junction sidewall capacitance `Cjsw0` \[F/m\].
+    pub cjsw: f64,
+    /// Junction built-in potential `φ_B` \[V\].
+    pub pb: f64,
+    /// Junction area grading coefficient `mj`.
+    pub mj: f64,
+    /// Junction sidewall grading coefficient `mjsw`.
+    pub mjsw: f64,
+    /// Minimum drawn channel length \[m\] (0.35 µm).
+    pub l_min: f64,
+    /// Minimum drawn width \[m\].
+    pub w_min: f64,
+    /// Default source/drain diffusion extent used to derive junction area
+    /// when the netlist gives no explicit area \[m\].
+    pub l_diff: f64,
+    /// Wire sheet resistance \[Ω/□\] (metal-2-class).
+    pub wire_r_sq: f64,
+    /// Wire capacitance per area \[F/m²\].
+    pub wire_c_area: f64,
+    /// Wire fringe capacitance per edge length \[F/m\].
+    pub wire_c_fringe: f64,
+}
+
+impl Technology {
+    /// The CMOSP35-class 3.3 V technology used throughout the paper's
+    /// experiments.
+    ///
+    /// ```
+    /// let tech = qwm_device::tech::Technology::cmosp35();
+    /// assert_eq!(tech.vdd, 3.3);
+    /// ```
+    pub fn cmosp35() -> Self {
+        Technology {
+            vdd: 3.3,
+            kp_n: 190e-6,
+            kp_p: 62e-6,
+            vt0_n: 0.55,
+            vt0_p: 0.60,
+            gamma: 0.45,
+            phi: 0.70,
+            lambda: 0.06,
+            cox: 4.6e-3,
+            c_overlap: 0.3e-9,
+            cj: 0.9e-3,
+            cjsw: 0.28e-9,
+            pb: 0.9,
+            mj: 0.5,
+            mjsw: 0.44,
+            l_min: 0.35e-6,
+            w_min: 0.5e-6,
+            l_diff: 0.8e-6,
+            wire_r_sq: 0.075,
+            wire_c_area: 30e-6,
+            wire_c_fringe: 40e-12,
+        }
+    }
+
+    /// A scaled 0.18 µm / 1.8 V technology (textbook constants), used to
+    /// check that nothing in the toolkit is hard-wired to the paper's
+    /// CMOSP35 node.
+    pub fn cmos018() -> Self {
+        Technology {
+            vdd: 1.8,
+            kp_n: 340e-6,
+            kp_p: 110e-6,
+            vt0_n: 0.42,
+            vt0_p: 0.45,
+            gamma: 0.40,
+            phi: 0.75,
+            lambda: 0.10,
+            cox: 8.6e-3,
+            c_overlap: 0.36e-9,
+            cj: 1.0e-3,
+            cjsw: 0.20e-9,
+            pb: 0.8,
+            mj: 0.5,
+            mjsw: 0.33,
+            l_min: 0.18e-6,
+            w_min: 0.27e-6,
+            l_diff: 0.48e-6,
+            wire_r_sq: 0.08,
+            wire_c_area: 38e-6,
+            wire_c_fringe: 50e-12,
+        }
+    }
+
+    /// A process-variation corner/sample of this technology: threshold
+    /// voltages shifted by `dvt_n`/`dvt_p` \[V\] and transconductances
+    /// scaled by `kp_factor_n`/`kp_factor_p` — the knobs statistical
+    /// timing (Monte-Carlo or corner-based) sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale factor is non-positive.
+    pub fn with_variation(
+        &self,
+        dvt_n: f64,
+        dvt_p: f64,
+        kp_factor_n: f64,
+        kp_factor_p: f64,
+    ) -> Technology {
+        assert!(
+            kp_factor_n > 0.0 && kp_factor_p > 0.0,
+            "kp scale factors must be positive"
+        );
+        Technology {
+            vt0_n: self.vt0_n + dvt_n,
+            vt0_p: self.vt0_p + dvt_p,
+            kp_n: self.kp_n * kp_factor_n,
+            kp_p: self.kp_p * kp_factor_p,
+            ..self.clone()
+        }
+    }
+
+    /// Effective threshold voltage including body effect for a
+    /// source-to-body reverse bias `vsb ≥ 0` (clamped at 0 below).
+    ///
+    /// `Vt(vsb) = Vt0 + γ·(√(2φF + vsb) − √(2φF))`, the relation the
+    /// paper's `threshold` model member encodes (Definition 2).
+    pub fn vt_body(&self, vt0: f64, vsb: f64) -> f64 {
+        let vsb = vsb.max(0.0);
+        vt0 + self.gamma * ((self.phi + vsb).sqrt() - self.phi.sqrt())
+    }
+
+    /// Derivative `∂Vt/∂vsb` (zero for `vsb < 0` after clamping).
+    pub fn vt_body_deriv(&self, vsb: f64) -> f64 {
+        if vsb <= 0.0 {
+            0.0
+        } else {
+            0.5 * self.gamma / (self.phi + vsb).sqrt()
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmosp35()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cmosp35() {
+        assert_eq!(Technology::default(), Technology::cmosp35());
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let t = Technology::cmosp35();
+        let vt0 = t.vt_body(t.vt0_n, 0.0);
+        let vt1 = t.vt_body(t.vt0_n, 1.0);
+        let vt2 = t.vt_body(t.vt0_n, 2.0);
+        assert_eq!(vt0, t.vt0_n);
+        assert!(vt1 > vt0);
+        assert!(vt2 > vt1);
+        // Concave in vsb.
+        assert!(vt2 - vt1 < vt1 - vt0);
+    }
+
+    #[test]
+    fn body_effect_clamps_negative_bias() {
+        let t = Technology::cmosp35();
+        assert_eq!(t.vt_body(t.vt0_n, -0.5), t.vt0_n);
+        assert_eq!(t.vt_body_deriv(-0.5), 0.0);
+    }
+
+    #[test]
+    fn vt_derivative_matches_finite_difference() {
+        let t = Technology::cmosp35();
+        let h = 1e-7;
+        for &vsb in &[0.1, 0.5, 1.5, 3.0] {
+            let fd = (t.vt_body(t.vt0_n, vsb + h) - t.vt_body(t.vt0_n, vsb - h)) / (2.0 * h);
+            assert!((t.vt_body_deriv(vsb) - fd).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn variation_shifts_the_right_knobs() {
+        let t = Technology::cmosp35();
+        let v = t.with_variation(0.03, -0.02, 1.1, 0.9);
+        assert!((v.vt0_n - (t.vt0_n + 0.03)).abs() < 1e-12);
+        assert!((v.vt0_p - (t.vt0_p - 0.02)).abs() < 1e-12);
+        assert!((v.kp_n - 1.1 * t.kp_n).abs() < 1e-12);
+        assert!((v.kp_p - 0.9 * t.kp_p).abs() < 1e-12);
+        assert_eq!(v.vdd, t.vdd, "supply untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn variation_rejects_nonpositive_scale() {
+        Technology::cmosp35().with_variation(0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn cmos018_scales_sanely_from_cmosp35() {
+        let a = Technology::cmosp35();
+        let b = Technology::cmos018();
+        assert!(b.vdd < a.vdd);
+        assert!(b.l_min < a.l_min);
+        assert!(b.kp_n > a.kp_n, "thinner oxide, higher k'");
+        assert!(b.vt0_n < a.vt0_n);
+        assert!(b.kp_n > b.kp_p);
+    }
+
+    #[test]
+    fn sane_magnitudes() {
+        let t = Technology::cmosp35();
+        assert!(t.kp_n > t.kp_p, "electron mobility exceeds hole mobility");
+        assert!(t.vt0_n < t.vdd / 4.0);
+        assert!(t.l_min < t.w_min);
+    }
+}

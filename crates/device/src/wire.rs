@@ -1,0 +1,134 @@
+//! Wire segments as devices.
+//!
+//! The paper's circuit model (Definition 1) treats wire segments as a
+//! third edge kind alongside NMOS and PMOS. As a *device*, a wire is a
+//! linear resistor with half its distributed capacitance lumped at each
+//! terminal (a π model); the heavier machinery — distributed RC ladders,
+//! moments, AWE macromodels for the decoder-tree experiment — lives in
+//! the `qwm-interconnect` crate and produces equivalent R/C values that
+//! plug into this same edge shape.
+
+use crate::caps;
+use crate::model::{DeviceModel, Geometry, IvEval, TermVoltage};
+use crate::tech::Technology;
+use qwm_num::Result;
+
+/// Linear wire-segment model: `J = (V_src − V_snk) / R` with `R` from the
+/// sheet resistance and the segment's `w × l` geometry.
+#[derive(Debug, Clone)]
+pub struct WireModel {
+    tech: Technology,
+}
+
+impl WireModel {
+    /// Builds the wire model for `tech`.
+    ///
+    /// ```
+    /// use qwm_device::wire::WireModel;
+    /// use qwm_device::model::{DeviceModel, Geometry, TermVoltage};
+    /// use qwm_device::tech::Technology;
+    ///
+    /// # fn main() -> Result<(), qwm_num::NumError> {
+    /// let w = WireModel::new(Technology::cmosp35());
+    /// let g = Geometry::new(0.6e-6, 100e-6);
+    /// let i = w.iv(&g, TermVoltage::new(0.0, 1.0, 0.0))?;
+    /// assert!(i > 0.0); // current flows downhill
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(tech: Technology) -> Self {
+        WireModel { tech }
+    }
+
+    /// Segment resistance \[Ω\].
+    pub fn resistance(&self, geom: &Geometry) -> f64 {
+        caps::wire_res(&self.tech, geom.w, geom.l)
+    }
+
+    /// Total segment capacitance \[F\].
+    pub fn capacitance(&self, geom: &Geometry) -> f64 {
+        caps::wire_cap(&self.tech, geom.w, geom.l)
+    }
+}
+
+impl DeviceModel for WireModel {
+    fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    fn iv_eval(&self, geom: &Geometry, tv: TermVoltage) -> Result<IvEval> {
+        let g = 1.0 / self.resistance(geom);
+        Ok(IvEval {
+            i: g * (tv.src - tv.snk),
+            d_input: 0.0,
+            d_src: g,
+            d_snk: -g,
+        })
+    }
+
+    fn threshold(&self, _tv: TermVoltage) -> f64 {
+        0.0
+    }
+
+    /// Wires are always conducting; they never generate a QWM critical
+    /// point (modeled as infinite overdrive).
+    fn turn_on_excess(&self, _tv: TermVoltage) -> f64 {
+        f64::INFINITY
+    }
+
+    fn vdsat(&self, _tv: TermVoltage) -> f64 {
+        0.0
+    }
+
+    fn src_cap(&self, geom: &Geometry, _v: f64) -> f64 {
+        0.5 * self.capacitance(geom)
+    }
+
+    fn snk_cap(&self, geom: &Geometry, _v: f64) -> f64 {
+        0.5 * self.capacitance(geom)
+    }
+
+    fn input_cap(&self, _geom: &Geometry) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WireModel {
+        WireModel::new(Technology::cmosp35())
+    }
+
+    #[test]
+    fn ohms_law_and_derivatives() {
+        let w = model();
+        let g = Geometry::new(0.6e-6, 60e-6); // 100 squares
+        let r = w.resistance(&g);
+        assert!((r - 100.0 * Technology::cmosp35().wire_r_sq).abs() < 1e-9);
+        let e = w.iv_eval(&g, TermVoltage::new(0.0, 2.0, 0.5)).unwrap();
+        assert!((e.i - 1.5 / r).abs() < 1e-12);
+        assert!((e.d_src - 1.0 / r).abs() < 1e-12);
+        assert!((e.d_snk + 1.0 / r).abs() < 1e-12);
+        assert_eq!(e.d_input, 0.0);
+    }
+
+    #[test]
+    fn pi_caps_split_evenly() {
+        let w = model();
+        let g = Geometry::new(0.6e-6, 60e-6);
+        let total = w.capacitance(&g);
+        assert!((w.src_cap(&g, 0.0) + w.snk_cap(&g, 3.3) - total).abs() < 1e-20);
+        assert_eq!(w.input_cap(&g), 0.0);
+    }
+
+    #[test]
+    fn never_a_critical_point() {
+        let w = model();
+        let tv = TermVoltage::new(0.0, 0.0, 0.0);
+        assert!(w.turn_on_excess(tv).is_infinite());
+        assert_eq!(w.threshold(tv), 0.0);
+        assert_eq!(w.vdsat(tv), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Asymptotic waveform evaluation and π macromodels.
+//!
+//! Two reductions of an RC tree, both moment-matched:
+//!
+//! * [`TwoPoleModel`] — classic AWE (Pillage & Rohrer): a second-order
+//!   Padé approximation of the voltage transfer to one observation node,
+//!   yielding two poles/residues and a closed-form step response;
+//! * [`PiModel`] — the O'Brien/Savarino reduction of the *driving-point*
+//!   admittance to a `C_near — R — C_far` π, matching the first three
+//!   admittance moments. This is the "macro π model for the wire" the
+//!   paper plugs into the decoder-tree analysis (Fig. 10): the π's R
+//!   becomes a wire edge in the QWM chain and its caps join the adjacent
+//!   node capacitances.
+
+use crate::rc::RcTree;
+use qwm_num::{NumError, Result};
+
+/// A reduced `C_near — R — C_far` π model of an RC tree seen from its
+/// root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiModel {
+    /// Capacitance at the driving end \[F\].
+    pub c_near: f64,
+    /// Series resistance \[Ω\].
+    pub r: f64,
+    /// Capacitance at the far end \[F\].
+    pub c_far: f64,
+}
+
+impl PiModel {
+    /// Reduces a tree by matching its first three driving-point
+    /// admittance moments: with `y(s) = A₁s + A₂s² + A₃s³ + …`,
+    /// `C_far = A₂²/A₃`, `R = −A₃²/A₂³`, `C_near = A₁ − C_far`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if the tree is purely
+    /// capacitive (no resistive structure to match) or the reduction
+    /// yields a non-physical element.
+    pub fn from_tree(tree: &RcTree) -> Result<Self> {
+        let (a1, a2, a3) = tree.admittance_moments();
+        if a2 == 0.0 || a3 == 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "PiModel::from_tree",
+                detail: "tree has no resistive structure".to_string(),
+            });
+        }
+        let c_far = a2 * a2 / a3;
+        let r = -a3 * a3 / (a2 * a2 * a2);
+        let c_near = a1 - c_far;
+        if c_far.is_nan() || c_far <= 0.0 || r.is_nan() || r <= 0.0 || c_near < -1e-21 {
+            return Err(NumError::InvalidInput {
+                context: "PiModel::from_tree",
+                detail: format!("non-physical reduction c1={c_near} r={r} c2={c_far}"),
+            });
+        }
+        Ok(PiModel {
+            c_near: c_near.max(0.0),
+            r,
+            c_far,
+        })
+    }
+
+    /// Total capacitance of the π (equals the tree's total by
+    /// construction).
+    pub fn total_cap(&self) -> f64 {
+        self.c_near + self.c_far
+    }
+
+    /// Elmore delay of the π to the far node: `R · C_far`.
+    pub fn elmore(&self) -> f64 {
+        self.r * self.c_far
+    }
+}
+
+/// A two-pole AWE reduced-order model of the step response at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPoleModel {
+    /// The (real, negative) poles \[1/s\].
+    pub poles: [f64; 2],
+    /// Residues of the step response: `v(t) = 1 + k₁e^{p₁t} + k₂e^{p₂t}`.
+    pub residues: [f64; 2],
+}
+
+impl TwoPoleModel {
+    /// Builds the model from the voltage moments `m₁ … m₄` at the
+    /// observation node (a (2,2) Padé on `H(s) = 1 + m₁s + m₂s² + …`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] when the Hankel system is
+    /// singular or the poles come out complex/unstable — the usual AWE
+    /// failure modes its derivatives (PRIMA etc.) fix; callers fall back
+    /// to Elmore in that case.
+    pub fn from_moments(m1: f64, m2: f64, m3: f64, m4: f64) -> Result<Self> {
+        // Denominator 1 + b₁s + b₂s²: Hankel solve
+        //   [m1 m2][b2]   [-m3]
+        //   [m2 m3][b1] = [-m4]
+        let det = m1 * m3 - m2 * m2;
+        if det.abs() < 1e-300 {
+            return Err(NumError::InvalidInput {
+                context: "TwoPoleModel::from_moments",
+                detail: "singular Hankel system".to_string(),
+            });
+        }
+        let b2 = (-m3 * m3 + m2 * m4) / det;
+        let b1 = (m2 * m3 - m1 * m4) / det;
+        // Poles are roots of b₂p² ... characteristic 1 + b₁s + b₂s² = 0.
+        let disc = b1 * b1 - 4.0 * b2;
+        if disc < 0.0 || b2 == 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "TwoPoleModel::from_moments",
+                detail: format!("complex poles (disc={disc})"),
+            });
+        }
+        let sq = disc.sqrt();
+        let p1 = (-b1 + sq) / (2.0 * b2);
+        let p2 = (-b1 - sq) / (2.0 * b2);
+        if p1 >= 0.0 || p2 >= 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "TwoPoleModel::from_moments",
+                detail: format!("unstable poles {p1} {p2}"),
+            });
+        }
+        // Residues of H(s) = Σ kᵢ/(s−pᵢ) · pᵢ-normalized transfer; match
+        // H(0)=1 and H'(0)=m1:
+        //   k₁ + k₂ = -1        (step response 1 + k₁e^{p₁t} + k₂e^{p₂t},
+        //    v(0)=0)
+        //   k₁/p₁ + k₂/p₂ = ... matched via m1: ∫(1-v) dt = -m1 = -(k₁/p₁ + k₂/p₂)
+        let denom = 1.0 / p1 - 1.0 / p2;
+        if denom == 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "TwoPoleModel::from_moments",
+                detail: "repeated pole".to_string(),
+            });
+        }
+        // From k₁ + k₂ = −1 and k₁/p₁ + k₂/p₂ = −m₁:
+        let k1 = (1.0 / p2 - m1) / denom;
+        let k2 = -1.0 - k1;
+        Ok(TwoPoleModel {
+            poles: [p1, p2],
+            residues: [k1, k2],
+        })
+    }
+
+    /// Builds the model directly from a tree and observation node.
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoPoleModel::from_moments`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node.
+    pub fn from_tree(tree: &RcTree, node: usize) -> Result<Self> {
+        let m = tree.moments(4);
+        Self::from_moments(m[1][node], m[2][node], m[3][node], m[4][node])
+    }
+
+    /// Unit-step response at time `t ≥ 0`:
+    /// `v(t) = 1 + k₁e^{p₁t} + k₂e^{p₂t}`.
+    pub fn step_response(&self, t: f64) -> f64 {
+        1.0 + self.residues[0] * (self.poles[0] * t).exp()
+            + self.residues[1] * (self.poles[1] * t).exp()
+    }
+
+    /// 50 % delay of the unit-step response, by bisection on the
+    /// monotone dominant-pole tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bracketing failures (the response of a valid model
+    /// always crosses 0.5).
+    pub fn delay_50(&self) -> Result<f64> {
+        let tau = -1.0 / self.poles.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let f = |t: f64| self.step_response(t) - 0.5;
+        let (a, b) = qwm_num::roots::bracket(f, 0.0, 50.0 * tau, 4096).ok_or_else(|| {
+            NumError::InvalidInput {
+                context: "TwoPoleModel::delay_50",
+                detail: "no 50% crossing".to_string(),
+            }
+        })?;
+        qwm_num::roots::brent(f, a, b, 1e-18, 200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_model_preserves_total_cap_and_elmore_shape() {
+        let (tree, end) = RcTree::ladder(2e3, 1e-12, 32).unwrap();
+        let pi = PiModel::from_tree(&tree).unwrap();
+        assert!((pi.total_cap() - 1e-12).abs() < 1e-24);
+        assert!(pi.r > 0.0 && pi.r < 2e3, "π R is below the total R");
+        // The π's far-end Elmore is close to the distributed line's.
+        let ratio = pi.elmore() / tree.elmore(end);
+        assert!(ratio > 0.7 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pi_model_single_rc_is_exact() {
+        let mut t = RcTree::new(0.0);
+        let _ = t.add_node(0, 1000.0, 1e-12).unwrap();
+        let pi = PiModel::from_tree(&t).unwrap();
+        assert!((pi.c_far - 1e-12).abs() < 1e-26);
+        assert!((pi.r - 1000.0).abs() < 1e-6);
+        assert!(pi.c_near.abs() < 1e-26);
+    }
+
+    #[test]
+    fn pi_model_rejects_pure_capacitance() {
+        let t = RcTree::new(1e-12);
+        assert!(PiModel::from_tree(&t).is_err());
+    }
+
+    #[test]
+    fn two_pole_single_rc_recovers_exact_exponential() {
+        // Single RC: poles p₁ = −1/RC (and a parasite), response
+        // 1 − e^{−t/RC}.
+        let mut t = RcTree::new(0.0);
+        let n = t.add_node(0, 1000.0, 1e-12).unwrap();
+        let m = t.moments(4);
+        // For a single pole the Hankel system is singular; perturb with a
+        // tiny second section instead.
+        let mut t2 = RcTree::new(0.0);
+        let a = t2.add_node(0, 990.0, 0.99e-12).unwrap();
+        let _ = t2.add_node(a, 10.0, 0.01e-12).unwrap();
+        let model = TwoPoleModel::from_tree(&t2, a).unwrap();
+        let rc = 1e-9;
+        let d = model.delay_50().unwrap();
+        assert!((d - rc * std::f64::consts::LN_2).abs() < 0.05 * rc, "{d}");
+        // And the true single-RC case errors out cleanly.
+        assert!(TwoPoleModel::from_moments(m[1][n], m[2][n], m[3][n], m[4][n]).is_err());
+    }
+
+    #[test]
+    fn two_pole_tracks_distributed_line() {
+        let (tree, end) = RcTree::ladder(1e3, 1e-12, 64).unwrap();
+        let model = TwoPoleModel::from_tree(&tree, end).unwrap();
+        assert!(model.poles[0] < 0.0 && model.poles[1] < 0.0);
+        // v(0) = 0, v(∞) = 1.
+        assert!(model.step_response(0.0).abs() < 1e-9);
+        assert!((model.step_response(1e-6) - 1.0).abs() < 1e-9);
+        // Bounded everywhere (AWE-2 may dip slightly near t = 0 — the
+        // classic artifact its successors fix) and monotone past the
+        // dominant-pole knee.
+        let tau = -1.0 / model.poles.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = -1.0;
+        for i in 0..200 {
+            let t = i as f64 * 5e-12;
+            let v = model.step_response(t);
+            assert!((-0.1..=1.01).contains(&v), "v({t}) = {v}");
+            if t > 0.5 * tau {
+                assert!(v >= prev - 1e-12);
+                prev = v;
+            }
+        }
+        // 50% delay close to D2M (a good 2-moment estimate).
+        let d = model.delay_50().unwrap();
+        let d2m = tree.d2m_delay(end);
+        assert!((d - d2m).abs() < 0.25 * d2m, "awe {d} vs d2m {d2m}");
+    }
+
+    #[test]
+    fn step_response_limits() {
+        let (tree, end) = RcTree::ladder(5e3, 3e-12, 16).unwrap();
+        let m = TwoPoleModel::from_tree(&tree, end).unwrap();
+        let d = m.delay_50().unwrap();
+        assert!(m.step_response(d) - 0.5 < 1e-9);
+        assert!(d > 0.0);
+    }
+}

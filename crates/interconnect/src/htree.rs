@@ -1,0 +1,139 @@
+//! H-tree (clock-distribution) construction over RC trees.
+//!
+//! A balanced binary wire tree whose branch length halves at each level —
+//! the classic clock-distribution structure. Exercises the moment
+//! machinery on *branching* trees (the ladder tests only cover chains)
+//! and gives the AWE reductions a realistic multi-sink workload.
+
+use crate::rc::RcTree;
+use qwm_num::{NumError, Result};
+
+/// A built H-tree: the RC tree plus its leaf node indices.
+#[derive(Debug, Clone)]
+pub struct HTree {
+    /// The underlying RC tree, rooted at the driver.
+    pub tree: RcTree,
+    /// Leaf (sink) node indices, left-to-right.
+    pub leaves: Vec<usize>,
+}
+
+/// Builds an `levels`-deep balanced H-tree. The root branch has total
+/// resistance `r0` and capacitance `c0` (split into `segments` ladder
+/// sections); each level halves the branch length (halving R and C).
+/// Every leaf carries `sink_cap`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] for zero levels/segments or
+/// non-positive parasitics.
+pub fn build_htree(
+    levels: usize,
+    r0: f64,
+    c0: f64,
+    segments: usize,
+    sink_cap: f64,
+) -> Result<HTree> {
+    if levels == 0 || segments == 0 || r0 <= 0.0 || c0 <= 0.0 || sink_cap < 0.0 {
+        return Err(NumError::InvalidInput {
+            context: "build_htree",
+            detail: format!("levels={levels} segments={segments} r0={r0} c0={c0}"),
+        });
+    }
+    let mut tree = RcTree::new(0.0);
+    let mut frontier = vec![0usize];
+    let mut leaves = Vec::new();
+    for level in 0..levels {
+        let scale = 0.5f64.powi(level as i32);
+        let (rl, cl) = (r0 * scale, c0 * scale);
+        let rs = rl / segments as f64;
+        let cs = cl / segments as f64;
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for &at in &frontier {
+            for _branch in 0..2 {
+                let mut node = at;
+                for s in 0..segments {
+                    let cap = if s == 0 { 0.5 * cs } else { cs };
+                    node = tree.add_node(node, rs, cap)?;
+                }
+                tree.add_cap(node, 0.5 * cs);
+                if level + 1 == levels {
+                    tree.add_cap(node, sink_cap);
+                    leaves.push(node);
+                }
+                next.push(node);
+            }
+        }
+        frontier = next;
+    }
+    Ok(HTree { tree, leaves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awe::TwoPoleModel;
+
+    #[test]
+    fn htree_shape_and_symmetry() {
+        let h = build_htree(3, 1e3, 1e-12, 4, 5e-15).unwrap();
+        assert_eq!(h.leaves.len(), 8);
+        // Balanced: all leaves share the same Elmore delay.
+        let d0 = h.tree.elmore(h.leaves[0]);
+        for &leaf in &h.leaves[1..] {
+            let d = h.tree.elmore(leaf);
+            assert!((d - d0).abs() < 1e-18 + 1e-9 * d0, "{d} vs {d0}");
+        }
+        assert!(d0 > 0.0);
+    }
+
+    #[test]
+    fn deeper_tree_is_slower_but_sublinear() {
+        // Each added level halves the branch, so delay grows but far
+        // less than doubling.
+        let d2 = {
+            let h = build_htree(2, 1e3, 1e-12, 4, 5e-15).unwrap();
+            h.tree.elmore(h.leaves[0])
+        };
+        let d4 = {
+            let h = build_htree(4, 1e3, 1e-12, 4, 5e-15).unwrap();
+            h.tree.elmore(h.leaves[0])
+        };
+        assert!(d4 > d2);
+        assert!(d4 < 4.0 * d2, "d2 {d2} d4 {d4}");
+    }
+
+    #[test]
+    fn awe_reduces_a_leaf_response() {
+        let h = build_htree(3, 2e3, 2e-12, 6, 10e-15).unwrap();
+        let leaf = h.leaves[3];
+        let model = TwoPoleModel::from_tree(&h.tree, leaf).unwrap();
+        let d_awe = model.delay_50().unwrap();
+        let d_elm = h.tree.elmore(leaf);
+        let d2m = h.tree.d2m_delay(leaf);
+        // AWE sits near D2M, below the Elmore bound.
+        assert!(d_awe < d_elm);
+        assert!((d_awe - d2m).abs() < 0.3 * d2m, "awe {d_awe} d2m {d2m}");
+    }
+
+    #[test]
+    fn total_cap_accounts_for_all_branches_and_sinks() {
+        let (levels, c0, sink) = (3usize, 1e-12, 5e-15);
+        let h = build_htree(levels, 1e3, c0, 4, sink).unwrap();
+        // Wire cap: sum over levels of 2^(l+1) branches × c0/2^l = 2·c0 per level.
+        let wire: f64 = (0..levels).map(|_| 2.0 * c0).sum();
+        let sinks = 8.0 * sink;
+        assert!(
+            (h.tree.total_cap() - wire - sinks).abs() < 1e-18,
+            "total {} vs {}",
+            h.tree.total_cap(),
+            wire + sinks
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(build_htree(0, 1e3, 1e-12, 4, 0.0).is_err());
+        assert!(build_htree(2, 0.0, 1e-12, 4, 0.0).is_err());
+        assert!(build_htree(2, 1e3, 1e-12, 0, 0.0).is_err());
+    }
+}

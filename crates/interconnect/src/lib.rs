@@ -1,0 +1,95 @@
+//! RC interconnect analysis for the QWM timing toolkit.
+//!
+//! Deep-submicron wires cannot be treated as lumped capacitors (paper
+//! §I); the decoder-tree experiment (Fig. 3 / Fig. 10) chains transistors
+//! through wires whose lengths grow exponentially with the tree level.
+//! This crate provides the linear-circuit machinery the paper leans on:
+//!
+//! * [`rc`] — RC trees and ladders, circuit moments (the AWE currency),
+//!   Elmore and D2M delay metrics;
+//! * [`awe`] — asymptotic waveform evaluation (two-pole Padé) and the
+//!   O'Brien/Savarino π macromodel used to fold long wires into the QWM
+//!   chain.
+//!
+//! # Example
+//!
+//! Reduce a long wire to a π model:
+//!
+//! ```
+//! use qwm_interconnect::awe::PiModel;
+//! use qwm_interconnect::rc::RcTree;
+//!
+//! # fn main() -> Result<(), qwm_num::NumError> {
+//! // A 2 kΩ / 1 pF distributed line, 32 sections.
+//! let (tree, _far) = RcTree::ladder(2e3, 1e-12, 32)?;
+//! let pi = PiModel::from_tree(&tree)?;
+//! assert!((pi.total_cap() - 1e-12).abs() < 1e-24);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod awe;
+pub mod htree;
+pub mod rc;
+
+pub use awe::{PiModel, TwoPoleModel};
+pub use htree::{build_htree, HTree};
+pub use rc::RcTree;
+
+/// Builds the RC ladder for a wire of width `w` and length `l` under the
+/// given technology, using `segments` sections. Returns the tree and the
+/// far-end node index.
+///
+/// # Errors
+///
+/// Propagates [`RcTree::ladder`] validation.
+pub fn wire_ladder(
+    tech: &qwm_device::Technology,
+    w: f64,
+    l: f64,
+    segments: usize,
+) -> qwm_num::Result<(RcTree, usize)> {
+    let r = qwm_device::caps::wire_res(tech, w, l);
+    let c = qwm_device::caps::wire_cap(tech, w, l);
+    RcTree::ladder(r, c, segments)
+}
+
+/// Reduces a wire directly to its π macromodel (the Fig. 10 flow).
+///
+/// # Errors
+///
+/// Propagates ladder and reduction failures.
+pub fn wire_pi_model(
+    tech: &qwm_device::Technology,
+    w: f64,
+    l: f64,
+    segments: usize,
+) -> qwm_num::Result<PiModel> {
+    let (tree, _) = wire_ladder(tech, w, l, segments)?;
+    PiModel::from_tree(&tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_device::Technology;
+
+    #[test]
+    fn wire_helpers_roundtrip() {
+        let tech = Technology::cmosp35();
+        let (tree, far) = wire_ladder(&tech, 0.6e-6, 160e-6, 16).unwrap();
+        assert_eq!(far, 16);
+        let pi = wire_pi_model(&tech, 0.6e-6, 160e-6, 16).unwrap();
+        let total = qwm_device::caps::wire_cap(&tech, 0.6e-6, 160e-6);
+        assert!((pi.total_cap() - total).abs() < 1e-24);
+        assert!(tree.elmore(far) > 0.0);
+    }
+
+    #[test]
+    fn longer_wire_slower_pi() {
+        let tech = Technology::cmosp35();
+        let short = wire_pi_model(&tech, 0.6e-6, 40e-6, 16).unwrap();
+        let long = wire_pi_model(&tech, 0.6e-6, 160e-6, 16).unwrap();
+        assert!(long.elmore() > short.elmore());
+    }
+}

@@ -1,0 +1,267 @@
+//! RC trees: construction, Elmore delay and circuit moments.
+//!
+//! Wires in the decoder-tree experiment are too long to lump: the paper
+//! builds "a macro π model for the wire" using AWE (§V-C, Fig. 10). The
+//! pipeline here is: wire geometry → distributed RC ladder ([`RcTree`])
+//! → voltage/admittance moments → reduced models ([`crate::awe`]).
+//!
+//! Moments follow the standard RC-tree recursion: with `m₀ ≡ 1`,
+//! `m_{k+1}(i) = −Σ_j R_{shared}(i,j) · C_j · m_k(j)`, computed in O(n)
+//! per order by subtree-current accumulation. `−m₁(i)` is the Elmore
+//! delay to node `i`.
+
+use qwm_num::{NumError, Result};
+
+/// An RC tree rooted at the driving point (node 0). Every non-root node
+/// hangs from its parent through a resistor and carries a grounded
+/// capacitor.
+#[derive(Debug, Clone)]
+pub struct RcTree {
+    parent: Vec<Option<usize>>,
+    res: Vec<f64>,
+    cap: Vec<f64>,
+    children: Vec<Vec<usize>>,
+}
+
+impl RcTree {
+    /// A tree containing only the root, with optional root capacitance.
+    pub fn new(root_cap: f64) -> Self {
+        RcTree {
+            parent: vec![None],
+            res: vec![0.0],
+            cap: vec![root_cap],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Adds a node under `parent` through resistance `r`, carrying
+    /// capacitance `c`. Returns the new node index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for an unknown parent or a
+    /// non-positive resistance.
+    pub fn add_node(&mut self, parent: usize, r: f64, c: f64) -> Result<usize> {
+        if parent >= self.parent.len() {
+            return Err(NumError::InvalidInput {
+                context: "RcTree::add_node",
+                detail: format!("parent {parent} out of range"),
+            });
+        }
+        if r <= 0.0 || c < 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "RcTree::add_node",
+                detail: format!("r={r} c={c}"),
+            });
+        }
+        let id = self.parent.len();
+        self.parent.push(Some(parent));
+        self.res.push(r);
+        self.cap.push(c);
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        Ok(id)
+    }
+
+    /// Adds extra grounded capacitance at an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node.
+    pub fn add_cap(&mut self, node: usize, c: f64) {
+        self.cap[node] += c;
+    }
+
+    /// Number of nodes (root included).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() == 1
+    }
+
+    /// Total capacitance of the tree.
+    pub fn total_cap(&self) -> f64 {
+        self.cap.iter().sum()
+    }
+
+    /// A uniform `segments`-section ladder for a wire of total resistance
+    /// `r_total` and capacitance `c_total` (the classic distributed-RC
+    /// discretization). Returns the tree and the index of the far end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for zero segments or
+    /// non-positive totals.
+    pub fn ladder(r_total: f64, c_total: f64, segments: usize) -> Result<(Self, usize)> {
+        if segments == 0 || r_total <= 0.0 || c_total <= 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "RcTree::ladder",
+                detail: format!("segments={segments} r={r_total} c={c_total}"),
+            });
+        }
+        let rs = r_total / segments as f64;
+        let cs = c_total / segments as f64;
+        // Half-section caps at the two ends for second-order accuracy.
+        let mut tree = RcTree::new(0.5 * cs);
+        let mut at = 0;
+        for k in 0..segments {
+            let c = if k + 1 == segments { 0.5 * cs } else { cs };
+            at = tree.add_node(at, rs, c)?;
+        }
+        Ok((tree, at))
+    }
+
+    /// Voltage moments `m₀ … m_q` at every node for a unit step driven at
+    /// the root: `moments[k][node]`. `m₀` is all ones; `−m₁` is Elmore.
+    pub fn moments(&self, q: usize) -> Vec<Vec<f64>> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(q + 1);
+        out.push(vec![1.0; n]);
+        // Topological order: parents precede children by construction.
+        for k in 0..q {
+            let prev = &out[k];
+            // Subtree sums of C_j * m_k(j).
+            let mut subtree = vec![0.0; n];
+            for i in (0..n).rev() {
+                subtree[i] += self.cap[i] * prev[i];
+                if let Some(p) = self.parent[i] {
+                    let s = subtree[i];
+                    subtree[p] += s;
+                }
+            }
+            let mut next = vec![0.0; n];
+            for i in 1..n {
+                let p = self.parent[i].expect("non-root has a parent");
+                next[i] = next[p] - self.res[i] * subtree[i];
+            }
+            out.push(next);
+        }
+        out
+    }
+
+    /// Elmore delay (first moment magnitude) from the root to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node.
+    pub fn elmore(&self, node: usize) -> f64 {
+        assert!(node < self.len(), "node out of range");
+        -self.moments(1)[1][node]
+    }
+
+    /// The D2M two-moment delay metric `ln2 · m₁² / √m₂` (Alpert, Devgan
+    /// & Kashyap), a better step-response 50 % estimate than Elmore for
+    /// far-from-root nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node.
+    pub fn d2m_delay(&self, node: usize) -> f64 {
+        assert!(node < self.len(), "node out of range");
+        let m = self.moments(2);
+        let m1 = m[1][node];
+        let m2 = m[2][node];
+        if m2 <= 0.0 {
+            return self.elmore(node);
+        }
+        std::f64::consts::LN_2 * m1 * m1 / m2.sqrt()
+    }
+
+    /// Driving-point admittance moments `(A₁, A₂, A₃)` where
+    /// `y(s) = A₁s + A₂s² + A₃s³ + …` — the inputs to the π-model
+    /// reduction.
+    pub fn admittance_moments(&self) -> (f64, f64, f64) {
+        let m = self.moments(2);
+        let a1 = self.total_cap();
+        let a2: f64 = self.cap.iter().zip(&m[1]).map(|(c, m1)| c * m1).sum();
+        let a3: f64 = self.cap.iter().zip(&m[2]).map(|(c, m2)| c * m2).sum();
+        (a1, a2, a3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rc_elmore() {
+        let mut t = RcTree::new(0.0);
+        let n = t.add_node(0, 1000.0, 1e-12).unwrap();
+        assert!((t.elmore(n) - 1e-9).abs() < 1e-18);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn elmore_accumulates_along_a_chain() {
+        // R1=1k,C1=1p then R2=2k,C2=2p:
+        // Elmore(2) = R1*(C1+C2) + R2*C2 = 1k*3p + 2k*2p = 7 ns.
+        let mut t = RcTree::new(0.0);
+        let n1 = t.add_node(0, 1000.0, 1e-12).unwrap();
+        let n2 = t.add_node(n1, 2000.0, 2e-12).unwrap();
+        assert!((t.elmore(n2) - 7e-9).abs() < 1e-18);
+        // Branch off n1 does not see R2.
+        let n3 = t.add_node(n1, 500.0, 1e-12).unwrap();
+        // Elmore(3) = R1*(C1+C2+C3) + R3*C3 = 1k*4p + 0.5k*1p = 4.5n.
+        assert!((t.elmore(n3) - 4.5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ladder_converges_to_distributed_elmore() {
+        // Distributed RC line: Elmore to the far end → 0.5·R·C as
+        // segments → ∞.
+        let (r, c) = (1e3, 1e-12);
+        let (t1, end1) = RcTree::ladder(r, c, 1).unwrap();
+        let (t64, end64) = RcTree::ladder(r, c, 64).unwrap();
+        let d1 = t1.elmore(end1);
+        let d64 = t64.elmore(end64);
+        assert!((d64 - 0.5 * r * c).abs() < 0.01 * 0.5 * r * c, "{d64}");
+        // Single segment with half-caps also gives exactly RC/2.
+        assert!((d1 - 0.5 * r * c).abs() < 1e-18);
+        assert!((t64.total_cap() - c).abs() < 1e-24);
+    }
+
+    #[test]
+    fn moments_m0_is_unity_m1_negative() {
+        let (t, end) = RcTree::ladder(1e3, 1e-12, 8).unwrap();
+        let m = t.moments(3);
+        assert!(m[0].iter().all(|&v| v == 1.0));
+        assert!(m[1][end] < 0.0);
+        // Moments alternate in sign for RC trees.
+        assert!(m[2][end] > 0.0);
+        assert!(m[3][end] < 0.0);
+    }
+
+    #[test]
+    fn d2m_bounds_elmore_from_below_at_far_end() {
+        let (t, end) = RcTree::ladder(5e3, 2e-12, 32).unwrap();
+        let elm = t.elmore(end);
+        let d2m = t.d2m_delay(end);
+        // Elmore is a provable upper bound on 50% delay; D2M is tighter.
+        assert!(d2m < elm);
+        assert!(d2m > 0.3 * elm);
+    }
+
+    #[test]
+    fn admittance_moments_signs_and_total_cap() {
+        let (t, _) = RcTree::ladder(1e3, 1e-12, 16).unwrap();
+        let (a1, a2, a3) = t.admittance_moments();
+        assert!((a1 - 1e-12).abs() < 1e-24);
+        assert!(a2 < 0.0);
+        assert!(a3 > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let mut t = RcTree::new(0.0);
+        assert!(t.add_node(5, 1.0, 1e-12).is_err());
+        assert!(t.add_node(0, 0.0, 1e-12).is_err());
+        assert!(t.add_node(0, 1.0, -1.0).is_err());
+        assert!(RcTree::ladder(1.0, 1.0, 0).is_err());
+        assert!(RcTree::ladder(0.0, 1.0, 4).is_err());
+        assert!(RcTree::new(1e-15).is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Quadrature over sampled and closed-form functions.
+//!
+//! Used for charge bookkeeping (`∫ i dt`) in the SPICE-engine
+//! conservation tests and for waveform energy/area metrics in the
+//! experiment harness.
+
+use crate::{NumError, Result};
+
+/// Trapezoid rule over irregular samples `(x, y)`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on fewer than two samples,
+/// mismatched lengths, or non-monotone abscissae.
+///
+/// ```
+/// # fn main() -> Result<(), qwm_num::NumError> {
+/// let x = [0.0, 1.0, 2.0];
+/// let y = [0.0, 1.0, 2.0];
+/// assert_eq!(qwm_num::integrate::trapezoid(&x, &y)?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trapezoid(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return Err(NumError::InvalidInput {
+            context: "trapezoid",
+            detail: format!("x.len()={} y.len()={}", x.len(), y.len()),
+        });
+    }
+    let mut acc = 0.0;
+    for i in 1..x.len() {
+        let h = x[i] - x[i - 1];
+        if h < 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "trapezoid",
+                detail: format!("non-monotone abscissae at index {i}"),
+            });
+        }
+        acc += 0.5 * h * (y[i] + y[i - 1]);
+    }
+    Ok(acc)
+}
+
+/// Composite Simpson's rule for `f` over `[a, b]` with `n` (even,
+/// positive) panels.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] for odd or zero `n` or a reversed
+/// interval.
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<f64> {
+    if n == 0 || !n.is_multiple_of(2) {
+        return Err(NumError::InvalidInput {
+            context: "simpson",
+            detail: format!("n={n} must be positive and even"),
+        });
+    }
+    if b.is_nan() || a.is_nan() || b < a {
+        return Err(NumError::InvalidInput {
+            context: "simpson",
+            detail: format!("reversed interval [{a}, {b}]"),
+        });
+    }
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + h * i as f64);
+    }
+    Ok(acc * h / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_linear_is_exact() {
+        let x: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&t| 3.0 * t + 1.0).collect();
+        // ∫₀¹ (3t + 1) dt = 2.5
+        assert!((trapezoid(&x, &y).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_rejects_bad_input() {
+        assert!(trapezoid(&[0.0], &[1.0]).is_err());
+        assert!(trapezoid(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(trapezoid(&[1.0, 0.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn simpson_cubic_is_exact() {
+        // Simpson integrates cubics exactly: ∫₀² x³ dx = 4.
+        let v = simpson(|x| x * x * x, 0.0, 2.0, 2).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_converges_on_sine() {
+        let v = simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 64).unwrap();
+        assert!((v - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simpson_validation() {
+        assert!(simpson(|x| x, 0.0, 1.0, 3).is_err());
+        assert!(simpson(|x| x, 0.0, 1.0, 0).is_err());
+        assert!(simpson(|x| x, 1.0, 0.0, 2).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Linear and bilinear interpolation over uniform grids.
+//!
+//! Device-table queries land between characterized (Vs, Vg) grid points;
+//! the paper interpolates "from neighbor points" (§V-A). [`UniformGrid1`]
+//! and [`UniformGrid2`] provide exactly that, with clamping at the grid
+//! edges (terminal voltages are clamped into the characterized range by
+//! the caller, so edge clamping only absorbs round-off).
+
+use crate::{NumError, Result};
+
+/// A uniform 1-D grid `x₀, x₀+dx, …` carrying `n` sample values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformGrid1 {
+    x0: f64,
+    dx: f64,
+    values: Vec<f64>,
+}
+
+impl UniformGrid1 {
+    /// Builds a grid starting at `x0` with spacing `dx > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if fewer than two samples, a
+    /// non-positive spacing, or non-finite data.
+    pub fn new(x0: f64, dx: f64, values: Vec<f64>) -> Result<Self> {
+        if values.len() < 2 || dx <= 0.0 || !dx.is_finite() || !x0.is_finite() {
+            return Err(NumError::InvalidInput {
+                context: "UniformGrid1::new",
+                detail: format!("len={} dx={dx}", values.len()),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(NumError::InvalidInput {
+                context: "UniformGrid1::new",
+                detail: "non-finite sample".to_string(),
+            });
+        }
+        Ok(UniformGrid1 { x0, dx, values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false by construction (≥ 2 samples).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Last grid abscissa.
+    pub fn x_max(&self) -> f64 {
+        self.x0 + self.dx * (self.values.len() - 1) as f64
+    }
+
+    /// Linearly interpolates at `x`, clamping outside the grid.
+    ///
+    /// ```
+    /// # use qwm_num::interp::UniformGrid1;
+    /// # fn main() -> Result<(), qwm_num::NumError> {
+    /// let g = UniformGrid1::new(0.0, 1.0, vec![0.0, 10.0, 20.0])?;
+    /// assert_eq!(g.eval(0.5), 5.0);
+    /// assert_eq!(g.eval(-1.0), 0.0); // clamped
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn eval(&self, x: f64) -> f64 {
+        let (i, t) = self.locate(x);
+        self.values[i] * (1.0 - t) + self.values[i + 1] * t
+    }
+
+    /// Derivative of the interpolant at `x` (the cell slope).
+    pub fn deriv(&self, x: f64) -> f64 {
+        let (i, _) = self.locate(x);
+        (self.values[i + 1] - self.values[i]) / self.dx
+    }
+
+    fn locate(&self, x: f64) -> (usize, f64) {
+        let n = self.values.len();
+        let u = ((x - self.x0) / self.dx).clamp(0.0, (n - 1) as f64);
+        let mut i = u.floor() as usize;
+        if i >= n - 1 {
+            i = n - 2;
+        }
+        (i, u - i as f64)
+    }
+}
+
+/// A uniform 2-D grid over `(x, y)` with row-major sample values
+/// (`values[iy * nx + ix]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformGrid2 {
+    x0: f64,
+    dx: f64,
+    nx: usize,
+    y0: f64,
+    dy: f64,
+    ny: usize,
+    values: Vec<f64>,
+}
+
+impl UniformGrid2 {
+    /// Builds the 2-D grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] on degenerate axes or a value
+    /// buffer whose length differs from `nx * ny`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        x0: f64,
+        dx: f64,
+        nx: usize,
+        y0: f64,
+        dy: f64,
+        ny: usize,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if nx < 2 || ny < 2 || dx <= 0.0 || dy <= 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "UniformGrid2::new",
+                detail: format!("nx={nx} ny={ny} dx={dx} dy={dy}"),
+            });
+        }
+        if values.len() != nx * ny {
+            return Err(NumError::InvalidInput {
+                context: "UniformGrid2::new",
+                detail: format!("values.len()={} expected {}", values.len(), nx * ny),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(NumError::InvalidInput {
+                context: "UniformGrid2::new",
+                detail: "non-finite sample".to_string(),
+            });
+        }
+        Ok(UniformGrid2 {
+            x0,
+            dx,
+            nx,
+            y0,
+            dy,
+            ny,
+            values,
+        })
+    }
+
+    /// Grid extents as `((x0, x_max), (y0, y_max))`.
+    pub fn extents(&self) -> ((f64, f64), (f64, f64)) {
+        (
+            (self.x0, self.x0 + self.dx * (self.nx - 1) as f64),
+            (self.y0, self.y0 + self.dy * (self.ny - 1) as f64),
+        )
+    }
+
+    fn locate(u: f64, n: usize) -> (usize, f64) {
+        let u = u.clamp(0.0, (n - 1) as f64);
+        let mut i = u.floor() as usize;
+        if i >= n - 1 {
+            i = n - 2;
+        }
+        (i, u - i as f64)
+    }
+
+    /// Bilinearly interpolates at `(x, y)`, clamping outside the grid.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let (ix, tx) = Self::locate((x - self.x0) / self.dx, self.nx);
+        let (iy, ty) = Self::locate((y - self.y0) / self.dy, self.ny);
+        let v00 = self.values[iy * self.nx + ix];
+        let v10 = self.values[iy * self.nx + ix + 1];
+        let v01 = self.values[(iy + 1) * self.nx + ix];
+        let v11 = self.values[(iy + 1) * self.nx + ix + 1];
+        let a = v00 * (1.0 - tx) + v10 * tx;
+        let b = v01 * (1.0 - tx) + v11 * tx;
+        a * (1.0 - ty) + b * ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid1_exact_at_samples() {
+        let g = UniformGrid1::new(1.0, 0.5, vec![2.0, 4.0, 8.0]).unwrap();
+        assert_eq!(g.eval(1.0), 2.0);
+        assert_eq!(g.eval(1.5), 4.0);
+        assert_eq!(g.eval(2.0), 8.0);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.x_max(), 2.0);
+    }
+
+    #[test]
+    fn grid1_linear_between_samples_and_clamped_outside() {
+        let g = UniformGrid1::new(0.0, 1.0, vec![0.0, 10.0]).unwrap();
+        assert_eq!(g.eval(0.25), 2.5);
+        assert_eq!(g.eval(-5.0), 0.0);
+        assert_eq!(g.eval(5.0), 10.0);
+        assert_eq!(g.deriv(0.5), 10.0);
+    }
+
+    #[test]
+    fn grid2_reproduces_bilinear_function() {
+        // f(x, y) = 3 + 2x − y + 0.5 x y is exactly bilinear.
+        let f = |x: f64, y: f64| 3.0 + 2.0 * x - y + 0.5 * x * y;
+        let (nx, ny) = (5, 4);
+        let (dx, dy) = (0.25, 0.5);
+        let mut values = Vec::new();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                values.push(f(ix as f64 * dx, iy as f64 * dy));
+            }
+        }
+        let g = UniformGrid2::new(0.0, dx, nx, 0.0, dy, ny, values).unwrap();
+        for &(x, y) in &[(0.1, 0.1), (0.6, 1.2), (0.99, 1.49), (0.0, 0.0)] {
+            assert!((g.eval(x, y) - f(x, y)).abs() < 1e-12, "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn grid2_clamps_out_of_range() {
+        let g =
+            UniformGrid2::new(0.0, 1.0, 2, 0.0, 1.0, 2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(g.eval(-1.0, -1.0), 0.0);
+        assert_eq!(g.eval(9.0, 9.0), 3.0);
+        let ((xl, xh), (yl, yh)) = g.extents();
+        assert_eq!((xl, xh, yl, yh), (0.0, 1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(UniformGrid1::new(0.0, 0.0, vec![1.0, 2.0]).is_err());
+        assert!(UniformGrid1::new(0.0, 1.0, vec![1.0]).is_err());
+        assert!(UniformGrid1::new(0.0, 1.0, vec![1.0, f64::NAN]).is_err());
+        assert!(UniformGrid2::new(0.0, 1.0, 1, 0.0, 1.0, 2, vec![0.0, 1.0]).is_err());
+        assert!(UniformGrid2::new(0.0, 1.0, 2, 0.0, 1.0, 2, vec![0.0, 1.0]).is_err());
+    }
+}

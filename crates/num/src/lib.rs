@@ -1,0 +1,160 @@
+//! Numerical kernels underpinning the QWM transistor-level timing analyzer.
+//!
+//! This crate is self-contained (no external numerics dependencies) and
+//! provides exactly the machinery the paper's algorithm needs:
+//!
+//! * [`matrix`] — a small dense row-major matrix with LU decomposition and
+//!   partial pivoting, used as the general-purpose linear solver and as the
+//!   baseline for the tridiagonal-solver ablation (paper §IV-B).
+//! * [`tridiag`] — the Thomas algorithm for tridiagonal systems, the O(K)
+//!   workhorse of the QWM Newton update.
+//! * [`sherman_morrison`] — solving `(A + u vᵀ) x = b` with two tridiagonal
+//!   back-solves, exactly as the paper does for the dense last Jacobian
+//!   column (the unknown region end time τ′).
+//! * [`newton`] — a damped Newton–Raphson driver over a user-supplied
+//!   residual/Jacobian, with configurable convergence criteria.
+//! * [`polyfit`] — linear least-squares polynomial fitting (normal
+//!   equations with partial-pivoted LU), used by the tabular device model
+//!   (linear fit in saturation, quadratic fit in triode, paper §V-A).
+//! * [`interp`] — 1-D linear and 2-D bilinear interpolation over uniform
+//!   grids, used for device-table queries between characterized points.
+//! * [`roots`] — bracketing plus bisection/Brent root refinement, used for
+//!   waveform threshold crossings.
+//! * [`integrate`] — trapezoid/Simpson quadrature for waveform metrics.
+//! * [`stats`] — error metrics (max/mean relative error, RMS) used by the
+//!   experiment harness when comparing QWM against the SPICE baseline.
+//!
+//! # Example
+//!
+//! Solve a small linear system with LU and verify against the tridiagonal
+//! path:
+//!
+//! ```
+//! use qwm_num::matrix::Matrix;
+//! use qwm_num::tridiag::Tridiagonal;
+//!
+//! # fn main() -> Result<(), qwm_num::NumError> {
+//! let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]])?;
+//! let b = [3.0, 5.0, 3.0];
+//! let x_lu = a.solve(&b)?;
+//!
+//! let t = Tridiagonal::from_bands(vec![1.0, 1.0], vec![2.0, 3.0, 2.0], vec![1.0, 1.0])?;
+//! let x_tri = t.solve(&b)?;
+//! for (l, t) in x_lu.iter().zip(&x_tri) {
+//!     assert!((l - t).abs() < 1e-12);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod integrate;
+pub mod interp;
+pub mod matrix;
+pub mod newton;
+pub mod polyfit;
+pub mod roots;
+pub mod sherman_morrison;
+pub mod stats;
+pub mod tridiag;
+
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A matrix or system had inconsistent or empty dimensions.
+    Dimension {
+        /// What was being constructed or solved.
+        context: &'static str,
+        /// Dimension details, e.g. `"rows=3 cols=2"`.
+        detail: String,
+    },
+    /// A (near-)singular pivot was encountered during factorization.
+    Singular {
+        /// Pivot index at which breakdown occurred.
+        index: usize,
+        /// Magnitude of the offending pivot.
+        pivot: f64,
+    },
+    /// An iterative method failed to converge.
+    NoConvergence {
+        /// Which method failed.
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iterate.
+        residual: f64,
+    },
+    /// Input data was invalid (NaN, empty samples, unordered abscissae...).
+    InvalidInput {
+        /// What was being computed.
+        context: &'static str,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::Dimension { context, detail } => {
+                write!(f, "dimension mismatch in {context}: {detail}")
+            }
+            NumError::Singular { index, pivot } => {
+                write!(f, "singular pivot {pivot:e} at index {index}")
+            }
+            NumError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} failed to converge after {iterations} iterations (residual {residual:e})"
+            ),
+            NumError::InvalidInput { context, detail } => {
+                write!(f, "invalid input to {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, NumError>;
+
+/// Returns true when `a` and `b` agree to within `tol` absolutely or
+/// relatively (whichever is looser), the comparison used throughout the
+/// test suites.
+///
+/// ```
+/// assert!(qwm_num::approx_eq(1.0, 1.0 + 1e-13, 1e-9));
+/// assert!(!qwm_num::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(0.0, 0.0, 1e-12));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(!approx_eq(1.0, 2.0, 1e-9));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NumError::Singular {
+            index: 3,
+            pivot: 1e-20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("singular"));
+        assert!(s.contains('3'));
+    }
+}

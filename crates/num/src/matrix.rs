@@ -1,0 +1,387 @@
+#![allow(clippy::needless_range_loop)] // index-style loops mirror the textbook algorithms
+
+//! Dense row-major matrices with LU decomposition and partial pivoting.
+//!
+//! This is the general-purpose linear solver of the toolkit. The QWM
+//! inner loop deliberately avoids it (the paper's Jacobian is tridiagonal
+//! plus one column, solved in O(K)), but it is used by:
+//!
+//! * the SPICE-class baseline engine (`qwm-spice`), whose MNA matrix is
+//!   small and dense for logic stages;
+//! * polynomial least squares in [`crate::polyfit`];
+//! * the solver ablation bench, which measures the ~2× advantage of the
+//!   tridiagonal path the paper reports.
+
+use crate::{NumError, Result};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// ```
+/// use qwm_num::matrix::Matrix;
+/// # fn main() -> Result<(), qwm_num::NumError> {
+/// let m = Matrix::identity(3);
+/// let x = m.solve(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(x, vec![1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(NumError::Dimension {
+                context: "Matrix::zeros",
+                detail: format!("rows={rows} cols={cols}"),
+            });
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n).expect("identity dimension must be nonzero");
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices; all rows must share one length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] on empty input or ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(NumError::Dimension {
+                context: "Matrix::from_rows",
+                detail: "empty input".to_string(),
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumError::Dimension {
+                    context: "Matrix::from_rows",
+                    detail: format!("row {i} has {} cols, expected {cols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to the element at (`r`, `c`) — the natural operation for
+    /// MNA stamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Resets every entry to zero, keeping the allocation (per-NR-iteration
+    /// restamping in the SPICE engine).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(NumError::Dimension {
+                context: "Matrix::mul_vec",
+                detail: format!("x.len()={} cols={}", x.len(), self.cols),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Factors the (square) matrix as `P·A = L·U` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if the matrix is not square and
+    /// [`NumError::Singular`] on pivot breakdown.
+    pub fn lu(&self) -> Result<LuFactors> {
+        if self.rows != self.cols {
+            return Err(NumError::Dimension {
+                context: "Matrix::lu",
+                detail: format!("rows={} cols={}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max < f64::MIN_POSITIVE.cbrt() * 1e-100 || max == 0.0 || !max.is_finite() {
+                return Err(NumError::Singular {
+                    index: k,
+                    pivot: lu[p * n + k],
+                });
+            }
+            if p != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, p * n + c);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactors {
+            n,
+            lu,
+            perm,
+            sign,
+        })
+    }
+
+    /// Solves `self * x = b` through a fresh LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors and dimension mismatches.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.lu()?.solve(b)
+    }
+
+    /// Determinant via LU (product of pivots times permutation sign).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if the matrix is not square.
+    pub fn det(&self) -> Result<f64> {
+        match self.lu() {
+            Ok(f) => Ok(f.det()),
+            Err(NumError::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The result of [`Matrix::lu`]: packed L\U factors plus the row
+/// permutation, reusable across multiple right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumError::Dimension {
+                context: "LuFactors::solve",
+                detail: format!("b.len()={} n={n}", b.len()),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut s = x[r];
+            for c in 0..r {
+                s -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = s;
+        }
+        for r in (0..n).rev() {
+            let mut s = x[r];
+            for c in (r + 1)..n {
+                s -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = s / self.lu[r * n + r];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for k in 0..self.n {
+            d *= self.lu[k * self.n + k];
+        }
+        d
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let m = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(m.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_random_roundtrip() {
+        // A fixed well-conditioned system: verify A * solve(A, b) == b.
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 5.0, 1.0, 0.3],
+            &[0.5, 1.0, 6.0, 1.0],
+            &[0.0, 0.3, 1.0, 7.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = m.solve(&b).unwrap();
+        let back = m.mul_vec(&x).unwrap();
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn singular_is_reported() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(m.solve(&[1.0, 1.0]), Err(NumError::Singular { .. })));
+    }
+
+    #[test]
+    fn det_matches_hand_computation() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((m.det().unwrap() + 2.0).abs() < 1e-12);
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(s.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reuse_factors_for_multiple_rhs() {
+        let m = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let f = m.lu().unwrap();
+        assert_eq!(f.solve(&[2.0, 4.0]).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(f.solve(&[4.0, 8.0]).unwrap(), vec![2.0, 2.0]);
+        assert_eq!(f.dim(), 2);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        let m = Matrix::zeros(2, 3).unwrap();
+        assert!(m.lu().is_err());
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn stamping_helpers() {
+        let mut m = Matrix::zeros(2, 2).unwrap();
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 0.5);
+        assert_eq!(m.get(0, 0), 2.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix algebra
+
+//! Sherman–Morrison solves for "tridiagonal plus rank-1" systems.
+//!
+//! The QWM Jacobian (paper Eq. (9) and the matrix Â of §IV-B) is
+//! tridiagonal in the node voltages except for its **last column**, which
+//! carries the sensitivity to the unknown region end time τ′. Writing
+//! `Â = A + u·vᵀ` with `A` tridiagonal, `v = e_n` and `u` the extra last
+//! column, the update `Δx = Â⁻¹ F` is obtained from two Thomas solves:
+//!
+//! ```text
+//! A y = F
+//! A z = u
+//! x   = y − v·y / (1 + v·z) · z
+//! ```
+//!
+//! which keeps the whole Newton update at O(K), as the paper exploits.
+
+use crate::tridiag::Tridiagonal;
+use crate::{NumError, Result};
+
+/// Solves `(A + u vᵀ) x = b` where `A` is tridiagonal.
+///
+/// # Errors
+///
+/// Returns [`NumError::Dimension`] on size mismatches,
+/// [`NumError::Singular`] if `A` is singular or the Sherman–Morrison
+/// denominator `1 + vᵀ A⁻¹ u` vanishes.
+///
+/// ```
+/// use qwm_num::sherman_morrison::solve_rank1_update;
+/// use qwm_num::tridiag::Tridiagonal;
+/// # fn main() -> Result<(), qwm_num::NumError> {
+/// let a = Tridiagonal::from_bands(vec![0.0], vec![1.0, 1.0], vec![0.0])?;
+/// // A + u vᵀ = [[1, 1], [0, 2]] for u = [1, 1], v = [0, 1].
+/// let x = solve_rank1_update(&a, &[1.0, 1.0], &[0.0, 1.0], &[3.0, 4.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_rank1_update(a: &Tridiagonal, u: &[f64], v: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.dim();
+    if u.len() != n || v.len() != n || b.len() != n {
+        return Err(NumError::Dimension {
+            context: "solve_rank1_update",
+            detail: format!("n={n} u={} v={} b={}", u.len(), v.len(), b.len()),
+        });
+    }
+    let y = a.solve(b)?;
+    let z = a.solve(u)?;
+    let vy: f64 = v.iter().zip(&y).map(|(a, b)| a * b).sum();
+    let vz: f64 = v.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let denom = 1.0 + vz;
+    if denom.abs() < 1e-300 || !denom.is_finite() {
+        return Err(NumError::Singular {
+            index: n - 1,
+            pivot: denom,
+        });
+    }
+    let scale = vy / denom;
+    Ok(y.iter().zip(&z).map(|(yi, zi)| yi - scale * zi).collect())
+}
+
+/// Solves a system whose matrix is tridiagonal except for a dense last
+/// column — the exact shape of the QWM Jacobian.
+///
+/// `a` holds the tridiagonal part **with its own (n-1)-th column entries
+/// already zeroed in rows 0..n-2** (i.e. only `a[n-2][n-1]` and
+/// `a[n-1][n-1]` live in the bands); `last_col[r]` is the amount to add to
+/// entry `(r, n-1)` on top of the banded part.
+///
+/// Internally this is [`solve_rank1_update`] with `u = last_col` and
+/// `v = e_{n-1}`.
+///
+/// The banded part `a` must itself be nonsingular (Sherman–Morrison
+/// inverts it twice); callers therefore keep a nonzero `(n-1, n-1)` band
+/// entry and put only the *remainder* of the true last-column entries in
+/// `last_col`. The QWM solver does exactly this with the ∂F/∂τ′ column.
+///
+/// # Errors
+///
+/// Same as [`solve_rank1_update`].
+pub fn solve_tridiag_last_column(
+    a: &Tridiagonal,
+    last_col: &[f64],
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    let n = a.dim();
+    let mut v = vec![0.0; n];
+    if n > 0 {
+        v[n - 1] = 1.0;
+    }
+    solve_rank1_update(a, last_col, &v, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// Builds the dense equivalent of tridiagonal + u vᵀ and cross-checks.
+    fn check_against_dense(a: &Tridiagonal, u: &[f64], v: &[f64], b: &[f64]) {
+        let n = a.dim();
+        let mut dense = a.to_dense();
+        for r in 0..n {
+            for c in 0..n {
+                dense.add(r, c, u[r] * v[c]);
+            }
+        }
+        let want = dense.solve(b).unwrap();
+        let got = solve_rank1_update(a, u, v, b).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn rank1_update_matches_dense() {
+        let a = Tridiagonal::from_bands(
+            vec![-1.0, 0.5, -0.25],
+            vec![4.0, 5.0, 6.0, 7.0],
+            vec![1.0, -1.0, 0.75],
+        )
+        .unwrap();
+        check_against_dense(
+            &a,
+            &[0.1, -0.2, 0.3, 1.5],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[1.0, 2.0, 3.0, 4.0],
+        );
+        check_against_dense(
+            &a,
+            &[1.0, 1.0, 1.0, 1.0],
+            &[0.5, 0.0, -0.5, 0.0],
+            &[-1.0, 0.0, 1.0, 2.0],
+        );
+    }
+
+    #[test]
+    fn last_column_shape() {
+        // Dense matrix:
+        // [ 2 1 0 | 3  ]
+        // [ 1 3 1 | -1 ]
+        // [ 0 1 4 | 2  ]
+        // [ 0 0 1 | 6  ]
+        // The band keeps a nonsingular (3,3) = 1; the extra 5 rides in
+        // last_col (the band part must stay invertible on its own).
+        let a = Tridiagonal::from_bands(
+            vec![1.0, 1.0, 1.0],
+            vec![2.0, 3.0, 4.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        )
+        .unwrap();
+        let last = [3.0, -1.0, 2.0, 5.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let got = solve_tridiag_last_column(&a, &last, &b).unwrap();
+
+        let mut dense = a.to_dense();
+        for r in 0..4 {
+            dense.add(r, 3, last[r]);
+        }
+        let want = dense.solve(&b).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_denominator_detected() {
+        // A = I (2x2), u = [0, -1], v = [0, 1] makes 1 + vᵀA⁻¹u = 0.
+        let a = Tridiagonal::from_bands(vec![0.0], vec![1.0, 1.0], vec![0.0]).unwrap();
+        let r = solve_rank1_update(&a, &[0.0, -1.0], &[0.0, 1.0], &[1.0, 1.0]);
+        assert!(matches!(r, Err(NumError::Singular { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = Tridiagonal::zeros(2).unwrap();
+        assert!(solve_rank1_update(&a, &[1.0], &[0.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_rank1_is_exact() {
+        let dense = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0]]).unwrap();
+        let a = Tridiagonal::from_bands(vec![0.0], vec![1.0, 1.0], vec![0.0]).unwrap();
+        let x = solve_rank1_update(&a, &[1.0, 1.0], &[0.0, 1.0], &[3.0, 4.0]).unwrap();
+        let back = dense.mul_vec(&x).unwrap();
+        assert!((back[0] - 3.0).abs() < 1e-12);
+        assert!((back[1] - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+//! Derived analyses over transient and DC results: switching energy and
+//! DC transfer characteristics.
+//!
+//! Neither is part of the paper's core loop, but both are the bread and
+//! butter of the stage-level characterization flows QWM is meant to
+//! accelerate, and they exercise the engines from another angle (charge
+//! bookkeeping, sweep-mode Newton continuation).
+
+use crate::dcop::dc_operating_point;
+use crate::engine::TransientResult;
+use qwm_circuit::stage::{LogicStage, NodeId};
+use qwm_device::model::ModelSet;
+use qwm_num::{NumError, Result};
+
+/// Switching energy drawn from the capacitive state change of one node
+/// over a transient: `E = ∫ C(v) · v dv` between the endpoint voltages —
+/// the energy delivered to (or recovered from) the node's capacitance.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] for an out-of-range node or a
+/// result with fewer than two samples.
+pub fn node_switching_energy(
+    result: &TransientResult,
+    stage: &LogicStage,
+    models: &ModelSet,
+    node: NodeId,
+) -> Result<f64> {
+    let trace = result
+        .voltages
+        .get(node.0)
+        .ok_or_else(|| NumError::InvalidInput {
+            context: "node_switching_energy",
+            detail: format!("node {} out of range", node.0),
+        })?;
+    if trace.len() < 2 {
+        return Err(NumError::InvalidInput {
+            context: "node_switching_energy",
+            detail: "need at least two samples".to_string(),
+        });
+    }
+    let (v0, v1) = (trace[0], *trace.last().expect("non-empty"));
+    // ∫ C(v)·v dv, midpoint rule over a fine voltage grid.
+    let n = 256;
+    let mut e = 0.0;
+    for i in 0..n {
+        let v = v0 + (v1 - v0) * (i as f64 + 0.5) / n as f64;
+        e += stage.node_cap(node, models, v) * v * (v1 - v0) / n as f64;
+    }
+    Ok(e.abs())
+}
+
+/// One point of a DC transfer characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VtcPoint {
+    /// Swept input voltage \[V\].
+    pub vin: f64,
+    /// Settled output voltage \[V\].
+    pub vout: f64,
+}
+
+/// Sweeps one input of a stage from 0 to Vdd (others held at fixed
+/// values) and records the DC output voltage — the voltage transfer
+/// characteristic. Newton continuation: each solve starts from the
+/// previous point's solution, so the sweep follows the curve through its
+/// high-gain region.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on mis-sized `held` or an unknown
+/// input/output, and propagates DC convergence failures.
+pub fn dc_transfer(
+    stage: &LogicStage,
+    models: &ModelSet,
+    swept_input: usize,
+    held: &[f64],
+    output: NodeId,
+    points: usize,
+) -> Result<Vec<VtcPoint>> {
+    if held.len() != stage.inputs().len() {
+        return Err(NumError::InvalidInput {
+            context: "dc_transfer",
+            detail: format!("{} held values for {} inputs", held.len(), stage.inputs().len()),
+        });
+    }
+    if swept_input >= stage.inputs().len() || points < 2 {
+        return Err(NumError::InvalidInput {
+            context: "dc_transfer",
+            detail: format!("swept={swept_input} points={points}"),
+        });
+    }
+    let vdd = models.tech().vdd;
+    let mut input_v = held.to_vec();
+    // Continuation seed: mid-rail everywhere.
+    let mut guess: Vec<f64> = (0..stage.node_count()).map(|_| vdd / 2.0).collect();
+    let mut out = Vec::with_capacity(points);
+    for i in 0..points {
+        let vin = vdd * i as f64 / (points - 1) as f64;
+        input_v[swept_input] = vin;
+        let solution = dc_operating_point(stage, models, &input_v, &guess)?;
+        out.push(VtcPoint {
+            vin,
+            vout: solution[output.0],
+        });
+        guess = solution;
+    }
+    Ok(out)
+}
+
+/// Extracts the switching threshold `V_M` (where `vout == vin`) from a
+/// falling VTC by linear interpolation.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if the curve never crosses the
+/// unity line.
+pub fn switching_threshold(vtc: &[VtcPoint]) -> Result<f64> {
+    for w in vtc.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let fa = a.vout - a.vin;
+        let fb = b.vout - b.vin;
+        if fa >= 0.0 && fb < 0.0 {
+            let t = fa / (fa - fb);
+            return Ok(a.vin + t * (b.vin - a.vin));
+        }
+    }
+    Err(NumError::InvalidInput {
+        context: "switching_threshold",
+        detail: "VTC never crosses vout = vin".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{initial_uniform, simulate, TransientConfig};
+    use qwm_circuit::cells;
+    use qwm_circuit::waveform::Waveform;
+    use qwm_device::{analytic_models, Technology};
+
+    #[test]
+    fn inverter_vtc_shape() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let inv = cells::inverter(&tech, cells::DEFAULT_LOAD).unwrap();
+        let out = inv.node_by_name("out").unwrap();
+        let vtc = dc_transfer(&inv, &models, 0, &[0.0], out, 67).unwrap();
+        // Ends at the rails.
+        assert!(vtc.first().unwrap().vout > tech.vdd - 0.05);
+        assert!(vtc.last().unwrap().vout < 0.05);
+        // Monotone non-increasing.
+        assert!(vtc.windows(2).all(|w| w[1].vout <= w[0].vout + 1e-6));
+        // Switching threshold in a plausible band (NMOS weaker k'
+        // balance puts it below mid-rail for wp = 2wn here).
+        let vm = switching_threshold(&vtc).unwrap();
+        assert!(vm > 0.8 && vm < 2.2, "V_M = {vm}");
+    }
+
+    #[test]
+    fn nand_vtc_depends_on_held_input() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let g = cells::nand(&tech, 2, cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        // Sweep a1 with a0 high: inverting.
+        let vtc = dc_transfer(&g, &models, 1, &[tech.vdd, 0.0], out, 34).unwrap();
+        let vm = switching_threshold(&vtc).unwrap();
+        assert!(vm > 0.5 && vm < 2.5);
+        // Sweep a1 with a0 LOW: output stays high (no path to ground).
+        let vtc_blocked = dc_transfer(&g, &models, 1, &[0.0, 0.0], out, 12).unwrap();
+        assert!(vtc_blocked.iter().all(|p| p.vout > tech.vdd - 0.1));
+        // The only unity crossing of a stuck-high curve is pinned at the
+        // top rail — not a real switching threshold.
+        if let Ok(vm) = switching_threshold(&vtc_blocked) {
+            assert!(vm > tech.vdd - 0.15, "degenerate crossing at {vm}");
+        }
+    }
+
+    #[test]
+    fn switching_energy_is_half_cv2_scale() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let stage = cells::nmos_stack(&tech, &[2e-6], 20e-15).unwrap();
+        let inputs = vec![Waveform::step(0.0, 0.0, tech.vdd)];
+        let init = initial_uniform(&stage, &models, tech.vdd);
+        let r = simulate(&stage, &models, &inputs, &init, &TransientConfig::hspice_1ps(1e-9))
+            .unwrap();
+        let out = stage.node_by_name("out").unwrap();
+        let e = node_switching_energy(&r, &stage, &models, out).unwrap();
+        // Scale check: ½·C·Vdd² with C ≈ 25 fF ⇒ ~0.14 pJ band.
+        let c_ref = stage.node_cap(out, &models, tech.vdd / 2.0);
+        let e_ref = 0.5 * c_ref * tech.vdd * tech.vdd;
+        assert!(e > 0.3 * e_ref && e < 3.0 * e_ref, "e {e} vs ref {e_ref}");
+    }
+
+    #[test]
+    fn argument_validation() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let inv = cells::inverter(&tech, cells::DEFAULT_LOAD).unwrap();
+        let out = inv.node_by_name("out").unwrap();
+        assert!(dc_transfer(&inv, &models, 0, &[], out, 10).is_err());
+        assert!(dc_transfer(&inv, &models, 5, &[0.0], out, 10).is_err());
+        assert!(dc_transfer(&inv, &models, 0, &[0.0], out, 1).is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! Pluggable per-stage delay evaluators.
+//!
+//! The STA engine asks one question of a stage: *worst-case output fall
+//! (or rise) delay under simultaneous step inputs*. Three evaluators
+//! answer it, mirroring the methodology ladder of the paper's §II:
+//!
+//! * [`ElmoreEvaluator`] — switch-level (Crystal/IRSIM class):
+//!   transistors become effective resistors, the chain becomes an RC
+//!   ladder, delay is `ln 2 ·` Elmore. Fast, crude.
+//! * [`QwmEvaluator`] — the paper's method: piecewise quadratic waveform
+//!   matching over the extracted chain.
+//! * [`SpiceEvaluator`] — the golden reference: full fixed-step
+//!   transient.
+
+use qwm_circuit::stage::{DeviceKind, LogicStage, NodeId, NodeKind};
+use qwm_circuit::waveform::{measure_transition, TimingMetrics, TransitionKind, Waveform};
+use qwm_core::evaluate::{evaluate, QwmConfig};
+use qwm_device::model::{Geometry, ModelSet, Polarity, TermVoltage};
+use qwm_num::{NumError, Result};
+use qwm_spice::engine::{simulate, TransientConfig};
+
+/// A stage-delay oracle.
+pub trait StageEvaluator: Send + Sync {
+    /// Evaluator name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Worst-case 50 % delay of `output` for the given transition under
+    /// simultaneous step inputs from a precharged initial state.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report unreachable levels, inextractable chains
+    /// or convergence failures.
+    fn delay(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+    ) -> Result<f64>;
+
+    /// Slew-aware timing: delay measured from the switching inputs' 50 %
+    /// point when they ramp with the given 10–90 % `input_slew`, plus
+    /// the output's own 10–90 % transition time.
+    ///
+    /// The default ignores the input slew and reports a zero output slew
+    /// (adequate for delay-only evaluators like Elmore).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StageEvaluator::delay`].
+    fn timing(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        _input_slew: f64,
+    ) -> Result<TimingMetrics> {
+        Ok(TimingMetrics {
+            delay: self.delay(stage, models, output, direction)?,
+            slew: 0.0,
+        })
+    }
+}
+
+/// Converts a 10–90 % slew into the equivalent full ramp duration and
+/// builds the sensitized stimulus with ramping switching inputs.
+///
+/// Returns `(inputs, initial voltages, t_ref)` where `t_ref` is the
+/// switching inputs' 50 % instant.
+///
+/// # Errors
+///
+/// Propagates chain-extraction failures.
+pub fn sensitized_setup_with_slew(
+    stage: &LogicStage,
+    models: &ModelSet,
+    output: NodeId,
+    direction: TransitionKind,
+    input_slew: f64,
+) -> Result<(Vec<Waveform>, Vec<f64>, f64)> {
+    let vdd = models.tech().vdd;
+    let chain = qwm_core::chain::Chain::extract_worst(stage, output, direction)?;
+    let gating = chain.gating_inputs();
+    let (g0, g1, v_init) = match direction {
+        TransitionKind::Fall => (0.0, vdd, vdd),
+        TransitionKind::Rise => (vdd, 0.0, 0.0),
+    };
+    // 10–90 % covers 80 % of the swing: full ramp = slew / 0.8.
+    let ramp = (input_slew / 0.8).max(1e-12);
+    let inputs: Vec<Waveform> = (0..stage.inputs().len())
+        .map(|i| {
+            if gating.contains(&qwm_circuit::InputId(i)) {
+                Waveform::ramp(0.0, ramp, g0, g1)
+            } else {
+                Waveform::constant(g0)
+            }
+        })
+        .collect();
+    let init: Vec<f64> = (0..stage.node_count())
+        .map(|i| match stage.node(NodeId(i)).kind {
+            NodeKind::Supply => vdd,
+            NodeKind::Ground => 0.0,
+            NodeKind::Internal => v_init,
+        })
+        .collect();
+    Ok((inputs, init, 0.5 * ramp))
+}
+
+/// Canonical worst-case stimulus: every input steps at `t = 0` in the
+/// direction that activates the conduction network, and internal nodes
+/// start precharged against the transition.
+pub fn worst_case_setup(
+    stage: &LogicStage,
+    models: &ModelSet,
+    direction: TransitionKind,
+) -> (Vec<Waveform>, Vec<f64>) {
+    let vdd = models.tech().vdd;
+    let (g0, g1, v_init) = match direction {
+        TransitionKind::Fall => (0.0, vdd, vdd),
+        TransitionKind::Rise => (vdd, 0.0, 0.0),
+    };
+    let inputs = vec![Waveform::step(0.0, g0, g1); stage.inputs().len()];
+    let init: Vec<f64> = (0..stage.node_count())
+        .map(|i| match stage.node(NodeId(i)).kind {
+            NodeKind::Supply => vdd,
+            NodeKind::Ground => 0.0,
+            NodeKind::Internal => v_init,
+        })
+        .collect();
+    (inputs, init)
+}
+
+/// Path-sensitized worst-case stimulus: only the inputs gating the
+/// worst chain switch; every other input is held at its non-conducting
+/// value so side branches stay off (standard single-path sensitization
+/// for complex gates such as AOI). Returns the stimulus and the
+/// extracted chain.
+///
+/// # Errors
+///
+/// Propagates chain-extraction failures.
+pub fn sensitized_setup(
+    stage: &LogicStage,
+    models: &ModelSet,
+    output: NodeId,
+    direction: TransitionKind,
+) -> Result<(Vec<Waveform>, Vec<f64>, qwm_core::chain::Chain)> {
+    let vdd = models.tech().vdd;
+    let chain = qwm_core::chain::Chain::extract_worst(stage, output, direction)?;
+    let gating = chain.gating_inputs();
+    let (g0, g1, v_init) = match direction {
+        TransitionKind::Fall => (0.0, vdd, vdd),
+        TransitionKind::Rise => (vdd, 0.0, 0.0),
+    };
+    let inputs: Vec<Waveform> = (0..stage.inputs().len())
+        .map(|i| {
+            if gating.contains(&qwm_circuit::InputId(i)) {
+                Waveform::step(0.0, g0, g1)
+            } else {
+                Waveform::constant(g0)
+            }
+        })
+        .collect();
+    let init: Vec<f64> = (0..stage.node_count())
+        .map(|i| match stage.node(NodeId(i)).kind {
+            NodeKind::Supply => vdd,
+            NodeKind::Ground => 0.0,
+            NodeKind::Internal => v_init,
+        })
+        .collect();
+    Ok((inputs, init, chain))
+}
+
+/// QWM-backed evaluator (the paper's configuration).
+#[derive(Debug, Clone, Default)]
+pub struct QwmEvaluator {
+    /// Evaluator configuration passed through to the QWM engine.
+    pub config: QwmConfig,
+}
+
+impl StageEvaluator for QwmEvaluator {
+    fn name(&self) -> &'static str {
+        "qwm"
+    }
+
+    fn delay(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+    ) -> Result<f64> {
+        let (inputs, init, _chain) = sensitized_setup(stage, models, output, direction)?;
+        let r = evaluate(stage, models, &inputs, &init, output, direction, &self.config)?;
+        r.delay_50(models.tech().vdd, 0.0)
+            .ok_or(NumError::InvalidInput {
+                context: "QwmEvaluator::delay",
+                detail: "output never crossed 50%".to_string(),
+            })
+    }
+
+    fn timing(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        input_slew: f64,
+    ) -> Result<TimingMetrics> {
+        let vdd = models.tech().vdd;
+        let (inputs, init, t_ref) =
+            sensitized_setup_with_slew(stage, models, output, direction, input_slew)?;
+        let r = evaluate(stage, models, &inputs, &init, output, direction, &self.config)?;
+        let delay = r
+            .delay_50(vdd, t_ref)
+            .ok_or(NumError::InvalidInput {
+                context: "QwmEvaluator::timing",
+                detail: "output never crossed 50%".to_string(),
+            })?;
+        let slew = r.slew(vdd).ok_or(NumError::InvalidInput {
+            context: "QwmEvaluator::timing",
+            detail: "output never crossed 10/90%".to_string(),
+        })?;
+        Ok(TimingMetrics { delay, slew })
+    }
+}
+
+/// Switch-level evaluator: `ln 2 ·` Elmore over effective resistances.
+#[derive(Debug, Clone, Default)]
+pub struct ElmoreEvaluator;
+
+impl ElmoreEvaluator {
+    /// Effective switched-on resistance of a transistor: the secant
+    /// resistance `Vdd/2 ÷ I(Vds = Vdd/2, Vgs = Vdd)` of the conduction
+    /// device, the textbook calibration.
+    fn effective_resistance(
+        models: &ModelSet,
+        kind: DeviceKind,
+        geom: &Geometry,
+    ) -> Result<f64> {
+        let vdd = models.tech().vdd;
+        let (model, tv) = match kind {
+            DeviceKind::Nmos => (
+                models.for_polarity(Polarity::Nmos),
+                TermVoltage::new(vdd, vdd / 2.0, 0.0),
+            ),
+            DeviceKind::Pmos => (
+                models.for_polarity(Polarity::Pmos),
+                TermVoltage::new(0.0, vdd, vdd / 2.0),
+            ),
+            DeviceKind::Wire => {
+                return Ok(qwm_device::caps::wire_res(models.tech(), geom.w, geom.l))
+            }
+        };
+        let i = model.iv(geom, tv)?.abs();
+        if i <= 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "ElmoreEvaluator",
+                detail: "device carries no current when on".to_string(),
+            });
+        }
+        Ok(vdd / 2.0 / i)
+    }
+}
+
+impl StageEvaluator for ElmoreEvaluator {
+    fn name(&self) -> &'static str {
+        "elmore"
+    }
+
+    fn delay(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+    ) -> Result<f64> {
+        let chain = qwm_core::chain::Chain::extract_worst(stage, output, direction)?;
+        let vdd = models.tech().vdd;
+        // RC ladder: resistor k from the chain, cap at each chain node
+        // evaluated at mid-swing.
+        let mut tree = qwm_interconnect::rc::RcTree::new(0.0);
+        let mut at = 0;
+        for (k, elem) in chain.elements.iter().enumerate() {
+            let r = Self::effective_resistance(models, elem.kind, &elem.geom)?;
+            let c = stage.node_cap(chain.nodes[k + 1], models, vdd / 2.0);
+            at = tree.add_node(at, r, c)?;
+        }
+        Ok(std::f64::consts::LN_2 * tree.elmore(at))
+    }
+}
+
+/// SPICE-backed golden evaluator.
+#[derive(Debug, Clone)]
+pub struct SpiceEvaluator {
+    /// Transient configuration template (`t_stop` is grown automatically
+    /// until the 50 % crossing is captured).
+    pub config: TransientConfig,
+}
+
+impl Default for SpiceEvaluator {
+    fn default() -> Self {
+        SpiceEvaluator {
+            config: TransientConfig::hspice_1ps(2e-9),
+        }
+    }
+}
+
+impl StageEvaluator for SpiceEvaluator {
+    fn name(&self) -> &'static str {
+        "spice"
+    }
+
+    fn delay(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+    ) -> Result<f64> {
+        let (inputs, init, _chain) = sensitized_setup(stage, models, output, direction)?;
+        let vdd = models.tech().vdd;
+        let mut cfg = self.config;
+        for _ in 0..6 {
+            let r = simulate(stage, models, &inputs, &init, &cfg)?;
+            let w = r.waveform(output)?;
+            let falling = direction == TransitionKind::Fall;
+            if let Some(t) = w.crossing(vdd / 2.0, !falling) {
+                return Ok(t);
+            }
+            cfg.t_stop *= 4.0;
+        }
+        Err(NumError::NoConvergence {
+            method: "SpiceEvaluator::delay (no 50% crossing)",
+            iterations: 6,
+            residual: cfg.t_stop,
+        })
+    }
+
+    fn timing(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        input_slew: f64,
+    ) -> Result<TimingMetrics> {
+        let vdd = models.tech().vdd;
+        let (inputs, init, t_ref) =
+            sensitized_setup_with_slew(stage, models, output, direction, input_slew)?;
+        let mut cfg = self.config;
+        for _ in 0..6 {
+            let r = simulate(stage, models, &inputs, &init, &cfg)?;
+            let w = r.waveform(output)?;
+            if let Ok(m) = measure_transition(&w, direction, t_ref, vdd) {
+                return Ok(m);
+            }
+            cfg.t_stop *= 4.0;
+        }
+        Err(NumError::NoConvergence {
+            method: "SpiceEvaluator::timing (levels unreached)",
+            iterations: 6,
+            residual: cfg.t_stop,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_circuit::cells;
+    use qwm_device::{analytic_models, Technology};
+
+    fn setup() -> (Technology, ModelSet) {
+        let tech = Technology::cmosp35();
+        (tech.clone(), analytic_models(&tech))
+    }
+
+    #[test]
+    fn three_evaluators_agree_on_ordering() {
+        let (tech, models) = setup();
+        let evaluators: Vec<Box<dyn StageEvaluator>> = vec![
+            Box::new(ElmoreEvaluator),
+            Box::new(QwmEvaluator::default()),
+            Box::new(SpiceEvaluator::default()),
+        ];
+        for ev in &evaluators {
+            let mut prev = 0.0;
+            for n in 2..=4 {
+                let g = cells::nand(&tech, n, cells::DEFAULT_LOAD).unwrap();
+                let out = g.node_by_name("out").unwrap();
+                let d = ev.delay(&g, &models, out, TransitionKind::Fall).unwrap();
+                assert!(d > prev, "{}: nand{n} slower than nand{}", ev.name(), n - 1);
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn qwm_tracks_spice_on_gates() {
+        let (tech, models) = setup();
+        let qwm = QwmEvaluator::default();
+        let spice = SpiceEvaluator::default();
+        for n in [1usize, 3] {
+            let g = cells::nand(&tech, n.max(1), cells::DEFAULT_LOAD).unwrap();
+            let out = g.node_by_name("out").unwrap();
+            let dq = qwm.delay(&g, &models, out, TransitionKind::Fall).unwrap();
+            let ds = spice.delay(&g, &models, out, TransitionKind::Fall).unwrap();
+            assert!(
+                (dq - ds).abs() / ds < 0.12,
+                "nand{n}: qwm {dq} vs spice {ds}"
+            );
+        }
+    }
+
+    #[test]
+    fn elmore_is_the_crude_one() {
+        // Elmore should be in the right decade but not necessarily
+        // within 10%.
+        let (tech, models) = setup();
+        let g = cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let de = ElmoreEvaluator
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        let ds = SpiceEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        let ratio = de / ds;
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rise_delay_through_inverter() {
+        let (tech, models) = setup();
+        let g = cells::inverter(&tech, cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let dq = QwmEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Rise)
+            .unwrap();
+        let ds = SpiceEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Rise)
+            .unwrap();
+        assert!((dq - ds).abs() / ds < 0.12, "qwm {dq} vs spice {ds}");
+    }
+
+    #[test]
+    fn aoi21_sensitized_delay_tracks_spice() {
+        // Branching pull-down: the worst path (series a·b) is sensitized
+        // with c held low; both evaluators must agree on that scenario.
+        let (_tech, models) = setup();
+        let g = cells::aoi21(&Technology::cmosp35(), cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let dq = QwmEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        let ds = SpiceEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        assert!((dq - ds).abs() / ds < 0.10, "qwm {dq} vs spice {ds}");
+        // And the rise direction through the series-c pull-up.
+        let dqr = QwmEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Rise)
+            .unwrap();
+        let dsr = SpiceEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Rise)
+            .unwrap();
+        assert!((dqr - dsr).abs() / dsr < 0.12, "rise qwm {dqr} vs spice {dsr}");
+    }
+
+    #[test]
+    fn nand_rise_now_supported_via_worst_path() {
+        // Parallel pull-ups used to be inextractable; extract_worst picks
+        // one branch and sensitizes only its input.
+        let (_tech, models) = setup();
+        let g = cells::nand(&Technology::cmosp35(), 2, cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let dq = QwmEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Rise)
+            .unwrap();
+        let ds = SpiceEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Rise)
+            .unwrap();
+        assert!((dq - ds).abs() / ds < 0.12, "qwm {dq} vs spice {ds}");
+    }
+
+    #[test]
+    fn worst_case_setup_shapes() {
+        let (tech, models) = setup();
+        let g = cells::nand(&tech, 2, cells::DEFAULT_LOAD).unwrap();
+        let (inputs, init) = worst_case_setup(&g, &models, TransitionKind::Fall);
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(init.len(), g.node_count());
+        assert_eq!(inputs[0].final_value(), tech.vdd);
+        let out = g.node_by_name("out").unwrap();
+        assert_eq!(init[out.0], tech.vdd);
+    }
+}

@@ -1,0 +1,236 @@
+//! The stage graph: netlist → partitioned stages → timing DAG.
+//!
+//! Stages are extracted as channel-connected components
+//! ([`qwm_circuit::partition`]); a directed timing edge runs from the
+//! stage driving a net to every stage using that net as a gate input.
+//! Arrival times propagate along this DAG (combinational circuits only —
+//! cycles are rejected).
+
+use qwm_circuit::netlist::{NetId, Netlist};
+use qwm_circuit::partition::{partition, StagePartition};
+use qwm_num::{NumError, Result};
+use std::collections::HashMap;
+
+/// Index of a stage within a [`StageGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageId(pub usize);
+
+/// The partitioned timing graph over a netlist.
+#[derive(Debug)]
+pub struct StageGraph {
+    partitions: Vec<StagePartition>,
+    /// Which stage drives each net (absent for primary inputs).
+    driver: HashMap<NetId, StageId>,
+    /// Stages whose inputs include each net.
+    users: HashMap<NetId, Vec<StageId>>,
+    /// Topological order of stage indices.
+    topo: Vec<StageId>,
+}
+
+impl StageGraph {
+    /// Partitions `netlist` and builds the DAG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning failures; returns
+    /// [`NumError::InvalidInput`] if the stage graph is cyclic (latch
+    /// loops are out of scope for static timing).
+    pub fn build(netlist: &Netlist) -> Result<Self> {
+        let partitions = partition(netlist)?;
+        let mut driver: HashMap<NetId, StageId> = HashMap::new();
+        let mut users: HashMap<NetId, Vec<StageId>> = HashMap::new();
+        for (i, p) in partitions.iter().enumerate() {
+            for &net in &p.output_nets {
+                driver.insert(net, StageId(i));
+            }
+            for &net in &p.input_nets {
+                users.entry(net).or_default().push(StageId(i));
+            }
+        }
+
+        // Kahn's algorithm over stage→stage edges.
+        let n = partitions.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, p) in partitions.iter().enumerate() {
+            for &net in &p.output_nets {
+                for user in users.get(&net).into_iter().flatten() {
+                    if user.0 != i {
+                        succ[i].push(user.0);
+                        indeg[user.0] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(StageId(i));
+            for &s in &succ[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(NumError::InvalidInput {
+                context: "StageGraph::build",
+                detail: "stage graph is cyclic (combinational loop)".to_string(),
+            });
+        }
+        Ok(StageGraph {
+            partitions,
+            driver,
+            users,
+            topo,
+        })
+    }
+
+    /// The partitions, indexable by [`StageId`].
+    pub fn partitions(&self) -> &[StagePartition] {
+        &self.partitions
+    }
+
+    /// Mutable partitions (incremental geometry updates; topology must
+    /// not be altered).
+    pub fn partitions_mut(&mut self) -> &mut [StagePartition] {
+        &mut self.partitions
+    }
+
+    /// Stage lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn stage(&self, id: StageId) -> &StagePartition {
+        &self.partitions[id.0]
+    }
+
+    /// Which stage drives `net`, if any.
+    pub fn driver_of(&self, net: NetId) -> Option<StageId> {
+        self.driver.get(&net).copied()
+    }
+
+    /// Stages that read `net` as a gate input.
+    pub fn users_of(&self, net: NetId) -> &[StageId] {
+        self.users.get(&net).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Topological order of the stages.
+    pub fn topo_order(&self) -> &[StageId] {
+        &self.topo
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the netlist produced no stages.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// The stage containing netlist device `device_index`, if any.
+    pub fn stage_of_device(&self, device_index: usize) -> Option<StageId> {
+        self.partitions
+            .iter()
+            .position(|p| p.device_indices.contains(&device_index))
+            .map(StageId)
+    }
+}
+
+/// Builds an inverter-chain netlist of the given depth — a standard
+/// timing test structure (each inverter sized `wn`/`2·wn`).
+pub fn inverter_chain(tech: &qwm_device::Technology, depth: usize, load: f64) -> Netlist {
+    use qwm_circuit::stage::DeviceKind;
+    use qwm_device::model::Geometry;
+    let mut nl = Netlist::new();
+    let (vdd, gnd) = (nl.vdd(), nl.gnd());
+    let gn = Geometry::new(tech.w_min, tech.l_min);
+    let gp = Geometry::new(2.0 * tech.w_min, tech.l_min);
+    let mut prev = nl.net("in");
+    nl.add_primary_input(prev);
+    for i in 0..depth {
+        let out = nl.net(&format!("n{}", i + 1));
+        nl.add_transistor(format!("MN{i}"), DeviceKind::Nmos, prev, out, gnd, gn);
+        nl.add_transistor(format!("MP{i}"), DeviceKind::Pmos, prev, vdd, out, gp);
+        prev = out;
+    }
+    nl.add_cap(prev, load);
+    nl.add_primary_output(prev);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_device::Technology;
+
+    #[test]
+    fn inverter_chain_topology() {
+        let tech = Technology::cmosp35();
+        let nl = inverter_chain(&tech, 5, 10e-15);
+        let g = StageGraph::build(&nl).unwrap();
+        assert_eq!(g.len(), 5);
+        assert!(!g.is_empty());
+        assert_eq!(g.topo_order().len(), 5);
+        // Topological order respects the chain: driver of n1 precedes
+        // driver of n2, etc.
+        let pos: HashMap<usize, usize> = g
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.0, i))
+            .collect();
+        for i in 1..5 {
+            let a = nl.find_net(&format!("n{i}")).unwrap();
+            let b = nl.find_net(&format!("n{}", i + 1)).unwrap();
+            let sa = g.driver_of(a).unwrap();
+            let sb = g.driver_of(b).unwrap();
+            assert!(pos[&sa.0] < pos[&sb.0], "stage for n{i} precedes n{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn primary_input_has_no_driver() {
+        let tech = Technology::cmosp35();
+        let nl = inverter_chain(&tech, 2, 10e-15);
+        let g = StageGraph::build(&nl).unwrap();
+        let input = nl.find_net("in").unwrap();
+        assert!(g.driver_of(input).is_none());
+        assert_eq!(g.users_of(input).len(), 1);
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        use qwm_circuit::stage::DeviceKind;
+        use qwm_device::model::Geometry;
+        let tech = Technology::cmosp35();
+        let geom = Geometry::new(tech.w_min, tech.l_min);
+        let gp = Geometry::new(2.0 * tech.w_min, tech.l_min);
+        // Cross-coupled inverters (an SRAM cell): cyclic.
+        let mut nl = Netlist::new();
+        let (vdd, gnd) = (nl.vdd(), nl.gnd());
+        let q = nl.net("q");
+        let qb = nl.net("qb");
+        nl.add_transistor("MN1", DeviceKind::Nmos, qb, q, gnd, geom);
+        nl.add_transistor("MP1", DeviceKind::Pmos, qb, vdd, q, gp);
+        nl.add_transistor("MN2", DeviceKind::Nmos, q, qb, gnd, geom);
+        nl.add_transistor("MP2", DeviceKind::Pmos, q, vdd, qb, gp);
+        assert!(StageGraph::build(&nl).is_err());
+    }
+
+    #[test]
+    fn stage_of_device_lookup() {
+        let tech = Technology::cmosp35();
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let g = StageGraph::build(&nl).unwrap();
+        for d in 0..nl.devices().len() {
+            let s = g.stage_of_device(d).expect("every device has a stage");
+            assert!(g.stage(s).device_indices.contains(&d));
+        }
+        assert!(g.stage_of_device(999).is_none());
+    }
+}

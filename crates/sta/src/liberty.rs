@@ -1,0 +1,396 @@
+//! Minimal Liberty (.lib) emission and parsing for characterized cells.
+//!
+//! The industry hands pre-characterized timing around as Liberty
+//! libraries; this module writes the [`NldmTable`]s produced by
+//! [`crate::nldm`] as `cell`/`pin`/`timing` groups with
+//! `cell_fall`/`fall_transition` (or rise) NLDM tables, and reads its own
+//! subset back — enough for round-tripping characterization results and
+//! for feeding downstream tools that speak Liberty.
+//!
+//! The dialect is deliberately small: one `lu_table_template` per table
+//! shape, `index_1` = input slew \[ns\], `index_2` = load \[pF\],
+//! `values` row-major over slew. Times are written in nanoseconds and
+//! capacitances in picofarads, the customary Liberty units.
+
+use crate::nldm::NldmTable;
+use qwm_circuit::waveform::TransitionKind;
+use qwm_num::{NumError, Result};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One timing arc destined for a Liberty `timing()` group.
+#[derive(Debug, Clone)]
+pub struct LibertyArc {
+    /// Related (switching) pin name.
+    pub related_pin: String,
+    /// Transition this arc describes at the output.
+    pub direction: TransitionKind,
+    /// The characterized surface.
+    pub table: NldmTable,
+}
+
+/// A cell to be emitted: output pin name plus its arcs.
+#[derive(Debug, Clone)]
+pub struct LibertyCell {
+    /// Cell name.
+    pub name: String,
+    /// Output pin name.
+    pub output_pin: String,
+    /// Timing arcs into the output pin.
+    pub arcs: Vec<LibertyArc>,
+}
+
+fn fmt_axis_ns(vals: &[f64]) -> String {
+    vals.iter()
+        .map(|v| format!("{:.6}", v * 1e9))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn fmt_axis_pf(vals: &[f64]) -> String {
+    vals.iter()
+        .map(|v| format!("{:.6}", v * 1e12))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Serializes a library of cells in the Liberty subset described in the
+/// module docs.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] for a library without cells or a
+/// cell without arcs.
+pub fn write_liberty(library_name: &str, cells: &[LibertyCell]) -> Result<String> {
+    if cells.is_empty() || cells.iter().any(|c| c.arcs.is_empty()) {
+        return Err(NumError::InvalidInput {
+            context: "write_liberty",
+            detail: "library needs at least one cell with arcs".to_string(),
+        });
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({library_name}) {{");
+    let _ = writeln!(out, "  time_unit : \"1ns\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, pf);");
+    // One template per distinct table shape.
+    let mut templates: HashMap<(usize, usize), String> = HashMap::new();
+    for c in cells {
+        for a in &c.arcs {
+            let shape = (a.table.slews.len(), a.table.loads.len());
+            let name = format!("tmpl_{}x{}", shape.0, shape.1);
+            templates.entry(shape).or_insert(name);
+        }
+    }
+    let mut tnames: Vec<_> = templates.iter().collect();
+    tnames.sort_by_key(|(shape, _)| **shape);
+    for (&(ns, nl), name) in &tnames {
+        let _ = writeln!(out, "  lu_table_template ({name}) {{");
+        let _ = writeln!(out, "    variable_1 : input_net_transition;");
+        let _ = writeln!(out, "    variable_2 : total_output_net_capacitance;");
+        let _ = writeln!(out, "    index_1 (\"{}\");", vec!["0"; ns].join(", "));
+        let _ = writeln!(out, "    index_2 (\"{}\");", vec!["0"; nl].join(", "));
+        let _ = writeln!(out, "  }}");
+    }
+    for c in cells {
+        let _ = writeln!(out, "  cell ({}) {{", c.name);
+        let _ = writeln!(out, "    pin ({}) {{", c.output_pin);
+        let _ = writeln!(out, "      direction : output;");
+        for a in &c.arcs {
+            let shape = (a.table.slews.len(), a.table.loads.len());
+            let tmpl = &templates[&shape];
+            let (dkey, skey) = match a.direction {
+                TransitionKind::Fall => ("cell_fall", "fall_transition"),
+                TransitionKind::Rise => ("cell_rise", "rise_transition"),
+            };
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"{}\";", a.related_pin);
+            for (key, grid) in [(dkey, &a.table.delay), (skey, &a.table.out_slew)] {
+                let _ = writeln!(out, "        {key} ({tmpl}) {{");
+                let _ = writeln!(out, "          index_1 (\"{}\");", fmt_axis_ns(&a.table.slews));
+                let _ = writeln!(out, "          index_2 (\"{}\");", fmt_axis_pf(&a.table.loads));
+                let _ = writeln!(out, "          values ( \\");
+                for (i, row) in grid.iter().enumerate() {
+                    let line = row
+                        .iter()
+                        .map(|v| format!("{:.6}", v * 1e9))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let cont = if i + 1 == grid.len() { " );" } else { ", \\" };
+                    let _ = writeln!(out, "            \"{line}\"{cont}");
+                }
+                let _ = writeln!(out, "        }}");
+            }
+            let _ = writeln!(out, "      }}");
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+/// Extracts every quoted, comma-separated number list after `key (` in a
+/// group body — the workhorse of the subset parser.
+fn parse_number_lists(body: &str) -> Result<Vec<Vec<f64>>> {
+    let mut lists = Vec::new();
+    let mut rest = body;
+    while let Some(q0) = rest.find('"') {
+        let after = &rest[q0 + 1..];
+        let q1 = after.find('"').ok_or_else(|| NumError::InvalidInput {
+            context: "liberty::parse_number_lists",
+            detail: "unterminated quote".to_string(),
+        })?;
+        let chunk = &after[..q1];
+        let nums: std::result::Result<Vec<f64>, _> = chunk
+            .split(',')
+            .map(|t| t.trim().parse::<f64>())
+            .collect();
+        if let Ok(nums) = nums {
+            if !nums.is_empty() {
+                lists.push(nums);
+            }
+        }
+        rest = &after[q1 + 1..];
+    }
+    Ok(lists)
+}
+
+/// Finds the body of `key (name…) { … }` starting at `from`, returning
+/// `(body, end_index)` with brace matching.
+fn group_body(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let idx = text[from..].find(key)? + from;
+    let open = text[idx..].find('{')? + idx;
+    let mut depth = 0usize;
+    for (i, ch) in text[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((text[open + 1..open + i].to_string(), open + i));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reads back one table (`cell_fall`, `fall_transition`, …) from a
+/// Liberty string produced by [`write_liberty`].
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] when the group or its numeric
+/// content cannot be found.
+pub fn read_table(text: &str, cell: &str, group_key: &str) -> Result<NldmTable> {
+    let (cell_body, _) = group_body(text, &format!("cell ({cell})"), 0).ok_or_else(|| {
+        NumError::InvalidInput {
+            context: "liberty::read_table",
+            detail: format!("cell {cell} not found"),
+        }
+    })?;
+    let (grp, _) = group_body(&cell_body, group_key, 0).ok_or_else(|| NumError::InvalidInput {
+        context: "liberty::read_table",
+        detail: format!("group {group_key} not found"),
+    })?;
+    let lists = parse_number_lists(&grp)?;
+    if lists.len() < 3 {
+        return Err(NumError::InvalidInput {
+            context: "liberty::read_table",
+            detail: format!("expected index_1, index_2 and values; got {}", lists.len()),
+        });
+    }
+    let slews: Vec<f64> = lists[0].iter().map(|v| v * 1e-9).collect();
+    let loads: Vec<f64> = lists[1].iter().map(|v| v * 1e-12).collect();
+    let rows: Vec<Vec<f64>> = lists[2..]
+        .iter()
+        .map(|r| r.iter().map(|v| v * 1e-9).collect())
+        .collect();
+    if rows.len() != slews.len() || rows.iter().any(|r| r.len() != loads.len()) {
+        return Err(NumError::InvalidInput {
+            context: "liberty::read_table",
+            detail: "values shape does not match the axes".to_string(),
+        });
+    }
+    Ok(NldmTable {
+        slews,
+        loads,
+        delay: rows.clone(),
+        out_slew: rows,
+    })
+}
+
+/// Characterizes both transitions of a stage output with QWM and packs
+/// them as a [`LibertyCell`] (one fall and one rise arc, related to the
+/// given pin name).
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+#[allow(clippy::too_many_arguments)] // a characterization job is inherently wide
+pub fn characterize_cell(
+    cell_name: &str,
+    output_pin: &str,
+    related_pin: &str,
+    stage: &qwm_circuit::LogicStage,
+    models: &qwm_device::model::ModelSet,
+    output: qwm_circuit::NodeId,
+    slews: Vec<f64>,
+    loads: Vec<f64>,
+    config: &qwm_core::evaluate::QwmConfig,
+) -> qwm_num::Result<LibertyCell> {
+    let mut arcs = Vec::new();
+    for direction in [TransitionKind::Fall, TransitionKind::Rise] {
+        let table = NldmTable::characterize(
+            stage,
+            models,
+            output,
+            direction,
+            slews.clone(),
+            loads.clone(),
+            config,
+        )?;
+        arcs.push(LibertyArc {
+            related_pin: related_pin.to_string(),
+            direction,
+            table,
+        });
+    }
+    Ok(LibertyCell {
+        name: cell_name.to_string(),
+        output_pin: output_pin.to_string(),
+        arcs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_circuit::cells;
+    use qwm_core::evaluate::QwmConfig;
+    use qwm_device::{analytic_models, Technology};
+
+    fn sample_cell() -> (String, NldmTable) {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let g = cells::nand(&tech, 2, 2e-15).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let table = NldmTable::characterize(
+            &g,
+            &models,
+            out,
+            TransitionKind::Fall,
+            vec![10e-12, 40e-12],
+            vec![4e-15, 20e-15],
+            &QwmConfig::default(),
+        )
+        .unwrap();
+        let lib = write_liberty(
+            "qwm_demo",
+            &[LibertyCell {
+                name: "NAND2X1".to_string(),
+                output_pin: "Y".to_string(),
+                arcs: vec![LibertyArc {
+                    related_pin: "A".to_string(),
+                    direction: TransitionKind::Fall,
+                    table: table.clone(),
+                }],
+            }],
+        )
+        .unwrap();
+        (lib, table)
+    }
+
+    #[test]
+    fn emitted_liberty_has_the_expected_groups() {
+        let (lib, _) = sample_cell();
+        for needle in [
+            "library (qwm_demo)",
+            "lu_table_template (tmpl_2x2)",
+            "cell (NAND2X1)",
+            "pin (Y)",
+            "related_pin : \"A\"",
+            "cell_fall (tmpl_2x2)",
+            "fall_transition (tmpl_2x2)",
+        ] {
+            assert!(lib.contains(needle), "missing {needle:?} in:\n{lib}");
+        }
+        // Balanced braces.
+        assert_eq!(
+            lib.matches('{').count(),
+            lib.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_delays() {
+        let (lib, table) = sample_cell();
+        let back = read_table(&lib, "NAND2X1", "cell_fall").unwrap();
+        assert_eq!(back.slews.len(), table.slews.len());
+        assert_eq!(back.loads.len(), table.loads.len());
+        for (a, b) in back.slews.iter().zip(&table.slews) {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+        for i in 0..table.slews.len() {
+            for j in 0..table.loads.len() {
+                let (a, b) = (back.delay[i][j], table.delay[i][j]);
+                assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+            }
+        }
+        // Interpolated queries agree too.
+        let q1 = back.query(20e-12, 10e-15).delay;
+        let q2 = table.query(20e-12, 10e-15).delay;
+        assert!((q1 - q2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn parser_rejects_missing_groups() {
+        let (lib, _) = sample_cell();
+        assert!(read_table(&lib, "NOPE", "cell_fall").is_err());
+        assert!(read_table(&lib, "NAND2X1", "cell_rise").is_err());
+        assert!(read_table("library (x) {}", "c", "cell_fall").is_err());
+    }
+
+    #[test]
+    fn characterize_cell_builds_both_arcs() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let g = cells::inverter(&tech, 2e-15).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let cell = characterize_cell(
+            "INVX1",
+            "Y",
+            "A",
+            &g,
+            &models,
+            out,
+            vec![10e-12, 40e-12],
+            vec![4e-15, 20e-15],
+            &QwmConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(cell.arcs.len(), 2);
+        let lib = write_liberty("lib", &[cell]).unwrap();
+        assert!(lib.contains("cell_fall"));
+        assert!(lib.contains("cell_rise"));
+        assert!(lib.contains("rise_transition"));
+        // Rise arcs are slower than fall arcs for wp = 2·wn at these
+        // mobility ratios.
+        let fall = read_table(&lib, "INVX1", "cell_fall").unwrap();
+        let rise = read_table(&lib, "INVX1", "cell_rise").unwrap();
+        assert!(rise.delay[0][0] > fall.delay[0][0]);
+    }
+
+    #[test]
+    fn writer_validates_input() {
+        assert!(write_liberty("x", &[]).is_err());
+        let empty_cell = LibertyCell {
+            name: "c".to_string(),
+            output_pin: "y".to_string(),
+            arcs: vec![],
+        };
+        assert!(write_liberty("x", &[empty_cell]).is_err());
+    }
+}

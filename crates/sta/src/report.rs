@@ -1,0 +1,129 @@
+//! Human-readable timing reports.
+//!
+//! Formats a [`TimingReport`] the way timing signoff tools do: a
+//! critical-path table with per-stage increments plus a slack line
+//! against an optional required time.
+
+use crate::engine::TimingReport;
+use crate::graph::StageGraph;
+use qwm_circuit::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Renders the critical path as a text table.
+///
+/// Each row shows the stage, its driven net, the stage's delay increment
+/// and the cumulative arrival. When `required` is given, a final slack
+/// line (`required − arrival`) is appended, negative slack flagged.
+///
+/// # Panics
+///
+/// Panics only if internal bookkeeping is inconsistent (a critical-path
+/// stage without arrivals), which would be a bug.
+pub fn format_report(
+    report: &TimingReport,
+    graph: &StageGraph,
+    netlist: &Netlist,
+    required: Option<f64>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<8} {:<14} {:>12} {:>12}", "stage", "net", "incr[ps]", "arrival[ps]");
+    let _ = writeln!(out, "{}", "-".repeat(50));
+    let mut prev_arrival = 0.0;
+    for &sid in &report.critical_path {
+        let part = graph.stage(sid);
+        // The stage's worst (latest) output along the path.
+        let (net, arrival) = part
+            .output_nets
+            .iter()
+            .filter_map(|&n| report.arrivals.get(&n).map(|&a| (n, a)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("critical-path stage has timed outputs");
+        let _ = writeln!(
+            out,
+            "{:<8} {:<14} {:>12.2} {:>12.2}",
+            format!("#{}", sid.0),
+            netlist.net_name(net),
+            (arrival - prev_arrival) * 1e12,
+            arrival * 1e12
+        );
+        prev_arrival = arrival;
+    }
+    let _ = writeln!(out, "{}", "-".repeat(50));
+    if let Some((net, arrival)) = report.worst {
+        let _ = writeln!(
+            out,
+            "worst arrival {:.2} ps at {}",
+            arrival * 1e12,
+            netlist.net_name(net)
+        );
+        if let Some(req) = required {
+            let slack = req - arrival;
+            let flag = if slack < 0.0 { "  (VIOLATED)" } else { "" };
+            let _ = writeln!(out, "slack {:+.2} ps vs required {:.2} ps{flag}", slack * 1e12, req * 1e12);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StaEngine;
+    use crate::evaluator::ElmoreEvaluator;
+    use crate::graph::inverter_chain;
+    use qwm_circuit::waveform::TransitionKind;
+    use qwm_device::{analytic_models, Technology};
+
+    fn report_for(depth: usize) -> (String, f64) {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, depth, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let report = engine.run(&ElmoreEvaluator).unwrap();
+        let worst = report.worst.unwrap().1;
+        let s = format_report(&report, engine.graph(), engine.netlist(), Some(worst * 0.8));
+        (s, worst)
+    }
+
+    #[test]
+    fn report_contains_path_and_slack() {
+        let (s, _) = report_for(3);
+        assert!(s.contains("stage"));
+        assert!(s.contains("arrival"));
+        assert!(s.contains("worst arrival"));
+        assert!(s.contains("VIOLATED"), "required at 80% must violate:\n{s}");
+        // One row per critical-path stage plus headers/footers.
+        assert_eq!(s.lines().filter(|l| l.starts_with('#')).count(), 3);
+    }
+
+    #[test]
+    fn slack_positive_when_required_met() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 2, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let report = engine.run(&ElmoreEvaluator).unwrap();
+        let worst = report.worst.unwrap().1;
+        let s = format_report(&report, engine.graph(), engine.netlist(), Some(worst * 2.0));
+        assert!(!s.contains("VIOLATED"));
+        assert!(s.contains("slack +"));
+    }
+
+    #[test]
+    fn arrivals_in_report_are_monotone() {
+        let (s, worst) = report_for(4);
+        let arrivals: Vec<f64> = s
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| {
+                l.split_whitespace()
+                    .last()
+                    .unwrap()
+                    .parse::<f64>()
+                    .unwrap()
+            })
+            .collect();
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+        assert!((arrivals.last().unwrap() - worst * 1e12).abs() < 0.01, "printed values are %.2f ps");
+    }
+}

@@ -1,0 +1,135 @@
+//! Cell characterization: build an NLDM-style delay/slew table for a
+//! NAND3 with QWM, query it off-grid, and then demonstrate the paper's
+//! core motivation — pre-characterized tables break down when the load
+//! is not a lumped capacitor (a pass transistor hanging off the output),
+//! while on-the-fly QWM handles the composed stage directly.
+//!
+//! ```text
+//! cargo run --release --example characterization
+//! ```
+
+use qwm::circuit::cells;
+use qwm::circuit::stage::DeviceKind;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::core::evaluate::QwmConfig;
+use qwm::device::{analytic_models, Geometry, Technology};
+use qwm::num::NumError;
+use qwm::sta::evaluator::{QwmEvaluator, SpiceEvaluator, StageEvaluator};
+use qwm::sta::liberty::{characterize_cell, write_liberty};
+use qwm::sta::nldm::NldmTable;
+
+fn main() -> Result<(), NumError> {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+
+    // 1. Characterize a NAND3's falling arc over a slew × load grid.
+    let gate = cells::nand(&tech, 3, 2e-15)?;
+    let out = gate.node_by_name("out").expect("output");
+    let table = NldmTable::characterize(
+        &gate,
+        &models,
+        out,
+        TransitionKind::Fall,
+        vec![5e-12, 20e-12, 60e-12],
+        vec![2e-15, 10e-15, 30e-15],
+        &QwmConfig::default(),
+    )?;
+    println!("NAND3 falling-arc NLDM (delay in ps, rows = input slew, cols = load):");
+    print!("{:>10}", "");
+    for &l in &table.loads {
+        print!("{:>9.0}fF", l * 1e15);
+    }
+    println!();
+    for (i, &sl) in table.slews.iter().enumerate() {
+        print!("{:>8.0}ps", sl * 1e12);
+        for j in 0..table.loads.len() {
+            print!("{:>11.2}", table.delay[i][j] * 1e12);
+        }
+        println!();
+    }
+
+    // 2. Off-grid query vs direct evaluation.
+    let (sl, cl) = (12e-12, 18e-15);
+    let m = table.query(sl, cl);
+    let mut loaded = gate.clone();
+    let node = loaded.node_by_name("out").unwrap();
+    loaded.add_load(node, cl);
+    let direct = QwmEvaluator::default().timing(&loaded, &models, node, TransitionKind::Fall, sl)?;
+    println!(
+        "\noff-grid query (slew 12 ps, load 18 fF): table {:.2} ps vs direct QWM {:.2} ps ({:+.1}%)",
+        m.delay * 1e12,
+        direct.delay * 1e12,
+        100.0 * (m.delay - direct.delay) / direct.delay
+    );
+
+    // 3. The paper's point: hang a pass transistor + far capacitance off
+    //    the output. The table, which only knows lumped loads, must be
+    //    fed *some* equivalent cap; QWM analyzes the real composed stage.
+    let far_cap = 25e-15;
+    // Build the composed stage (NAND3 + pass device) from scratch.
+    let mut b = qwm::circuit::LogicStage::builder("nand3_pass");
+    let (vdd, gnd) = (b.vdd(), b.gnd());
+    let x = b.node("out"); // the NAND output node, also our observed output
+    let far = b.node("far");
+    let wn = tech.w_min * 3.0;
+    let mut below = gnd;
+    for k in 0..3 {
+        let above = if k == 2 { x } else { b.node(&format!("n{k}")) };
+        let input = b.input(&format!("a{k}"));
+        b.transistor(DeviceKind::Nmos, input, above, below, Geometry::new(wn, tech.l_min));
+        b.transistor(
+            DeviceKind::Pmos,
+            input,
+            vdd,
+            x,
+            Geometry::new(2.0 * tech.w_min, tech.l_min),
+        );
+        below = above;
+    }
+    let en = b.input("en");
+    b.transistor(DeviceKind::Nmos, en, far, x, Geometry::new(2.0 * tech.w_min, tech.l_min));
+    b.load(far, far_cap);
+    b.load(x, 2e-15);
+    b.output(x);
+    let composed = b.build()?;
+
+    let node = composed.node_by_name("out").unwrap();
+    let spice = SpiceEvaluator::default().delay(&composed, &models, node, TransitionKind::Fall)?;
+    let qwm = QwmEvaluator::default().delay(&composed, &models, node, TransitionKind::Fall)?;
+    // The naive table user lumps the far cap directly onto the output.
+    let table_guess = table.query(1e-12, 2e-15 + far_cap);
+    println!("\nNAND3 + pass transistor to a 25 fF far node (the paper's Figure 1 situation):");
+    println!("  golden SPICE           : {:.2} ps", spice * 1e12);
+    println!(
+        "  on-the-fly QWM         : {:.2} ps ({:+.1}%)",
+        qwm * 1e12,
+        100.0 * (qwm - spice) / spice
+    );
+    println!(
+        "  NLDM table, lumped load: {:.2} ps ({:+.1}%)  <- resistive shielding ignored",
+        table_guess.delay * 1e12,
+        100.0 * (table_guess.delay - spice) / spice
+    );
+
+    // 4. Ship the characterization as a Liberty library.
+    let cell = characterize_cell(
+        "NAND3X1",
+        "Y",
+        "A",
+        &gate,
+        &models,
+        out,
+        vec![5e-12, 20e-12, 60e-12],
+        vec![2e-15, 10e-15, 30e-15],
+        &QwmConfig::default(),
+    )?;
+    let lib = write_liberty("qwm_cells", &[cell])?;
+    let lib_path = std::env::temp_dir().join("qwm_cells.lib");
+    std::fs::write(&lib_path, &lib).expect("write .lib");
+    println!(
+        "\nLiberty library ({} lines, fall + rise arcs) -> {}",
+        lib.lines().count(),
+        lib_path.display()
+    );
+    Ok(())
+}

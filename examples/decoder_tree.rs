@@ -1,0 +1,89 @@
+//! The memory decoder tree (paper Fig. 3): transistors channel-connected
+//! through wires whose length doubles at every level. The wires are
+//! reduced to AWE π macromodels before QWM analyzes the chain; the SPICE
+//! golden keeps them fully distributed.
+//!
+//! ```text
+//! cargo run --release --example decoder_tree
+//! ```
+
+use qwm::circuit::cells;
+use qwm::circuit::waveform::{TransitionKind, Waveform};
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::device::{analytic_models, tabular_models, Technology};
+use qwm::interconnect::wire_pi_model;
+use qwm::num::NumError;
+use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
+
+fn main() -> Result<(), NumError> {
+    let tech = Technology::cmosp35();
+    let spice_models = analytic_models(&tech);
+    let qwm_models = tabular_models(&tech)?;
+    let levels = 3;
+    let base_len = 200e-6;
+
+    // Show the per-level AWE reductions.
+    println!("wire macromodels (O'Brien/Savarino π from 16-section ladders):");
+    for level in 0..levels {
+        let len = base_len * (1u64 << level) as f64;
+        let pi = wire_pi_model(&tech, 0.6e-6, len, 16)?;
+        println!(
+            "  level {level}: {:>4.0} um -> R = {:7.1} ohm, C_near = {:6.2} fF, C_far = {:6.2} fF",
+            len * 1e6,
+            pi.r,
+            pi.c_near * 1e15,
+            pi.c_far * 1e15
+        );
+    }
+
+    // QWM over the π-reduced path.
+    let awe = cells::decoder_path_awe(&tech, levels, base_len, cells::DEFAULT_LOAD, 16)?;
+    let out = awe.node_by_name("out").expect("leaf output");
+    let inputs: Vec<Waveform> = (0..awe.inputs().len())
+        .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
+        .collect();
+    let init = initial_uniform(&awe, &spice_models, tech.vdd);
+    let qwm = evaluate(
+        &awe,
+        &qwm_models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )?;
+    let d_q = qwm.delay_50(tech.vdd, 0.0).expect("delay");
+
+    // SPICE over the distributed-ladder path.
+    let dist = cells::decoder_path_distributed(&tech, levels, base_len, cells::DEFAULT_LOAD, 16)?;
+    let out_d = dist.node_by_name("out").expect("leaf output");
+    let inputs_d: Vec<Waveform> = (0..dist.inputs().len())
+        .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
+        .collect();
+    let init_d = initial_uniform(&dist, &spice_models, tech.vdd);
+    let spice = simulate(
+        &dist,
+        &spice_models,
+        &inputs_d,
+        &init_d,
+        &TransientConfig::hspice_1ps(3.0 * d_q),
+    )?;
+    let d_s = spice
+        .waveform(out_d)?
+        .crossing(tech.vdd / 2.0, false)
+        .expect("spice falls");
+
+    println!(
+        "\nleaf discharge delay: qwm+AWE {:.1} ps vs spice(distributed) {:.1} ps",
+        d_q * 1e12,
+        d_s * 1e12
+    );
+    println!(
+        "accuracy {:.2}%, speedup {:.1}x ({} QWM regions vs {} SPICE steps)",
+        100.0 - 100.0 * (d_q - d_s).abs() / d_s,
+        spice.elapsed.as_secs_f64() / qwm.elapsed.as_secs_f64(),
+        qwm.regions,
+        spice.times.len() - 1
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: time a NAND3 gate with QWM and check it against the
+//! SPICE-class baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qwm::circuit::cells;
+use qwm::circuit::waveform::{measure_transition, TransitionKind, Waveform};
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::device::{analytic_models, tabular_models, Technology};
+use qwm::num::NumError;
+use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
+
+fn main() -> Result<(), NumError> {
+    // 1. Technology and device models. The SPICE baseline integrates the
+    //    analytic physics; QWM queries the compressed tabular model
+    //    characterized from it (the paper's §V-A pipeline).
+    let tech = Technology::cmosp35();
+    let spice_models = analytic_models(&tech);
+    let qwm_models = tabular_models(&tech)?;
+
+    // 2. A logic stage: minimum-size NAND3 driving 10 fF.
+    let gate = cells::nand(&tech, 3, cells::DEFAULT_LOAD)?;
+    let out = gate.node_by_name("out").expect("output node");
+
+    // 3. Worst-case falling-output stimulus: all inputs step high at
+    //    t = 0 from a precharged-high internal state.
+    let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
+    let init = initial_uniform(&gate, &spice_models, tech.vdd);
+
+    // 4. QWM: a handful of per-critical-point algebraic solves.
+    let qwm = evaluate(
+        &gate,
+        &qwm_models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )?;
+    let d_qwm = qwm.delay_50(tech.vdd, 0.0).expect("50% crossing");
+    println!(
+        "QWM:   delay = {:.2} ps, slew = {:.2} ps, {} regions, {} Newton iterations, {:?}",
+        d_qwm * 1e12,
+        qwm.slew(tech.vdd).expect("slew") * 1e12,
+        qwm.regions,
+        qwm.iterations,
+        qwm.elapsed
+    );
+    println!("       critical points:");
+    for cp in &qwm.critical_points {
+        println!("         t = {:7.2} ps  {:?}", cp.t * 1e12, cp.kind);
+    }
+
+    // 5. The baseline: Newton–Raphson at every 1 ps step.
+    let spice = simulate(
+        &gate,
+        &spice_models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps(3.0 * d_qwm),
+    )?;
+    let w = spice.waveform(out)?;
+    let m = measure_transition(&w, TransitionKind::Fall, 0.0, tech.vdd)?;
+    println!(
+        "SPICE: delay = {:.2} ps, slew = {:.2} ps, {} steps worth of NR ({} iterations), {:?}",
+        m.delay * 1e12,
+        m.slew * 1e12,
+        spice.times.len() - 1,
+        spice.iterations,
+        spice.elapsed
+    );
+
+    let err = 100.0 * (d_qwm - m.delay).abs() / m.delay;
+    let speedup = spice.elapsed.as_secs_f64() / qwm.elapsed.as_secs_f64();
+    println!("\ndelay error {err:.2}%  |  speedup {speedup:.1}x");
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! `qwm` — command-line transistor-level static timing analysis.
+//!
+//! ```text
+//! qwm <deck.sp> [--evaluator qwm|elmore|spice] [--direction fall|rise]
+//!               [--slew <ps>] [--required <ps>] [--stages]
+//! ```
+//!
+//! Reads a SPICE-subset deck (see `qwm::circuit::parser`), partitions it
+//! into channel-connected logic stages, propagates arrival times with
+//! the chosen per-stage evaluator (QWM by default) and prints the
+//! critical-path report. With `--slew` the analysis is slew-aware:
+//! measured output slews feed downstream stages.
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::device::{analytic_models, tabular_models, Technology};
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
+use qwm::sta::report::format_report;
+use std::process::ExitCode;
+
+struct Options {
+    deck: String,
+    evaluator: String,
+    direction: TransitionKind,
+    slew: Option<f64>,
+    required: Option<f64>,
+    show_stages: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice] [--direction fall|rise]\n\
+     \u{20}          [--slew <ps>] [--required <ps>] [--stages]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut deck = None;
+    let mut evaluator = "qwm".to_string();
+    let mut direction = TransitionKind::Fall;
+    let mut slew = None;
+    let mut required = None;
+    let mut show_stages = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--evaluator" => {
+                evaluator = it.next().ok_or("--evaluator needs a value")?.clone();
+                if !["qwm", "elmore", "spice"].contains(&evaluator.as_str()) {
+                    return Err(format!("unknown evaluator {evaluator:?}"));
+                }
+            }
+            "--direction" => {
+                direction = match it.next().ok_or("--direction needs a value")?.as_str() {
+                    "fall" => TransitionKind::Fall,
+                    "rise" => TransitionKind::Rise,
+                    other => return Err(format!("unknown direction {other:?}")),
+                };
+            }
+            "--slew" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or("--slew needs a value in ps")?
+                    .parse()
+                    .map_err(|e| format!("bad --slew: {e}"))?;
+                slew = Some(v * 1e-12);
+            }
+            "--required" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or("--required needs a value in ps")?
+                    .parse()
+                    .map_err(|e| format!("bad --required: {e}"))?;
+                required = Some(v * 1e-12);
+            }
+            "--stages" => show_stages = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if deck.is_none() && !other.starts_with('-') => {
+                deck = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Options {
+        deck: deck.ok_or_else(|| usage().to_string())?,
+        evaluator,
+        direction,
+        slew,
+        required,
+        show_stages,
+    })
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(&opts.deck)
+        .map_err(|e| format!("cannot read {}: {e}", opts.deck))?;
+    let netlist = parse_netlist(&text).map_err(|e| e.to_string())?;
+    let tech = Technology::cmosp35();
+    let models = if opts.evaluator == "qwm" {
+        tabular_models(&tech).map_err(|e| e.to_string())?
+    } else {
+        analytic_models(&tech)
+    };
+    let mut engine =
+        StaEngine::new(netlist, &models, opts.direction).map_err(|e| e.to_string())?;
+
+    println!(
+        "{}: {} devices, {} stages, evaluator = {}",
+        opts.deck,
+        engine.netlist().devices().len(),
+        engine.graph().len(),
+        opts.evaluator
+    );
+    if opts.show_stages {
+        for (i, p) in engine.graph().partitions().iter().enumerate() {
+            let ins: Vec<&str> = p
+                .input_nets
+                .iter()
+                .map(|&n| engine.netlist().net_name(n))
+                .collect();
+            let outs: Vec<&str> = p
+                .output_nets
+                .iter()
+                .map(|&n| engine.netlist().net_name(n))
+                .collect();
+            println!(
+                "  stage {i}: {} elements  {:?} -> {:?}",
+                p.stage.edge_count(),
+                ins,
+                outs
+            );
+        }
+    }
+
+    let evaluator: Box<dyn StageEvaluator> = match opts.evaluator.as_str() {
+        "elmore" => Box::new(ElmoreEvaluator),
+        "spice" => Box::new(SpiceEvaluator::default()),
+        _ => Box::new(QwmEvaluator::default()),
+    };
+    let report = match opts.slew {
+        Some(s) => engine
+            .run_with_slew(evaluator.as_ref(), s)
+            .map_err(|e| e.to_string())?,
+        None => engine.run(evaluator.as_ref()).map_err(|e| e.to_string())?,
+    };
+    println!();
+    print!(
+        "{}",
+        format_report(&report, engine.graph(), engine.netlist(), opts.required)
+    );
+    if let Some((net, _)) = report.worst {
+        if let Some(&slew) = report.slews.get(&net) {
+            println!("output slew {:.2} ps at {}", slew * 1e12, engine.netlist().net_name(net));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+* 4-stage NAND/inverter path (see tests/pipeline.rs)
+MN1a n1 a   m1 0    nmos W=1u   L=0.35u
+MN1b m1 b   0  0    nmos W=1u   L=0.35u
+MP1a n1 a   vdd vdd pmos W=1u   L=0.35u
+MP1b n1 b   vdd vdd pmos W=1u   L=0.35u
+MN2  n2 n1  0  0    nmos W=0.5u L=0.35u
+MP2  n2 n1  vdd vdd pmos W=1u   L=0.35u
+MN3a n3 n2  m3 0    nmos W=1u   L=0.35u
+MN3b m3 c   0  0    nmos W=1u   L=0.35u
+MP3a n3 n2  vdd vdd pmos W=1u   L=0.35u
+MP3b n3 c   vdd vdd pmos W=1u   L=0.35u
+MN4  n4 n3  0  0    nmos W=0.5u L=0.35u
+MP4  n4 n3  vdd vdd pmos W=1u   L=0.35u
+Cl   n4 0  12f
+.input a b c
+.output n4
+.end

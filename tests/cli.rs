@@ -1,0 +1,76 @@
+//! End-to-end tests of the `qwm` command-line tool.
+
+use std::process::Command;
+
+fn deck_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/path4.sp")
+}
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qwm"))
+        .args(args)
+        .output()
+        .expect("spawn qwm");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn cli_times_the_sample_deck() {
+    let deck = deck_path();
+    let (stdout, stderr, ok) = run_cli(&[deck.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("4 stages"), "{stdout}");
+    assert!(stdout.contains("worst arrival"), "{stdout}");
+    assert!(stdout.contains("n4"), "{stdout}");
+}
+
+#[test]
+fn cli_slack_and_violation() {
+    let deck = deck_path();
+    let d = deck.to_str().unwrap();
+    let (pass_out, _, ok) = run_cli(&[d, "--required", "500"]);
+    assert!(ok);
+    assert!(pass_out.contains("slack +"), "{pass_out}");
+    let (fail_out, _, ok) = run_cli(&[d, "--required", "10"]);
+    assert!(ok, "violations report, they don't crash");
+    assert!(fail_out.contains("VIOLATED"), "{fail_out}");
+}
+
+#[test]
+fn cli_evaluator_selection() {
+    let deck = deck_path();
+    let d = deck.to_str().unwrap();
+    for ev in ["qwm", "elmore", "spice"] {
+        let (out, stderr, ok) = run_cli(&[d, "--evaluator", ev]);
+        assert!(ok, "{ev}: {stderr}");
+        assert!(out.contains(&format!("evaluator = {ev}")), "{out}");
+    }
+    let (_, stderr, ok) = run_cli(&[d, "--evaluator", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown evaluator"));
+}
+
+#[test]
+fn cli_slew_mode_reports_output_slew() {
+    let deck = deck_path();
+    let (out, _, ok) = run_cli(&[deck.to_str().unwrap(), "--slew", "25"]);
+    assert!(ok);
+    assert!(out.contains("output slew"), "{out}");
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    let (_, stderr, ok) = run_cli(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+    let (_, stderr, ok) = run_cli(&["/nonexistent/deck.sp"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+    let (_, stderr, ok) = run_cli(&[deck_path().to_str().unwrap(), "--direction", "sideways"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown direction"));
+}

@@ -1,0 +1,330 @@
+//! Cross-engine integration tests: QWM must track the SPICE-class
+//! baseline on every circuit family of the paper's evaluation, in both
+//! transition directions, under both device-model flavors.
+
+use qwm::circuit::cells;
+use qwm::circuit::stage::LogicStage;
+use qwm::circuit::waveform::{TransitionKind, Waveform};
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::device::model::ModelSet;
+use qwm::device::{analytic_models, tabular_models, Technology};
+use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
+use proptest::prelude::*;
+
+fn fall_delay_pair(
+    tech: &Technology,
+    qwm_models: &ModelSet,
+    spice_models: &ModelSet,
+    stage: &LogicStage,
+) -> (f64, f64) {
+    fall_delay_pair_with(tech, qwm_models, spice_models, stage, &QwmConfig::default())
+}
+
+fn fall_delay_pair_with(
+    tech: &Technology,
+    qwm_models: &ModelSet,
+    spice_models: &ModelSet,
+    stage: &LogicStage,
+    config: &QwmConfig,
+) -> (f64, f64) {
+    let inputs: Vec<Waveform> = (0..stage.inputs().len())
+        .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
+        .collect();
+    let init = initial_uniform(stage, spice_models, tech.vdd);
+    let out = stage.node_by_name("out").unwrap();
+    let q = evaluate(
+        stage,
+        qwm_models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        config,
+    )
+    .expect("qwm evaluation");
+    let dq = q.delay_50(tech.vdd, 0.0).expect("qwm delay");
+    let s = simulate(
+        stage,
+        spice_models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps((3.0 * dq).max(300e-12)),
+    )
+    .expect("spice transient");
+    let ds = s
+        .waveform(out)
+        .unwrap()
+        .crossing(tech.vdd / 2.0, false)
+        .expect("spice falls");
+    (dq, ds)
+}
+
+#[test]
+fn qwm_tracks_spice_on_every_gate() {
+    let tech = Technology::cmosp35();
+    let spice_models = analytic_models(&tech);
+    let qwm_models = tabular_models(&tech).unwrap();
+    let gates = vec![
+        cells::inverter(&tech, cells::DEFAULT_LOAD).unwrap(),
+        cells::nand(&tech, 2, cells::DEFAULT_LOAD).unwrap(),
+        cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap(),
+        cells::nand(&tech, 4, cells::DEFAULT_LOAD).unwrap(),
+    ];
+    for g in &gates {
+        let (dq, ds) = fall_delay_pair(&tech, &qwm_models, &spice_models, g);
+        let err = (dq - ds).abs() / ds;
+        assert!(err < 0.05, "{}: qwm {dq:.3e} spice {ds:.3e}", g.name());
+    }
+}
+
+#[test]
+fn qwm_tracks_spice_on_the_paper_6_stack() {
+    let tech = Technology::cmosp35();
+    let spice_models = analytic_models(&tech);
+    let qwm_models = tabular_models(&tech).unwrap();
+    let stack = cells::manchester_longest_path(&tech, 4, cells::DEFAULT_LOAD).unwrap();
+    let (dq, ds) = fall_delay_pair(&tech, &qwm_models, &spice_models, &stack);
+    let err = (dq - ds).abs() / ds;
+    assert!(err < 0.04, "6-stack: qwm {dq:.3e} spice {ds:.3e}");
+}
+
+#[test]
+fn rise_and_fall_are_both_supported() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let stack = cells::pmos_stack(&tech, &[3e-6; 3], cells::DEFAULT_LOAD).unwrap();
+    let inputs: Vec<Waveform> = (0..3)
+        .map(|_| Waveform::step(0.0, tech.vdd, 0.0))
+        .collect();
+    let init = initial_uniform(&stack, &models, 0.0);
+    let out = stack.node_by_name("out").unwrap();
+    let q = evaluate(
+        &stack,
+        &models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Rise,
+        &QwmConfig::default(),
+    )
+    .unwrap();
+    let dq = q.delay_50(tech.vdd, 0.0).unwrap();
+    let s = simulate(
+        &stack,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps((3.0 * dq).max(300e-12)),
+    )
+    .unwrap();
+    let ds = s
+        .waveform(out)
+        .unwrap()
+        .crossing(tech.vdd / 2.0, true)
+        .unwrap();
+    assert!(
+        (dq - ds).abs() / ds < 0.05,
+        "rise: qwm {dq:.3e} spice {ds:.3e}"
+    );
+}
+
+#[test]
+fn tabular_and_analytic_models_agree_through_qwm() {
+    let tech = Technology::cmosp35();
+    let analytic = analytic_models(&tech);
+    let tabular = tabular_models(&tech).unwrap();
+    let stack = cells::nmos_stack(&tech, &[1.5e-6; 5], cells::DEFAULT_LOAD).unwrap();
+    let (d_tab, _) = fall_delay_pair(&tech, &tabular, &analytic, &stack);
+    let (d_ana, _) = fall_delay_pair(&tech, &analytic, &analytic, &stack);
+    assert!(
+        (d_tab - d_ana).abs() / d_ana < 0.03,
+        "tabular {d_tab:.3e} vs analytic {d_ana:.3e}"
+    );
+}
+
+#[test]
+fn qwm_waveforms_track_spice_pointwise() {
+    // Not just the delay: the sampled waveform itself stays close.
+    let tech = Technology::cmosp35();
+    let spice_models = analytic_models(&tech);
+    let stack = cells::nmos_stack(&tech, &[2e-6; 4], cells::DEFAULT_LOAD).unwrap();
+    let inputs: Vec<Waveform> = (0..4)
+        .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
+        .collect();
+    let init = initial_uniform(&stack, &spice_models, tech.vdd);
+    let out = stack.node_by_name("out").unwrap();
+    let q = evaluate(
+        &stack,
+        &spice_models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )
+    .unwrap();
+    let span = q.output_waveform().breakpoints().last().unwrap().0;
+    let s = simulate(
+        &stack,
+        &spice_models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps(span),
+    )
+    .unwrap();
+    let sw = s.waveform(out).unwrap();
+    let qw = q.output_waveform();
+    let mut max_err: f64 = 0.0;
+    for i in 0..=100 {
+        let t = span * i as f64 / 100.0;
+        max_err = max_err.max((qw.voltage(t) - sw.value(t)).abs());
+    }
+    assert!(max_err < 0.35, "max waveform deviation {max_err} V");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random stacks (the Table II population): the delay error against
+    /// the baseline stays within the paper's worst-case band.
+    #[test]
+    fn random_stack_delay_error_is_bounded(
+        widths in proptest::collection::vec(1.0f64..4.0, 2..7),
+        load_ff in 5.0f64..40.0,
+    ) {
+        let tech = Technology::cmosp35();
+        let spice_models = analytic_models(&tech);
+        let widths: Vec<f64> = widths.iter().map(|w| w * tech.w_min).collect();
+        let stack = cells::nmos_stack(&tech, &widths, load_ff * 1e-15).unwrap();
+        // Paper-faithful evaluator: in-population errors run ~1%, but
+        // minimum-width stacks under heavy loads reach ~9% (the method's
+        // genuine worst case).
+        let (dq, ds) = fall_delay_pair(&tech, &spice_models, &spice_models, &stack);
+        let err = (dq - ds).abs() / ds;
+        prop_assert!(err < 0.10, "plain: widths {widths:?} qwm {dq:.3e} spice {ds:.3e} err {err:.3}");
+        // The refined evaluator bounds those worst cases much tighter.
+        let (dq_r, _) = fall_delay_pair_with(
+            &tech,
+            &spice_models,
+            &spice_models,
+            &stack,
+            &QwmConfig::refined(),
+        );
+        let err_r = (dq_r - ds).abs() / ds;
+        prop_assert!(err_r < 0.04, "refined: widths {widths:?} qwm {dq_r:.3e} spice {ds:.3e} err {err_r:.3}");
+    }
+}
+
+#[test]
+fn staggered_input_arrivals() {
+    // Inputs arriving at different times: the turn-on cascade is driven
+    // by gate waveforms and node motion interleaved. QWM's gate-driven
+    // critical points must land where SPICE puts them.
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let stage = cells::nmos_stack(&tech, &[1.5e-6; 4], cells::DEFAULT_LOAD).unwrap();
+    let out = stage.node_by_name("out").unwrap();
+    // g1 at 0, g2 at 15 ps, g3 at 5 ps, g4 at 40 ps.
+    let starts = [0.0, 15e-12, 5e-12, 40e-12];
+    let inputs: Vec<Waveform> = starts
+        .iter()
+        .map(|&t0| Waveform::step(t0, 0.0, tech.vdd))
+        .collect();
+    let init = initial_uniform(&stage, &models, tech.vdd);
+    let q = evaluate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )
+    .unwrap();
+    let dq = q.delay_50(tech.vdd, 0.0).unwrap();
+    let s = simulate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps((3.0 * dq).max(400e-12)),
+    )
+    .unwrap();
+    let ds = s
+        .waveform(out)
+        .unwrap()
+        .crossing(tech.vdd / 2.0, false)
+        .unwrap();
+    assert!(
+        (dq - ds).abs() / ds < 0.05,
+        "staggered: qwm {dq:.3e} vs spice {ds:.3e}"
+    );
+    // The late g4 gate (40 ps) must appear among the committed events.
+    assert!(
+        q.critical_points.iter().any(|c| (c.t - 40e-12).abs() < 2e-12
+            || (c.t - 41e-12).abs() < 2e-12),
+        "g4's arrival bounds a region: {:?}",
+        q.critical_points
+    );
+}
+
+#[test]
+fn slow_ramp_inputs() {
+    // 80 ps input ramps: the region structure must follow the input
+    // breakpoints and stay accurate.
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let stage = cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap();
+    let out = stage.node_by_name("out").unwrap();
+    let inputs: Vec<Waveform> = (0..3)
+        .map(|_| Waveform::ramp(0.0, 80e-12, 0.0, tech.vdd))
+        .collect();
+    let init = initial_uniform(&stage, &models, tech.vdd);
+    let q = evaluate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &QwmConfig::default(),
+    )
+    .unwrap();
+    let dq = q.delay_50(tech.vdd, 0.0).unwrap();
+    let s = simulate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps((3.0 * dq).max(500e-12)),
+    )
+    .unwrap();
+    let ds = s
+        .waveform(out)
+        .unwrap()
+        .crossing(tech.vdd / 2.0, false)
+        .unwrap();
+    assert!(
+        (dq - ds).abs() / ds < 0.06,
+        "ramp: qwm {dq:.3e} vs spice {ds:.3e}"
+    );
+}
+
+#[test]
+fn qwm_holds_on_a_scaled_technology() {
+    // Nothing is hard-wired to the 0.35 µm node: the full pipeline
+    // (characterize → QWM vs SPICE) holds at 0.18 µm / 1.8 V too.
+    let tech = Technology::cmos018();
+    let spice_models = analytic_models(&tech);
+    let qwm_models = tabular_models(&tech).unwrap();
+    let stack = cells::nmos_stack(&tech, &[2.0 * tech.w_min; 5], 8e-15).unwrap();
+    let (dq, ds) = fall_delay_pair(&tech, &qwm_models, &spice_models, &stack);
+    let err = (dq - ds).abs() / ds;
+    assert!(err < 0.05, "cmos018: qwm {dq:.3e} spice {ds:.3e} err {err:.3}");
+    // Lower supply, shorter channel: faster than the same stack at 3.3 V.
+    let t35 = Technology::cmosp35();
+    let m35 = analytic_models(&t35);
+    let s35 = cells::nmos_stack(&t35, &[2.0 * t35.w_min; 5], 8e-15).unwrap();
+    let (d35, _) = fall_delay_pair(&t35, &m35, &m35, &s35);
+    assert!(dq < d35, "scaled node is faster: {dq:.3e} vs {d35:.3e}");
+}

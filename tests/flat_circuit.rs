@@ -1,0 +1,258 @@
+//! Whole-circuit (flattened) simulation tests: ring oscillators, flat
+//! multi-stage transients vs stage-by-stage STA, and feedback (latch)
+//! DC solutions.
+
+use qwm::circuit::flatten::{flatten_netlist, ring_oscillator};
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::{TransitionKind, Waveform};
+use qwm::device::{analytic_models, Technology};
+use qwm::spice::dcop::dc_operating_point;
+use qwm::spice::engine::{simulate, TransientConfig};
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::QwmEvaluator;
+
+#[test]
+fn ring_oscillator_oscillates() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let stages = 5;
+    let nl = ring_oscillator(&tech, stages, 5e-15).unwrap();
+    let flat = flatten_netlist(&nl).unwrap();
+    // Kick: one node low, the rest at alternating-ish values.
+    let mut init = vec![0.0; flat.stage.node_count()];
+    init[flat.stage.source().0] = tech.vdd;
+    for i in 0..stages {
+        let n = flat.stage.node_by_name(&format!("r{i}")).unwrap();
+        init[n.0] = if i % 2 == 0 { 0.2 } else { tech.vdd - 0.2 };
+    }
+    let horizon = 4e-9;
+    let r = simulate(&flat.stage, &models, &[], &init, &TransientConfig::hspice_1ps(horizon))
+        .unwrap();
+    let out = flat.stage.node_by_name("r0").unwrap();
+    let w = r.waveform(out).unwrap();
+
+    // Count rising crossings of Vdd/2 → oscillation period.
+    let half = tech.vdd / 2.0;
+    let mut crossings = Vec::new();
+    let samples = w.samples();
+    for pair in samples.windows(2) {
+        if pair[0].1 <= half && pair[1].1 > half {
+            crossings.push(pair[0].0);
+        }
+    }
+    assert!(
+        crossings.len() >= 3,
+        "ring must oscillate repeatedly; saw {} rising crossings",
+        crossings.len()
+    );
+    let periods: Vec<f64> = crossings.windows(2).map(|c| c[1] - c[0]).collect();
+    let period = periods.iter().sum::<f64>() / periods.len() as f64;
+
+    // Classic estimate: T = 2 · N · t_p with t_p from a single stage.
+    let mut engine = StaEngine::new(
+        qwm::sta::graph::inverter_chain(&tech, 1, 5e-15),
+        &models,
+        TransitionKind::Fall,
+    )
+    .unwrap();
+    let tp = engine.run(&QwmEvaluator::default()).unwrap().worst.unwrap().1;
+    let estimate = 2.0 * stages as f64 * tp;
+    // The textbook 2·N·tp estimate uses fast-step, fall-only stage
+    // delays; the real ring runs on its own slow slews and alternates
+    // rise/fall, so the period sits a small multiple above it.
+    let ratio = period / estimate;
+    assert!(
+        (1.0..5.0).contains(&ratio),
+        "period {period:.3e} vs 2·N·tp {estimate:.3e} (ratio {ratio:.2})"
+    );
+    // Period stability: consecutive periods agree.
+    for p in &periods {
+        assert!((p - period).abs() / period < 0.1, "{periods:?}");
+    }
+}
+
+#[test]
+fn flat_transient_matches_stage_by_stage_sta() {
+    // A 3-inverter chain simulated flat (gates node-driven) must land
+    // its final arrival where the stage-by-stage STA puts it.
+    let deck = "\
+MN1 x a 0 0 nmos W=0.5u L=0.35u
+MP1 x a vdd vdd pmos W=1u L=0.35u
+MN2 y x 0 0 nmos W=0.5u L=0.35u
+MP2 y x vdd vdd pmos W=1u L=0.35u
+MN3 z y 0 0 nmos W=0.5u L=0.35u
+MP3 z y vdd vdd pmos W=1u L=0.35u
+Cx x 0 10f
+Cy y 0 10f
+Cz z 0 10f
+.input a
+.output z
+";
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = parse_netlist(deck).unwrap();
+
+    // Stage-by-stage STA, both step-based and slew-aware.
+    let mut engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).unwrap();
+    let sta_step = engine
+        .run(&QwmEvaluator::default())
+        .unwrap()
+        .worst
+        .unwrap()
+        .1;
+    // Dual-polarity slew-aware STA: x falls, y rises, z falls — the
+    // rise leg through the weaker PMOS is what single-direction STA
+    // misses.
+    let z_net = engine.netlist().find_net("z").unwrap();
+    let (fall_rep, _rise_rep) = engine
+        .run_dual(&QwmEvaluator::default(), 2e-12)
+        .unwrap();
+    let sta_arrival = fall_rep.arrivals[&z_net];
+    let (fall_sp, _) = engine
+        .run_dual(&qwm::sta::evaluator::SpiceEvaluator::default(), 2e-12)
+        .unwrap();
+    let sta_spice = fall_sp.arrivals[&z_net];
+
+    // Flat transient: a steps high, x falls, y rises, z falls.
+    let flat = flatten_netlist(&nl).unwrap();
+    let mut init = vec![tech.vdd; flat.stage.node_count()];
+    init[flat.stage.sink().0] = 0.0;
+    // DC-consistent start for a = 0: x high, y low, z high.
+    let y = flat.stage.node_by_name("y").unwrap();
+    init[y.0] = 0.0;
+    let inputs = vec![Waveform::step(0.0, 0.0, tech.vdd)];
+    let r = simulate(
+        &flat.stage,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps(4.0 * sta_arrival),
+    )
+    .unwrap();
+    let z = flat.stage.node_by_name("z").unwrap();
+    let flat_arrival = r
+        .waveform(z)
+        .unwrap()
+        .crossing(tech.vdd / 2.0, false)
+        .expect("z falls");
+    // Step-based STA underestimates the flat circuit badly (it ignores
+    // the slow inter-stage slews)…
+    assert!(sta_step < flat_arrival, "step STA {sta_step:.3e} vs flat {flat_arrival:.3e}");
+    // …dual slew-aware STA recovers most of the gap…
+    assert!(sta_arrival > 1.4 * sta_step, "dual STA sees the slew effect");
+    let ratio = sta_arrival / flat_arrival;
+    assert!(
+        (0.7..1.1).contains(&ratio),
+        "dual sta {sta_arrival:.3e} vs flat {flat_arrival:.3e} (step {sta_step:.3e})"
+    );
+    // …and whatever gap remains is the linear-ramp slew *abstraction*,
+    // not QWM: the SPICE evaluator under the same abstraction lands in
+    // the same place.
+    assert!(
+        (sta_arrival - sta_spice).abs() / sta_spice < 0.08,
+        "qwm dual {sta_arrival:.3e} vs spice dual {sta_spice:.3e}"
+    );
+}
+
+#[test]
+fn latch_feedback_has_two_stable_dc_states() {
+    // Cross-coupled inverters flattened: node-gated feedback. The DC
+    // solver must find whichever stable state the guess is nearer to.
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let deck = "\
+MN1 q qb 0 0 nmos W=0.5u L=0.35u
+MP1 q qb vdd vdd pmos W=1u L=0.35u
+MN2 qb q 0 0 nmos W=0.5u L=0.35u
+MP2 qb q vdd vdd pmos W=1u L=0.35u
+.output q qb
+";
+    let nl = parse_netlist(deck).unwrap();
+    let flat = flatten_netlist(&nl).unwrap();
+    let q = flat.stage.node_by_name("q").unwrap();
+    let qb = flat.stage.node_by_name("qb").unwrap();
+
+    let mut guess = vec![tech.vdd / 2.0; flat.stage.node_count()];
+    guess[q.0] = 3.0;
+    guess[qb.0] = 0.3;
+    let v = dc_operating_point(&flat.stage, &models, &[], &guess).unwrap();
+    assert!(v[q.0] > tech.vdd - 0.1, "q latches high: {}", v[q.0]);
+    assert!(v[qb.0] < 0.1, "qb latches low: {}", v[qb.0]);
+
+    // The opposite seed lands in the opposite state.
+    guess[q.0] = 0.3;
+    guess[qb.0] = 3.0;
+    let v = dc_operating_point(&flat.stage, &models, &[], &guess).unwrap();
+    assert!(v[q.0] < 0.1);
+    assert!(v[qb.0] > tech.vdd - 0.1);
+}
+
+#[test]
+fn waveform_accurate_sta_closes_the_ramp_gap() {
+    // The full §III-C program: propagate actual QWM output waveforms
+    // between stages. On the 3-inverter chain this must land within a
+    // few percent of the flat full-circuit transient — tighter than the
+    // ramp-abstracted dual STA.
+    let deck = "\
+MN1 x a 0 0 nmos W=0.5u L=0.35u
+MP1 x a vdd vdd pmos W=1u L=0.35u
+MN2 y x 0 0 nmos W=0.5u L=0.35u
+MP2 y x vdd vdd pmos W=1u L=0.35u
+MN3 z y 0 0 nmos W=0.5u L=0.35u
+MP3 z y vdd vdd pmos W=1u L=0.35u
+Cx x 0 10f
+Cy y 0 10f
+Cz z 0 10f
+.input a
+.output z
+";
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = parse_netlist(deck).unwrap();
+    let mut engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).unwrap();
+    let z_net = engine.netlist().find_net("z").unwrap();
+
+    let (fall_wf, _rise_wf) = engine
+        .run_waveform(&qwm::core::evaluate::QwmConfig::high_accuracy(), 2e-12)
+        .unwrap();
+    let sta_wf = fall_wf[&z_net];
+
+    // Flat reference.
+    let flat = flatten_netlist(&nl).unwrap();
+    let mut init = vec![tech.vdd; flat.stage.node_count()];
+    init[flat.stage.sink().0] = 0.0;
+    let y = flat.stage.node_by_name("y").unwrap();
+    init[y.0] = 0.0;
+    let inputs = vec![Waveform::step(0.0, 0.0, tech.vdd)];
+    let r = simulate(
+        &flat.stage,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps(4.0 * sta_wf),
+    )
+    .unwrap();
+    let z = flat.stage.node_by_name("z").unwrap();
+    let flat_arrival = r
+        .waveform(z)
+        .unwrap()
+        .crossing(tech.vdd / 2.0, false)
+        .unwrap();
+
+    let err = (sta_wf - flat_arrival).abs() / flat_arrival;
+    assert!(
+        err < 0.08,
+        "waveform STA {sta_wf:.3e} vs flat {flat_arrival:.3e} ({:.1}%)",
+        100.0 * err
+    );
+
+    // And it beats the ramp-abstracted dual STA on this metric.
+    let (fall_dual, _) = engine
+        .run_dual(&QwmEvaluator::default(), 2e-12)
+        .unwrap();
+    let err_dual = (fall_dual.arrivals[&z_net] - flat_arrival).abs() / flat_arrival;
+    assert!(
+        err < err_dual,
+        "waveform {err:.3} should beat ramp {err_dual:.3}"
+    );
+}

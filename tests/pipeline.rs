@@ -1,0 +1,212 @@
+//! End-to-end pipeline tests: SPICE-subset deck → netlist → stage
+//! partitioning → timing graph → arrival propagation, with each of the
+//! three stage evaluators.
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::device::{analytic_models, Technology};
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
+use qwm::sta::graph::inverter_chain;
+
+/// A 4-stage NAND/inverter path as a text deck.
+const PATH_DECK: &str = "\
+* nand2 -> inv -> nand2 -> inv
+MN1a n1 a   m1 0    nmos W=1u   L=0.35u
+MN1b m1 b   0  0    nmos W=1u   L=0.35u
+MP1a n1 a   vdd vdd pmos W=1u   L=0.35u
+MP1b n1 b   vdd vdd pmos W=1u   L=0.35u
+MN2  n2 n1  0  0    nmos W=0.5u L=0.35u
+MP2  n2 n1  vdd vdd pmos W=1u   L=0.35u
+MN3a n3 n2  m3 0    nmos W=1u   L=0.35u
+MN3b m3 c   0  0    nmos W=1u   L=0.35u
+MP3a n3 n2  vdd vdd pmos W=1u   L=0.35u
+MP3b n3 c   vdd vdd pmos W=1u   L=0.35u
+MN4  n4 n3  0  0    nmos W=0.5u L=0.35u
+MP4  n4 n3  vdd vdd pmos W=1u   L=0.35u
+Cl   n4 0  12f
+.input a b c
+.output n4
+.end
+";
+
+#[test]
+fn deck_to_timing_report() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let netlist = parse_netlist(PATH_DECK).unwrap();
+    let out = netlist.find_net("n4").unwrap();
+    let mut engine = StaEngine::new(netlist, &models, TransitionKind::Fall).unwrap();
+    assert_eq!(engine.graph().len(), 4, "four channel-connected stages");
+
+    let report = engine.run(&QwmEvaluator::default()).unwrap();
+    let (worst_net, worst_arrival) = report.worst.unwrap();
+    assert_eq!(worst_net, out);
+    assert!(worst_arrival > 10e-12 && worst_arrival < 1e-9);
+    assert_eq!(report.critical_path.len(), 4);
+    assert_eq!(report.evaluations, 4);
+
+    // Arrivals monotone along the path n1 → n2 → n3 → n4.
+    let nl = engine.netlist();
+    let arr = |name: &str| report.arrivals[&nl.find_net(name).unwrap()];
+    assert!(arr("n1") < arr("n2"));
+    assert!(arr("n2") < arr("n3"));
+    assert!(arr("n3") < arr("n4"));
+}
+
+#[test]
+fn evaluators_rank_sanely_on_the_same_graph() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    // Separate engines so the per-evaluator caches don't interact with
+    // the assertion about evaluation counts.
+    let mk = || {
+        StaEngine::new(parse_netlist(PATH_DECK).unwrap(), &models, TransitionKind::Fall).unwrap()
+    };
+    let evaluators: Vec<Box<dyn StageEvaluator>> = vec![
+        Box::new(ElmoreEvaluator),
+        Box::new(QwmEvaluator::default()),
+        Box::new(SpiceEvaluator::default()),
+    ];
+    let mut results = Vec::new();
+    for ev in &evaluators {
+        let mut engine = mk();
+        let r = engine.run(ev.as_ref()).unwrap();
+        results.push((ev.name(), r.worst.unwrap().1));
+    }
+    // QWM within 10% of SPICE; Elmore within the right decade.
+    let spice = results.iter().find(|r| r.0 == "spice").unwrap().1;
+    let qwm = results.iter().find(|r| r.0 == "qwm").unwrap().1;
+    let elmore = results.iter().find(|r| r.0 == "elmore").unwrap().1;
+    assert!((qwm - spice).abs() / spice < 0.10, "qwm {qwm} vs spice {spice}");
+    assert!(elmore / spice > 0.2 && elmore / spice < 5.0);
+}
+
+#[test]
+fn evaluator_caches_are_independent() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = inverter_chain(&tech, 3, 10e-15);
+    let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let r1 = engine.run(&ElmoreEvaluator).unwrap();
+    assert_eq!(r1.evaluations, 3);
+    // A different evaluator must not hit the Elmore cache.
+    let r2 = engine.run(&QwmEvaluator::default()).unwrap();
+    assert_eq!(r2.evaluations, 3);
+    // But re-running the same evaluator is fully cached.
+    let r3 = engine.run(&QwmEvaluator::default()).unwrap();
+    assert_eq!(r3.evaluations, 0);
+    // And the two evaluators disagree (they'd better — different models).
+    assert_ne!(r1.worst.unwrap().1, r2.worst.unwrap().1);
+}
+
+#[test]
+fn incremental_flow_matches_full_reanalysis() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let depth = 5;
+
+    // Incremental: one engine, resize, re-run.
+    let mut engine =
+        StaEngine::new(inverter_chain(&tech, depth, 10e-15), &models, TransitionKind::Fall)
+            .unwrap();
+    engine.run(&QwmEvaluator::default()).unwrap();
+    engine.resize_device(2 * 2, 2.5 * tech.w_min).unwrap(); // MN2
+    let incr = engine.run(&QwmEvaluator::default()).unwrap();
+    // Two stages re-evaluate: the resized one AND its driver (whose
+    // fanout gate load grew with MN2's width).
+    assert_eq!(incr.evaluations, 2);
+
+    // Full: a fresh engine over the equivalently resized netlist.
+    let mut nl = inverter_chain(&tech, depth, 10e-15);
+    let geom = qwm::device::Geometry {
+        w: 2.5 * tech.w_min,
+        ..nl.devices()[4].geom
+    };
+    nl.set_device_geometry(4, geom).unwrap();
+    let mut fresh = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let full = fresh.run(&QwmEvaluator::default()).unwrap();
+    assert_eq!(full.evaluations, depth);
+
+    let a = incr.worst.unwrap().1;
+    let b = full.worst.unwrap().1;
+    assert!(
+        (a - b).abs() < 1e-15 + 1e-9 * b,
+        "incremental {a} vs full {b}"
+    );
+}
+
+#[test]
+fn pass_transistor_fusion_is_timed_as_one_stage() {
+    // The paper's Figure 1: a NAND whose output drives a pass transistor
+    // is one stage; its delay covers the full chain through the pass
+    // device.
+    let deck = "\
+MN1a x a  m 0    nmos W=1u L=0.35u
+MN1b m  b  0 0   nmos W=1u L=0.35u
+MP1a x a  vdd vdd pmos W=1u L=0.35u
+MP1b x b  vdd vdd pmos W=1u L=0.35u
+MPASS x en y 0   nmos W=1u L=0.35u
+Cy y 0 8f
+.input a b en
+.output y
+";
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let netlist = parse_netlist(deck).unwrap();
+    let mut engine = StaEngine::new(netlist, &models, TransitionKind::Fall).unwrap();
+    assert_eq!(engine.graph().len(), 1);
+    let r = engine.run(&QwmEvaluator::default()).unwrap();
+    // Worst output is y (behind the pass device), reached through the
+    // single fused stage.
+    let y = engine.netlist().find_net("y").unwrap();
+    assert_eq!(r.worst.unwrap().0, y);
+    assert_eq!(r.evaluations, engine.graph().stage(r.critical_path[0]).output_nets.len());
+}
+
+#[test]
+fn decoder_tree_is_one_stage_with_all_leaves() {
+    // The full Fig. 3 tree: one channel-connected component, 2^L leaf
+    // outputs, each timed via its own worst root path.
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = qwm::circuit::cells::decoder_tree_netlist(&tech, 3, 50e-6, 10e-15).unwrap();
+    let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    assert_eq!(engine.graph().len(), 1, "whole tree is one stage");
+    assert_eq!(engine.graph().partitions()[0].output_nets.len(), 8);
+
+    let report = engine.run(&QwmEvaluator::default()).unwrap();
+    assert_eq!(report.evaluations, 8, "one evaluation per leaf");
+    // The tree is symmetric: all leaf arrivals agree closely.
+    let arrivals: Vec<f64> = engine
+        .graph()
+        .partitions()[0]
+        .output_nets
+        .iter()
+        .map(|n| report.arrivals[n])
+        .collect();
+    let lo = arrivals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = arrivals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (hi - lo) / lo < 0.02,
+        "symmetric leaves: {lo:.3e} .. {hi:.3e}"
+    );
+    assert!(lo > 10e-12 && hi < 5e-9);
+}
+
+#[test]
+fn decoder_tree_leaf_delay_tracks_spice() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = qwm::circuit::cells::decoder_tree_netlist(&tech, 2, 50e-6, 10e-15).unwrap();
+    let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let q = engine.run(&QwmEvaluator::default()).unwrap();
+    let s = engine
+        .run(&qwm::sta::evaluator::SpiceEvaluator::default())
+        .unwrap();
+    let (qa, sa) = (q.worst.unwrap().1, s.worst.unwrap().1);
+    assert!(
+        (qa - sa).abs() / sa < 0.08,
+        "tree leaf: qwm {qa:.3e} vs spice {sa:.3e}"
+    );
+}

@@ -1,0 +1,140 @@
+//! Randomized cross-engine stress tests over richer topologies:
+//! transistor chains interleaved with wires, dynamic (domino) gates and
+//! pass-transistor structures.
+
+use proptest::prelude::*;
+use qwm::circuit::cells;
+use qwm::circuit::stage::DeviceKind;
+use qwm::circuit::waveform::{TransitionKind, Waveform};
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::device::model::Geometry;
+use qwm::device::{analytic_models, Technology};
+use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
+use qwm::sta::evaluator::{QwmEvaluator, SpiceEvaluator, StageEvaluator};
+
+/// Builds a discharge chain alternating transistors and (optional) wire
+/// segments from a compact spec: `(width_factor, wire_len_um)` per level,
+/// `wire_len_um == 0` meaning no wire at that level.
+fn mixed_chain(
+    tech: &Technology,
+    spec: &[(f64, f64)],
+    load: f64,
+) -> qwm::circuit::LogicStage {
+    let mut b = qwm::circuit::LogicStage::builder("mixed");
+    let gnd = b.gnd();
+    let mut below = gnd;
+    let last = spec.len() - 1;
+    for (i, &(wf, wire_um)) in spec.iter().enumerate() {
+        let t_top = b.node(&format!("t{i}"));
+        let input = b.input(&format!("g{i}"));
+        b.transistor(
+            DeviceKind::Nmos,
+            input,
+            t_top,
+            below,
+            Geometry::new(wf * tech.w_min, tech.l_min),
+        );
+        below = t_top;
+        if wire_um > 0.0 {
+            let w_top = if i == last {
+                b.node("out")
+            } else {
+                b.node(&format!("w{i}"))
+            };
+            b.wire(w_top, below, 0.6e-6, wire_um * 1e-6);
+            below = w_top;
+        } else if i == last {
+            // Ensure the chain ends at a node named "out".
+            let out = b.node("out");
+            b.wire(out, below, 0.6e-6, 1e-6);
+            below = out;
+        }
+    }
+    b.output(below);
+    b.load(below, load);
+    b.build().expect("valid chain")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random transistor/wire chains: QWM tracks SPICE within the
+    /// worst-case band.
+    #[test]
+    fn random_mixed_chain_agreement(
+        spec in proptest::collection::vec((1.0f64..4.0, prop_oneof![Just(0.0), 20.0f64..150.0]), 2..6),
+        load_ff in 5.0f64..25.0,
+    ) {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let stage = mixed_chain(&tech, &spec, load_ff * 1e-15);
+        let out = stage.node_by_name("out").unwrap();
+        let inputs: Vec<Waveform> = (0..stage.inputs().len())
+            .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
+            .collect();
+        let init = initial_uniform(&stage, &models, tech.vdd);
+        let q = evaluate(&stage, &models, &inputs, &init, out, TransitionKind::Fall, &QwmConfig::default())
+            .expect("qwm");
+        let dq = q.delay_50(tech.vdd, 0.0).expect("delay");
+        let s = simulate(&stage, &models, &inputs, &init,
+            &TransientConfig::hspice_1ps((3.0 * dq).max(300e-12))).expect("spice");
+        let ds = s.waveform(out).unwrap().crossing(tech.vdd / 2.0, false).expect("falls");
+        let err = (dq - ds).abs() / ds;
+        prop_assert!(err < 0.08, "spec {spec:?}: qwm {dq:.3e} spice {ds:.3e} err {err:.3}");
+    }
+}
+
+#[test]
+fn domino_nand_evaluation_delay() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    for n in [2usize, 4] {
+        let g = cells::domino_nand(&tech, n, cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let dq = QwmEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        let ds = SpiceEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        assert!(
+            (dq - ds).abs() / ds < 0.06,
+            "domino_nand{n}: qwm {dq} vs spice {ds}"
+        );
+    }
+}
+
+#[test]
+fn domino_depth_ordering() {
+    // Deeper evaluate stacks are slower, under both engines.
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let mut prev = 0.0;
+    for n in 1..=4 {
+        let g = cells::domino_nand(&tech, n, cells::DEFAULT_LOAD).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        let d = QwmEvaluator::default()
+            .delay(&g, &models, out, TransitionKind::Fall)
+            .unwrap();
+        assert!(d > prev, "n={n}: {d} vs {prev}");
+        prev = d;
+    }
+}
+
+#[test]
+fn mux_pass_path_delay() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let g = cells::mux2_pass(&tech, cells::DEFAULT_LOAD).unwrap();
+    let out = g.node_by_name("out").unwrap();
+    let dq = QwmEvaluator::default()
+        .delay(&g, &models, out, TransitionKind::Fall)
+        .unwrap();
+    let ds = SpiceEvaluator::default()
+        .delay(&g, &models, out, TransitionKind::Fall)
+        .unwrap();
+    assert!(
+        (dq - ds).abs() / ds < 0.10,
+        "mux2: qwm {dq} vs spice {ds}"
+    );
+}
