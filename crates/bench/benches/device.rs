@@ -1,11 +1,12 @@
 //! §V-A ablation: tabular-model query cost vs the analytic model (the
 //! table exists to make I/V and derivative queries cheap).
-use criterion::{criterion_group, criterion_main, Criterion};
 use qwm::device::model::{DeviceModel, Geometry, TermVoltage};
 use qwm::device::{Mosfet, Polarity, TableModel, Technology};
+use qwm_bench::harness::Harness;
 use std::hint::black_box;
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new(20);
     let tech = Technology::cmosp35();
     let analytic = Mosfet::new(tech.clone(), Polarity::Nmos);
     let table = TableModel::with_defaults(tech.clone(), Polarity::Nmos).unwrap();
@@ -17,28 +18,18 @@ fn bench_models(c: &mut Criterion) {
             TermVoltage::new(0.4 + 2.9 * f, 3.3 - 2.0 * f, 1.2 * f)
         })
         .collect();
-    c.bench_function("iv_eval/analytic", |b| {
-        b.iter(|| {
-            for tv in &points {
-                black_box(analytic.iv_eval(&geom, *tv).unwrap());
-            }
-        })
+    h.bench("iv_eval/analytic", || {
+        for tv in &points {
+            black_box(analytic.iv_eval(&geom, *tv).unwrap());
+        }
     });
-    c.bench_function("iv_eval/tabular", |b| {
-        b.iter(|| {
-            for tv in &points {
-                black_box(table.iv_eval(&geom, *tv).unwrap());
-            }
-        })
+    h.bench("iv_eval/tabular", || {
+        for tv in &points {
+            black_box(table.iv_eval(&geom, *tv).unwrap());
+        }
     });
-    c.bench_function("characterize/0.1V_grid", |b| {
-        b.iter(|| TableModel::characterize(tech.clone(), Polarity::Nmos, 0.1).unwrap())
+    h.bench("characterize/0.1V_grid", || {
+        TableModel::characterize(tech.clone(), Polarity::Nmos, 0.1).unwrap();
     });
+    qwm::obs::emit();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_models
-}
-criterion_main!(benches);

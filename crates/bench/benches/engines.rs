@@ -1,19 +1,24 @@
 //! Headline comparison: a full QWM waveform evaluation vs the SPICE
 //! baseline at 1 ps and 10 ps, on a NAND3 and on the paper's 6-stack.
-use criterion::{criterion_group, criterion_main, Criterion};
 use qwm::circuit::cells;
 use qwm::circuit::waveform::{TransitionKind, Waveform};
 use qwm::core::evaluate::{evaluate, QwmConfig};
 use qwm::device::{analytic_models, tabular_models, Technology};
 use qwm::spice::adaptive::{simulate_adaptive, AdaptiveConfig};
 use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
+use qwm_bench::harness::Harness;
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new(20);
     let tech = Technology::cmosp35();
     let spice_models = analytic_models(&tech);
     let qwm_models = tabular_models(&tech).unwrap();
     let workloads = vec![
-        ("nand3", cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap(), 250e-12),
+        (
+            "nand3",
+            cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap(),
+            250e-12,
+        ),
         (
             "stack6",
             cells::manchester_longest_path(&tech, 4, cells::DEFAULT_LOAD).unwrap(),
@@ -26,44 +31,48 @@ fn bench_engines(c: &mut Criterion) {
             .collect();
         let init = initial_uniform(stage, &spice_models, tech.vdd);
         let out = stage.node_by_name("out").unwrap();
-        c.bench_function(&format!("qwm/{name}"), |b| {
-            b.iter(|| {
-                evaluate(
-                    stage,
-                    &qwm_models,
-                    &inputs,
-                    &init,
-                    out,
-                    TransitionKind::Fall,
-                    &QwmConfig::default(),
-                )
-                .unwrap()
-            })
+        h.bench(&format!("qwm/{name}"), || {
+            evaluate(
+                stage,
+                &qwm_models,
+                &inputs,
+                &init,
+                out,
+                TransitionKind::Fall,
+                &QwmConfig::default(),
+            )
+            .unwrap();
         });
-        c.bench_function(&format!("spice_1ps/{name}"), |b| {
-            b.iter(|| {
-                simulate(stage, &spice_models, &inputs, &init, &TransientConfig::hspice_1ps(*horizon))
-                    .unwrap()
-            })
+        h.bench(&format!("spice_1ps/{name}"), || {
+            simulate(
+                stage,
+                &spice_models,
+                &inputs,
+                &init,
+                &TransientConfig::hspice_1ps(*horizon),
+            )
+            .unwrap();
         });
-        c.bench_function(&format!("spice_10ps/{name}"), |b| {
-            b.iter(|| {
-                simulate(stage, &spice_models, &inputs, &init, &TransientConfig::hspice_10ps(*horizon))
-                    .unwrap()
-            })
+        h.bench(&format!("spice_10ps/{name}"), || {
+            simulate(
+                stage,
+                &spice_models,
+                &inputs,
+                &init,
+                &TransientConfig::hspice_10ps(*horizon),
+            )
+            .unwrap();
         });
-        c.bench_function(&format!("spice_adaptive/{name}"), |b| {
-            b.iter(|| {
-                simulate_adaptive(stage, &spice_models, &inputs, &init, &AdaptiveConfig::new(*horizon))
-                    .unwrap()
-            })
+        h.bench(&format!("spice_adaptive/{name}"), || {
+            simulate_adaptive(
+                stage,
+                &spice_models,
+                &inputs,
+                &init,
+                &AdaptiveConfig::new(*horizon),
+            )
+            .unwrap();
         });
     }
+    qwm::obs::emit();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_engines
-}
-criterion_main!(benches);

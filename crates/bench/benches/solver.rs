@@ -1,7 +1,6 @@
 //! §IV-B ablation: the QWM Newton update solved with the O(K)
 //! bordered-tridiagonal method vs dense LU ("We observe tridiagonal
 //! method gives almost twice speedup over LU decomposition").
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qwm::circuit::cells;
 use qwm::circuit::waveform::{TransitionKind, Waveform};
 use qwm::core::chain::Chain;
@@ -9,11 +8,12 @@ use qwm::core::solver::{
     solve_region, ChainContext, EndCondition, LinearSolver, RegionOptions, RegionState,
 };
 use qwm::device::{analytic_models, Technology};
+use qwm_bench::harness::Harness;
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new(40);
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
-    let mut group = c.benchmark_group("region_solve");
     for &k in &[4usize, 8, 16, 32, 64] {
         let stage = cells::nmos_stack(&tech, &vec![1.5e-6; k], 20e-15).unwrap();
         let out = stage.node_by_name("out").unwrap();
@@ -41,9 +41,7 @@ fn bench_solvers(c: &mut Criterion) {
         // Find a working span seed once (the evaluator's ladder).
         let seed = [0.2e-12, 1e-12, 5e-12, 25e-12]
             .into_iter()
-            .find(|&dt| {
-                solve_region(&ctx, &state, cond, dt, &RegionOptions::default()).is_ok()
-            })
+            .find(|&dt| solve_region(&ctx, &state, cond, dt, &RegionOptions::default()).is_ok())
             .expect("some seed converges");
         for (label, solver) in [
             ("bordered_tridiagonal", LinearSolver::BorderedTridiagonal),
@@ -53,17 +51,10 @@ fn bench_solvers(c: &mut Criterion) {
                 linear_solver: solver,
                 ..RegionOptions::default()
             };
-            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
-                b.iter(|| solve_region(&ctx, &state, cond, seed, &opts).unwrap())
+            h.bench(&format!("region_solve/{label}/{k}"), || {
+                solve_region(&ctx, &state, cond, seed, &opts).unwrap();
             });
         }
     }
-    group.finish();
+    qwm::obs::emit();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_solvers
-}
-criterion_main!(benches);

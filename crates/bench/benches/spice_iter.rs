@@ -1,13 +1,14 @@
 //! §II ablation: Newton–Raphson vs successive-chords iteration in the
 //! SPICE baseline (the TETA trade-off: more iterations, far fewer
 //! factorizations).
-use criterion::{criterion_group, criterion_main, Criterion};
 use qwm::circuit::cells;
 use qwm::circuit::waveform::Waveform;
 use qwm::device::{analytic_models, Technology};
 use qwm::spice::engine::{initial_uniform, simulate, IterationScheme, TransientConfig};
+use qwm_bench::harness::Harness;
 
-fn bench_iteration_schemes(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new(20);
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let stage = cells::nand(&tech, 3, cells::DEFAULT_LOAD).unwrap();
@@ -21,15 +22,9 @@ fn bench_iteration_schemes(c: &mut Criterion) {
             iteration: scheme,
             ..TransientConfig::hspice_1ps(300e-12)
         };
-        c.bench_function(&format!("spice_transient/{label}"), |b| {
-            b.iter(|| simulate(&stage, &models, &inputs, &init, &cfg).unwrap())
+        h.bench(&format!("spice_transient/{label}"), || {
+            simulate(&stage, &models, &inputs, &init, &cfg).unwrap();
         });
     }
+    qwm::obs::emit();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_iteration_schemes
-}
-criterion_main!(benches);

@@ -1,41 +1,34 @@
 //! Incremental STA: full analysis vs re-analysis after a single resize
 //! on an inverter chain.
-use criterion::{criterion_group, criterion_main, Criterion};
 use qwm::circuit::waveform::TransitionKind;
 use qwm::device::{tabular_models, Technology};
 use qwm::sta::engine::StaEngine;
 use qwm::sta::evaluator::QwmEvaluator;
 use qwm::sta::graph::inverter_chain;
+use qwm_bench::harness::Harness;
 
-fn bench_sta(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new(20);
     let tech = Technology::cmosp35();
     let models = tabular_models(&tech).unwrap();
     let depth = 16;
     let ev = QwmEvaluator::default();
-    c.bench_function("sta/full_16", |b| {
-        b.iter(|| {
-            let nl = inverter_chain(&tech, depth, 10e-15);
-            let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
-            engine.run(&ev).unwrap()
-        })
+    h.bench("sta/full_16", || {
+        let nl = inverter_chain(&tech, depth, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        engine.run(&ev).unwrap();
     });
-    c.bench_function("sta/incremental_16", |b| {
+    {
         let nl = inverter_chain(&tech, depth, 10e-15);
         let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         engine.run(&ev).unwrap();
         let mut w = 2.0;
-        b.iter(|| {
+        h.bench("sta/incremental_16", || {
             // Alternate the width so the cache is genuinely invalidated.
             w = if w == 2.0 { 3.0 } else { 2.0 };
             engine.resize_device(depth, w * tech.w_min).unwrap();
-            engine.run(&ev).unwrap()
-        })
-    });
+            engine.run(&ev).unwrap();
+        });
+    }
+    qwm::obs::emit();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sta
-}
-criterion_main!(benches);

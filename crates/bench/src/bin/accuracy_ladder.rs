@@ -25,7 +25,12 @@ fn main() {
         let n = rows.len() as f64;
         let speedup: f64 = rows.iter().map(ComparisonRow::speedup_1ps).sum::<f64>() / n;
         let mean: f64 = rows.iter().map(ComparisonRow::error_pct).sum::<f64>() / n;
-        let worst: f64 = rows.iter().map(ComparisonRow::error_pct).fold(0.0, f64::max);
+        let worst: f64 = rows
+            .iter()
+            .map(ComparisonRow::error_pct)
+            .fold(0.0, f64::max);
         println!("{name:<14} {speedup:>11.1}x {mean:>11.2}% {worst:>11.2}%");
     }
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -56,7 +56,11 @@ fn main() {
     let mut names = vec![];
     for l in 0..levels {
         names.push(format!("t{l}"));
-        names.push(if l + 1 == levels { "out".into() } else { format!("w{l}") });
+        names.push(if l + 1 == levels {
+            "out".into()
+        } else {
+            format!("w{l}")
+        });
     }
     let mut rows = Vec::new();
     for (i, &t) in s.times.iter().enumerate() {
@@ -78,7 +82,11 @@ fn main() {
             q_rows.push(vec![k as f64 + 1.0, t, v]);
         }
     }
-    let p2 = write_columns("fig10_qwm_breakpoints.dat", "chain-node t v (QWM on AWE pi models)", &q_rows);
+    let p2 = write_columns(
+        "fig10_qwm_breakpoints.dat",
+        "chain-node t v (QWM on AWE pi models)",
+        &q_rows,
+    );
     println!("Figure 10 data -> {} and {}", p1.display(), p2.display());
 
     println!(
@@ -99,4 +107,6 @@ fn main() {
         100.0 - 100.0 * (d_q - d_s).abs() / d_s,
         s.elapsed.as_secs_f64() / t_qwm.as_secs_f64()
     );
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -21,13 +21,20 @@ fn main() {
         }
         rows.push(vec![f64::NAN, f64::NAN, f64::NAN]); // gnuplot block break
     }
-    let rows: Vec<Vec<f64>> = rows
-        .into_iter()
-        .filter(|r| r[0].is_finite())
-        .collect();
-    let path = write_columns("fig5_iv_surface.dat", "vs vd ids (NMOS, vg=vdd, w=1u)", &rows);
-    println!("Figure 5 data ({} points) -> {}", rows.len(), path.display());
+    let rows: Vec<Vec<f64>> = rows.into_iter().filter(|r| r[0].is_finite()).collect();
+    let path = write_columns(
+        "fig5_iv_surface.dat",
+        "vs vd ids (NMOS, vg=vdd, w=1u)",
+        &rows,
+    );
+    println!(
+        "Figure 5 data ({} points) -> {}",
+        rows.len(),
+        path.display()
+    );
     // Shape summary: current increases with |vd - vs| and vanishes when
     // the source rides at the gate.
     println!("Ids(vs=0, vd=vdd) = {:.4e} A", rows[33][2]);
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -42,9 +42,13 @@ fn main() {
     // Single-peak check + peak ordering (the critical-point cascade).
     let mut peaks = Vec::new();
     for (k, c) in currents.iter().enumerate() {
-        let (t_peak, i_peak) = c
-            .iter()
-            .fold((0.0, 0.0_f64), |acc, &(t, i)| if i.abs() > acc.1 { (t, i.abs()) } else { acc });
+        let (t_peak, i_peak) = c.iter().fold((0.0, 0.0_f64), |acc, &(t, i)| {
+            if i.abs() > acc.1 {
+                (t, i.abs())
+            } else {
+                acc
+            }
+        });
         println!(
             "node {}: peak |I| = {:.4e} A at t = {:.1} ps",
             k + 1,
@@ -55,4 +59,6 @@ fn main() {
     }
     let ordered = peaks.windows(2).all(|w| w[0] <= w[1] + 2e-12);
     println!("peaks ordered bottom-up along the stack: {ordered}");
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

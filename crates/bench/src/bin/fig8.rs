@@ -19,7 +19,11 @@ fn main() {
             .collect();
         let file = format!("fig8_fit_vs{vs:.1}_vg{vg:.1}.dat");
         let path = write_columns(&file, "vds ids_reference ids_fit (per unit W/L)", &rows);
-        let peak = report.samples.iter().map(|s| s.1.abs()).fold(0.0_f64, f64::max);
+        let peak = report
+            .samples
+            .iter()
+            .map(|s| s.1.abs())
+            .fold(0.0_f64, f64::max);
         println!(
             "(vs={vs:.1}, vg={vg:.1}): vth={:.3} V vdsat={:.3} V rms={:.3e} A ({:.2}% of peak) max={:.3e} A -> {}",
             report.fit.vth,
@@ -31,4 +35,6 @@ fn main() {
         );
     }
     println!("\n7 stored parameters per grid point: t0 t1 t2 (triode quadratic), s0 s1 (saturation linear), vth, vdsat");
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -22,7 +22,11 @@ fn main() {
         &QwmConfig::default(),
     )
     .expect("qwm");
-    let horizon = q.output_crossings.last().map(|c| c.1 * 1.2).unwrap_or(500e-12);
+    let horizon = q
+        .output_crossings
+        .last()
+        .map(|c| c.1 * 1.2)
+        .unwrap_or(500e-12);
     let s = simulate(
         &stage,
         &bench.spice_models,
@@ -40,7 +44,11 @@ fn main() {
             bp_rows.push(vec![k as f64 + 1.0, t, v]);
         }
     }
-    let p1 = write_columns("fig9_qwm_breakpoints.dat", "node t v (QWM critical points)", &bp_rows);
+    let p1 = write_columns(
+        "fig9_qwm_breakpoints.dat",
+        "node t v (QWM critical points)",
+        &bp_rows,
+    );
 
     // Dense SPICE traces for the same chain nodes.
     let mut sp_rows = Vec::new();
@@ -51,7 +59,11 @@ fn main() {
         }
         sp_rows.push(row);
     }
-    let p2 = write_columns("fig9_spice_waveforms.dat", "t v_node1 .. v_node6 (SPICE 1ps)", &sp_rows);
+    let p2 = write_columns(
+        "fig9_spice_waveforms.dat",
+        "t v_node1 .. v_node6 (SPICE 1ps)",
+        &sp_rows,
+    );
     println!("Figure 9 data -> {} and {}", p1.display(), p2.display());
 
     // Accuracy: sample QWM's output waveform on the SPICE grid.
@@ -85,4 +97,6 @@ fn main() {
         100.0 * (d_q - d_s).abs() / d_s
     );
     println!("critical points committed: {}", q.critical_points.len());
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -11,8 +11,8 @@ fn main() {
     let bench = Bench::new();
     for depth in [8usize, 16, 32] {
         let nl = inverter_chain(&bench.tech, depth, 10e-15);
-        let mut engine = StaEngine::new(nl, &bench.qwm_models, TransitionKind::Fall)
-            .expect("engine");
+        let mut engine =
+            StaEngine::new(nl, &bench.qwm_models, TransitionKind::Fall).expect("engine");
         let ev = QwmEvaluator::default();
         let t0 = Instant::now();
         let full = engine.run(&ev).expect("full run");
@@ -37,4 +37,6 @@ fn main() {
             incr.worst.unwrap().1 * 1e12,
         );
     }
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -9,10 +9,22 @@ fn main() {
     print_table_header();
     let mut rows = Vec::new();
     let gates: Vec<(&str, qwm::circuit::LogicStage)> = vec![
-        ("inv", cells::inverter(&bench.tech, cells::DEFAULT_LOAD).unwrap()),
-        ("nand2", cells::nand(&bench.tech, 2, cells::DEFAULT_LOAD).unwrap()),
-        ("nand3", cells::nand(&bench.tech, 3, cells::DEFAULT_LOAD).unwrap()),
-        ("nand4", cells::nand(&bench.tech, 4, cells::DEFAULT_LOAD).unwrap()),
+        (
+            "inv",
+            cells::inverter(&bench.tech, cells::DEFAULT_LOAD).unwrap(),
+        ),
+        (
+            "nand2",
+            cells::nand(&bench.tech, 2, cells::DEFAULT_LOAD).unwrap(),
+        ),
+        (
+            "nand3",
+            cells::nand(&bench.tech, 3, cells::DEFAULT_LOAD).unwrap(),
+        ),
+        (
+            "nand4",
+            cells::nand(&bench.tech, 4, cells::DEFAULT_LOAD).unwrap(),
+        ),
     ];
     for (name, stage) in &gates {
         let row = compare_fall(&bench, name, stage, 20).expect("comparison");
@@ -22,7 +34,9 @@ fn main() {
     println!();
     print_summary(&rows);
 
-    println!("\nwith the refined evaluator (midpoint caps + adaptive splitting — beyond the paper):\n");
+    println!(
+        "\nwith the refined evaluator (midpoint caps + adaptive splitting — beyond the paper):\n"
+    );
     qwm_bench::print_table_header();
     let mut refined = Vec::new();
     for (name, stage) in &gates {
@@ -39,4 +53,6 @@ fn main() {
     }
     println!();
     print_summary(&refined);
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

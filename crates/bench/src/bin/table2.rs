@@ -1,6 +1,8 @@
 //! Table II: QWM vs the SPICE baseline on randomly sized NMOS stacks,
 //! lengths 5–10, three seeded width configurations each.
-use qwm_bench::{compare_fall, print_row, print_summary, print_table_header, table2_workload, Bench};
+use qwm_bench::{
+    compare_fall, print_row, print_summary, print_table_header, table2_workload, Bench,
+};
 
 fn main() {
     let bench = Bench::new();
@@ -15,7 +17,9 @@ fn main() {
     println!();
     print_summary(&rows);
 
-    println!("\nwith the refined evaluator (midpoint caps + adaptive splitting — beyond the paper):\n");
+    println!(
+        "\nwith the refined evaluator (midpoint caps + adaptive splitting — beyond the paper):\n"
+    );
     qwm_bench::print_table_header();
     let mut refined = Vec::new();
     for (name, stage) in table2_workload(&bench) {
@@ -32,4 +36,6 @@ fn main() {
     }
     println!();
     print_summary(&refined);
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -11,11 +11,10 @@ use qwm::circuit::cells;
 use qwm::circuit::waveform::{TransitionKind, Waveform};
 use qwm::core::evaluate::{evaluate, QwmConfig};
 use qwm::device::{analytic_models, Technology};
+use qwm::num::rng::Rng64;
 use qwm::num::stats::{mean, normal_from_uniforms, percentile, std_dev};
 use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
 use qwm_bench::write_columns;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() {
@@ -23,7 +22,7 @@ fn main() {
     let samples = 200usize;
     let sigma_vt = 0.030; // 30 mV
     let sigma_kp = 0.05; // 5 %
-    let mut rng = StdRng::seed_from_u64(0x5151a7);
+    let mut rng = Rng64::seed_from_u64(0x5151a7);
 
     let stage = cells::manchester_longest_path(&nominal, 4, cells::DEFAULT_LOAD).unwrap();
     let out = stage.node_by_name("out").unwrap();
@@ -31,7 +30,7 @@ fn main() {
         .map(|_| Waveform::step(0.0, 0.0, nominal.vdd))
         .collect();
 
-    let normal = |rng: &mut StdRng| normal_from_uniforms(rng.gen::<f64>(), rng.gen::<f64>());
+    let normal = |rng: &mut Rng64| normal_from_uniforms(rng.unit(), rng.unit());
 
     let t0 = Instant::now();
     let mut delays = Vec::with_capacity(samples);
@@ -71,7 +70,10 @@ fn main() {
         p50 * 1e12,
         p99 * 1e12
     );
-    println!("  QWM wall time: {qwm_elapsed:?} total ({:?}/sample)", qwm_elapsed / samples as u32);
+    println!(
+        "  QWM wall time: {qwm_elapsed:?} total ({:?}/sample)",
+        qwm_elapsed / samples as u32
+    );
 
     // Calibrate the SPICE-per-sample cost on 5 nominal-ish samples.
     let spice_probe = 5usize;
@@ -120,6 +122,12 @@ fn main() {
         .enumerate()
         .map(|(i, &c)| vec![lo + (hi - lo) * (i as f64 + 0.5) / bins as f64, c as f64])
         .collect();
-    let path = write_columns("variation_histogram.dat", "delay_s count (MC histogram)", &rows);
+    let path = write_columns(
+        "variation_histogram.dat",
+        "delay_s count (MC histogram)",
+        &rows,
+    );
     println!("  histogram -> {}", path.display());
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
 }

@@ -1,0 +1,101 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds offline with no external crates, so the bench
+//! targets (`cargo bench -p qwm-bench`) run on this criterion-style
+//! runner: per benchmark it calibrates an iteration batch so one sample
+//! takes a measurable slice of wall time, collects a fixed number of
+//! samples, and reports min/median/mean. Deterministic knobs:
+//! `QWM_BENCH_SAMPLES` overrides the sample count (e.g. `=5` for a
+//! quick smoke run).
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one calibrated sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Micro-benchmark runner; construct once per bench binary.
+pub struct Harness {
+    samples: usize,
+}
+
+impl Harness {
+    /// A runner with `samples` samples per benchmark, unless overridden
+    /// by `QWM_BENCH_SAMPLES`.
+    pub fn new(samples: usize) -> Harness {
+        let samples = std::env::var("QWM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(samples)
+            .max(1);
+        Harness { samples }
+    }
+
+    /// Times `f`, printing a one-line summary.
+    pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) {
+        // Warm-up and calibration: batch iterations until one sample
+        // takes long enough for the clock to resolve it cleanly.
+        let mut iters = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8.0
+            } else {
+                (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 8.0)
+            };
+            iters = ((iters as f64 * grow).ceil() as usize).max(iters + 1);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t0.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{name:<40} median {}  mean {}  min {}  ({} samples x {iters} iters)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(min),
+            self.samples
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3}us", secs * 1e6)
+    } else {
+        format!("{:.1}ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let h = Harness { samples: 3 };
+        let mut n = 0u64;
+        h.bench("harness_selftest", || n = n.wrapping_add(1));
+        assert!(n > 0);
+    }
+}

@@ -5,6 +5,8 @@
 //! comparison rows, deterministic workloads, wall-clock measurement and
 //! gnuplot-ready data dumps under `target/experiments/`.
 
+pub mod harness;
+
 use qwm::circuit::cells;
 use qwm::circuit::stage::{LogicStage, NodeId};
 use qwm::circuit::waveform::{TransitionKind, Waveform};
@@ -249,15 +251,13 @@ pub fn fall_setup(bench: &Bench, stage: &LogicStage) -> (Vec<Waveform>, Vec<f64>
 /// Deterministic Table II workload: for each stack length 5…10, three
 /// width configurations drawn from a fixed seed.
 pub fn table2_workload(bench: &Bench) -> Vec<(String, LogicStage)> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(0x7ab1e2);
+    let mut rng = qwm::num::rng::Rng64::seed_from_u64(0x7ab1e2);
     let mut out = Vec::new();
     for k in 5..=10usize {
         for cfg in 1..=3usize {
             let widths = cells::random_widths(&mut rng, &bench.tech, k);
-            let stage = cells::nmos_stack(&bench.tech, &widths, cells::DEFAULT_LOAD)
-                .expect("stack builds");
+            let stage =
+                cells::nmos_stack(&bench.tech, &widths, cells::DEFAULT_LOAD).expect("stack builds");
             out.push((format!("{k}/ckt{cfg}"), stage));
         }
     }

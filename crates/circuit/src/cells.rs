@@ -12,8 +12,8 @@
 use crate::stage::{DeviceKind, LogicStage};
 use qwm_device::model::Geometry;
 use qwm_device::tech::Technology;
+use qwm_num::rng::Rng64;
 use qwm_num::{NumError, Result};
-use rand::Rng;
 
 /// Default external load for gate-level experiments: a couple of
 /// minimum-size gate inputs' worth \[F\].
@@ -41,7 +41,13 @@ pub fn inverter(tech: &Technology, load: f64) -> Result<LogicStage> {
     let out = b.node("out");
     let a = b.input("a");
     b.transistor(DeviceKind::Nmos, a, out, gnd, nmos_geom(tech, tech.w_min));
-    b.transistor(DeviceKind::Pmos, a, vdd, out, nmos_geom(tech, 2.0 * tech.w_min));
+    b.transistor(
+        DeviceKind::Pmos,
+        a,
+        vdd,
+        out,
+        nmos_geom(tech, 2.0 * tech.w_min),
+    );
     b.output(out);
     b.load(out, load);
     b.build()
@@ -187,10 +193,8 @@ pub fn pmos_stack(tech: &Technology, widths: &[f64], load: f64) -> Result<LogicS
 
 /// Random transistor widths for the Table II workload: `k` widths drawn
 /// uniformly from 1× to 4× minimum width.
-pub fn random_widths<R: Rng>(rng: &mut R, tech: &Technology, k: usize) -> Vec<f64> {
-    (0..k)
-        .map(|_| tech.w_min * rng.gen_range(1.0..4.0))
-        .collect()
+pub fn random_widths(rng: &mut Rng64, tech: &Technology, k: usize) -> Vec<f64> {
+    (0..k).map(|_| tech.w_min * rng.range(1.0, 4.0)).collect()
 }
 
 /// The Manchester carry chain of Fig. 2 with `bits` bit slices:
@@ -483,8 +487,6 @@ pub fn aoi21(tech: &Technology, load: f64) -> Result<LogicStage> {
 mod tests {
     use super::*;
     use crate::stage::NodeKind;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn tech() -> Technology {
         Technology::cmosp35()
@@ -570,9 +572,9 @@ mod tests {
     #[test]
     fn random_widths_are_seeded_and_bounded() {
         let t = tech();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         let a = random_widths(&mut rng, &t, 8);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         let b = random_widths(&mut rng, &t, 8);
         assert_eq!(a, b, "deterministic under a fixed seed");
         for w in &a {
@@ -743,7 +745,13 @@ pub fn domino_nand(tech: &Technology, n: usize, load: f64) -> Result<LogicStage>
             b.node(&format!("e{}", k + 1))
         };
         let input = b.input(&format!("a{k}"));
-        b.transistor(DeviceKind::Nmos, input, above, below, nmos_geom(tech, w * n as f64));
+        b.transistor(
+            DeviceKind::Nmos,
+            input,
+            above,
+            below,
+            nmos_geom(tech, w * n as f64),
+        );
         below = above;
     }
     b.output(out);
@@ -825,13 +833,7 @@ pub fn decoder_tree_netlist(
                 } else {
                     nl.net(&format!("w{l}_{pi}_{side}"))
                 };
-                nl.add_wire(
-                    format!("W{l}_{pi}_{side}"),
-                    end,
-                    t_net,
-                    wire_w,
-                    wire_len,
-                );
+                nl.add_wire(format!("W{l}_{pi}_{side}"), end, t_net, wire_w, wire_len);
                 if is_leaf_level {
                     nl.add_cap(end, leaf_load);
                     nl.add_primary_output(end);

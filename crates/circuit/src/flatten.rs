@@ -35,8 +35,8 @@ pub fn flatten_netlist(netlist: &Netlist) -> Result<FlatCircuit> {
     let mut b = LogicStage::builder("flat");
     let mut node_of_net: HashMap<crate::netlist::NetId, NodeId> = HashMap::new();
     let map = |b: &mut crate::stage::StageBuilder,
-                   map: &mut HashMap<crate::netlist::NetId, NodeId>,
-                   net: crate::netlist::NetId|
+               map: &mut HashMap<crate::netlist::NetId, NodeId>,
+               net: crate::netlist::NetId|
      -> NodeId {
         if let Some(&n) = map.get(&net) {
             return n;
@@ -107,11 +107,7 @@ pub fn flatten_netlist(netlist: &Netlist) -> Result<FlatCircuit> {
 /// # Errors
 ///
 /// Returns an error for an even or zero stage count (a ring must invert).
-pub fn ring_oscillator(
-    tech: &qwm_device::Technology,
-    stages: usize,
-    load: f64,
-) -> Result<Netlist> {
+pub fn ring_oscillator(tech: &qwm_device::Technology, stages: usize, load: f64) -> Result<Netlist> {
     if stages == 0 || stages.is_multiple_of(2) {
         return Err(qwm_num::NumError::InvalidInput {
             context: "ring_oscillator",
@@ -178,10 +174,6 @@ Cz z 0 10f
         assert!(ring_oscillator(&tech, 4, 5e-15).is_err());
         let flat = flatten_netlist(&nl).unwrap();
         assert_eq!(flat.stage.inputs().len(), 0);
-        assert!(flat
-            .stage
-            .edges()
-            .iter()
-            .all(|e| e.gate_node.is_some()));
+        assert!(flat.stage.edges().iter().all(|e| e.gate_node.is_some()));
     }
 }

@@ -124,7 +124,14 @@ impl Netlist {
     }
 
     /// Adds a wire segment of the given `w × l`.
-    pub fn add_wire(&mut self, name: impl Into<String>, a: NetId, b: NetId, w: f64, l: f64) -> usize {
+    pub fn add_wire(
+        &mut self,
+        name: impl Into<String>,
+        a: NetId,
+        b: NetId,
+        w: f64,
+        l: f64,
+    ) -> usize {
         self.devices.push(NetDevice {
             name: name.into(),
             kind: DeviceKind::Wire,

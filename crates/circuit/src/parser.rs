@@ -57,9 +57,7 @@ pub fn parse_value(s: &str) -> Result<f64> {
 
 fn parse_kv(token: &str, key: &str) -> Option<Result<f64>> {
     let lower = token.to_ascii_lowercase();
-    lower
-        .strip_prefix(&format!("{key}="))
-        .map(parse_value)
+    lower.strip_prefix(&format!("{key}=")).map(parse_value)
 }
 
 /// Parses a deck into a [`Netlist`].

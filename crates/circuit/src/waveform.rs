@@ -9,11 +9,10 @@
 //! so every experiment measures them identically.
 
 use qwm_num::{NumError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A piecewise-linear waveform: time-sorted `(t, v)` samples, held flat
 /// before the first and after the last sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Waveform {
     points: Vec<(f64, f64)>,
 }
@@ -181,7 +180,7 @@ pub enum TransitionKind {
 }
 
 /// Timing metrics of one transition, measured against Vdd fractions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingMetrics {
     /// 50 %-to-50 % propagation delay from the reference instant \[s\].
     pub delay: f64,

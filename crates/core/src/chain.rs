@@ -274,7 +274,11 @@ impl Chain {
         let mut elements = Vec::new();
         for (e, upper) in &path {
             let edge = stage.edge(*e);
-            let lower = if edge.src == *upper { edge.snk } else { edge.src };
+            let lower = if edge.src == *upper {
+                edge.snk
+            } else {
+                edge.src
+            };
             elements.push(ChainElement {
                 edge: *e,
                 kind: edge.kind,

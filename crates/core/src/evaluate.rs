@@ -23,7 +23,7 @@
 use crate::chain::Chain;
 use crate::piecewise::{PiecewiseQuadratic, QuadraticPiece};
 use crate::solver::{
-    solve_region_counted, ChainContext, EndCondition, RegionOptions, RegionState, RegionSolution,
+    solve_region_counted, ChainContext, EndCondition, RegionOptions, RegionSolution, RegionState,
 };
 use crate::solver2::solve_region_two_point;
 use qwm_circuit::stage::{DeviceKind, LogicStage, NodeId};
@@ -246,6 +246,7 @@ pub fn evaluate(
         });
     }
     let start = Instant::now();
+    let _span = qwm_obs::span!("qwm.evaluate");
     let vdd = models.tech().vdd;
     let chain = Chain::extract_worst(stage, output, direction)?;
     let rail_v = match direction {
@@ -317,7 +318,9 @@ pub fn evaluate(
         // Gather candidates.
         let mut best: Option<(RegionSolution, CriticalPointKind)> = None;
         let consider =
-            |sol: RegionSolution, kind: CriticalPointKind, best: &mut Option<(RegionSolution, CriticalPointKind)>| {
+            |sol: RegionSolution,
+             kind: CriticalPointKind,
+             best: &mut Option<(RegionSolution, CriticalPointKind)>| {
                 if sol.tau_next > state.tau
                     && sol.tau_next <= config.t_max
                     && best.as_ref().is_none_or(|(b, _)| sol.tau_next < b.tau_next)
@@ -367,9 +370,18 @@ pub fn evaluate(
                     guesses.push(last_span);
                 }
                 guesses.extend_from_slice(&config.dt_guesses);
-                for &dt in &guesses {
-                    match solve_region_counted(&ctx, &state, cond, dt, &config.region, &mut iterations)
-                    {
+                for (attempt, &dt) in guesses.iter().enumerate() {
+                    if attempt > 0 {
+                        qwm_obs::counter!("qwm.region_retries").incr();
+                    }
+                    match solve_region_counted(
+                        &ctx,
+                        &state,
+                        cond,
+                        dt,
+                        &config.region,
+                        &mut iterations,
+                    ) {
                         Ok(sol) => {
                             consider(sol, CriticalPointKind::TurnOn(k), &mut best);
                             break;
@@ -393,9 +405,7 @@ pub fn evaluate(
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
         if let Some((k, t_on)) = gate_driven {
-            let beats_best = best
-                .as_ref()
-                .is_none_or(|(b, _)| t_on < b.tau_next);
+            let beats_best = best.as_ref().is_none_or(|(b, _)| t_on < b.tau_next);
             if beats_best {
                 if let Ok(sol) = solve_region_counted(
                     &ctx,
@@ -424,9 +434,7 @@ pub fn evaluate(
                 let i_out = state.i[n - 1];
                 if i_out.abs() > 1e-12 {
                     let est = state.caps[n - 1] * (level - state.v[n - 1]) / i_out;
-                    if est.is_finite()
-                        && est > 0.0
-                        && (last_span == 0.0 || est < 20.0 * last_span)
+                    if est.is_finite() && est > 0.0 && (last_span == 0.0 || est < 20.0 * last_span)
                     {
                         guesses.push(est);
                     }
@@ -435,9 +443,18 @@ pub fn evaluate(
                     guesses.push(last_span);
                 }
                 guesses.extend_from_slice(&config.dt_guesses);
-                for &dt in &guesses {
-                    match solve_region_counted(&ctx, &state, cond, dt, &config.region, &mut iterations)
-                    {
+                for (attempt, &dt) in guesses.iter().enumerate() {
+                    if attempt > 0 {
+                        qwm_obs::counter!("qwm.region_retries").incr();
+                    }
+                    match solve_region_counted(
+                        &ctx,
+                        &state,
+                        cond,
+                        dt,
+                        &config.region,
+                        &mut iterations,
+                    ) {
                         Ok(sol) => {
                             consider(sol, CriticalPointKind::OutputCrossing(level), &mut best);
                             break;
@@ -456,9 +473,7 @@ pub fn evaluate(
             .iter()
             .filter_map(|e| e.input)
             .flat_map(|i| inputs[i.0].samples().iter().map(|&(t, _)| t))
-            .filter(|&t| {
-                t > state.tau + config.region.min_delta.max(config.min_breakpoint_span)
-            })
+            .filter(|&t| t > state.tau + config.region.min_delta.max(config.min_breakpoint_span))
             .fold(f64::INFINITY, f64::min);
         if next_break.is_finite()
             && best
@@ -696,6 +711,10 @@ pub fn evaluate(
         }
     }
 
+    qwm_obs::counter!("qwm.nr_iterations").add(iterations as u64);
+    qwm_obs::counter!("qwm.regions").add(regions as u64);
+    qwm_obs::counter!("qwm.critical_points").add(critical_points.len() as u64);
+    qwm_obs::histogram!("qwm.regions_per_eval", qwm_obs::SIZE_BOUNDS).record(regions as u64);
     Ok(QwmResult {
         chain,
         waveforms,
@@ -721,8 +740,7 @@ fn midpoint_mismatch(
     let mut v_mid = vec![0.0; n];
     let mut i_model = vec![0.0; n];
     for k in 0..n {
-        v_mid[k] = state.v[k]
-            + (state.i[k] * h + 0.5 * sol.alphas[k] * h * h) / state.caps[k];
+        v_mid[k] = state.v[k] + (state.i[k] * h + 0.5 * sol.alphas[k] * h * h) / state.caps[k];
         i_model[k] = state.i[k] + sol.alphas[k] * h;
     }
     let i_dev = ctx.node_currents(&v_mid, t_mid)?;
@@ -806,9 +824,7 @@ mod tests {
         let (tech, models) = setup();
         let stage = cells::nmos_stack(&tech, &[1.5e-6; 4], cells::DEFAULT_LOAD).unwrap();
         let out = stage.node_by_name("out").unwrap();
-        let inputs: Vec<Waveform> = (0..4)
-            .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
-            .collect();
+        let inputs: Vec<Waveform> = (0..4).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
         let init = initial_uniform_like(&stage, &models, tech.vdd);
         let r = evaluate(
             &stage,
@@ -832,7 +848,11 @@ mod tests {
                 )
             })
             .count();
-        assert!(turnons >= 3, "saw {turnons} turn-ons: {:?}", r.critical_points);
+        assert!(
+            turnons >= 3,
+            "saw {turnons} turn-ons: {:?}",
+            r.critical_points
+        );
         // All requested levels harvested (refinement may add more).
         assert!(r.output_crossings.len() >= QwmConfig::default().crossing_fractions.len());
         assert!(r.delay_50(tech.vdd, 0.0).is_some());
@@ -855,9 +875,7 @@ mod tests {
         let (tech, models) = setup();
         let stage = cells::nmos_stack(&tech, &[2.0e-6; 3], cells::DEFAULT_LOAD).unwrap();
         let out = stage.node_by_name("out").unwrap();
-        let inputs: Vec<Waveform> = (0..3)
-            .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
-            .collect();
+        let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
         let init = initial_uniform_like(&stage, &models, tech.vdd);
         let r = evaluate(
             &stage,
@@ -909,9 +927,7 @@ mod tests {
         let stage = cells::pmos_stack(&tech, &[3.0e-6; 3], cells::DEFAULT_LOAD).unwrap();
         let out = stage.node_by_name("out").unwrap();
         // PMOS gates fall to turn on.
-        let inputs: Vec<Waveform> = (0..3)
-            .map(|_| Waveform::step(0.0, tech.vdd, 0.0))
-            .collect();
+        let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::step(0.0, tech.vdd, 0.0)).collect();
         let init = initial_uniform_like(&stage, &models, 0.0);
         let r = evaluate(
             &stage,
@@ -943,9 +959,16 @@ mod tests {
         let cfg = QwmConfig::default();
         assert!(evaluate(&stage, &models, &[], &init, out, TransitionKind::Fall, &cfg).is_err());
         let inputs = vec![Waveform::constant(0.0)];
-        assert!(
-            evaluate(&stage, &models, &inputs, &[0.0], out, TransitionKind::Fall, &cfg).is_err()
-        );
+        assert!(evaluate(
+            &stage,
+            &models,
+            &inputs,
+            &[0.0],
+            out,
+            TransitionKind::Fall,
+            &cfg
+        )
+        .is_err());
     }
 
     #[test]
@@ -956,9 +979,7 @@ mod tests {
         let models = qwm_device::tabular_models(&tech).unwrap();
         let stage = cells::nmos_stack(&tech, &[1.5e-6; 3], cells::DEFAULT_LOAD).unwrap();
         let out = stage.node_by_name("out").unwrap();
-        let inputs: Vec<Waveform> = (0..3)
-            .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
-            .collect();
+        let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
         let init = qwm_spice_initial::initial_uniform_like(&stage, &models, tech.vdd);
         let r = evaluate(
             &stage,

@@ -263,7 +263,11 @@ impl ChainContext<'_> {
         let mut d_sup = vec![0.0; n];
         let mut d_t = vec![0.0; n];
         for k in 1..=n {
-            let upper = if k < n { j[k + 1] } else { (0.0, 0.0, 0.0, 0.0) };
+            let upper = if k < n {
+                j[k + 1]
+            } else {
+                (0.0, 0.0, 0.0, 0.0)
+            };
             i[k - 1] = upper.0 - j[k].0;
             d_diag[k - 1] = upper.2 - j[k].1;
             if k < n {
@@ -272,7 +276,11 @@ impl ChainContext<'_> {
             if k >= 2 {
                 d_sub[k - 1] = -j[k].2;
             }
-            let g_upper = if k < n { self.gate_slope(k + 1, t) } else { 0.0 };
+            let g_upper = if k < n {
+                self.gate_slope(k + 1, t)
+            } else {
+                0.0
+            };
             let g_lower = self.gate_slope(k, t);
             d_t[k - 1] = upper.3 * g_upper - j[k].3 * g_lower;
         }
@@ -452,8 +460,8 @@ pub fn solve_region_counted(
         // Residuals.
         let mut f = vec![0.0; n];
         for k in 1..=n {
-            let i_prime = 2.0 * state.caps[k - 1] * (v[k - 1] - state.v[k - 1]) / delta
-                - state.i[k - 1];
+            let i_prime =
+                2.0 * state.caps[k - 1] * (v[k - 1] - state.v[k - 1]) / delta - state.i[k - 1];
             let upper_j = if k < n { j[k + 1].0 } else { 0.0 };
             f[k - 1] = i_prime - (upper_j - j[k].0);
         }
@@ -469,9 +477,9 @@ pub fn solve_region_counted(
         };
         if f_norm < opts.tol_current && cond_ok {
             let i_next = ctx.node_currents(&v, t)?;
-            let alphas: Vec<f64> = (0..n)
-                .map(|k| (i_next[k] - state.i[k]) / delta)
-                .collect();
+            let alphas: Vec<f64> = (0..n).map(|k| (i_next[k] - state.i[k]) / delta).collect();
+            qwm_obs::histogram!("qwm.region_iterations", qwm_obs::ITER_BOUNDS)
+                .record(iterations as u64);
             return Ok(RegionSolution {
                 tau_next: t,
                 v_next: v,
@@ -501,8 +509,7 @@ pub fn solve_region_counted(
             if k < n {
                 sup[k - 1] = -dju_vk1;
             }
-            let dtau_dyn =
-                -2.0 * state.caps[k - 1] * (v[k - 1] - state.v[k - 1]) / (delta * delta);
+            let dtau_dyn = -2.0 * state.caps[k - 1] * (v[k - 1] - state.v[k - 1]) / (delta * delta);
             let g_upper = if k < n { ctx.gate_slope(k + 1, t) } else { 0.0 };
             let g_lower = ctx.gate_slope(k, t);
             tcol[k - 1] = dtau_dyn - (dju_g * g_upper - dj_g * g_lower);
@@ -527,8 +534,8 @@ pub fn solve_region_counted(
                         (ctx.excess(element, &vp, t) - ctx.excess(element, &vm, t)) / (2.0 * h);
                 }
                 let ht = 1e-15;
-                d_tau =
-                    (ctx.excess(element, &v, t + ht) - ctx.excess(element, &v, t - ht)) / (2.0 * ht);
+                d_tau = (ctx.excess(element, &v, t + ht) - ctx.excess(element, &v, t - ht))
+                    / (2.0 * ht);
             }
             EndCondition::Crossing { node, .. } => {
                 row[node - 1] = 1.0;
@@ -541,6 +548,9 @@ pub fn solve_region_counted(
         // Newton update via the chosen linear solver.
         let (dv, dt) = match opts.linear_solver {
             LinearSolver::BorderedTridiagonal => {
+                // One Sherman–Morrison-style bordered solve: two Thomas
+                // back-solves replace a dense factorization.
+                qwm_obs::counter!("qwm.sherman_morrison_solves").incr();
                 let tri = Tridiagonal::from_bands(sub, diag, sup)?;
                 let y = tri.solve(&f)?;
                 let z = tri.solve(&tcol)?;
@@ -600,6 +610,7 @@ pub fn solve_region_counted(
         }
     }
 
+    qwm_obs::counter!("qwm.region_failures").incr();
     Err(NumError::NoConvergence {
         method: "qwm region",
         iterations,

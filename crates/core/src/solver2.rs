@@ -16,7 +16,7 @@
 //! dense solve is not worth specializing — the point of `r = 2` is
 //! accuracy, not speed).
 
-use crate::solver::{ChainContext, EndCondition, RegionOptions, RegionState, RegionSolution};
+use crate::solver::{ChainContext, EndCondition, RegionOptions, RegionSolution, RegionState};
 use qwm_num::matrix::Matrix;
 use qwm_num::{NumError, Result};
 
@@ -113,14 +113,14 @@ pub fn solve_region_two_point(
         // Residuals are charges; dividing by the half-interval gives an
         // equivalent average-current error, comparable with the r = 1
         // solver's current tolerance.
-        let f_norm = f[..2 * n]
-            .iter()
-            .fold(0.0_f64, |m, x| m.max(x.abs() / h));
+        let f_norm = f[..2 * n].iter().fold(0.0_f64, |m, x| m.max(x.abs() / h));
         let cond_ok = match cond {
             EndCondition::FixedTime { .. } => true,
             _ => g_res.abs() < opts.tol_condition_v,
         };
         if f_norm < opts.tol_current && cond_ok {
+            qwm_obs::histogram!("qwm.region_iterations", qwm_obs::ITER_BOUNDS)
+                .record(iterations as u64);
             // Device-consistent outputs.
             let alphas_first: Vec<f64> = (0..n).map(|k| (im.i[k] - state.i[k]) / h).collect();
             let alphas_second: Vec<f64> = (0..n).map(|k| (ie.i[k] - im.i[k]) / h).collect();
@@ -161,8 +161,7 @@ pub fn solve_region_two_point(
             for (col, dv) in ie.deriv_triplet(k) {
                 jac.add(n + k, n + col, -0.5 * h * dv);
             }
-            let dtau2 =
-                -0.25 * (im.i[k] + ie.i[k]) - 0.5 * h * (0.5 * im.d_t[k] + ie.d_t[k]);
+            let dtau2 = -0.25 * (im.i[k] + ie.i[k]) - 0.5 * h * (0.5 * im.d_t[k] + ie.d_t[k]);
             jac.add(n + k, 2 * n, dtau2);
         }
         // Condition row.
@@ -205,14 +204,14 @@ pub fn solve_region_two_point(
         }
         for k in 0..n {
             vm[k] = (vm[k] - step[k].clamp(-opts.max_dv, opts.max_dv)).clamp(-0.5, vdd + 0.5);
-            ve[k] = (ve[k] - step[n + k].clamp(-opts.max_dv, opts.max_dv))
-                .clamp(-0.5, vdd + 0.5);
+            ve[k] = (ve[k] - step[n + k].clamp(-opts.max_dv, opts.max_dv)).clamp(-0.5, vdd + 0.5);
         }
         if !matches!(cond, EndCondition::FixedTime { .. }) {
             let max_dt = 2.0 * delta + 1e-12;
             t_end = (t_end - step[2 * n].clamp(-max_dt, max_dt)).max(state.tau + opts.min_delta);
         }
     }
+    qwm_obs::counter!("qwm.region_failures").incr();
     Err(NumError::NoConvergence {
         method: "qwm region (r=2)",
         iterations,

@@ -33,7 +33,14 @@ pub(crate) struct CoreEval {
 /// Continuous and C¹ across both the cutoff and saturation boundaries
 /// (the triode/saturation expressions and their `∂/∂vds` agree at
 /// `vds = vov`), which keeps Newton iterations well behaved.
-pub(crate) fn ids_core(tech: &Technology, kp: f64, vt0: f64, vgs: f64, vds: f64, vsb: f64) -> CoreEval {
+pub(crate) fn ids_core(
+    tech: &Technology,
+    kp: f64,
+    vt0: f64,
+    vgs: f64,
+    vds: f64,
+    vsb: f64,
+) -> CoreEval {
     debug_assert!(vds >= 0.0, "ids_core requires the conduction frame");
     let vt = tech.vt_body(vt0, vsb);
     let dvt = tech.vt_body_deriv(vsb);
@@ -284,17 +291,17 @@ mod tests {
                 (2.0, 1.0, 1.0), // zero vds
             ] {
                 let g = geom();
-                let f = |vg: f64, vs: f64, vk: f64| {
-                    model.iv(&g, TermVoltage::new(vg, vs, vk)).unwrap()
-                };
-                let e = model
-                    .iv_eval(&g, TermVoltage::new(vg, vs, vk))
-                    .unwrap();
+                let f =
+                    |vg: f64, vs: f64, vk: f64| model.iv(&g, TermVoltage::new(vg, vs, vk)).unwrap();
+                let e = model.iv_eval(&g, TermVoltage::new(vg, vs, vk)).unwrap();
                 let fd_g = (f(vg + h, vs, vk) - f(vg - h, vs, vk)) / (2.0 * h);
                 let fd_s = (f(vg, vs + h, vk) - f(vg, vs - h, vk)) / (2.0 * h);
                 let fd_k = (f(vg, vs, vk + h) - f(vg, vs, vk - h)) / (2.0 * h);
                 let tol = 1e-5 * (e.i.abs().max(1e-6)) / 1e-6;
-                assert!((e.d_input - fd_g).abs() < tol, "d_input at ({vg},{vs},{vk})");
+                assert!(
+                    (e.d_input - fd_g).abs() < tol,
+                    "d_input at ({vg},{vs},{vk})"
+                );
                 assert!((e.d_src - fd_s).abs() < tol, "d_src at ({vg},{vs},{vk})");
                 assert!((e.d_snk - fd_k).abs() < tol, "d_snk at ({vg},{vs},{vk})");
             }

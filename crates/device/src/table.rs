@@ -205,6 +205,7 @@ impl TableModel {
     /// normalized voltages `(vg, vs, vd)` with `vd ≥ vs`, bilinearly
     /// blended from the four neighbouring grid fits.
     fn forward(&self, vg: f64, vs: f64, vd: f64) -> (f64, f64, f64, f64) {
+        qwm_obs::counter!("device.table_lookups").incr();
         let n = self.n;
         let clamp = |u: f64| u.clamp(0.0, (n - 1) as f64);
         let locate = |v: f64| {
@@ -233,10 +234,8 @@ impl TableModel {
         let i = w00 * p00.0 + w10 * p10.0 + w01 * p01.0 + w11 * p11.0;
         let d_vds = w00 * p00.1 + w10 * p10.1 + w01 * p01.1 + w11 * p11.1;
         // Exact derivatives of the bilinear interpolant along the axes.
-        let d_vs_axis =
-            ((p10.0 - p00.0) * (1.0 - tg) + (p11.0 - p01.0) * tg) / self.step;
-        let d_vg_axis =
-            ((p01.0 - p00.0) * (1.0 - ts) + (p11.0 - p10.0) * ts) / self.step;
+        let d_vs_axis = ((p10.0 - p00.0) * (1.0 - tg) + (p11.0 - p01.0) * tg) / self.step;
+        let d_vg_axis = ((p01.0 - p00.0) * (1.0 - ts) + (p11.0 - p10.0) * ts) / self.step;
         (i, d_vg_axis, d_vs_axis, d_vds)
     }
 
@@ -428,8 +427,12 @@ mod tests {
         let a = Mosfet::new(tech.clone(), Polarity::Nmos);
         let g = Geometry::new(1e-6, 0.35e-6);
         // On-grid (vs, vg) with various vd: fit error only (no interp).
-        for &(vg, vs, vd) in &[(3.3, 0.0, 3.3), (3.3, 0.0, 0.5), (2.0, 1.0, 3.0), (1.5, 0.5, 1.0)]
-        {
+        for &(vg, vs, vd) in &[
+            (3.3, 0.0, 3.3),
+            (3.3, 0.0, 0.5),
+            (2.0, 1.0, 3.0),
+            (1.5, 0.5, 1.0),
+        ] {
             let tv = TermVoltage::new(vg, vd, vs);
             let it = t.iv(&g, tv).unwrap();
             let ia = a.iv(&g, tv).unwrap();
@@ -518,12 +521,12 @@ mod tests {
         let t = table(Polarity::Nmos);
         let r = t.fit_report(0.0, 3.3).unwrap();
         assert!(!r.samples.is_empty());
-        let peak = r
-            .samples
-            .iter()
-            .map(|s| s.1.abs())
-            .fold(0.0_f64, f64::max);
-        assert!(r.rms_error < 0.02 * peak, "rms {} vs peak {peak}", r.rms_error);
+        let peak = r.samples.iter().map(|s| s.1.abs()).fold(0.0_f64, f64::max);
+        assert!(
+            r.rms_error < 0.02 * peak,
+            "rms {} vs peak {peak}",
+            r.rms_error
+        );
         assert!(r.max_error < 0.05 * peak);
         assert!(r.fit.vdsat > 0.0);
     }

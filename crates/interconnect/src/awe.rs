@@ -246,7 +246,12 @@ mod tests {
         // Bounded everywhere (AWE-2 may dip slightly near t = 0 — the
         // classic artifact its successors fix) and monotone past the
         // dominant-pole knee.
-        let tau = -1.0 / model.poles.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let tau = -1.0
+            / model
+                .poles
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
         let mut prev = -1.0;
         for i in 0..200 {
             let t = i as f64 * 5e-12;

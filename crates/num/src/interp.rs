@@ -221,8 +221,7 @@ mod tests {
 
     #[test]
     fn grid2_clamps_out_of_range() {
-        let g =
-            UniformGrid2::new(0.0, 1.0, 2, 0.0, 1.0, 2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let g = UniformGrid2::new(0.0, 1.0, 2, 0.0, 1.0, 2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
         assert_eq!(g.eval(-1.0, -1.0), 0.0);
         assert_eq!(g.eval(9.0, 9.0), 3.0);
         let ((xl, xh), (yl, yh)) = g.extents();

@@ -23,6 +23,8 @@
 //! * [`integrate`] — trapezoid/Simpson quadrature for waveform metrics.
 //! * [`stats`] — error metrics (max/mean relative error, RMS) used by the
 //!   experiment harness when comparing QWM against the SPICE baseline.
+//! * [`rng`] — a deterministic PRNG for workload synthesis and randomized
+//!   tests, keeping the workspace free of external dependencies.
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@ pub mod interp;
 pub mod matrix;
 pub mod newton;
 pub mod polyfit;
+pub mod rng;
 pub mod roots;
 pub mod sherman_morrison;
 pub mod stats;

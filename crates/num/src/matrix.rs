@@ -215,12 +215,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(LuFactors {
-            n,
-            lu,
-            perm,
-            sign,
-        })
+        Ok(LuFactors { n, lu, perm, sign })
     }
 
     /// Solves `self * x = b` through a fresh LU factorization.
@@ -345,7 +340,10 @@ mod tests {
     #[test]
     fn singular_is_reported() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(m.solve(&[1.0, 1.0]), Err(NumError::Singular { .. })));
+        assert!(matches!(
+            m.solve(&[1.0, 1.0]),
+            Err(NumError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -158,7 +158,11 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
         let mut lambda = 1.0;
         let mut best: Option<(Vec<f64>, Vec<f64>, f64)> = None;
         for _ in 0..=opts.max_backtracks {
-            let mut xt: Vec<f64> = x.iter().zip(&delta).map(|(xi, di)| xi - lambda * di).collect();
+            let mut xt: Vec<f64> = x
+                .iter()
+                .zip(&delta)
+                .map(|(xi, di)| xi - lambda * di)
+                .collect();
             system.project(&mut xt);
             let mut ft = vec![0.0; n];
             match system.residual(&xt, &mut ft) {

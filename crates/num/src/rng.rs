@@ -1,0 +1,131 @@
+//! A small deterministic pseudo-random generator for workload synthesis
+//! and randomized tests.
+//!
+//! The workspace builds offline with no external crates, so this module
+//! stands in for `rand`: an xorshift-style generator (splitmix64 seeding
+//! into xoshiro256**) that is fast, has no global state, and — most
+//! importantly for the experiment harness — reproduces the exact same
+//! sequence for the same seed on every platform.
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator whose sequence is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        let mut sm = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform `bool`.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let n = 10_000;
+        let mut below_mid = 0usize;
+        for _ in 0..n {
+            let v = rng.range(2.0, 6.0);
+            assert!((2.0..6.0).contains(&v));
+            if v < 4.0 {
+                below_mid += 1;
+            }
+        }
+        // Loose two-sided check that the halves are balanced.
+        assert!((4000..6000).contains(&below_mid), "{below_mid}");
+    }
+
+    #[test]
+    fn range_usize_covers_all_values() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.range_usize(3, 8);
+            assert!((3..8).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -81,11 +81,7 @@ pub fn solve_rank1_update(a: &Tridiagonal, u: &[f64], v: &[f64], b: &[f64]) -> R
 /// # Errors
 ///
 /// Same as [`solve_rank1_update`].
-pub fn solve_tridiag_last_column(
-    a: &Tridiagonal,
-    last_col: &[f64],
-    b: &[f64],
-) -> Result<Vec<f64>> {
+pub fn solve_tridiag_last_column(a: &Tridiagonal, last_col: &[f64], b: &[f64]) -> Result<Vec<f64>> {
     let n = a.dim();
     let mut v = vec![0.0; n];
     if n > 0 {

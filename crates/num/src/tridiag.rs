@@ -64,12 +64,7 @@ impl Tridiagonal {
         if diag.is_empty() || sub.len() != diag.len() - 1 || sup.len() != diag.len() - 1 {
             return Err(NumError::Dimension {
                 context: "Tridiagonal::from_bands",
-                detail: format!(
-                    "sub={} diag={} sup={}",
-                    sub.len(),
-                    diag.len(),
-                    sup.len()
-                ),
+                detail: format!("sub={} diag={} sup={}", sub.len(), diag.len(), sup.len()),
             });
         }
         Ok(Tridiagonal { sub, diag, sup })
@@ -265,7 +260,10 @@ mod tests {
     #[test]
     fn singular_detection() {
         let t = Tridiagonal::from_bands(vec![1.0], vec![0.0, 1.0], vec![1.0]).unwrap();
-        assert!(matches!(t.solve(&[1.0, 1.0]), Err(NumError::Singular { .. })));
+        assert!(matches!(
+            t.solve(&[1.0, 1.0]),
+            Err(NumError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Structured warn/error events — the replacement for ad-hoc stderr
+//! prints. Events carry a what-identifier plus free-form key/value
+//! fields (stage id, node, time, error text) and are buffered in a
+//! bounded ring for the report; in JSON mode they are also streamed to
+//! stderr as they happen.
+
+use crate::render::{json_escape, json_number};
+use crate::{enabled, registry, ObsMode};
+use std::fmt::Display;
+
+/// Bounded event ring size: old events are dropped, the per-level
+/// counters keep the true totals.
+pub(crate) const EVENT_BUFFER_CAP: usize = 256;
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Degraded-but-continuing conditions (e.g. a waveform evaluation
+    /// that was skipped).
+    Warn,
+    /// Hard failures worth surfacing even after the run completes.
+    Error,
+}
+
+impl Level {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A recorded structured event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Stable identifier of the emitting site (e.g.
+    /// `"sta.run_waveform.eval_failed"`).
+    pub what: &'static str,
+    /// Key/value payload in emission order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    pub(crate) fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"type\":\"event\",\"level\":\"{}\",\"what\":\"{}\"",
+            self.level.label(),
+            json_escape(self.what)
+        );
+        for (k, v) in &self.fields {
+            s.push_str(&format!(",\"{}\":{}", json_escape(k), json_number(v)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Builder returned by [`warn`]/[`error`]. Inert (no allocation) while
+/// the layer is disabled.
+#[must_use = "call .emit() to record the event"]
+pub struct EventBuilder {
+    event: Option<Event>,
+}
+
+impl EventBuilder {
+    fn new(level: Level, what: &'static str) -> EventBuilder {
+        if !enabled() {
+            return EventBuilder { event: None };
+        }
+        EventBuilder {
+            event: Some(Event {
+                level,
+                what,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a key/value field.
+    pub fn field(mut self, key: &'static str, value: impl Display) -> EventBuilder {
+        if let Some(e) = &mut self.event {
+            e.fields.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Records the event: bumps the per-level counter, appends to the
+    /// bounded ring, and streams a JSON line to stderr in JSON mode.
+    pub fn emit(self) {
+        let Some(event) = self.event else { return };
+        match event.level {
+            Level::Warn => crate::counter!("obs.events.warn").incr(),
+            Level::Error => crate::counter!("obs.events.error").incr(),
+        }
+        if crate::mode() == ObsMode::Json {
+            eprintln!("{}", event.to_json());
+        }
+        let mut ring = registry().events.lock().expect("obs registry");
+        if ring.len() == EVENT_BUFFER_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+}
+
+/// Starts a warn-level structured event.
+pub fn warn(what: &'static str) -> EventBuilder {
+    EventBuilder::new(Level::Warn, what)
+}
+
+/// Starts an error-level structured event.
+pub fn error(what: &'static str) -> EventBuilder {
+    EventBuilder::new(Level::Error, what)
+}

@@ -1,0 +1,224 @@
+//! Rendering the registry: a human-readable table or line-oriented
+//! JSON.
+
+use crate::{registry, ObsMode};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Field values that look like finite numbers are emitted bare; all
+/// other values are quoted strings.
+pub(crate) fn json_number(v: &str) -> String {
+    let numeric = v.parse::<f64>().map(|x| x.is_finite()).unwrap_or(false)
+        && v.starts_with(|c: char| c.is_ascii_digit() || c == '-');
+    if numeric {
+        v.to_string()
+    } else {
+        format!("\"{}\"", json_escape(v))
+    }
+}
+
+fn ns_fmt(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the registry in the given mode ([`ObsMode::Off`] renders an
+/// empty string).
+pub fn render(mode: ObsMode) -> String {
+    match mode {
+        ObsMode::Off => String::new(),
+        ObsMode::Summary => render_summary(),
+        ObsMode::Json => render_json(),
+    }
+}
+
+fn render_summary() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    out.push_str("=== qwm-obs telemetry ===\n");
+
+    let mut counters: Vec<(&'static str, u64)> = reg
+        .counters
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|c| (c.name, c.value.load(Ordering::Relaxed)))
+        .filter(|&(_, v)| v > 0)
+        .collect();
+    counters.sort_by_key(|&(n, _)| n);
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<48} {v:>12}");
+        }
+    }
+
+    let mut hists: Vec<_> = reg
+        .histograms
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .filter(|h| !h.name.starts_with("span:"))
+        .map(|h| (h.name, h.summary()))
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+    hists.sort_by_key(|&(n, _)| n);
+    if !hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<50} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histograms:", "count", "mean", "p50", "p95", "max"
+        );
+        for (name, s) in hists {
+            let _ = writeln!(
+                out,
+                "  {name:<48} {:>9} {:>9.1} {:>9} {:>9} {:>9}",
+                s.count, s.mean, s.p50, s.p95, s.max
+            );
+        }
+    }
+
+    let mut spans: Vec<_> = reg
+        .spans
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|s| (s.path.clone(), s.stats()))
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<50} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "spans:", "count", "total", "p50", "p95", "max"
+        );
+        for (path, s) in spans {
+            let _ = writeln!(
+                out,
+                "  {path:<48} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                s.count,
+                ns_fmt(s.total_ns),
+                ns_fmt(s.p50_ns),
+                ns_fmt(s.p95_ns),
+                ns_fmt(s.max_ns)
+            );
+        }
+    }
+
+    let events = reg.events.lock().expect("obs registry");
+    if !events.is_empty() {
+        let _ = writeln!(out, "events (last {}):", events.len());
+        for e in events.iter() {
+            let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(
+                out,
+                "  [{}] {} {}",
+                e.level.label(),
+                e.what,
+                fields.join(" ")
+            );
+        }
+    }
+    out
+}
+
+fn render_json() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    let mut counters: Vec<(&'static str, u64)> = reg
+        .counters
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|c| (c.name, c.value.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort_by_key(|&(n, _)| n);
+    for (name, v) in counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        );
+    }
+    let mut hists: Vec<_> = reg
+        .histograms
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .filter(|h| !h.name.starts_with("span:"))
+        .map(|h| (h.name, h.summary()))
+        .collect();
+    hists.sort_by_key(|&(n, _)| n);
+    for (name, s) in hists {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"max\":{}}}",
+            json_escape(name),
+            s.count,
+            s.mean,
+            s.p50,
+            s.p95,
+            s.max
+        );
+    }
+    let mut spans: Vec<_> = reg
+        .spans
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|s| (s.path.clone(), s.stats()))
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    for (path, s) in spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"path\":\"{}\",\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            json_escape(&path),
+            s.count,
+            s.total_ns,
+            s.p50_ns,
+            s.p95_ns,
+            s.max_ns
+        );
+    }
+    for e in reg.events.lock().expect("obs registry").iter() {
+        let _ = writeln!(out, "{}", e.to_json());
+    }
+    out
+}
+
+/// Prints the telemetry report for the active mode to stdout (nothing
+/// when off). The standard "telemetry appendix" call for binaries.
+pub fn emit() {
+    let mode = crate::mode();
+    let text = render(mode);
+    if !text.is_empty() {
+        print!("{text}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Tests for the qwm-obs layer.
+//!
+//! The registry and mode are process-global, so every test takes the
+//! shared lock, resets collected values, and uses metric names unique
+//! to itself (registration is append-only across the process).
+
+use qwm_obs::{counter, histogram, span, ObsMode};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    qwm_obs::set_mode(ObsMode::Summary);
+    qwm_obs::reset();
+    guard
+}
+
+#[test]
+fn counter_accumulates_and_reads_back() {
+    let _g = obs_lock();
+    let c = counter!("test.counter.basic");
+    c.incr();
+    c.add(41);
+    assert_eq!(c.value(), 42);
+    assert_eq!(qwm_obs::counter_value("test.counter.basic"), Some(42));
+    assert_eq!(qwm_obs::counter_value("test.counter.never"), None);
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let _g = obs_lock();
+    static BOUNDS: &[u64] = &[10, 20, 40];
+    let h = histogram!("test.hist.bounds", BOUNDS);
+    // A value equal to an upper bound lands in that bucket (bounds are
+    // inclusive upper limits), one past it lands in the next.
+    h.record(10);
+    let s = h.summary();
+    assert_eq!((s.count, s.p50, s.max), (1, 10, 10));
+
+    qwm_obs::reset();
+    h.record(11);
+    let s = h.summary();
+    // Resolved to the bucket's upper bound, clamped by the observed max.
+    assert_eq!((s.p50, s.max), (11, 11));
+
+    qwm_obs::reset();
+    h.record(1000); // overflow bucket reports the observed max
+    let s = h.summary();
+    assert_eq!((s.p50, s.p95, s.max), (1000, 1000, 1000));
+}
+
+#[test]
+fn histogram_percentile_math() {
+    let _g = obs_lock();
+    static BOUNDS: &[u64] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    let h = histogram!("test.hist.pct", BOUNDS);
+    for v in 1..=10 {
+        h.record(v);
+    }
+    let s = h.summary();
+    assert_eq!(s.count, 10);
+    assert_eq!(s.sum, 55);
+    assert!((s.mean - 5.5).abs() < 1e-12);
+    // Nearest-rank: p50 is the 5th of 10 values, p95 the 10th.
+    assert_eq!(s.p50, 5);
+    assert_eq!(s.p95, 10);
+    assert_eq!(s.max, 10);
+
+    qwm_obs::reset();
+    for _ in 0..99 {
+        h.record(2);
+    }
+    h.record(9);
+    let s = h.summary();
+    assert_eq!(s.p50, 2);
+    assert_eq!(s.p95, 2); // rank 95 of 100 still falls in the 2-bucket
+    assert_eq!(s.max, 9);
+}
+
+#[test]
+fn empty_histogram_summary_is_zeroed() {
+    let _g = obs_lock();
+    static BOUNDS: &[u64] = &[1, 2];
+    let h = histogram!("test.hist.empty", BOUNDS);
+    let s = h.summary();
+    assert_eq!((s.count, s.p50, s.p95, s.max), (0, 0, 0, 0));
+    assert_eq!(s.mean, 0.0);
+}
+
+#[test]
+fn span_nesting_builds_hierarchical_paths() {
+    let _g = obs_lock();
+    {
+        let _outer = span!("test_outer");
+        {
+            let _inner = span!("test_inner");
+        }
+    }
+    let outer = qwm_obs::span_stats("test_outer").expect("outer span recorded");
+    let inner = qwm_obs::span_stats("test_outer/test_inner").expect("nested path recorded");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 1);
+    assert!(outer.total_ns >= inner.total_ns);
+    // The bare inner name must not exist as a root path.
+    assert!(qwm_obs::span_stats("test_inner").is_none());
+}
+
+#[test]
+fn span_aggregation_under_concurrent_threads() {
+    let _g = obs_lock();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    let _outer = span!("test_mt_outer");
+                    let _inner = span!("test_mt_inner");
+                }
+            });
+        }
+    });
+    let outer = qwm_obs::span_stats("test_mt_outer").expect("outer recorded");
+    let inner = qwm_obs::span_stats("test_mt_outer/test_mt_inner").expect("inner recorded");
+    assert_eq!(outer.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(inner.count, THREADS as u64 * PER_THREAD);
+    assert!(outer.max_ns <= outer.total_ns);
+}
+
+#[test]
+fn off_mode_is_a_no_op() {
+    let _g = obs_lock();
+    qwm_obs::set_mode(ObsMode::Off);
+    let c = counter!("test.off.counter");
+    static BOUNDS: &[u64] = &[1, 2];
+    let h = histogram!("test.off.hist", BOUNDS);
+    c.add(5);
+    h.record(1);
+    {
+        let _s = span!("test_off_span");
+    }
+    qwm_obs::warn("test.off.event").field("k", 1).emit();
+    assert_eq!(c.value(), 0);
+    assert_eq!(h.summary().count, 0);
+    assert!(qwm_obs::span_stats("test_off_span").is_none());
+    assert!(qwm_obs::recent_events().is_empty());
+    assert_eq!(qwm_obs::render(ObsMode::Off), "");
+}
+
+#[test]
+fn events_are_buffered_with_fields() {
+    let _g = obs_lock();
+    qwm_obs::warn("test.evt.warn")
+        .field("stage", "inv1")
+        .field("t", 1.5e-9)
+        .emit();
+    qwm_obs::error("test.evt.error").emit();
+    let events = qwm_obs::recent_events();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].what, "test.evt.warn");
+    assert_eq!(events[0].fields[0], ("stage", "inv1".to_string()));
+    assert_eq!(events[1].level, qwm_obs::Level::Error);
+    assert_eq!(qwm_obs::counter_value("obs.events.warn"), Some(1));
+    assert_eq!(qwm_obs::counter_value("obs.events.error"), Some(1));
+}
+
+#[test]
+fn json_rendering_golden() {
+    let _g = obs_lock();
+    counter!("test.golden.counter").add(7);
+    static BOUNDS: &[u64] = &[10, 100];
+    let h = histogram!("test.golden.hist", BOUNDS);
+    h.record(4);
+    h.record(8);
+    qwm_obs::warn("test.golden.event")
+        .field("node", "n\"1")
+        .field("count", 3)
+        .emit();
+
+    let text = qwm_obs::render(ObsMode::Json);
+    // The registry is shared with other tests, so compare only this
+    // test's uniquely-prefixed lines.
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("test.golden."))
+        .collect();
+    assert_eq!(
+        lines,
+        vec![
+            "{\"type\":\"counter\",\"name\":\"test.golden.counter\",\"value\":7}",
+            "{\"type\":\"histogram\",\"name\":\"test.golden.hist\",\"count\":2,\"mean\":6.000,\"p50\":8,\"p95\":8,\"max\":8}",
+            "{\"type\":\"event\",\"level\":\"warn\",\"what\":\"test.golden.event\",\"node\":\"n\\\"1\",\"count\":3}",
+        ]
+    );
+}
+
+#[test]
+fn summary_rendering_lists_active_metrics() {
+    let _g = obs_lock();
+    counter!("test.render.counter").add(3);
+    {
+        let _s = span!("test_render_span");
+    }
+    let text = qwm_obs::render(ObsMode::Summary);
+    assert!(text.contains("qwm-obs telemetry"));
+    assert!(text.contains("test.render.counter"));
+    assert!(text.contains("test_render_span"));
+    // Zero-valued entries from other tests' registrations are skipped.
+    assert!(!text.contains("test.off.counter"));
+}
+
+#[test]
+fn reset_clears_values_but_keeps_registration() {
+    let _g = obs_lock();
+    let c = counter!("test.reset.counter");
+    c.add(9);
+    qwm_obs::reset();
+    assert_eq!(qwm_obs::counter_value("test.reset.counter"), Some(0));
+    c.add(2);
+    assert_eq!(c.value(), 2);
+}

@@ -84,6 +84,7 @@ pub fn simulate_adaptive(
         });
     }
     let start = Instant::now();
+    let _span = qwm_obs::span!("spice.simulate_adaptive");
     let vdd = models.tech().vdd;
     let mut t = 0.0;
     let mut h = config.base.step.clamp(config.h_min, config.h_max);
@@ -123,12 +124,16 @@ pub fn simulate_adaptive(
             if lte < 0.25 * config.lte_target {
                 h = (h * 2.0).min(config.h_max);
             }
+            qwm_obs::counter!("spice.adaptive.accepted").incr();
         } else {
             h = (h * 0.5).max(config.h_min);
+            qwm_obs::counter!("spice.adaptive.rejected").incr();
         }
     }
 
     let (iterations, factorizations) = stepper.counters();
+    qwm_obs::counter!("spice.nr_iterations").add(iterations as u64);
+    qwm_obs::counter!("spice.factorizations").add(factorizations as u64);
     Ok(TransientResult {
         times,
         voltages: volts,
@@ -152,17 +157,26 @@ mod tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let stage = cells::nmos_stack(&tech, &[1.5e-6; 4], cells::DEFAULT_LOAD).unwrap();
-        let inputs: Vec<Waveform> = (0..4)
-            .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
-            .collect();
+        let inputs: Vec<Waveform> = (0..4).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
         let init = initial_uniform(&stage, &models, tech.vdd);
         let out = stage.node_by_name("out").unwrap();
 
-        let fixed = simulate(&stage, &models, &inputs, &init, &TransientConfig::hspice_1ps(400e-12))
-            .unwrap();
-        let adaptive =
-            simulate_adaptive(&stage, &models, &inputs, &init, &AdaptiveConfig::new(400e-12))
-                .unwrap();
+        let fixed = simulate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            &TransientConfig::hspice_1ps(400e-12),
+        )
+        .unwrap();
+        let adaptive = simulate_adaptive(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            &AdaptiveConfig::new(400e-12),
+        )
+        .unwrap();
         let df = fixed
             .waveform(out)
             .unwrap()
@@ -189,8 +203,14 @@ mod tests {
         let stage = cells::inverter(&tech, cells::DEFAULT_LOAD).unwrap();
         let inputs = vec![Waveform::step(50e-12, 0.0, tech.vdd)];
         let init = initial_uniform(&stage, &models, tech.vdd);
-        let r = simulate_adaptive(&stage, &models, &inputs, &init, &AdaptiveConfig::new(300e-12))
-            .unwrap();
+        let r = simulate_adaptive(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            &AdaptiveConfig::new(300e-12),
+        )
+        .unwrap();
         // Largest step in the quiet pre-transition stretch exceeds the
         // smallest step during the edge.
         let steps: Vec<f64> = r.times.windows(2).map(|w| w[1] - w[0]).collect();

@@ -80,7 +80,11 @@ pub fn dc_transfer(
     if held.len() != stage.inputs().len() {
         return Err(NumError::InvalidInput {
             context: "dc_transfer",
-            detail: format!("{} held values for {} inputs", held.len(), stage.inputs().len()),
+            detail: format!(
+                "{} held values for {} inputs",
+                held.len(),
+                stage.inputs().len()
+            ),
         });
     }
     if swept_input >= stage.inputs().len() || points < 2 {
@@ -183,8 +187,14 @@ mod tests {
         let stage = cells::nmos_stack(&tech, &[2e-6], 20e-15).unwrap();
         let inputs = vec![Waveform::step(0.0, 0.0, tech.vdd)];
         let init = initial_uniform(&stage, &models, tech.vdd);
-        let r = simulate(&stage, &models, &inputs, &init, &TransientConfig::hspice_1ps(1e-9))
-            .unwrap();
+        let r = simulate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            &TransientConfig::hspice_1ps(1e-9),
+        )
+        .unwrap();
         let out = stage.node_by_name("out").unwrap();
         let e = node_switching_energy(&r, &stage, &models, out).unwrap();
         // Scale check: ½·C·Vdd² with C ≈ 25 fF ⇒ ~0.14 pJ band.

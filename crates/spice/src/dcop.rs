@@ -45,14 +45,17 @@ impl NonlinearSystem for DcSystem<'_> {
         for (ei, edge) in self.stage.edges().iter().enumerate() {
             let tv = self.stage.edge_voltages(EdgeId(ei), &v, self.input_v);
             let i = match edge.kind {
-                DeviceKind::Nmos => self.models.for_polarity(Polarity::Nmos).iv(&edge.geom, tv)?,
-                DeviceKind::Pmos => self.models.for_polarity(Polarity::Pmos).iv(&edge.geom, tv)?,
+                DeviceKind::Nmos => self
+                    .models
+                    .for_polarity(Polarity::Nmos)
+                    .iv(&edge.geom, tv)?,
+                DeviceKind::Pmos => self
+                    .models
+                    .for_polarity(Polarity::Pmos)
+                    .iv(&edge.geom, tv)?,
                 DeviceKind::Wire => {
-                    let r = qwm_device::caps::wire_res(
-                        self.models.tech(),
-                        edge.geom.w,
-                        edge.geom.l,
-                    );
+                    let r =
+                        qwm_device::caps::wire_res(self.models.tech(), edge.geom.w, edge.geom.l);
                     (tv.src - tv.snk) / r
                 }
             };
@@ -94,11 +97,7 @@ impl NonlinearSystem for DcSystem<'_> {
                 }
                 DeviceKind::Wire => {
                     let g = 1.0
-                        / qwm_device::caps::wire_res(
-                            self.models.tech(),
-                            edge.geom.w,
-                            edge.geom.l,
-                        );
+                        / qwm_device::caps::wire_res(self.models.tech(), edge.geom.w, edge.geom.l);
                     (g, -g, 0.0)
                 }
             };

@@ -136,7 +136,13 @@ impl TransientResult {
                 context: "TransientResult::waveform",
                 detail: format!("node {} out of range", node.0),
             })?;
-        Waveform::from_samples(self.times.iter().copied().zip(samples.iter().copied()).collect())
+        Waveform::from_samples(
+            self.times
+                .iter()
+                .copied()
+                .zip(samples.iter().copied())
+                .collect(),
+        )
     }
 
     /// The discharge/charge current waveform `I_k = C_k · dV_k/dt` at a
@@ -236,6 +242,7 @@ pub fn simulate(
     }
 
     let start = Instant::now();
+    let _span = qwm_obs::span!("spice.simulate");
     let mut stepper = Stepper::new(stage, models, inputs, config)?;
     let mut node_v: Vec<f64> = initial.to_vec();
     node_v[stage.source().0] = models.tech().vdd;
@@ -271,6 +278,9 @@ pub fn simulate(
     }
 
     let (total_iterations, factorizations) = stepper.counters();
+    qwm_obs::counter!("spice.steps").add(steps as u64);
+    qwm_obs::counter!("spice.nr_iterations").add(total_iterations as u64);
+    qwm_obs::counter!("spice.factorizations").add(factorizations as u64);
     Ok(TransientResult {
         times,
         voltages: volts,
@@ -367,7 +377,11 @@ impl<'a> Stepper<'a> {
         let mut input_slope = vec![0.0; self.inputs.len()];
         for (k, w) in self.inputs.iter().enumerate() {
             input_v[k] = w.value(t);
-            input_slope[k] = if config.gate_coupling { w.slope(t) } else { 0.0 };
+            input_slope[k] = if config.gate_coupling {
+                w.slope(t)
+            } else {
+                0.0
+            };
         }
         // Node caps at beginning-of-step voltages.
         let caps: Vec<f64> = self
@@ -413,7 +427,11 @@ impl<'a> Stepper<'a> {
             }
             // Solve J δ = resid.
             let use_chord = config.iteration == IterationScheme::SuccessiveChords;
-            let reusable = if use_chord && iter > 0 { chord.clone() } else { None };
+            let reusable = if use_chord && iter > 0 {
+                chord.clone()
+            } else {
+                None
+            };
             let lu = if let Some(f) = reusable {
                 f
             } else {
@@ -546,16 +564,19 @@ fn stamp_jacobian(
         let tv = stage.edge_voltages(qwm_circuit::stage::EdgeId(ei), node_v, input_v);
         let (d_src, d_snk, d_gate) = match edge.kind {
             DeviceKind::Nmos => {
-                let e = models.for_polarity(Polarity::Nmos).iv_eval(&edge.geom, tv)?;
+                let e = models
+                    .for_polarity(Polarity::Nmos)
+                    .iv_eval(&edge.geom, tv)?;
                 (e.d_src, e.d_snk, e.d_input)
             }
             DeviceKind::Pmos => {
-                let e = models.for_polarity(Polarity::Pmos).iv_eval(&edge.geom, tv)?;
+                let e = models
+                    .for_polarity(Polarity::Pmos)
+                    .iv_eval(&edge.geom, tv)?;
                 (e.d_src, e.d_snk, e.d_input)
             }
             DeviceKind::Wire => {
-                let g = 1.0
-                    / qwm_device::caps::wire_res(models.tech(), edge.geom.w, edge.geom.l);
+                let g = 1.0 / qwm_device::caps::wire_res(models.tech(), edge.geom.w, edge.geom.l);
                 (g, -g, 0.0)
             }
         };
@@ -616,7 +637,11 @@ mod tests {
         let out = inv.node_by_name("out").unwrap();
         let w = r.waveform(out).unwrap();
         assert!(w.value(0.0) > 3.0);
-        assert!(w.final_value() < 0.1, "output settles low: {}", w.final_value());
+        assert!(
+            w.final_value() < 0.1,
+            "output settles low: {}",
+            w.final_value()
+        );
         assert!(w.crossing(tech.vdd / 2.0, false).is_some());
         assert!(r.iterations > 0);
     }
@@ -631,7 +656,11 @@ mod tests {
         let r = simulate(&inv, &models, &inputs, &init, &cfg).unwrap();
         let out = inv.node_by_name("out").unwrap();
         let w = r.waveform(out).unwrap();
-        assert!(w.final_value() > 3.2, "output settles high: {}", w.final_value());
+        assert!(
+            w.final_value() > 3.2,
+            "output settles high: {}",
+            w.final_value()
+        );
     }
 
     #[test]
@@ -663,9 +692,22 @@ mod tests {
             .collect();
         let init = initial_uniform(&g, &models, tech.vdd);
         let out = g.node_by_name("out").unwrap();
-        let r1 = simulate(&g, &models, &inputs, &init, &TransientConfig::hspice_1ps(1e-9)).unwrap();
-        let r10 =
-            simulate(&g, &models, &inputs, &init, &TransientConfig::hspice_10ps(1e-9)).unwrap();
+        let r1 = simulate(
+            &g,
+            &models,
+            &inputs,
+            &init,
+            &TransientConfig::hspice_1ps(1e-9),
+        )
+        .unwrap();
+        let r10 = simulate(
+            &g,
+            &models,
+            &inputs,
+            &init,
+            &TransientConfig::hspice_10ps(1e-9),
+        )
+        .unwrap();
         let d1 = r1.waveform(out).unwrap().crossing(1.65, false).unwrap();
         let d10 = r10.waveform(out).unwrap().crossing(1.65, false).unwrap();
         assert!(
@@ -747,10 +789,7 @@ mod tests {
         assert!(simulate(&inv, &models, &[], &init, &cfg).is_err());
         let inputs = vec![Waveform::constant(0.0)];
         assert!(simulate(&inv, &models, &inputs, &[1.0], &cfg).is_err());
-        let bad = TransientConfig {
-            step: 0.0,
-            ..cfg
-        };
+        let bad = TransientConfig { step: 0.0, ..cfg };
         assert!(simulate(&inv, &models, &inputs, &init, &bad).is_err());
     }
 

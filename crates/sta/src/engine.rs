@@ -30,6 +30,10 @@ pub struct TimingReport {
     pub critical_path: Vec<StageId>,
     /// Number of stage-delay evaluations performed for this report.
     pub evaluations: usize,
+    /// Stage evaluations that failed and were skipped (waveform-accurate
+    /// analysis only; always zero for the cached delay/slew flows, whose
+    /// evaluator errors propagate instead of being skipped).
+    pub waveform_failures: usize,
 }
 
 /// The timing engine: owns the netlist, the stage graph and the
@@ -44,6 +48,7 @@ pub struct StaEngine<'m> {
     /// Cached (delay, slew) per (evaluator, stage, packed out/slew key).
     slew_cache: HashMap<(&'static str, usize, usize), (f64, f64)>,
     evaluations: usize,
+    waveform_failures: usize,
 }
 
 impl<'m> StaEngine<'m> {
@@ -91,6 +96,7 @@ impl<'m> StaEngine<'m> {
             delay_cache: HashMap::new(),
             slew_cache: HashMap::new(),
             evaluations: 0,
+            waveform_failures: 0,
         })
     }
 
@@ -109,6 +115,12 @@ impl<'m> StaEngine<'m> {
         self.evaluations
     }
 
+    /// Waveform-accurate stage evaluations that failed and were skipped
+    /// so far (across all [`Self::run_waveform`] calls).
+    pub fn total_waveform_failures(&self) -> usize {
+        self.waveform_failures
+    }
+
     fn stage_output_delay(
         &mut self,
         evaluator: &dyn StageEvaluator,
@@ -116,6 +128,7 @@ impl<'m> StaEngine<'m> {
         out_pos: usize,
     ) -> Result<f64> {
         if let Some(&d) = self.delay_cache.get(&(evaluator.name(), sid.0, out_pos)) {
+            qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(d);
         }
         let part = self.graph.stage(sid);
@@ -129,7 +142,9 @@ impl<'m> StaEngine<'m> {
             })?;
         let d = evaluator.delay(&part.stage, self.models, node, self.direction)?;
         self.evaluations += 1;
-        self.delay_cache.insert((evaluator.name(), sid.0, out_pos), d);
+        qwm_obs::counter!("sta.evaluations").incr();
+        self.delay_cache
+            .insert((evaluator.name(), sid.0, out_pos), d);
         Ok(d)
     }
 
@@ -139,6 +154,7 @@ impl<'m> StaEngine<'m> {
     ///
     /// Propagates evaluator failures.
     pub fn run(&mut self, evaluator: &dyn StageEvaluator) -> Result<TimingReport> {
+        let _span = qwm_obs::span!("sta.run");
         let evals_before = self.evaluations;
         let mut arrivals: HashMap<NetId, f64> = HashMap::new();
         let mut pred: HashMap<NetId, StageId> = HashMap::new();
@@ -203,6 +219,7 @@ impl<'m> StaEngine<'m> {
             worst,
             critical_path,
             evaluations: self.evaluations - evals_before,
+            waveform_failures: 0,
         })
     }
 
@@ -222,6 +239,7 @@ impl<'m> StaEngine<'m> {
         evaluator: &dyn StageEvaluator,
         input_slew: f64,
     ) -> Result<TimingReport> {
+        let _span = qwm_obs::span!("sta.run_with_slew");
         let evals_before = self.evaluations;
         let mut arrivals: HashMap<NetId, f64> = HashMap::new();
         let mut slews: HashMap<NetId, f64> = HashMap::new();
@@ -241,13 +259,16 @@ impl<'m> StaEngine<'m> {
                         slews.get(n).copied().unwrap_or(input_slew),
                     )
                 })
-                .fold((0.0_f64, input_slew), |acc, (a, s)| {
-                    if a > acc.0 {
-                        (a, s)
-                    } else {
-                        acc
-                    }
-                });
+                .fold(
+                    (0.0_f64, input_slew),
+                    |acc, (a, s)| {
+                        if a > acc.0 {
+                            (a, s)
+                        } else {
+                            acc
+                        }
+                    },
+                );
             let out_count = self.graph.stage(sid).output_nets.len();
             for pos in 0..out_count {
                 let m = self.stage_output_timing(evaluator, sid, pos, launch_slew)?;
@@ -297,6 +318,7 @@ impl<'m> StaEngine<'m> {
             worst,
             critical_path,
             evaluations: self.evaluations - evals_before,
+            waveform_failures: 0,
         })
     }
 
@@ -319,6 +341,7 @@ impl<'m> StaEngine<'m> {
         evaluator: &dyn StageEvaluator,
         input_slew: f64,
     ) -> Result<(TimingReport, TimingReport)> {
+        let _span = qwm_obs::span!("sta.run_dual");
         let evals_before = self.evaluations;
         // (arrival, slew) per net per transition.
         let mut fall: HashMap<NetId, (f64, f64)> = HashMap::new();
@@ -332,16 +355,16 @@ impl<'m> StaEngine<'m> {
             let input_nets = self.graph.stage(sid).input_nets.clone();
             // Latest input rise drives the output fall, and vice versa.
             let launch_of = |m: &HashMap<NetId, (f64, f64)>| {
-                input_nets
-                    .iter()
-                    .filter_map(|n| m.get(n).copied())
-                    .fold((0.0_f64, input_slew), |acc, (a, s)| {
+                input_nets.iter().filter_map(|n| m.get(n).copied()).fold(
+                    (0.0_f64, input_slew),
+                    |acc, (a, s)| {
                         if a > acc.0 {
                             (a, s)
                         } else {
                             acc
                         }
-                    })
+                    },
+                )
             };
             let (launch_fall, slew_for_fall) = launch_of(&rise);
             let (launch_rise, slew_for_rise) = launch_of(&fall);
@@ -388,6 +411,7 @@ impl<'m> StaEngine<'m> {
                 worst,
                 critical_path: Vec::new(),
                 evaluations,
+                waveform_failures: 0,
             }
         };
         Ok((mk_report(&fall), mk_report(&rise)))
@@ -417,6 +441,7 @@ impl<'m> StaEngine<'m> {
         use qwm_circuit::waveform::Waveform;
         use qwm_core::evaluate::evaluate;
 
+        let _span = qwm_obs::span!("sta.run_waveform");
         let vdd = self.models.tech().vdd;
         // Per net per transition: (50% crossing time, full waveform).
         let mut fall: HashMap<NetId, (f64, Waveform)> = HashMap::new();
@@ -441,9 +466,7 @@ impl<'m> StaEngine<'m> {
                     let Some((_, (t50, wf))) = part_inputs
                         .iter()
                         .filter_map(|n| drivers.get(n).map(|d| (n, d)))
-                        .max_by(|a, b| {
-                            a.1 .0.partial_cmp(&b.1 .0).expect("finite crossings")
-                        })
+                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite crossings"))
                     else {
                         continue;
                     };
@@ -459,11 +482,9 @@ impl<'m> StaEngine<'m> {
                         })?;
                     // Sensitize the worst chain; gating inputs get the
                     // real driving waveform, others stay inactive.
-                    let Ok(chain) = qwm_core::chain::Chain::extract_worst(
-                        &part.stage,
-                        node,
-                        direction,
-                    ) else {
+                    let Ok(chain) =
+                        qwm_core::chain::Chain::extract_worst(&part.stage, node, direction)
+                    else {
                         continue;
                     };
                     let gating = chain.gating_inputs();
@@ -485,12 +506,10 @@ impl<'m> StaEngine<'m> {
                         TransitionKind::Rise => 0.0,
                     };
                     let init: Vec<f64> = (0..part.stage.node_count())
-                        .map(|i| {
-                            match part.stage.node(qwm_circuit::NodeId(i)).kind {
-                                qwm_circuit::NodeKind::Supply => vdd,
-                                qwm_circuit::NodeKind::Ground => 0.0,
-                                qwm_circuit::NodeKind::Internal => v_init,
-                            }
+                        .map(|i| match part.stage.node(qwm_circuit::NodeId(i)).kind {
+                            qwm_circuit::NodeKind::Supply => vdd,
+                            qwm_circuit::NodeKind::Ground => 0.0,
+                            qwm_circuit::NodeKind::Internal => v_init,
                         })
                         .collect();
                     let r = match evaluate(
@@ -504,20 +523,23 @@ impl<'m> StaEngine<'m> {
                     ) {
                         Ok(r) => r,
                         Err(e) => {
-                            if std::env::var("QWM_DEBUG").is_ok() {
-                                eprintln!("run_waveform: stage {sid:?} dir {direction:?}: {e}");
-                            }
+                            self.waveform_failures += 1;
+                            qwm_obs::counter!("sta.waveform_failures").incr();
+                            qwm_obs::warn("sta.run_waveform.eval_failed")
+                                .field("stage", sid.0)
+                                .field("direction", format!("{direction:?}"))
+                                .field("error", e)
+                                .emit();
                             continue;
                         }
                     };
                     self.evaluations += 1;
+                    qwm_obs::counter!("sta.evaluations").incr();
                     let Ok(out_wf) = r.output_waveform().to_waveform(2) else {
                         continue;
                     };
-                    let Some(t_out) = out_wf.crossing(
-                        vdd / 2.0,
-                        direction == TransitionKind::Rise,
-                    ) else {
+                    let Some(t_out) = out_wf.crossing(vdd / 2.0, direction == TransitionKind::Rise)
+                    else {
                         continue;
                     };
                     let _ = t50; // arrival carried in absolute time by t_out
@@ -549,13 +571,18 @@ impl<'m> StaEngine<'m> {
         direction: TransitionKind,
     ) -> Result<TimingMetrics> {
         let slew_key = (input_slew / 1e-12).round() as usize;
-        let dir_tag = if direction == TransitionKind::Rise { 1 } else { 0 };
+        let dir_tag = if direction == TransitionKind::Rise {
+            1
+        } else {
+            0
+        };
         let key = (
             evaluator.name(),
             sid.0,
             (out_pos * 1_000_003 + slew_key) * 2 + dir_tag,
         );
         if let Some(&d) = self.slew_cache.get(&key) {
+            qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(TimingMetrics {
                 delay: d.0,
                 slew: d.1,
@@ -578,6 +605,7 @@ impl<'m> StaEngine<'m> {
             slew_key as f64 * 1e-12,
         )?;
         self.evaluations += 1;
+        qwm_obs::counter!("sta.evaluations").incr();
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }
@@ -593,6 +621,7 @@ impl<'m> StaEngine<'m> {
         let slew_key = (input_slew / 1e-12).round() as usize;
         let key = (evaluator.name(), sid.0, out_pos * 1_000_003 + slew_key);
         if let Some(&d) = self.slew_cache.get(&key) {
+            qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(TimingMetrics {
                 delay: d.0,
                 slew: d.1,
@@ -615,6 +644,7 @@ impl<'m> StaEngine<'m> {
             slew_key as f64 * 1e-12,
         )?;
         self.evaluations += 1;
+        qwm_obs::counter!("sta.evaluations").incr();
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }
@@ -634,22 +664,17 @@ impl<'m> StaEngine<'m> {
                 detail: format!("width {w}"),
             });
         }
-        let sid = self
-            .graph
-            .stage_of_device(device_index)
-            .ok_or_else(|| NumError::InvalidInput {
-                context: "StaEngine::resize_device",
-                detail: format!("device {device_index} not found"),
-            })?;
+        let sid =
+            self.graph
+                .stage_of_device(device_index)
+                .ok_or_else(|| NumError::InvalidInput {
+                    context: "StaEngine::resize_device",
+                    detail: format!("device {device_index} not found"),
+                })?;
         // Update both the netlist record and the partitioned stage edge.
         let (geom, old_geom, gate_net, polarity) = {
             let d = &self.netlist.devices()[device_index];
-            (
-                Geometry { w, ..d.geom },
-                d.geom,
-                d.gate,
-                d.kind.polarity(),
-            )
+            (Geometry { w, ..d.geom }, d.geom, d.gate, d.kind.polarity())
         };
         self.netlist.set_device_geometry(device_index, geom)?;
         let part = &mut self.graph_mut().partitions_mut()[sid.0];
@@ -658,8 +683,7 @@ impl<'m> StaEngine<'m> {
             .iter()
             .position(|&d| d == device_index)
             .expect("device is in its stage");
-        part.stage
-            .set_edge_geometry(qwm_circuit::EdgeId(pos), geom);
+        part.stage.set_edge_geometry(qwm_circuit::EdgeId(pos), geom);
         // Invalidate that stage's cached delays.
         self.delay_cache.retain(|&(_, s, _), _| s != sid.0);
         self.slew_cache.retain(|&(_, s, _), _| s != sid.0);
@@ -750,7 +774,10 @@ mod tests {
             "the touched stage and its (re-loaded) driver re-evaluate"
         );
         let after = incr.worst.unwrap().1;
-        assert!(after < before, "upsizing sped the path up: {after} vs {before}");
+        assert!(
+            after < before,
+            "upsizing sped the path up: {after} vs {before}"
+        );
     }
 
     #[test]
@@ -877,15 +904,16 @@ mod dual_tests {
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 3, 10e-15);
         let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
-        let (fall, rise) = engine
-            .run_dual(&QwmEvaluator::default(), 5e-12)
-            .unwrap();
+        let (fall, rise) = engine.run_dual(&QwmEvaluator::default(), 5e-12).unwrap();
         let out = engine.netlist().find_net("n3").unwrap();
         let (af, ar) = (fall.arrivals[&out], rise.arrivals[&out]);
         assert!(af > 0.0 && ar > 0.0);
         // The wp = 2·wn inverter is not perfectly balanced: the two
         // polarities must differ measurably.
-        assert!((af - ar).abs() / af.max(ar) > 0.02, "fall {af} vs rise {ar}");
+        assert!(
+            (af - ar).abs() / af.max(ar) > 0.02,
+            "fall {af} vs rise {ar}"
+        );
         // Slews populated for both.
         assert!(fall.slews[&out] > 0.0);
         assert!(rise.slews[&out] > 0.0);

@@ -192,8 +192,17 @@ impl StageEvaluator for QwmEvaluator {
         output: NodeId,
         direction: TransitionKind,
     ) -> Result<f64> {
+        let _span = qwm_obs::span!("sta.eval.qwm");
         let (inputs, init, _chain) = sensitized_setup(stage, models, output, direction)?;
-        let r = evaluate(stage, models, &inputs, &init, output, direction, &self.config)?;
+        let r = evaluate(
+            stage,
+            models,
+            &inputs,
+            &init,
+            output,
+            direction,
+            &self.config,
+        )?;
         r.delay_50(models.tech().vdd, 0.0)
             .ok_or(NumError::InvalidInput {
                 context: "QwmEvaluator::delay",
@@ -209,16 +218,23 @@ impl StageEvaluator for QwmEvaluator {
         direction: TransitionKind,
         input_slew: f64,
     ) -> Result<TimingMetrics> {
+        let _span = qwm_obs::span!("sta.eval.qwm");
         let vdd = models.tech().vdd;
         let (inputs, init, t_ref) =
             sensitized_setup_with_slew(stage, models, output, direction, input_slew)?;
-        let r = evaluate(stage, models, &inputs, &init, output, direction, &self.config)?;
-        let delay = r
-            .delay_50(vdd, t_ref)
-            .ok_or(NumError::InvalidInput {
-                context: "QwmEvaluator::timing",
-                detail: "output never crossed 50%".to_string(),
-            })?;
+        let r = evaluate(
+            stage,
+            models,
+            &inputs,
+            &init,
+            output,
+            direction,
+            &self.config,
+        )?;
+        let delay = r.delay_50(vdd, t_ref).ok_or(NumError::InvalidInput {
+            context: "QwmEvaluator::timing",
+            detail: "output never crossed 50%".to_string(),
+        })?;
         let slew = r.slew(vdd).ok_or(NumError::InvalidInput {
             context: "QwmEvaluator::timing",
             detail: "output never crossed 10/90%".to_string(),
@@ -235,11 +251,7 @@ impl ElmoreEvaluator {
     /// Effective switched-on resistance of a transistor: the secant
     /// resistance `Vdd/2 ÷ I(Vds = Vdd/2, Vgs = Vdd)` of the conduction
     /// device, the textbook calibration.
-    fn effective_resistance(
-        models: &ModelSet,
-        kind: DeviceKind,
-        geom: &Geometry,
-    ) -> Result<f64> {
+    fn effective_resistance(models: &ModelSet, kind: DeviceKind, geom: &Geometry) -> Result<f64> {
         let vdd = models.tech().vdd;
         let (model, tv) = match kind {
             DeviceKind::Nmos => (
@@ -277,6 +289,7 @@ impl StageEvaluator for ElmoreEvaluator {
         output: NodeId,
         direction: TransitionKind,
     ) -> Result<f64> {
+        let _span = qwm_obs::span!("sta.eval.elmore");
         let chain = qwm_core::chain::Chain::extract_worst(stage, output, direction)?;
         let vdd = models.tech().vdd;
         // RC ladder: resistor k from the chain, cap at each chain node
@@ -320,6 +333,7 @@ impl StageEvaluator for SpiceEvaluator {
         output: NodeId,
         direction: TransitionKind,
     ) -> Result<f64> {
+        let _span = qwm_obs::span!("sta.eval.spice");
         let (inputs, init, _chain) = sensitized_setup(stage, models, output, direction)?;
         let vdd = models.tech().vdd;
         let mut cfg = self.config;
@@ -347,6 +361,7 @@ impl StageEvaluator for SpiceEvaluator {
         direction: TransitionKind,
         input_slew: f64,
     ) -> Result<TimingMetrics> {
+        let _span = qwm_obs::span!("sta.eval.spice");
         let vdd = models.tech().vdd;
         let (inputs, init, t_ref) =
             sensitized_setup_with_slew(stage, models, output, direction, input_slew)?;
@@ -467,7 +482,10 @@ mod tests {
         let dsr = SpiceEvaluator::default()
             .delay(&g, &models, out, TransitionKind::Rise)
             .unwrap();
-        assert!((dqr - dsr).abs() / dsr < 0.12, "rise qwm {dqr} vs spice {dsr}");
+        assert!(
+            (dqr - dsr).abs() / dsr < 0.12,
+            "rise qwm {dqr} vs spice {dsr}"
+        );
     }
 
     #[test]

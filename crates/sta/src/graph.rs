@@ -189,7 +189,11 @@ mod tests {
             let b = nl.find_net(&format!("n{}", i + 1)).unwrap();
             let sa = g.driver_of(a).unwrap();
             let sb = g.driver_of(b).unwrap();
-            assert!(pos[&sa.0] < pos[&sb.0], "stage for n{i} precedes n{}", i + 1);
+            assert!(
+                pos[&sa.0] < pos[&sb.0],
+                "stage for n{i} precedes n{}",
+                i + 1
+            );
         }
     }
 

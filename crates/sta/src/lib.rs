@@ -45,8 +45,8 @@ pub mod nldm;
 pub mod report;
 
 pub use engine::{StaEngine, TimingReport};
+pub use evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
+pub use graph::{StageGraph, StageId};
 pub use liberty::{write_liberty, LibertyArc, LibertyCell};
 pub use nldm::NldmTable;
 pub use report::format_report;
-pub use evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
-pub use graph::{StageGraph, StageId};

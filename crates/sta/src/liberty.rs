@@ -106,8 +106,16 @@ pub fn write_liberty(library_name: &str, cells: &[LibertyCell]) -> Result<String
             let _ = writeln!(out, "        related_pin : \"{}\";", a.related_pin);
             for (key, grid) in [(dkey, &a.table.delay), (skey, &a.table.out_slew)] {
                 let _ = writeln!(out, "        {key} ({tmpl}) {{");
-                let _ = writeln!(out, "          index_1 (\"{}\");", fmt_axis_ns(&a.table.slews));
-                let _ = writeln!(out, "          index_2 (\"{}\");", fmt_axis_pf(&a.table.loads));
+                let _ = writeln!(
+                    out,
+                    "          index_1 (\"{}\");",
+                    fmt_axis_ns(&a.table.slews)
+                );
+                let _ = writeln!(
+                    out,
+                    "          index_2 (\"{}\");",
+                    fmt_axis_pf(&a.table.loads)
+                );
                 let _ = writeln!(out, "          values ( \\");
                 for (i, row) in grid.iter().enumerate() {
                     let line = row
@@ -141,10 +149,8 @@ fn parse_number_lists(body: &str) -> Result<Vec<Vec<f64>>> {
             detail: "unterminated quote".to_string(),
         })?;
         let chunk = &after[..q1];
-        let nums: std::result::Result<Vec<f64>, _> = chunk
-            .split(',')
-            .map(|t| t.trim().parse::<f64>())
-            .collect();
+        let nums: std::result::Result<Vec<f64>, _> =
+            chunk.split(',').map(|t| t.trim().parse::<f64>()).collect();
         if let Ok(nums) = nums {
             if !nums.is_empty() {
                 lists.push(nums);
@@ -184,12 +190,11 @@ fn group_body(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
 /// Returns [`NumError::InvalidInput`] when the group or its numeric
 /// content cannot be found.
 pub fn read_table(text: &str, cell: &str, group_key: &str) -> Result<NldmTable> {
-    let (cell_body, _) = group_body(text, &format!("cell ({cell})"), 0).ok_or_else(|| {
-        NumError::InvalidInput {
+    let (cell_body, _) =
+        group_body(text, &format!("cell ({cell})"), 0).ok_or_else(|| NumError::InvalidInput {
             context: "liberty::read_table",
             detail: format!("cell {cell} not found"),
-        }
-    })?;
+        })?;
     let (grp, _) = group_body(&cell_body, group_key, 0).ok_or_else(|| NumError::InvalidInput {
         context: "liberty::read_table",
         detail: format!("group {group_key} not found"),

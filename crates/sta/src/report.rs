@@ -26,7 +26,11 @@ pub fn format_report(
     required: Option<f64>,
 ) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<8} {:<14} {:>12} {:>12}", "stage", "net", "incr[ps]", "arrival[ps]");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<14} {:>12} {:>12}",
+        "stage", "net", "incr[ps]", "arrival[ps]"
+    );
     let _ = writeln!(out, "{}", "-".repeat(50));
     let mut prev_arrival = 0.0;
     for &sid in &report.critical_path {
@@ -59,7 +63,12 @@ pub fn format_report(
         if let Some(req) = required {
             let slack = req - arrival;
             let flag = if slack < 0.0 { "  (VIOLATED)" } else { "" };
-            let _ = writeln!(out, "slack {:+.2} ps vs required {:.2} ps{flag}", slack * 1e12, req * 1e12);
+            let _ = writeln!(
+                out,
+                "slack {:+.2} ps vs required {:.2} ps{flag}",
+                slack * 1e12,
+                req * 1e12
+            );
         }
     }
     out
@@ -115,15 +124,12 @@ mod tests {
         let arrivals: Vec<f64> = s
             .lines()
             .filter(|l| l.starts_with('#'))
-            .map(|l| {
-                l.split_whitespace()
-                    .last()
-                    .unwrap()
-                    .parse::<f64>()
-                    .unwrap()
-            })
+            .map(|l| l.split_whitespace().last().unwrap().parse::<f64>().unwrap())
             .collect();
         assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
-        assert!((arrivals.last().unwrap() - worst * 1e12).abs() < 0.01, "printed values are %.2f ps");
+        assert!(
+            (arrivals.last().unwrap() - worst * 1e12).abs() < 0.01,
+            "printed values are %.2f ps"
+        );
     }
 }

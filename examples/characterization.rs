@@ -54,7 +54,8 @@ fn main() -> Result<(), NumError> {
     let mut loaded = gate.clone();
     let node = loaded.node_by_name("out").unwrap();
     loaded.add_load(node, cl);
-    let direct = QwmEvaluator::default().timing(&loaded, &models, node, TransitionKind::Fall, sl)?;
+    let direct =
+        QwmEvaluator::default().timing(&loaded, &models, node, TransitionKind::Fall, sl)?;
     println!(
         "\noff-grid query (slew 12 ps, load 18 fF): table {:.2} ps vs direct QWM {:.2} ps ({:+.1}%)",
         m.delay * 1e12,
@@ -76,7 +77,13 @@ fn main() -> Result<(), NumError> {
     for k in 0..3 {
         let above = if k == 2 { x } else { b.node(&format!("n{k}")) };
         let input = b.input(&format!("a{k}"));
-        b.transistor(DeviceKind::Nmos, input, above, below, Geometry::new(wn, tech.l_min));
+        b.transistor(
+            DeviceKind::Nmos,
+            input,
+            above,
+            below,
+            Geometry::new(wn, tech.l_min),
+        );
         b.transistor(
             DeviceKind::Pmos,
             input,
@@ -87,7 +94,13 @@ fn main() -> Result<(), NumError> {
         below = above;
     }
     let en = b.input("en");
-    b.transistor(DeviceKind::Nmos, en, far, x, Geometry::new(2.0 * tech.w_min, tech.l_min));
+    b.transistor(
+        DeviceKind::Nmos,
+        en,
+        far,
+        x,
+        Geometry::new(2.0 * tech.w_min, tech.l_min),
+    );
     b.load(far, far_cap);
     b.load(x, 2e-15);
     b.output(x);

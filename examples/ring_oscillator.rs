@@ -29,7 +29,10 @@ fn main() -> Result<(), NumError> {
     let mut init = vec![0.0; flat.stage.node_count()];
     init[flat.stage.source().0] = tech.vdd;
     for i in 0..stages {
-        let n = flat.stage.node_by_name(&format!("r{i}")).expect("ring node");
+        let n = flat
+            .stage
+            .node_by_name(&format!("r{i}"))
+            .expect("ring node");
         init[n.0] = if i % 2 == 0 { 0.2 } else { tech.vdd - 0.2 };
     }
 

@@ -64,7 +64,10 @@ fn main() -> Result<(), NumError> {
     }
 
     // Compare the crude switch-level estimate with QWM.
-    for evaluator in [&ElmoreEvaluator as &dyn StageEvaluator, &QwmEvaluator::default()] {
+    for evaluator in [
+        &ElmoreEvaluator as &dyn StageEvaluator,
+        &QwmEvaluator::default(),
+    ] {
         let report = engine.run(evaluator)?;
         let (net, arrival) = report.worst.expect("worst output");
         println!(

@@ -10,6 +10,10 @@
 //! the chosen per-stage evaluator (QWM by default) and prints the
 //! critical-path report. With `--slew` the analysis is slew-aware:
 //! measured output slews feed downstream stages.
+//!
+//! `--obs [summary|json]` (or the `QWM_OBS` environment variable)
+//! appends a telemetry report — spans, counters, solver histograms and
+//! buffered warn/error events — after the timing report.
 
 use qwm::circuit::parser::parse_netlist;
 use qwm::circuit::waveform::TransitionKind;
@@ -26,11 +30,12 @@ struct Options {
     slew: Option<f64>,
     required: Option<f64>,
     show_stages: bool,
+    obs: Option<qwm::obs::ObsMode>,
 }
 
 fn usage() -> &'static str {
     "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice] [--direction fall|rise]\n\
-     \u{20}          [--slew <ps>] [--required <ps>] [--stages]"
+     \u{20}          [--slew <ps>] [--required <ps>] [--stages] [--obs [summary|json]]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -40,7 +45,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut slew = None;
     let mut required = None;
     let mut show_stages = false;
-    let mut it = args.iter();
+    let mut obs = None;
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--evaluator" => {
@@ -73,6 +79,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 required = Some(v * 1e-12);
             }
             "--stages" => show_stages = true,
+            "--obs" => {
+                // Optional value: `--obs json` or bare `--obs` (summary).
+                obs = Some(match it.peek().map(|s| s.as_str()) {
+                    Some("summary") => {
+                        it.next();
+                        qwm::obs::ObsMode::Summary
+                    }
+                    Some("json") => {
+                        it.next();
+                        qwm::obs::ObsMode::Json
+                    }
+                    _ => qwm::obs::ObsMode::Summary,
+                });
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if deck.is_none() && !other.starts_with('-') => {
                 deck = Some(other.to_string());
@@ -87,10 +107,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         slew,
         required,
         show_stages,
+        obs,
     })
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    // `--obs` overrides the QWM_OBS environment variable; either must be
+    // in force *before* any instrumented work runs.
+    if let Some(mode) = opts.obs {
+        qwm::obs::set_mode(mode);
+    }
     let text = std::fs::read_to_string(&opts.deck)
         .map_err(|e| format!("cannot read {}: {e}", opts.deck))?;
     let netlist = parse_netlist(&text).map_err(|e| e.to_string())?;
@@ -100,8 +126,7 @@ fn run(opts: &Options) -> Result<(), String> {
     } else {
         analytic_models(&tech)
     };
-    let mut engine =
-        StaEngine::new(netlist, &models, opts.direction).map_err(|e| e.to_string())?;
+    let mut engine = StaEngine::new(netlist, &models, opts.direction).map_err(|e| e.to_string())?;
 
     println!(
         "{}: {} devices, {} stages, evaluator = {}",
@@ -149,9 +174,14 @@ fn run(opts: &Options) -> Result<(), String> {
     );
     if let Some((net, _)) = report.worst {
         if let Some(&slew) = report.slews.get(&net) {
-            println!("output slew {:.2} ps at {}", slew * 1e12, engine.netlist().net_name(net));
+            println!(
+                "output slew {:.2} ps at {}",
+                slew * 1e12,
+                engine.netlist().net_name(net)
+            );
         }
     }
+    qwm::obs::emit();
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! | [`interconnect`] | RC trees, moments, Elmore/D2M, AWE, π macromodels |
 //! | [`core`] | **QWM itself**: critical points, per-region algebraic solves, O(K) updates |
 //! | [`sta`] | static timing analysis over stage graphs with pluggable evaluators |
+//! | [`obs`] | zero-dependency telemetry: spans, counters, histograms, events (`QWM_OBS`) |
 //!
 //! # Quickstart
 //!
@@ -56,5 +57,6 @@ pub use qwm_core as core;
 pub use qwm_device as device;
 pub use qwm_interconnect as interconnect;
 pub use qwm_num as num;
+pub use qwm_obs as obs;
 pub use qwm_spice as spice;
 pub use qwm_sta as sta;

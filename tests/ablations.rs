@@ -43,8 +43,16 @@ fn dense_lu_and_bordered_give_identical_transients() {
             },
             ..QwmConfig::default()
         };
-        let r = evaluate(&stage, &models, &inputs, &init, out, TransitionKind::Fall, &cfg)
-            .unwrap();
+        let r = evaluate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            out,
+            TransitionKind::Fall,
+            &cfg,
+        )
+        .unwrap();
         delays.push(r.delay_50(tech.vdd, 0.0).unwrap());
     }
     let rel = (delays[0] - delays[1]).abs() / delays[1];
@@ -102,10 +110,18 @@ fn refined_preset_beats_default_on_the_hard_case() {
     let init = initial_uniform(&stage, &models, tech.vdd);
     let out = stage.node_by_name("out").unwrap();
     let run = |cfg: &QwmConfig| {
-        evaluate(&stage, &models, &inputs, &init, out, TransitionKind::Fall, cfg)
-            .unwrap()
-            .delay_50(tech.vdd, 0.0)
-            .unwrap()
+        evaluate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            out,
+            TransitionKind::Fall,
+            cfg,
+        )
+        .unwrap()
+        .delay_50(tech.vdd, 0.0)
+        .unwrap()
     };
     let d_plain = run(&QwmConfig::default());
     let d_refined = run(&QwmConfig::refined());
@@ -183,10 +199,22 @@ fn ten_ps_step_is_faster_but_less_accurate() {
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let (stage, inputs, init, out) = stack_setup(&tech, 6);
-    let r1 = simulate(&stage, &models, &inputs, &init, &TransientConfig::hspice_1ps(600e-12))
-        .unwrap();
-    let r10 = simulate(&stage, &models, &inputs, &init, &TransientConfig::hspice_10ps(600e-12))
-        .unwrap();
+    let r1 = simulate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_1ps(600e-12),
+    )
+    .unwrap();
+    let r10 = simulate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        &TransientConfig::hspice_10ps(600e-12),
+    )
+    .unwrap();
     assert!(r10.iterations < r1.iterations / 3);
     let d1 = r1.waveform(out).unwrap().crossing(1.65, false).unwrap();
     let d10 = r10.waveform(out).unwrap().crossing(1.65, false).unwrap();
@@ -231,10 +259,18 @@ fn waveform_order_two_improves_the_hard_case_further() {
     let init = initial_uniform(&stage, &models, tech.vdd);
     let out = stage.node_by_name("out").unwrap();
     let run = |cfg: &QwmConfig| {
-        evaluate(&stage, &models, &inputs, &init, out, TransitionKind::Fall, cfg)
-            .unwrap()
-            .delay_50(tech.vdd, 0.0)
-            .unwrap()
+        evaluate(
+            &stage,
+            &models,
+            &inputs,
+            &init,
+            out,
+            TransitionKind::Fall,
+            cfg,
+        )
+        .unwrap()
+        .delay_50(tech.vdd, 0.0)
+        .unwrap()
     };
     let d1 = run(&QwmConfig::default());
     let d2 = run(&QwmConfig::high_accuracy());
@@ -265,7 +301,16 @@ fn waveform_order_two_pieces_are_continuous() {
     let models = analytic_models(&tech);
     let (stage, inputs, init, out) = stack_setup(&tech, 5);
     let cfg = QwmConfig::high_accuracy();
-    let r = evaluate(&stage, &models, &inputs, &init, out, TransitionKind::Fall, &cfg).unwrap();
+    let r = evaluate(
+        &stage,
+        &models,
+        &inputs,
+        &init,
+        out,
+        TransitionKind::Fall,
+        &cfg,
+    )
+    .unwrap();
     for w in &r.waveforms {
         for pair in w.pieces().windows(2) {
             let v_end = pair[0].end_voltage();

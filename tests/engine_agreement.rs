@@ -8,8 +8,8 @@ use qwm::circuit::waveform::{TransitionKind, Waveform};
 use qwm::core::evaluate::{evaluate, QwmConfig};
 use qwm::device::model::ModelSet;
 use qwm::device::{analytic_models, tabular_models, Technology};
+use qwm::num::rng::Rng64;
 use qwm::spice::engine::{initial_uniform, simulate, TransientConfig};
-use proptest::prelude::*;
 
 fn fall_delay_pair(
     tech: &Technology,
@@ -93,9 +93,7 @@ fn rise_and_fall_are_both_supported() {
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let stack = cells::pmos_stack(&tech, &[3e-6; 3], cells::DEFAULT_LOAD).unwrap();
-    let inputs: Vec<Waveform> = (0..3)
-        .map(|_| Waveform::step(0.0, tech.vdd, 0.0))
-        .collect();
+    let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::step(0.0, tech.vdd, 0.0)).collect();
     let init = initial_uniform(&stack, &models, 0.0);
     let out = stack.node_by_name("out").unwrap();
     let q = evaluate(
@@ -148,9 +146,7 @@ fn qwm_waveforms_track_spice_pointwise() {
     let tech = Technology::cmosp35();
     let spice_models = analytic_models(&tech);
     let stack = cells::nmos_stack(&tech, &[2e-6; 4], cells::DEFAULT_LOAD).unwrap();
-    let inputs: Vec<Waveform> = (0..4)
-        .map(|_| Waveform::step(0.0, 0.0, tech.vdd))
-        .collect();
+    let inputs: Vec<Waveform> = (0..4).map(|_| Waveform::step(0.0, 0.0, tech.vdd)).collect();
     let init = initial_uniform(&stack, &spice_models, tech.vdd);
     let out = stack.node_by_name("out").unwrap();
     let q = evaluate(
@@ -182,26 +178,27 @@ fn qwm_waveforms_track_spice_pointwise() {
     assert!(max_err < 0.35, "max waveform deviation {max_err} V");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random stacks (the Table II population): the delay error against
-    /// the baseline stays within the paper's worst-case band.
-    #[test]
-    fn random_stack_delay_error_is_bounded(
-        widths in proptest::collection::vec(1.0f64..4.0, 2..7),
-        load_ff in 5.0f64..40.0,
-    ) {
-        let tech = Technology::cmosp35();
-        let spice_models = analytic_models(&tech);
-        let widths: Vec<f64> = widths.iter().map(|w| w * tech.w_min).collect();
+/// Random stacks (the Table II population): the delay error against
+/// the baseline stays within the paper's worst-case band.
+#[test]
+fn random_stack_delay_error_is_bounded() {
+    let tech = Technology::cmosp35();
+    let spice_models = analytic_models(&tech);
+    let mut rng = Rng64::seed_from_u64(0x57ac4);
+    for _ in 0..12 {
+        let k = rng.range_usize(2, 7);
+        let widths: Vec<f64> = (0..k).map(|_| rng.range(1.0, 4.0) * tech.w_min).collect();
+        let load_ff = rng.range(5.0, 40.0);
         let stack = cells::nmos_stack(&tech, &widths, load_ff * 1e-15).unwrap();
         // Paper-faithful evaluator: in-population errors run ~1%, but
         // minimum-width stacks under heavy loads reach ~9% (the method's
         // genuine worst case).
         let (dq, ds) = fall_delay_pair(&tech, &spice_models, &spice_models, &stack);
         let err = (dq - ds).abs() / ds;
-        prop_assert!(err < 0.10, "plain: widths {widths:?} qwm {dq:.3e} spice {ds:.3e} err {err:.3}");
+        assert!(
+            err < 0.10,
+            "plain: widths {widths:?} qwm {dq:.3e} spice {ds:.3e} err {err:.3}"
+        );
         // The refined evaluator bounds those worst cases much tighter.
         let (dq_r, _) = fall_delay_pair_with(
             &tech,
@@ -211,7 +208,10 @@ proptest! {
             &QwmConfig::refined(),
         );
         let err_r = (dq_r - ds).abs() / ds;
-        prop_assert!(err_r < 0.04, "refined: widths {widths:?} qwm {dq_r:.3e} spice {ds:.3e} err {err_r:.3}");
+        assert!(
+            err_r < 0.04,
+            "refined: widths {widths:?} qwm {dq_r:.3e} spice {ds:.3e} err {err_r:.3}"
+        );
     }
 }
 
@@ -261,8 +261,9 @@ fn staggered_input_arrivals() {
     );
     // The late g4 gate (40 ps) must appear among the committed events.
     assert!(
-        q.critical_points.iter().any(|c| (c.t - 40e-12).abs() < 2e-12
-            || (c.t - 41e-12).abs() < 2e-12),
+        q.critical_points
+            .iter()
+            .any(|c| (c.t - 40e-12).abs() < 2e-12 || (c.t - 41e-12).abs() < 2e-12),
         "g4's arrival bounds a region: {:?}",
         q.critical_points
     );
@@ -320,7 +321,10 @@ fn qwm_holds_on_a_scaled_technology() {
     let stack = cells::nmos_stack(&tech, &[2.0 * tech.w_min; 5], 8e-15).unwrap();
     let (dq, ds) = fall_delay_pair(&tech, &qwm_models, &spice_models, &stack);
     let err = (dq - ds).abs() / ds;
-    assert!(err < 0.05, "cmos018: qwm {dq:.3e} spice {ds:.3e} err {err:.3}");
+    assert!(
+        err < 0.05,
+        "cmos018: qwm {dq:.3e} spice {ds:.3e} err {err:.3}"
+    );
     // Lower supply, shorter channel: faster than the same stack at 3.3 V.
     let t35 = Technology::cmosp35();
     let m35 = analytic_models(&t35);

@@ -26,8 +26,14 @@ fn ring_oscillator_oscillates() {
         init[n.0] = if i % 2 == 0 { 0.2 } else { tech.vdd - 0.2 };
     }
     let horizon = 4e-9;
-    let r = simulate(&flat.stage, &models, &[], &init, &TransientConfig::hspice_1ps(horizon))
-        .unwrap();
+    let r = simulate(
+        &flat.stage,
+        &models,
+        &[],
+        &init,
+        &TransientConfig::hspice_1ps(horizon),
+    )
+    .unwrap();
     let out = flat.stage.node_by_name("r0").unwrap();
     let w = r.waveform(out).unwrap();
 
@@ -55,7 +61,12 @@ fn ring_oscillator_oscillates() {
         TransitionKind::Fall,
     )
     .unwrap();
-    let tp = engine.run(&QwmEvaluator::default()).unwrap().worst.unwrap().1;
+    let tp = engine
+        .run(&QwmEvaluator::default())
+        .unwrap()
+        .worst
+        .unwrap()
+        .1;
     let estimate = 2.0 * stages as f64 * tp;
     // The textbook 2·N·tp estimate uses fast-step, fall-only stage
     // delays; the real ring runs on its own slow slews and alternates
@@ -104,9 +115,7 @@ Cz z 0 10f
     // rise leg through the weaker PMOS is what single-direction STA
     // misses.
     let z_net = engine.netlist().find_net("z").unwrap();
-    let (fall_rep, _rise_rep) = engine
-        .run_dual(&QwmEvaluator::default(), 2e-12)
-        .unwrap();
+    let (fall_rep, _rise_rep) = engine.run_dual(&QwmEvaluator::default(), 2e-12).unwrap();
     let sta_arrival = fall_rep.arrivals[&z_net];
     let (fall_sp, _) = engine
         .run_dual(&qwm::sta::evaluator::SpiceEvaluator::default(), 2e-12)
@@ -137,9 +146,15 @@ Cz z 0 10f
         .expect("z falls");
     // Step-based STA underestimates the flat circuit badly (it ignores
     // the slow inter-stage slews)…
-    assert!(sta_step < flat_arrival, "step STA {sta_step:.3e} vs flat {flat_arrival:.3e}");
+    assert!(
+        sta_step < flat_arrival,
+        "step STA {sta_step:.3e} vs flat {flat_arrival:.3e}"
+    );
     // …dual slew-aware STA recovers most of the gap…
-    assert!(sta_arrival > 1.4 * sta_step, "dual STA sees the slew effect");
+    assert!(
+        sta_arrival > 1.4 * sta_step,
+        "dual STA sees the slew effect"
+    );
     let ratio = sta_arrival / flat_arrival;
     assert!(
         (0.7..1.1).contains(&ratio),
@@ -247,9 +262,7 @@ Cz z 0 10f
     );
 
     // And it beats the ramp-abstracted dual STA on this metric.
-    let (fall_dual, _) = engine
-        .run_dual(&QwmEvaluator::default(), 2e-12)
-        .unwrap();
+    let (fall_dual, _) = engine.run_dual(&QwmEvaluator::default(), 2e-12).unwrap();
     let err_dual = (fall_dual.arrivals[&z_net] - flat_arrival).abs() / flat_arrival;
     assert!(
         err < err_dual,

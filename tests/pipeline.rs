@@ -61,7 +61,12 @@ fn evaluators_rank_sanely_on_the_same_graph() {
     // Separate engines so the per-evaluator caches don't interact with
     // the assertion about evaluation counts.
     let mk = || {
-        StaEngine::new(parse_netlist(PATH_DECK).unwrap(), &models, TransitionKind::Fall).unwrap()
+        StaEngine::new(
+            parse_netlist(PATH_DECK).unwrap(),
+            &models,
+            TransitionKind::Fall,
+        )
+        .unwrap()
     };
     let evaluators: Vec<Box<dyn StageEvaluator>> = vec![
         Box::new(ElmoreEvaluator),
@@ -78,7 +83,10 @@ fn evaluators_rank_sanely_on_the_same_graph() {
     let spice = results.iter().find(|r| r.0 == "spice").unwrap().1;
     let qwm = results.iter().find(|r| r.0 == "qwm").unwrap().1;
     let elmore = results.iter().find(|r| r.0 == "elmore").unwrap().1;
-    assert!((qwm - spice).abs() / spice < 0.10, "qwm {qwm} vs spice {spice}");
+    assert!(
+        (qwm - spice).abs() / spice < 0.10,
+        "qwm {qwm} vs spice {spice}"
+    );
     assert!(elmore / spice > 0.2 && elmore / spice < 5.0);
 }
 
@@ -107,9 +115,12 @@ fn incremental_flow_matches_full_reanalysis() {
     let depth = 5;
 
     // Incremental: one engine, resize, re-run.
-    let mut engine =
-        StaEngine::new(inverter_chain(&tech, depth, 10e-15), &models, TransitionKind::Fall)
-            .unwrap();
+    let mut engine = StaEngine::new(
+        inverter_chain(&tech, depth, 10e-15),
+        &models,
+        TransitionKind::Fall,
+    )
+    .unwrap();
     engine.run(&QwmEvaluator::default()).unwrap();
     engine.resize_device(2 * 2, 2.5 * tech.w_min).unwrap(); // MN2
     let incr = engine.run(&QwmEvaluator::default()).unwrap();
@@ -161,7 +172,10 @@ Cy y 0 8f
     // single fused stage.
     let y = engine.netlist().find_net("y").unwrap();
     assert_eq!(r.worst.unwrap().0, y);
-    assert_eq!(r.evaluations, engine.graph().stage(r.critical_path[0]).output_nets.len());
+    assert_eq!(
+        r.evaluations,
+        engine.graph().stage(r.critical_path[0]).output_nets.len()
+    );
 }
 
 #[test]
@@ -178,9 +192,7 @@ fn decoder_tree_is_one_stage_with_all_leaves() {
     let report = engine.run(&QwmEvaluator::default()).unwrap();
     assert_eq!(report.evaluations, 8, "one evaluation per leaf");
     // The tree is symmetric: all leaf arrivals agree closely.
-    let arrivals: Vec<f64> = engine
-        .graph()
-        .partitions()[0]
+    let arrivals: Vec<f64> = engine.graph().partitions()[0]
         .output_nets
         .iter()
         .map(|n| report.arrivals[n])
