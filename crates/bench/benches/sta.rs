@@ -15,7 +15,7 @@ fn main() {
     let ev = QwmEvaluator::default();
     h.bench("sta/full_16", || {
         let nl = inverter_chain(&tech, depth, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         engine.run(&ev).unwrap();
     });
     {

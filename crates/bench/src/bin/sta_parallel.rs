@@ -1,0 +1,51 @@
+//! Parallel STA scaling: slew-aware analysis of a randomized ~600-stage
+//! DAG at increasing worker counts, recording the scaling curve.
+//!
+//! Each worker count gets a *fresh* engine (the per-stage delay caches
+//! persist across runs, so reusing one engine would time cache hits,
+//! not evaluations). The report digest is printed per run to make the
+//! determinism contract visible: every row must show the same worst
+//! arrival and evaluation count.
+//!
+//! Speedup is bounded by the machine: on a single-core container every
+//! row times the same serial work plus scheduling overhead.
+use qwm::circuit::waveform::TransitionKind;
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::QwmEvaluator;
+use qwm::sta::graph::random_dag_netlist;
+use qwm_bench::Bench;
+use std::time::Instant;
+
+const STAGES: usize = 600;
+const SEED: u64 = 0x5aa5_1234;
+const INPUT_SLEW: f64 = 30e-12;
+
+fn main() {
+    let bench = Bench::new();
+    println!(
+        "random DAG: {STAGES} gates (seed {SEED:#x}), hardware threads = {}",
+        qwm::exec::hardware_threads()
+    );
+    let mut t1 = None;
+    for threads in [1usize, 2, 4, 8] {
+        let nl = random_dag_netlist(&bench.tech, STAGES, SEED);
+        let engine = StaEngine::new(nl, &bench.qwm_models, TransitionKind::Fall)
+            .expect("engine")
+            .with_threads(threads);
+        let ev = QwmEvaluator::default();
+        let t0 = Instant::now();
+        let report = engine.run_with_slew(&ev, INPUT_SLEW).expect("run");
+        let dt = t0.elapsed();
+        let base = *t1.get_or_insert(dt);
+        println!(
+            "threads {threads}: {:?}  speedup {:.2}x  ({} evals, worst {:.2} ps at {})",
+            dt,
+            base.as_secs_f64() / dt.as_secs_f64().max(1e-9),
+            report.evaluations,
+            report.worst.expect("worst").1 * 1e12,
+            engine.netlist().net_name(report.worst.expect("worst").0),
+        );
+    }
+    // Telemetry appendix (enabled via QWM_OBS=summary|json).
+    qwm::obs::emit();
+}

@@ -995,4 +995,45 @@ mod tests {
         assert!(r.output_crossings.len() >= QwmConfig::default().crossing_fractions.len());
         assert!(r.delay_50(tech.vdd, 0.0).is_some());
     }
+
+    #[test]
+    fn concurrent_evaluations_of_one_stage_are_identical() {
+        // The parallel STA engine calls `evaluate` from several workers
+        // against one shared stage/model set; the solve keeps all its
+        // scratch on the stack, so racing evaluations must agree to the
+        // last bit with a lone serial one.
+        let (tech, models) = setup();
+        let stage = cells::nand(&tech, 2, cells::DEFAULT_LOAD).unwrap();
+        let out = stage.node_by_name("out").unwrap();
+        let inputs: Vec<Waveform> = (0..2)
+            .map(|_| Waveform::ramp(0.0, 40e-12, 0.0, tech.vdd))
+            .collect();
+        let init = initial_uniform_like(&stage, &models, tech.vdd);
+        let cfg = QwmConfig::default();
+        let run = || {
+            evaluate(
+                &stage,
+                &models,
+                &inputs,
+                &init,
+                out,
+                TransitionKind::Fall,
+                &cfg,
+            )
+            .unwrap()
+            .delay_50(tech.vdd, 0.0)
+            .unwrap()
+        };
+        let expect = run();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let run = &run;
+                s.spawn(move || {
+                    for _ in 0..16 {
+                        assert_eq!(run().to_bits(), expect.to_bits());
+                    }
+                });
+            }
+        });
+    }
 }

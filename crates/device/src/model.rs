@@ -230,4 +230,32 @@ mod tests {
         assert_eq!(tv.src, 1.0);
         assert_eq!(tv.snk, 0.0);
     }
+
+    #[test]
+    fn model_set_is_shareable_across_threads() {
+        // The parallel STA engine hands one `&ModelSet` to every worker;
+        // this pins the `Send + Sync` guarantee (the `DeviceModel`
+        // supertrait) so a non-threadsafe model can never sneak in.
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ModelSet>();
+        assert_sync_send::<&dyn DeviceModel>();
+
+        // And the lookup really is `&self`-concurrent: identical
+        // currents from racing readers of one shared set.
+        let tech = Technology::cmosp35();
+        let set = crate::analytic_models(&tech);
+        let tv = TermVoltage::new(tech.vdd, tech.vdd / 2.0, 0.0);
+        let g = Geometry::new(1e-6, tech.l_min);
+        let expect = set.nmos.iv(&g, tv).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let set = &set;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(set.nmos.iv(&g, tv).unwrap(), expect);
+                    }
+                });
+            }
+        });
+    }
 }

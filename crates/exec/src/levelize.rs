@@ -1,0 +1,237 @@
+//! DAG levelization and atomic in-degree countdown.
+//!
+//! A [`Levelizer`] turns a successor-list DAG into *dependency levels*:
+//! level 0 holds the nodes with no predecessors, and every other node
+//! sits one past its deepest predecessor (its longest-path depth). The
+//! levels are what a level-synchronous scheduler would barrier on; the
+//! runners in [`crate::dag`] deliberately do **not** barrier — they use
+//! the companion [`Countdown`] to release each node the instant its
+//! last predecessor completes — but the level structure still drives
+//! width statistics and cycle rejection.
+
+use crate::ExecError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Dependency levels over a successor-list DAG.
+#[derive(Debug, Clone)]
+pub struct Levelizer {
+    succs: Vec<Vec<usize>>,
+    indeg: Vec<usize>,
+    levels: Vec<Vec<usize>>,
+}
+
+impl Levelizer {
+    /// Levelizes the DAG given as successor lists (`succs[u]` holds the
+    /// nodes depending on `u`). Duplicate edges are coalesced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Cycle`] when the graph is not a DAG and
+    /// [`ExecError::BadEdge`] when a successor index is out of range.
+    pub fn from_succs(mut succs: Vec<Vec<usize>>) -> Result<Self, ExecError> {
+        let n = succs.len();
+        for list in &mut succs {
+            list.sort_unstable();
+            list.dedup();
+            if let Some(&bad) = list.iter().find(|&&s| s >= n) {
+                return Err(ExecError::BadEdge {
+                    node: bad,
+                    total: n,
+                });
+            }
+        }
+        let mut indeg = vec![0usize; n];
+        for list in &succs {
+            for &s in list {
+                indeg[s] += 1;
+            }
+        }
+        // Wave-synchronous Kahn: the wave a node is released in equals
+        // one past its deepest predecessor's wave, i.e. its level.
+        let mut remaining = indeg.clone();
+        let mut frontier: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut levels = Vec::new();
+        let mut seen = 0usize;
+        while !frontier.is_empty() {
+            seen += frontier.len();
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in &succs[u] {
+                    remaining[v] -= 1;
+                    if remaining[v] == 0 {
+                        next.push(v);
+                    }
+                }
+            }
+            levels.push(std::mem::take(&mut frontier));
+            frontier = next;
+        }
+        if seen != n {
+            return Err(ExecError::Cycle {
+                completed: seen,
+                total: n,
+            });
+        }
+        Ok(Levelizer {
+            succs,
+            indeg,
+            levels,
+        })
+    }
+
+    /// Levelizes an edge-list DAG over `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Levelizer::from_succs`].
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, ExecError> {
+        let mut succs = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u >= n {
+                return Err(ExecError::BadEdge { node: u, total: n });
+            }
+            succs[u].push(v);
+        }
+        Self::from_succs(succs)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// The dependency levels, shallowest first; each level lists its
+    /// nodes in ascending index order for level 0 and release order
+    /// otherwise (both deterministic).
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
+    /// Widest level (1 for a pure chain; the whole graph when every
+    /// node is independent). Zero only for an empty graph.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// In-degree (unique predecessors) per node.
+    pub fn indegree(&self) -> &[usize] {
+        &self.indeg
+    }
+
+    /// Deduplicated successor lists.
+    pub fn succs(&self) -> &[Vec<usize>] {
+        &self.succs
+    }
+
+    /// Records the level-width distribution into the observability
+    /// layer (`exec.level_width`). No-op when collection is off.
+    pub fn record_obs(&self) {
+        if !qwm_obs::enabled() {
+            return;
+        }
+        for level in &self.levels {
+            qwm_obs::histogram!("exec.level_width", qwm_obs::SIZE_BOUNDS)
+                .record(level.len() as u64);
+        }
+    }
+}
+
+/// Atomic in-degree countdown: each node starts at its in-degree and
+/// [`Countdown::arrive`] is called once per completed predecessor; the
+/// call that takes the count to zero — exactly one, even under
+/// concurrent arrivals — reports the node as released.
+#[derive(Debug)]
+pub struct Countdown {
+    remaining: Vec<AtomicUsize>,
+}
+
+impl Countdown {
+    /// Builds the countdown from per-node in-degrees.
+    pub fn new(indeg: &[usize]) -> Self {
+        Countdown {
+            remaining: indeg.iter().map(|&d| AtomicUsize::new(d)).collect(),
+        }
+    }
+
+    /// Signals that one predecessor of `node` completed. Returns `true`
+    /// iff this arrival released the node (its count just hit zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on more arrivals than the in-degree.
+    pub fn arrive(&self, node: usize) -> bool {
+        let prev = self.remaining[node].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "node {node} over-released");
+        prev == 1
+    }
+
+    /// Whether `node` has no outstanding predecessors.
+    pub fn is_released(&self, node: usize) -> bool {
+        self.remaining[node].load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_levels() {
+        let l = Levelizer::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(l.levels(), &[vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(l.max_width(), 1);
+        assert_eq!(l.indegree(), &[0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn diamond_join_sits_past_deepest_pred() {
+        // 0 -> {1, 2} -> 3, plus a long arm 0 -> 4 -> 2.
+        let l = Levelizer::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 4), (4, 2)]).unwrap();
+        assert_eq!(l.levels()[0], vec![0]);
+        // 2 waits for 4, so it levels below 1.
+        assert_eq!(l.levels()[1], vec![1, 4]);
+        assert_eq!(l.levels()[2], vec![2]);
+        assert_eq!(l.levels()[3], vec![3]);
+    }
+
+    #[test]
+    fn duplicate_edges_coalesce() {
+        let l = Levelizer::from_edges(2, [(0, 1), (0, 1), (0, 1)]).unwrap();
+        assert_eq!(l.indegree(), &[0, 1]);
+        assert_eq!(l.succs()[0], vec![1]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Levelizer::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Cycle {
+                completed: 0,
+                total: 3
+            }
+        ));
+        // Self-loop is the degenerate cycle.
+        assert!(Levelizer::from_edges(1, [(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        assert!(matches!(
+            Levelizer::from_edges(2, [(0, 5)]),
+            Err(ExecError::BadEdge { node: 5, total: 2 })
+        ));
+        assert!(Levelizer::from_edges(2, [(7, 0)]).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let l = Levelizer::from_succs(Vec::new()).unwrap();
+        assert_eq!(l.node_count(), 0);
+        assert_eq!(l.max_width(), 0);
+        assert!(l.levels().is_empty());
+    }
+}

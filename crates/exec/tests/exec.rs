@@ -1,0 +1,157 @@
+//! Integration tests for the `qwm-exec` scheduling substrate: pool
+//! drain/panic behaviour, levelizer cycle rejection and single-release
+//! joins, and the scoped DAG runner's dependency discipline.
+
+use qwm_exec::{run_dag, Countdown, ExecError, Levelizer, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn pool_drains_ten_thousand_noops_without_loss() {
+    let pool = ThreadPool::new(4);
+    let hits = Arc::new(AtomicUsize::new(0));
+    for _ in 0..10_000 {
+        let hits = Arc::clone(&hits);
+        pool.execute(move || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    pool.wait().expect("no panics");
+    assert_eq!(hits.load(Ordering::Relaxed), 10_000, "every task ran");
+    assert_eq!(pool.pending(), 0);
+}
+
+#[test]
+fn pool_panic_is_captured_as_err_not_a_hang() {
+    let pool = ThreadPool::new(3);
+    let hits = Arc::new(AtomicUsize::new(0));
+    for i in 0..50 {
+        let hits = Arc::clone(&hits);
+        pool.execute(move || {
+            if i == 17 {
+                panic!("task 17 exploded");
+            }
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    // wait() must return (not hang) and surface the panic.
+    let err = pool.wait().expect_err("panic surfaces");
+    match err {
+        ExecError::TaskPanicked { count, first } => {
+            assert_eq!(count, 1);
+            assert!(first.contains("panicked"), "{first}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 49, "the other 49 still ran");
+    // The pool stays usable after a panic.
+    let hits2 = Arc::clone(&hits);
+    pool.execute(move || {
+        hits2.fetch_add(1, Ordering::Relaxed);
+    });
+    pool.wait().expect("clean batch after the panic drained");
+    assert_eq!(hits.load(Ordering::Relaxed), 50);
+}
+
+#[test]
+fn levelizer_rejects_cyclic_graphs() {
+    // 2-cycle buried in an otherwise fine graph.
+    let err = Levelizer::from_edges(4, [(0, 1), (1, 2), (2, 1), (0, 3)]).unwrap_err();
+    match err {
+        ExecError::Cycle { completed, total } => {
+            assert_eq!(total, 4);
+            assert!(completed < 4, "cycle nodes never release");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert!(Levelizer::from_edges(1, [(0, 0)]).is_err(), "self-loop");
+    // The acyclic version passes.
+    assert!(Levelizer::from_edges(4, [(0, 1), (1, 2), (0, 3)]).is_ok());
+}
+
+#[test]
+fn countdown_releases_diamond_join_exactly_once() {
+    // Diamond: 0 -> {1, 2} -> 3.
+    let lev = Levelizer::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+    assert_eq!(lev.indegree(), &[0, 1, 1, 2]);
+    let cd = Countdown::new(lev.indegree());
+    // Two concurrent arrivals at the join: exactly one reports release.
+    let releases = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let (cd, releases) = (&cd, &releases);
+            s.spawn(move || {
+                if cd.arrive(3) {
+                    releases.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(releases.load(Ordering::Relaxed), 1, "join released once");
+    assert!(cd.is_released(3));
+}
+
+#[test]
+fn run_dag_executes_each_node_exactly_once() {
+    // Random-ish layered DAG, every node counts its executions.
+    let mut edges = Vec::new();
+    let n = 200;
+    for v in 1..n {
+        edges.push((v - 1, v)); // spine
+        if v >= 7 {
+            edges.push((v - 7, v)); // skip edges create joins
+        }
+    }
+    let lev = Levelizer::from_edges(n, edges).unwrap();
+    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    for threads in [1, 2, 4, 8] {
+        for c in &counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        run_dag::<(), _>(threads, &lev, |_w, node| {
+            counts[node].fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "node {i} ran once at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_dag_error_stops_successors() {
+    // Chain 0 -> 1 -> 2: failing node 1 must keep node 2 from running.
+    let lev = Levelizer::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    let ran = [const { AtomicUsize::new(0) }; 3];
+    let (node, msg) = run_dag(4, &lev, |_w, node| {
+        ran[node].fetch_add(1, Ordering::Relaxed);
+        if node == 1 {
+            Err("stage 1 diverged")
+        } else {
+            Ok(())
+        }
+    })
+    .unwrap_err();
+    assert_eq!(node, 1);
+    assert_eq!(msg, "stage 1 diverged");
+    assert_eq!(ran[2].load(Ordering::Relaxed), 0, "successor never ran");
+}
+
+#[test]
+fn run_dag_task_panic_propagates_cleanly() {
+    let lev = Levelizer::from_edges(8, (1..8).map(|v| (v - 1, v))).unwrap();
+    let result = std::panic::catch_unwind(|| {
+        run_dag::<(), _>(4, &lev, |_w, node| {
+            if node == 3 {
+                panic!("node 3 panicked");
+            }
+            Ok(())
+        })
+    });
+    assert!(result.is_err(), "panic re-raised, not swallowed or hung");
+}

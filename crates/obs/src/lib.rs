@@ -31,6 +31,13 @@
 //! # qwm_obs::set_mode(qwm_obs::ObsMode::Off);
 //! # qwm_obs::reset();
 //! ```
+//!
+//! The parallel scheduler (`qwm-exec`) reports through the same
+//! registry: counters `exec.pool_submitted`, `exec.pool_steals`,
+//! `exec.pool_panics` and `exec.dag_steals`, plus histograms
+//! `exec.pool_queue_depth`, `exec.dag_queue_depth`, `exec.level_width`
+//! (stage-DAG parallelism profile) and `exec.worker_busy_ns` (per-worker
+//! busy time per `run_dag` invocation).
 
 mod event;
 mod metrics;

@@ -1,9 +1,31 @@
 //! The static timing engine: arrival propagation, critical paths and
-//! incremental re-analysis.
+//! incremental re-analysis — now levelized-parallel.
 //!
-//! Arrival times propagate through the stage DAG in topological order;
-//! each stage contributes its worst-case evaluated delay (pluggable —
-//! QWM by default). Per-stage delays are cached, so a *incremental*
+//! Arrival times propagate through the stage DAG; each stage
+//! contributes its worst-case evaluated delay (pluggable — QWM by
+//! default). The expensive per-stage evaluations (one small NR solve
+//! per channel-connected region, the paper's decomposition) run
+//! concurrently on a work-stealing scheduler from `qwm-exec`:
+//!
+//! * [`StaEngine::run`] — under step inputs every stage delay is
+//!   independent of its arrival, so the delays are a flat parallel map
+//!   followed by a serial topological reduction.
+//! * [`StaEngine::run_with_slew`] / [`StaEngine::run_dual`] /
+//!   [`StaEngine::run_waveform`] — each stage consumes its fanin's
+//!   committed (arrival, slew/waveform) state, so stages dispatch the
+//!   instant their last fanin stage commits (atomic in-degree
+//!   countdown, no level barriers).
+//!
+//! **Determinism.** Every net is committed by exactly one driving
+//! stage, and a stage only reads nets committed before it was
+//! released; each task is a pure function of that state, so reports
+//! are bitwise-identical for any worker count (locked down by
+//! `tests/parallel_determinism.rs`). Per-stage delays are memoized in
+//! lock-sharded caches that store pure results, making racing
+//! double-computes value-stable; per-run evaluation counts stay exact
+//! because each (stage, output) is dispatched once per run.
+//!
+//! Per-stage delays are cached across runs, so an *incremental*
 //! re-analysis after a transistor resize re-evaluates only the touched
 //! stage and then re-propagates cheap arrival maxima — the
 //! incremental-speedup experiment of the calibration brief.
@@ -13,8 +35,11 @@ use crate::graph::{StageGraph, StageId};
 use qwm_circuit::netlist::{NetId, Netlist};
 use qwm_circuit::waveform::{TimingMetrics, TransitionKind};
 use qwm_device::model::{Geometry, ModelSet};
+use qwm_exec::{Levelizer, ShardedMap};
 use qwm_num::{NumError, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A full timing report.
 #[derive(Debug, Clone)]
@@ -36,19 +61,30 @@ pub struct TimingReport {
     pub waveform_failures: usize,
 }
 
+/// Cache key: (evaluator name, stage index, packed output/slew key).
+type CacheKey = (&'static str, usize, usize);
+
+/// Sentinel for "no predecessor stage" in the per-net commit books.
+const NO_PRED: usize = usize::MAX;
+
 /// The timing engine: owns the netlist, the stage graph and the
-/// per-stage delay cache.
+/// per-stage delay caches.
+///
+/// All `run*` entry points take `&self` and may be driven with any
+/// worker count (see [`StaEngine::set_threads`]); internal state is
+/// lock-sharded caches and atomic counters, so the engine is `Sync`.
 pub struct StaEngine<'m> {
     netlist: Netlist,
     graph: StageGraph,
     models: &'m ModelSet,
     direction: TransitionKind,
     /// Cached worst delay per (evaluator, stage, output position).
-    delay_cache: HashMap<(&'static str, usize, usize), f64>,
+    delay_cache: ShardedMap<CacheKey, f64>,
     /// Cached (delay, slew) per (evaluator, stage, packed out/slew key).
-    slew_cache: HashMap<(&'static str, usize, usize), (f64, f64)>,
-    evaluations: usize,
-    waveform_failures: usize,
+    slew_cache: ShardedMap<CacheKey, (f64, f64)>,
+    evaluations: AtomicUsize,
+    waveform_failures: AtomicUsize,
+    threads: usize,
 }
 
 impl<'m> StaEngine<'m> {
@@ -57,6 +93,9 @@ impl<'m> StaEngine<'m> {
     /// `direction` selects the analyzed transition at every stage output
     /// (a full-blown STA tracks both; the paper's experiments are
     /// single-transition worst cases).
+    ///
+    /// The worker count defaults to `QWM_THREADS` (or the machine's
+    /// available parallelism); override with [`StaEngine::set_threads`].
     ///
     /// # Errors
     ///
@@ -93,10 +132,11 @@ impl<'m> StaEngine<'m> {
             graph,
             models,
             direction,
-            delay_cache: HashMap::new(),
-            slew_cache: HashMap::new(),
-            evaluations: 0,
-            waveform_failures: 0,
+            delay_cache: ShardedMap::new(),
+            slew_cache: ShardedMap::new(),
+            evaluations: AtomicUsize::new(0),
+            waveform_failures: AtomicUsize::new(0),
+            threads: qwm_exec::default_threads(),
         })
     }
 
@@ -110,24 +150,55 @@ impl<'m> StaEngine<'m> {
         &self.netlist
     }
 
+    /// The worker count used by the `run*` entry points.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker count (clamped to at least one). Reports are
+    /// bitwise-identical for any value; this is purely a speed knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Builder-style [`StaEngine::set_threads`].
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
     /// Stage-delay evaluations performed so far (across all reports).
     pub fn total_evaluations(&self) -> usize {
-        self.evaluations
+        self.evaluations.load(Ordering::Relaxed)
     }
 
     /// Waveform-accurate stage evaluations that failed and were skipped
     /// so far (across all [`Self::run_waveform`] calls).
     pub fn total_waveform_failures(&self) -> usize {
-        self.waveform_failures
+        self.waveform_failures.load(Ordering::Relaxed)
+    }
+
+    /// The stage dependency DAG, levelized for the parallel runners.
+    fn levelizer(&self) -> Result<Levelizer> {
+        Levelizer::from_succs(self.graph.stage_dependencies()).map_err(|e| {
+            // StageGraph::build already rejected cycles, so this only
+            // fires on internal bookkeeping bugs.
+            NumError::InvalidInput {
+                context: "StaEngine::levelizer",
+                detail: e.to_string(),
+            }
+        })
     }
 
     fn stage_output_delay(
-        &mut self,
+        &self,
         evaluator: &dyn StageEvaluator,
         sid: StageId,
         out_pos: usize,
     ) -> Result<f64> {
-        if let Some(&d) = self.delay_cache.get(&(evaluator.name(), sid.0, out_pos)) {
+        let key = (evaluator.name(), sid.0, out_pos);
+        if let Some(d) = self.delay_cache.get(&key) {
             qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(d);
         }
@@ -141,46 +212,19 @@ impl<'m> StaEngine<'m> {
                 detail: format!("output net {output_net:?} missing from stage"),
             })?;
         let d = evaluator.delay(&part.stage, self.models, node, self.direction)?;
-        self.evaluations += 1;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         qwm_obs::counter!("sta.evaluations").incr();
-        self.delay_cache
-            .insert((evaluator.name(), sid.0, out_pos), d);
+        self.delay_cache.insert(key, d);
         Ok(d)
     }
 
-    /// Runs (or re-runs) the analysis, reusing every cached stage delay.
-    ///
-    /// # Errors
-    ///
-    /// Propagates evaluator failures.
-    pub fn run(&mut self, evaluator: &dyn StageEvaluator) -> Result<TimingReport> {
-        let _span = qwm_obs::span!("sta.run");
-        let evals_before = self.evaluations;
-        let mut arrivals: HashMap<NetId, f64> = HashMap::new();
-        let mut pred: HashMap<NetId, StageId> = HashMap::new();
-        for &pi in self.netlist.primary_inputs() {
-            arrivals.insert(pi, 0.0);
-        }
-        let order: Vec<StageId> = self.graph.topo_order().to_vec();
-        for sid in order {
-            let input_nets = self.graph.stage(sid).input_nets.clone();
-            let launch = input_nets
-                .iter()
-                .map(|n| arrivals.get(n).copied().unwrap_or(0.0))
-                .fold(0.0_f64, f64::max);
-            let out_count = self.graph.stage(sid).output_nets.len();
-            for pos in 0..out_count {
-                let d = self.stage_output_delay(evaluator, sid, pos)?;
-                let net = self.graph.stage(sid).output_nets[pos];
-                let arr = launch + d;
-                let entry = arrivals.entry(net).or_insert(f64::NEG_INFINITY);
-                if arr > *entry {
-                    *entry = arr;
-                    pred.insert(net, sid);
-                }
-            }
-        }
-        // Worst primary output (fall back to the globally worst net).
+    /// Worst primary output (fall back to the globally worst net), and
+    /// the critical path backtracked through stage inputs.
+    fn worst_and_path(
+        &self,
+        arrivals: &HashMap<NetId, f64>,
+        pred: &HashMap<NetId, StageId>,
+    ) -> (Option<(NetId, f64)>, Vec<StageId>) {
         let worst = self
             .netlist
             .primary_outputs()
@@ -193,7 +237,6 @@ impl<'m> StaEngine<'m> {
                     .map(|(&n, &a)| (n, a))
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"))
             });
-        // Backtrack the critical path through stage inputs.
         let mut critical_path = Vec::new();
         if let Some((mut net, _)) = worst {
             while let Some(&sid) = pred.get(&net) {
@@ -213,12 +256,65 @@ impl<'m> StaEngine<'m> {
             }
             critical_path.reverse();
         }
+        (worst, critical_path)
+    }
+
+    /// Runs (or re-runs) the analysis, reusing every cached stage delay.
+    ///
+    /// Under step inputs a stage's delay is independent of its arrival
+    /// time, so all stage evaluations run as one parallel map; the
+    /// arrival reduction is then serial over the topological order —
+    /// deterministic by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures.
+    pub fn run(&self, evaluator: &dyn StageEvaluator) -> Result<TimingReport> {
+        let _span = qwm_obs::span!("sta.run");
+        let evals_before = self.total_evaluations();
+        // Parallel phase: every (stage, output) delay.
+        let mut tasks: Vec<(StageId, usize)> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(self.graph.len());
+        for (i, p) in self.graph.partitions().iter().enumerate() {
+            offsets.push(tasks.len());
+            for pos in 0..p.output_nets.len() {
+                tasks.push((StageId(i), pos));
+            }
+        }
+        let delays = qwm_exec::try_parallel_map(self.threads, tasks.len(), |_w, t| {
+            let (sid, pos) = tasks[t];
+            self.stage_output_delay(evaluator, sid, pos)
+        })
+        .map_err(|(_, e)| e)?;
+        // Serial reduction keyed by the topological stage order.
+        let mut arrivals: HashMap<NetId, f64> = HashMap::new();
+        let mut pred: HashMap<NetId, StageId> = HashMap::new();
+        for &pi in self.netlist.primary_inputs() {
+            arrivals.insert(pi, 0.0);
+        }
+        for &sid in self.graph.topo_order() {
+            let part = self.graph.stage(sid);
+            let launch = part
+                .input_nets
+                .iter()
+                .map(|n| arrivals.get(n).copied().unwrap_or(0.0))
+                .fold(0.0_f64, f64::max);
+            for (pos, &net) in part.output_nets.iter().enumerate() {
+                let arr = launch + delays[offsets[sid.0] + pos];
+                let entry = arrivals.entry(net).or_insert(f64::NEG_INFINITY);
+                if arr > *entry {
+                    *entry = arr;
+                    pred.insert(net, sid);
+                }
+            }
+        }
+        let (worst, critical_path) = self.worst_and_path(&arrivals, &pred);
         Ok(TimingReport {
             arrivals,
             slews: HashMap::new(),
             worst,
             critical_path,
-            evaluations: self.evaluations - evals_before,
+            evaluations: self.total_evaluations() - evals_before,
             waveform_failures: 0,
         })
     }
@@ -229,35 +325,41 @@ impl<'m> StaEngine<'m> {
     /// waveform-propagation refinement the paper's §III-C motivates over
     /// delay/slope-only timing.
     ///
+    /// Because a stage's delay now depends on its fanin's slew, stages
+    /// are dispatched dependency-driven: each one runs the moment its
+    /// last fanin stage commits its output (arrival, slew) — no level
+    /// barriers. Every net has one driving stage, so commits never race
+    /// and the result is bitwise-identical for any worker count.
+    ///
     /// `input_slew` seeds the primary inputs (10–90 %).
     ///
     /// # Errors
     ///
     /// Propagates evaluator failures.
     pub fn run_with_slew(
-        &mut self,
+        &self,
         evaluator: &dyn StageEvaluator,
         input_slew: f64,
     ) -> Result<TimingReport> {
         let _span = qwm_obs::span!("sta.run_with_slew");
-        let evals_before = self.evaluations;
-        let mut arrivals: HashMap<NetId, f64> = HashMap::new();
-        let mut slews: HashMap<NetId, f64> = HashMap::new();
-        let mut pred: HashMap<NetId, StageId> = HashMap::new();
+        let evals_before = self.total_evaluations();
+        // Per-net commit book: (arrival, slew, committing stage).
+        let book: Vec<Mutex<Option<(f64, f64, usize)>>> = (0..self.netlist.net_count())
+            .map(|_| Mutex::new(None))
+            .collect();
         for &pi in self.netlist.primary_inputs() {
-            arrivals.insert(pi, 0.0);
-            slews.insert(pi, input_slew);
+            *book[pi.0].lock().expect("net book") = Some((0.0, input_slew, NO_PRED));
         }
-        let order: Vec<StageId> = self.graph.topo_order().to_vec();
-        for sid in order {
-            let input_nets = self.graph.stage(sid).input_nets.clone();
-            let (launch, launch_slew) = input_nets
+        let lev = self.levelizer()?;
+        qwm_exec::run_dag(self.threads, &lev, |_w, s| -> Result<()> {
+            let sid = StageId(s);
+            let part = self.graph.stage(sid);
+            let (launch, launch_slew) = part
+                .input_nets
                 .iter()
-                .map(|n| {
-                    (
-                        arrivals.get(n).copied().unwrap_or(0.0),
-                        slews.get(n).copied().unwrap_or(input_slew),
-                    )
+                .map(|n| match *book[n.0].lock().expect("net book") {
+                    Some((a, sl, _)) => (a, sl),
+                    None => (0.0, input_slew),
                 })
                 .fold(
                     (0.0_f64, input_slew),
@@ -269,55 +371,37 @@ impl<'m> StaEngine<'m> {
                         }
                     },
                 );
-            let out_count = self.graph.stage(sid).output_nets.len();
-            for pos in 0..out_count {
+            for (pos, &net) in part.output_nets.iter().enumerate() {
                 let m = self.stage_output_timing(evaluator, sid, pos, launch_slew)?;
-                let net = self.graph.stage(sid).output_nets[pos];
                 let arr = launch + m.delay;
-                let entry = arrivals.entry(net).or_insert(f64::NEG_INFINITY);
-                if arr > *entry {
-                    *entry = arr;
-                    slews.insert(net, m.slew);
-                    pred.insert(net, sid);
+                let mut slot = book[net.0].lock().expect("net book");
+                if slot.is_none_or(|(a, _, _)| arr > a) {
+                    *slot = Some((arr, m.slew, s));
+                }
+            }
+            Ok(())
+        })
+        .map_err(|(_, e)| e)?;
+        // Deterministic extraction, keyed by net index.
+        let mut arrivals: HashMap<NetId, f64> = HashMap::new();
+        let mut slews: HashMap<NetId, f64> = HashMap::new();
+        let mut pred: HashMap<NetId, StageId> = HashMap::new();
+        for (i, slot) in book.iter().enumerate() {
+            if let Some((a, sl, p)) = *slot.lock().expect("net book") {
+                arrivals.insert(NetId(i), a);
+                slews.insert(NetId(i), sl);
+                if p != NO_PRED {
+                    pred.insert(NetId(i), StageId(p));
                 }
             }
         }
-        let worst = self
-            .netlist
-            .primary_outputs()
-            .iter()
-            .filter_map(|&n| arrivals.get(&n).map(|&a| (n, a)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"))
-            .or_else(|| {
-                arrivals
-                    .iter()
-                    .map(|(&n, &a)| (n, a))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"))
-            });
-        let mut critical_path = Vec::new();
-        if let Some((mut net, _)) = worst {
-            while let Some(&sid) = pred.get(&net) {
-                critical_path.push(sid);
-                let next = self
-                    .graph
-                    .stage(sid)
-                    .input_nets
-                    .iter()
-                    .filter_map(|&n| arrivals.get(&n).map(|&a| (n, a)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"));
-                match next {
-                    Some((n, a)) if a > 0.0 => net = n,
-                    _ => break,
-                }
-            }
-            critical_path.reverse();
-        }
+        let (worst, critical_path) = self.worst_and_path(&arrivals, &pred);
         Ok(TimingReport {
             arrivals,
             slews,
             worst,
             critical_path,
-            evaluations: self.evaluations - evals_before,
+            evaluations: self.total_evaluations() - evals_before,
             waveform_failures: 0,
         })
     }
@@ -328,6 +412,8 @@ impl<'m> StaEngine<'m> {
     /// versa — the static-CMOS convention). Primary inputs get both
     /// transitions at t = 0 with `input_slew`.
     ///
+    /// Dependency-driven parallel, like [`StaEngine::run_with_slew`].
+    ///
     /// Returns `(fall report, rise report)` whose `arrivals`/`slews`
     /// describe the respective output transitions; `worst` is the later
     /// of each net's transitions in the fall report and symmetric in the
@@ -337,40 +423,46 @@ impl<'m> StaEngine<'m> {
     ///
     /// Propagates evaluator failures.
     pub fn run_dual(
-        &mut self,
+        &self,
         evaluator: &dyn StageEvaluator,
         input_slew: f64,
     ) -> Result<(TimingReport, TimingReport)> {
         let _span = qwm_obs::span!("sta.run_dual");
-        let evals_before = self.evaluations;
+        let evals_before = self.total_evaluations();
         // (arrival, slew) per net per transition.
-        let mut fall: HashMap<NetId, (f64, f64)> = HashMap::new();
-        let mut rise: HashMap<NetId, (f64, f64)> = HashMap::new();
+        let mk_book = || -> Vec<Mutex<Option<(f64, f64)>>> {
+            (0..self.netlist.net_count())
+                .map(|_| Mutex::new(None))
+                .collect()
+        };
+        let (fall, rise) = (mk_book(), mk_book());
         for &pi in self.netlist.primary_inputs() {
-            fall.insert(pi, (0.0, input_slew));
-            rise.insert(pi, (0.0, input_slew));
+            *fall[pi.0].lock().expect("net book") = Some((0.0, input_slew));
+            *rise[pi.0].lock().expect("net book") = Some((0.0, input_slew));
         }
-        let order: Vec<StageId> = self.graph.topo_order().to_vec();
-        for sid in order {
-            let input_nets = self.graph.stage(sid).input_nets.clone();
+        let lev = self.levelizer()?;
+        qwm_exec::run_dag(self.threads, &lev, |_w, s| -> Result<()> {
+            let sid = StageId(s);
+            let part = self.graph.stage(sid);
             // Latest input rise drives the output fall, and vice versa.
-            let launch_of = |m: &HashMap<NetId, (f64, f64)>| {
-                input_nets.iter().filter_map(|n| m.get(n).copied()).fold(
-                    (0.0_f64, input_slew),
-                    |acc, (a, s)| {
-                        if a > acc.0 {
-                            (a, s)
-                        } else {
-                            acc
-                        }
-                    },
-                )
+            let launch_of = |m: &[Mutex<Option<(f64, f64)>>]| {
+                part.input_nets
+                    .iter()
+                    .filter_map(|n| *m[n.0].lock().expect("net book"))
+                    .fold(
+                        (0.0_f64, input_slew),
+                        |acc, (a, s)| {
+                            if a > acc.0 {
+                                (a, s)
+                            } else {
+                                acc
+                            }
+                        },
+                    )
             };
             let (launch_fall, slew_for_fall) = launch_of(&rise);
             let (launch_rise, slew_for_rise) = launch_of(&fall);
-            let out_count = self.graph.stage(sid).output_nets.len();
-            for pos in 0..out_count {
-                let net = self.graph.stage(sid).output_nets[pos];
+            for (pos, &net) in part.output_nets.iter().enumerate() {
                 let mf = self.stage_output_timing_dir(
                     evaluator,
                     sid,
@@ -378,9 +470,11 @@ impl<'m> StaEngine<'m> {
                     slew_for_fall,
                     TransitionKind::Fall,
                 )?;
-                let ef = fall.entry(net).or_insert((f64::NEG_INFINITY, 0.0));
-                if launch_fall + mf.delay > ef.0 {
-                    *ef = (launch_fall + mf.delay, mf.slew);
+                {
+                    let mut slot = fall[net.0].lock().expect("net book");
+                    if slot.is_none_or(|(a, _)| launch_fall + mf.delay > a) {
+                        *slot = Some((launch_fall + mf.delay, mf.slew));
+                    }
                 }
                 let mr = self.stage_output_timing_dir(
                     evaluator,
@@ -389,16 +483,26 @@ impl<'m> StaEngine<'m> {
                     slew_for_rise,
                     TransitionKind::Rise,
                 )?;
-                let er = rise.entry(net).or_insert((f64::NEG_INFINITY, 0.0));
-                if launch_rise + mr.delay > er.0 {
-                    *er = (launch_rise + mr.delay, mr.slew);
+                {
+                    let mut slot = rise[net.0].lock().expect("net book");
+                    if slot.is_none_or(|(a, _)| launch_rise + mr.delay > a) {
+                        *slot = Some((launch_rise + mr.delay, mr.slew));
+                    }
                 }
             }
-        }
-        let evaluations = self.evaluations - evals_before;
-        let mk_report = |m: &HashMap<NetId, (f64, f64)>| {
-            let arrivals: HashMap<NetId, f64> = m.iter().map(|(&n, &(a, _))| (n, a)).collect();
-            let slews: HashMap<NetId, f64> = m.iter().map(|(&n, &(_, s))| (n, s)).collect();
+            Ok(())
+        })
+        .map_err(|(_, e)| e)?;
+        let evaluations = self.total_evaluations() - evals_before;
+        let mk_report = |book: &[Mutex<Option<(f64, f64)>>]| {
+            let mut arrivals: HashMap<NetId, f64> = HashMap::new();
+            let mut slews: HashMap<NetId, f64> = HashMap::new();
+            for (i, slot) in book.iter().enumerate() {
+                if let Some((a, s)) = *slot.lock().expect("net book") {
+                    arrivals.insert(NetId(i), a);
+                    slews.insert(NetId(i), s);
+                }
+            }
             let worst = self
                 .netlist
                 .primary_outputs()
@@ -423,6 +527,9 @@ impl<'m> StaEngine<'m> {
     /// delay/slew abstraction, and its own QWM output waveform feeds the
     /// next stage. Dual polarity, inverting arcs.
     ///
+    /// Dependency-driven parallel: a stage solves its two QWM
+    /// transitions once every fanin waveform is committed.
+    ///
     /// This closes the residual gap the linear-ramp slew model leaves on
     /// weakly driven chains. No caching (waveforms are unique); cost is
     /// one QWM evaluation per (stage output × transition).
@@ -434,7 +541,7 @@ impl<'m> StaEngine<'m> {
     ///
     /// Propagates evaluation failures.
     pub fn run_waveform(
-        &mut self,
+        &self,
         config: &qwm_core::evaluate::QwmConfig,
         input_slew: f64,
     ) -> Result<(HashMap<NetId, f64>, HashMap<NetId, f64>)> {
@@ -444,18 +551,24 @@ impl<'m> StaEngine<'m> {
         let _span = qwm_obs::span!("sta.run_waveform");
         let vdd = self.models.tech().vdd;
         // Per net per transition: (50% crossing time, full waveform).
-        let mut fall: HashMap<NetId, (f64, Waveform)> = HashMap::new();
-        let mut rise: HashMap<NetId, (f64, Waveform)> = HashMap::new();
+        let mk_book = || -> Vec<Mutex<Option<(f64, Waveform)>>> {
+            (0..self.netlist.net_count())
+                .map(|_| Mutex::new(None))
+                .collect()
+        };
+        let (fall, rise) = (mk_book(), mk_book());
         let ramp = (input_slew / 0.8).max(1e-12);
         for &pi in self.netlist.primary_inputs() {
-            fall.insert(pi, (0.5 * ramp, Waveform::ramp(0.0, ramp, vdd, 0.0)));
-            rise.insert(pi, (0.5 * ramp, Waveform::ramp(0.0, ramp, 0.0, vdd)));
+            *fall[pi.0].lock().expect("net book") =
+                Some((0.5 * ramp, Waveform::ramp(0.0, ramp, vdd, 0.0)));
+            *rise[pi.0].lock().expect("net book") =
+                Some((0.5 * ramp, Waveform::ramp(0.0, ramp, 0.0, vdd)));
         }
-        let order: Vec<StageId> = self.graph.topo_order().to_vec();
-        for sid in order {
-            let part_inputs = self.graph.stage(sid).input_nets.clone();
-            let out_count = self.graph.stage(sid).output_nets.len();
-            for pos in 0..out_count {
+        let lev = self.levelizer()?;
+        qwm_exec::run_dag(self.threads, &lev, |_w, s| -> Result<()> {
+            let sid = StageId(s);
+            let part = self.graph.stage(sid);
+            for &output_net in &part.output_nets {
                 for direction in [TransitionKind::Fall, TransitionKind::Rise] {
                     // Inverting arc: output falls when inputs rise.
                     let drivers = match direction {
@@ -463,16 +576,14 @@ impl<'m> StaEngine<'m> {
                         TransitionKind::Rise => &fall,
                     };
                     // Latest-crossing driving input wins (worst case).
-                    let Some((_, (t50, wf))) = part_inputs
+                    let Some((t50, wf)) = part
+                        .input_nets
                         .iter()
-                        .filter_map(|n| drivers.get(n).map(|d| (n, d)))
-                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite crossings"))
+                        .filter_map(|n| drivers[n.0].lock().expect("net book").clone())
+                        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite crossings"))
                     else {
                         continue;
                     };
-                    let (t50, wf) = (*t50, wf.clone());
-                    let part = self.graph.stage(sid);
-                    let output_net = part.output_nets[pos];
                     let node = part
                         .stage
                         .node_by_name(self.netlist.net_name(output_net))
@@ -523,7 +634,7 @@ impl<'m> StaEngine<'m> {
                     ) {
                         Ok(r) => r,
                         Err(e) => {
-                            self.waveform_failures += 1;
+                            self.waveform_failures.fetch_add(1, Ordering::Relaxed);
                             qwm_obs::counter!("sta.waveform_failures").incr();
                             qwm_obs::warn("sta.run_waveform.eval_failed")
                                 .field("stage", sid.0)
@@ -533,7 +644,7 @@ impl<'m> StaEngine<'m> {
                             continue;
                         }
                     };
-                    self.evaluations += 1;
+                    self.evaluations.fetch_add(1, Ordering::Relaxed);
                     qwm_obs::counter!("sta.evaluations").incr();
                     let Ok(out_wf) = r.output_waveform().to_waveform(2) else {
                         continue;
@@ -544,26 +655,33 @@ impl<'m> StaEngine<'m> {
                     };
                     let _ = t50; // arrival carried in absolute time by t_out
                     let book = match direction {
-                        TransitionKind::Fall => &mut fall,
-                        TransitionKind::Rise => &mut rise,
+                        TransitionKind::Fall => &fall,
+                        TransitionKind::Rise => &rise,
                     };
-                    let entry = book
-                        .entry(output_net)
-                        .or_insert((f64::NEG_INFINITY, out_wf.clone()));
-                    if t_out > entry.0 {
-                        *entry = (t_out, out_wf);
+                    let mut slot = book[output_net.0].lock().expect("net book");
+                    if slot.as_ref().is_none_or(|(t, _)| t_out > *t) {
+                        *slot = Some((t_out, out_wf));
                     }
                 }
             }
-        }
-        let to_map = |m: HashMap<NetId, (f64, qwm_circuit::Waveform)>| {
-            m.into_iter().map(|(n, (t, _))| (n, t)).collect()
+            Ok(())
+        })
+        .map_err(|(_, e)| e)?;
+        let to_map = |book: Vec<Mutex<Option<(f64, qwm_circuit::Waveform)>>>| {
+            book.into_iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.into_inner()
+                        .expect("net book")
+                        .map(|(t, _)| (NetId(i), t))
+                })
+                .collect()
         };
         Ok((to_map(fall), to_map(rise)))
     }
 
     fn stage_output_timing_dir(
-        &mut self,
+        &self,
         evaluator: &dyn StageEvaluator,
         sid: StageId,
         out_pos: usize,
@@ -581,7 +699,7 @@ impl<'m> StaEngine<'m> {
             sid.0,
             (out_pos * 1_000_003 + slew_key) * 2 + dir_tag,
         );
-        if let Some(&d) = self.slew_cache.get(&key) {
+        if let Some(d) = self.slew_cache.get(&key) {
             qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(TimingMetrics {
                 delay: d.0,
@@ -604,14 +722,14 @@ impl<'m> StaEngine<'m> {
             direction,
             slew_key as f64 * 1e-12,
         )?;
-        self.evaluations += 1;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         qwm_obs::counter!("sta.evaluations").incr();
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }
 
     fn stage_output_timing(
-        &mut self,
+        &self,
         evaluator: &dyn StageEvaluator,
         sid: StageId,
         out_pos: usize,
@@ -620,7 +738,7 @@ impl<'m> StaEngine<'m> {
         // Quantize the slew so the cache has a chance to hit.
         let slew_key = (input_slew / 1e-12).round() as usize;
         let key = (evaluator.name(), sid.0, out_pos * 1_000_003 + slew_key);
-        if let Some(&d) = self.slew_cache.get(&key) {
+        if let Some(d) = self.slew_cache.get(&key) {
             qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(TimingMetrics {
                 delay: d.0,
@@ -643,15 +761,19 @@ impl<'m> StaEngine<'m> {
             self.direction,
             slew_key as f64 * 1e-12,
         )?;
-        self.evaluations += 1;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         qwm_obs::counter!("sta.evaluations").incr();
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }
 
     /// Resizes netlist device `device_index` to width `w` and invalidates
-    /// only the containing stage's cached delays. The next [`Self::run`]
-    /// re-evaluates just that stage — the incremental flow.
+    /// only the containing stage's cached delays (plus its gate-net
+    /// driver's, whose baked fanout load changed). The next
+    /// [`Self::run`] re-evaluates just those stages — the incremental
+    /// flow — at any worker count: the caches are keyed by stage, not
+    /// by worker, so invalidation is exact no matter which worker
+    /// originally computed an entry.
     ///
     /// # Errors
     ///
@@ -677,7 +799,7 @@ impl<'m> StaEngine<'m> {
             (Geometry { w, ..d.geom }, d.geom, d.gate, d.kind.polarity())
         };
         self.netlist.set_device_geometry(device_index, geom)?;
-        let part = &mut self.graph_mut().partitions_mut()[sid.0];
+        let part = &mut self.graph.partitions_mut()[sid.0];
         let pos = part
             .device_indices
             .iter()
@@ -685,8 +807,8 @@ impl<'m> StaEngine<'m> {
             .expect("device is in its stage");
         part.stage.set_edge_geometry(qwm_circuit::EdgeId(pos), geom);
         // Invalidate that stage's cached delays.
-        self.delay_cache.retain(|&(_, s, _), _| s != sid.0);
-        self.slew_cache.retain(|&(_, s, _), _| s != sid.0);
+        self.delay_cache.retain(|&(_, s, _)| s != sid.0);
+        self.slew_cache.retain(|&(_, s, _)| s != sid.0);
 
         // The resized gate's capacitance loads whichever stage drives
         // its gate net: update that stage's baked fanout load and drop
@@ -696,22 +818,17 @@ impl<'m> StaEngine<'m> {
                 let model = self.models.for_polarity(p);
                 let delta = model.input_cap(&geom) - model.input_cap(&old_geom);
                 let name = self.netlist.net_name(gate).to_string();
-                let dpart = &mut self.graph_mut().partitions_mut()[driver.0];
+                let dpart = &mut self.graph.partitions_mut()[driver.0];
                 if let Some(node) = dpart.stage.node_by_name(&name) {
                     dpart.stage.add_load(node, delta);
-                    self.delay_cache.retain(|&(_, s, _), _| s != driver.0);
-                    self.slew_cache.retain(|&(_, s, _), _| s != driver.0);
+                    self.delay_cache.retain(|&(_, s, _)| s != driver.0);
+                    self.slew_cache.retain(|&(_, s, _)| s != driver.0);
                 }
             }
         }
         Ok(())
     }
-
-    fn graph_mut(&mut self) -> &mut StageGraph {
-        &mut self.graph
-    }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,7 +842,7 @@ mod tests {
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 4, 10e-15);
         let out = nl.find_net("n4").unwrap();
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let report = engine.run(&ElmoreEvaluator).unwrap();
         let (worst_net, worst_arr) = report.worst.unwrap();
         assert_eq!(worst_net, out);
@@ -748,7 +865,7 @@ mod tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 5, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let r1 = engine.run(&ElmoreEvaluator).unwrap();
         assert_eq!(r1.evaluations, 5);
         let r2 = engine.run(&ElmoreEvaluator).unwrap();
@@ -795,7 +912,7 @@ mod tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 3, 10e-15);
-        let mut e1 = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let e1 = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let r_elm = e1.run(&ElmoreEvaluator).unwrap();
         let r_qwm = e1.run(&QwmEvaluator::default()).unwrap();
         // Same path, possibly different absolute numbers. (The second
@@ -817,7 +934,7 @@ mod slew_tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 4, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let step = engine.run(&QwmEvaluator::default()).unwrap();
         let slewed = engine
             .run_with_slew(&QwmEvaluator::default(), 60e-12)
@@ -836,7 +953,7 @@ mod slew_tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 3, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let r1 = engine
             .run_with_slew(&QwmEvaluator::default(), 20e-12)
             .unwrap();
@@ -857,7 +974,7 @@ mod slew_tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 2, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let q = engine
             .run_with_slew(&QwmEvaluator::default(), 30e-12)
             .unwrap();
@@ -903,7 +1020,7 @@ mod dual_tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 3, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let (fall, rise) = engine.run_dual(&QwmEvaluator::default(), 5e-12).unwrap();
         let out = engine.netlist().find_net("n3").unwrap();
         let (af, ar) = (fall.arrivals[&out], rise.arrivals[&out]);

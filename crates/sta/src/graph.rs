@@ -25,6 +25,9 @@ pub struct StageGraph {
     users: HashMap<NetId, Vec<StageId>>,
     /// Topological order of stage indices.
     topo: Vec<StageId>,
+    /// Netlist device index → containing stage (devices never migrate
+    /// between stages, so this is built once).
+    device_stage: HashMap<usize, StageId>,
 }
 
 impl StageGraph {
@@ -79,11 +82,18 @@ impl StageGraph {
                 detail: "stage graph is cyclic (combinational loop)".to_string(),
             });
         }
+        let mut device_stage = HashMap::new();
+        for (i, p) in partitions.iter().enumerate() {
+            for &d in &p.device_indices {
+                device_stage.insert(d, StageId(i));
+            }
+        }
         Ok(StageGraph {
             partitions,
             driver,
             users,
             topo,
+            device_stage,
         })
     }
 
@@ -133,11 +143,32 @@ impl StageGraph {
     }
 
     /// The stage containing netlist device `device_index`, if any.
+    /// O(1): the index is precomputed at build time (a linear scan per
+    /// resize used to make incremental sizing sweeps quadratic).
     pub fn stage_of_device(&self, device_index: usize) -> Option<StageId> {
-        self.partitions
-            .iter()
-            .position(|p| p.device_indices.contains(&device_index))
-            .map(StageId)
+        self.device_stage.get(&device_index).copied()
+    }
+
+    /// Stage→stage dependency edges as deduplicated successor lists
+    /// (`succs[i]` holds every stage reading one of stage `i`'s output
+    /// nets), the input the parallel runners levelize.
+    pub fn stage_dependencies(&self) -> Vec<Vec<usize>> {
+        let n = self.partitions.len();
+        let mut succs = vec![Vec::new(); n];
+        for (i, p) in self.partitions.iter().enumerate() {
+            for &net in &p.output_nets {
+                for user in self.users.get(&net).into_iter().flatten() {
+                    if user.0 != i {
+                        succs[i].push(user.0);
+                    }
+                }
+            }
+        }
+        for s in &mut succs {
+            s.sort_unstable();
+            s.dedup();
+        }
+        succs
     }
 }
 
@@ -160,6 +191,75 @@ pub fn inverter_chain(tech: &qwm_device::Technology, depth: usize, load: f64) ->
     }
     nl.add_cap(prev, load);
     nl.add_primary_output(prev);
+    nl
+}
+
+/// Builds a randomized combinational DAG netlist of `stages` gates
+/// (inverters and NAND2s) wired to randomly chosen earlier nets — the
+/// workload for scheduler/determinism tests and scaling benches.
+/// Acyclic by construction; fully determined by `seed`.
+pub fn random_dag_netlist(tech: &qwm_device::Technology, stages: usize, seed: u64) -> Netlist {
+    use qwm_circuit::stage::DeviceKind;
+    use qwm_device::model::Geometry;
+    use qwm_num::rng::Rng64;
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut nl = Netlist::new();
+    let (vdd, gnd) = (nl.vdd(), nl.gnd());
+    let mut nets: Vec<NetId> = Vec::new();
+    for i in 0..3 {
+        let pi = nl.net(&format!("in{i}"));
+        nl.add_primary_input(pi);
+        nets.push(pi);
+    }
+    // Gate inputs prefer recent nets so depth grows with size (a wide
+    // shallow graph would undersell the dependency scheduler).
+    let pick = |rng: &mut Rng64, nets: &[NetId]| {
+        let window = nets.len().min(12);
+        let base = nets.len() - window;
+        nets[base + (rng.next_u64() as usize) % window]
+    };
+    let mut used: Vec<bool> = vec![false; 0];
+    for i in 0..stages {
+        let out = nl.net(&format!("g{i}"));
+        let wn = tech.w_min * (1.0 + rng.unit());
+        let gn = Geometry::new(wn, tech.l_min);
+        let gp = Geometry::new(2.0 * wn, tech.l_min);
+        let a = pick(&mut rng, &nets);
+        let mark = |n: NetId, used: &mut Vec<bool>| {
+            if used.len() <= n.0 {
+                used.resize(n.0 + 1, false);
+            }
+            used[n.0] = true;
+        };
+        mark(a, &mut used);
+        if rng.unit() < 0.6 {
+            // Inverter.
+            nl.add_transistor(format!("MN{i}"), DeviceKind::Nmos, a, out, gnd, gn);
+            nl.add_transistor(format!("MP{i}"), DeviceKind::Pmos, a, vdd, out, gp);
+        } else {
+            // NAND2 with two distinct drivers where possible.
+            let mut b = pick(&mut rng, &nets);
+            if b == a {
+                b = nets[(rng.next_u64() as usize) % nets.len()];
+            }
+            mark(b, &mut used);
+            let mid = nl.net(&format!("g{i}_m"));
+            nl.add_transistor(format!("MN{i}a"), DeviceKind::Nmos, a, out, mid, gn);
+            nl.add_transistor(format!("MN{i}b"), DeviceKind::Nmos, b, mid, gnd, gn);
+            nl.add_transistor(format!("MP{i}a"), DeviceKind::Pmos, a, vdd, out, gp);
+            nl.add_transistor(format!("MP{i}b"), DeviceKind::Pmos, b, vdd, out, gp);
+        }
+        nl.add_cap(out, 2e-15 + 6e-15 * rng.unit());
+        nets.push(out);
+    }
+    // Dangling gate outputs become primary outputs: every stage then has
+    // a natural output and internal (e.g. NAND mid) nodes stay internal.
+    for i in 0..stages {
+        let out = nl.find_net(&format!("g{i}")).expect("gate output exists");
+        if !used.get(out.0).copied().unwrap_or(false) {
+            nl.add_primary_output(out);
+        }
+    }
     nl
 }
 

@@ -74,6 +74,48 @@ pub fn format_report(
     out
 }
 
+/// Renders a [`TimingReport`] as a canonical, machine-diffable snapshot
+/// for golden-file regression tests.
+///
+/// Every line is deterministic: nets are sorted by name, floats are
+/// printed with `{:?}` (shortest representation that round-trips the
+/// exact bits), so the output is byte-identical across runs, worker
+/// counts and platforms — any diff against a blessed golden file is a
+/// real numeric change.
+pub fn golden_report(report: &TimingReport, netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "evaluations {}", report.evaluations);
+    let _ = writeln!(out, "waveform_failures {}", report.waveform_failures);
+    match report.worst {
+        Some((net, arr)) => {
+            let _ = writeln!(out, "worst {} {arr:?}", netlist.net_name(net));
+        }
+        None => {
+            let _ = writeln!(out, "worst -");
+        }
+    }
+    let path: Vec<String> = report
+        .critical_path
+        .iter()
+        .map(|s| format!("#{}", s.0))
+        .collect();
+    let _ = writeln!(out, "critical_path {}", path.join(" "));
+    let mut nets: Vec<qwm_circuit::netlist::NetId> = report.arrivals.keys().copied().collect();
+    nets.sort_by_key(|&n| netlist.net_name(n));
+    for net in nets {
+        let arr = report.arrivals[&net];
+        match report.slews.get(&net) {
+            Some(slew) => {
+                let _ = writeln!(out, "net {} {arr:?} {slew:?}", netlist.net_name(net));
+            }
+            None => {
+                let _ = writeln!(out, "net {} {arr:?} -", netlist.net_name(net));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,7 +129,7 @@ mod tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, depth, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let report = engine.run(&ElmoreEvaluator).unwrap();
         let worst = report.worst.unwrap().1;
         let s = format_report(&report, engine.graph(), engine.netlist(), Some(worst * 0.8));
@@ -110,12 +152,33 @@ mod tests {
         let tech = Technology::cmosp35();
         let models = analytic_models(&tech);
         let nl = inverter_chain(&tech, 2, 10e-15);
-        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         let report = engine.run(&ElmoreEvaluator).unwrap();
         let worst = report.worst.unwrap().1;
         let s = format_report(&report, engine.graph(), engine.netlist(), Some(worst * 2.0));
         assert!(!s.contains("VIOLATED"));
         assert!(s.contains("slack +"));
+    }
+
+    #[test]
+    fn golden_report_is_sorted_and_stable() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let report = engine.run(&ElmoreEvaluator).unwrap();
+        let a = golden_report(&report, engine.netlist());
+        let b = golden_report(&report, engine.netlist());
+        assert_eq!(a, b, "byte-identical across renders");
+        assert!(a.starts_with("evaluations 3\n"));
+        assert!(a.contains("worst n3 "));
+        // Net lines sorted by name: in, n1, n2, n3.
+        let nets: Vec<&str> = a
+            .lines()
+            .filter(|l| l.starts_with("net "))
+            .map(|l| l.split_whitespace().nth(1).unwrap())
+            .collect();
+        assert_eq!(nets, ["in", "n1", "n2", "n3"]);
     }
 
     #[test]

@@ -10,6 +10,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The parallel engine must behave identically when forced wide
+# (QWM_THREADS=4 engines on every test) and when the harness itself is
+# serialized (RUST_TEST_THREADS=1 exposes ordering assumptions).
+echo "==> QWM_THREADS=4 cargo test -q"
+QWM_THREADS=4 cargo test -q
+
+echo "==> RUST_TEST_THREADS=1 cargo test -q"
+RUST_TEST_THREADS=1 cargo test -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! qwm <deck.sp> [--evaluator qwm|elmore|spice] [--direction fall|rise]
-//!               [--slew <ps>] [--required <ps>] [--stages]
+//!               [--slew <ps>] [--required <ps>] [--stages] [--threads <n>]
 //! ```
 //!
 //! Reads a SPICE-subset deck (see `qwm::circuit::parser`), partitions it
@@ -10,6 +10,11 @@
 //! the chosen per-stage evaluator (QWM by default) and prints the
 //! critical-path report. With `--slew` the analysis is slew-aware:
 //! measured output slews feed downstream stages.
+//!
+//! Independent stages are evaluated in parallel on a work-stealing
+//! scheduler; `--threads <n>` (or the `QWM_THREADS` environment
+//! variable) sets the worker count. Reports are bitwise-identical for
+//! any value — the knob only changes speed.
 //!
 //! `--obs [summary|json]` (or the `QWM_OBS` environment variable)
 //! appends a telemetry report — spans, counters, solver histograms and
@@ -31,11 +36,13 @@ struct Options {
     required: Option<f64>,
     show_stages: bool,
     obs: Option<qwm::obs::ObsMode>,
+    threads: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice] [--direction fall|rise]\n\
-     \u{20}          [--slew <ps>] [--required <ps>] [--stages] [--obs [summary|json]]"
+     \u{20}          [--slew <ps>] [--required <ps>] [--stages] [--threads <n>]\n\
+     \u{20}          [--obs [summary|json]]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -46,6 +53,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut required = None;
     let mut show_stages = false;
     let mut obs = None;
+    let mut threads = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +87,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 required = Some(v * 1e-12);
             }
             "--stages" => show_stages = true,
+            "--threads" => {
+                let v: usize = it
+                    .next()
+                    .ok_or("--threads needs a worker count")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if v == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(v);
+            }
             "--obs" => {
                 // Optional value: `--obs json` or bare `--obs` (summary).
                 obs = Some(match it.peek().map(|s| s.as_str()) {
@@ -108,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         required,
         show_stages,
         obs,
+        threads,
     })
 }
 
@@ -127,13 +147,17 @@ fn run(opts: &Options) -> Result<(), String> {
         analytic_models(&tech)
     };
     let mut engine = StaEngine::new(netlist, &models, opts.direction).map_err(|e| e.to_string())?;
+    if let Some(t) = opts.threads {
+        engine.set_threads(t);
+    }
 
     println!(
-        "{}: {} devices, {} stages, evaluator = {}",
+        "{}: {} devices, {} stages, evaluator = {}, threads = {}",
         opts.deck,
         engine.netlist().devices().len(),
         engine.graph().len(),
-        opts.evaluator
+        opts.evaluator,
+        engine.threads()
     );
     if opts.show_stages {
         for (i, p) in engine.graph().partitions().iter().enumerate() {

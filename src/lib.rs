@@ -14,6 +14,7 @@
 //! | [`interconnect`] | RC trees, moments, Elmore/D2M, AWE, π macromodels |
 //! | [`core`] | **QWM itself**: critical points, per-region algebraic solves, O(K) updates |
 //! | [`sta`] | static timing analysis over stage graphs with pluggable evaluators |
+//! | [`exec`] | zero-dependency parallelism: work-stealing pool, DAG scheduler (`QWM_THREADS`) |
 //! | [`obs`] | zero-dependency telemetry: spans, counters, histograms, events (`QWM_OBS`) |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@
 pub use qwm_circuit as circuit;
 pub use qwm_core as core;
 pub use qwm_device as device;
+pub use qwm_exec as exec;
 pub use qwm_interconnect as interconnect;
 pub use qwm_num as num;
 pub use qwm_obs as obs;

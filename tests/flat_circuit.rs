@@ -55,7 +55,7 @@ fn ring_oscillator_oscillates() {
     let period = periods.iter().sum::<f64>() / periods.len() as f64;
 
     // Classic estimate: T = 2 · N · t_p with t_p from a single stage.
-    let mut engine = StaEngine::new(
+    let engine = StaEngine::new(
         qwm::sta::graph::inverter_chain(&tech, 1, 5e-15),
         &models,
         TransitionKind::Fall,
@@ -104,7 +104,7 @@ Cz z 0 10f
     let nl = parse_netlist(deck).unwrap();
 
     // Stage-by-stage STA, both step-based and slew-aware.
-    let mut engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).unwrap();
     let sta_step = engine
         .run(&QwmEvaluator::default())
         .unwrap()
@@ -224,7 +224,7 @@ Cz z 0 10f
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let nl = parse_netlist(deck).unwrap();
-    let mut engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).unwrap();
     let z_net = engine.netlist().find_net("z").unwrap();
 
     let (fall_wf, _rise_wf) = engine

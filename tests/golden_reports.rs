@@ -1,0 +1,80 @@
+//! Golden-file regression test: the canonical report for
+//! `testdata/path4.sp` must match the blessed snapshot byte for byte.
+//!
+//! The snapshot is rendered with [`qwm::sta::report::golden_report`]
+//! (sorted nets, `{:?}` floats — exact bit round-trips), so any diff is
+//! a real numeric change in the timing pipeline, not formatting noise.
+//! Re-bless intentionally changed numbers with:
+//!
+//! ```text
+//! QWM_BLESS=1 cargo test --test golden_reports
+//! ```
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::device::{analytic_models, Technology};
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::QwmEvaluator;
+use qwm::sta::report::golden_report;
+use std::path::Path;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/golden/path4.report");
+
+fn render_path4_report() -> String {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let nl = parse_netlist(&text).expect("parse path4.sp");
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+    let report = engine
+        .run_with_slew(&QwmEvaluator::default(), 30e-12)
+        .expect("slew-aware run");
+    golden_report(&report, engine.netlist())
+}
+
+#[test]
+fn path4_report_matches_golden_snapshot() {
+    let rendered = render_path4_report();
+    if std::env::var_os("QWM_BLESS").is_some() {
+        std::fs::create_dir_all(Path::new(GOLDEN).parent().unwrap()).expect("mkdir golden");
+        std::fs::write(GOLDEN, &rendered).expect("write golden");
+        eprintln!("blessed {GOLDEN}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {GOLDEN}: {e}\n\
+             generate it with: QWM_BLESS=1 cargo test --test golden_reports"
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "path4 timing report drifted from the blessed snapshot.\n\
+         If the change is intentional, re-bless with:\n\
+         QWM_BLESS=1 cargo test --test golden_reports"
+    );
+}
+
+#[test]
+fn golden_render_is_thread_count_invariant() {
+    // The snapshot itself must not depend on QWM_THREADS: render at
+    // several worker counts and require byte equality.
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let mut renders = Vec::new();
+    for threads in [1usize, 3, 8] {
+        let nl = parse_netlist(&text).expect("parse");
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall)
+            .expect("engine")
+            .with_threads(threads);
+        let report = engine
+            .run_with_slew(&QwmEvaluator::default(), 30e-12)
+            .expect("run");
+        renders.push(golden_report(&report, engine.netlist()));
+    }
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(renders[0], renders[2]);
+}

@@ -1,0 +1,208 @@
+//! Determinism lock-down for the parallel STA engine: every analysis
+//! mode, on every workload, must produce bitwise-identical reports at
+//! 1, 2, 4 and 8 workers.
+//!
+//! The engine's contract is determinism *by construction* (single
+//! committer per net, happens-before via the dependency countdown), so
+//! these tests compare with exact `f64` equality — any epsilon would
+//! hide a real scheduling leak.
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::core::evaluate::QwmConfig;
+use qwm::device::{analytic_models, ModelSet, Technology};
+use qwm::sta::engine::{StaEngine, TimingReport};
+use qwm::sta::evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
+use qwm::sta::graph::{inverter_chain, random_dag_netlist};
+use std::collections::HashMap;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Exact, field-by-field report comparison (sorted iteration so the
+/// failure message names the first diverging net deterministically).
+fn assert_reports_identical(a: &TimingReport, b: &TimingReport, what: &str) {
+    assert_eq!(a.evaluations, b.evaluations, "{what}: evaluation count");
+    assert_eq!(
+        a.waveform_failures, b.waveform_failures,
+        "{what}: waveform failures"
+    );
+    assert_eq!(a.worst, b.worst, "{what}: worst endpoint");
+    assert_eq!(a.critical_path, b.critical_path, "{what}: critical path");
+    let sorted = |m: &HashMap<qwm::circuit::netlist::NetId, f64>| {
+        let mut v: Vec<(usize, f64)> = m.iter().map(|(k, &x)| (k.0, x)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    };
+    assert_eq!(
+        sorted(&a.arrivals),
+        sorted(&b.arrivals),
+        "{what}: arrivals (exact)"
+    );
+    assert_eq!(sorted(&a.slews), sorted(&b.slews), "{what}: slews (exact)");
+}
+
+/// Runs `f` against a fresh engine per worker count (caches persist
+/// inside an engine, so sharing one would only time the first run) and
+/// asserts every report matches the single-worker baseline bitwise.
+fn check_all_thread_counts(
+    nl: &qwm::circuit::netlist::Netlist,
+    models: &ModelSet,
+    what: &str,
+    f: impl Fn(&StaEngine) -> TimingReport,
+) {
+    let mut baseline: Option<TimingReport> = None;
+    for threads in THREAD_COUNTS {
+        let engine = StaEngine::new(nl.clone(), models, TransitionKind::Fall)
+            .expect("engine")
+            .with_threads(threads);
+        let report = f(&engine);
+        if let Some(base) = &baseline {
+            assert_reports_identical(base, &report, &format!("{what} @ {threads} threads"));
+        } else {
+            baseline = Some(report);
+        }
+    }
+}
+
+#[test]
+fn every_evaluator_is_deterministic_on_inverter_chains() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = inverter_chain(&tech, 12, 10e-15);
+    let evaluators: [(&str, Box<dyn StageEvaluator>); 3] = [
+        ("elmore", Box::new(ElmoreEvaluator)),
+        ("qwm", Box::new(QwmEvaluator::default())),
+        ("spice", Box::new(SpiceEvaluator::default())),
+    ];
+    for (name, ev) in &evaluators {
+        check_all_thread_counts(&nl, &models, &format!("chain/{name}/run"), |e| {
+            e.run(ev.as_ref()).expect("run")
+        });
+        check_all_thread_counts(&nl, &models, &format!("chain/{name}/slew"), |e| {
+            e.run_with_slew(ev.as_ref(), 25e-12).expect("run_with_slew")
+        });
+    }
+}
+
+#[test]
+fn every_evaluator_is_deterministic_on_path4() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let nl = parse_netlist(&text).expect("parse");
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let evaluators: [(&str, Box<dyn StageEvaluator>); 3] = [
+        ("elmore", Box::new(ElmoreEvaluator)),
+        ("qwm", Box::new(QwmEvaluator::default())),
+        ("spice", Box::new(SpiceEvaluator::default())),
+    ];
+    for (name, ev) in &evaluators {
+        check_all_thread_counts(&nl, &models, &format!("path4/{name}/run"), |e| {
+            e.run(ev.as_ref()).expect("run")
+        });
+        check_all_thread_counts(&nl, &models, &format!("path4/{name}/slew"), |e| {
+            e.run_with_slew(ev.as_ref(), 30e-12).expect("run_with_slew")
+        });
+    }
+}
+
+#[test]
+fn random_dag_is_deterministic_across_workers() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    // 200 gates, wide enough that many stages are in flight at once.
+    let nl = random_dag_netlist(&tech, 200, 0xdead_beef);
+    check_all_thread_counts(&nl, &models, "dag200/elmore/run", |e| {
+        e.run(&ElmoreEvaluator).expect("run")
+    });
+    check_all_thread_counts(&nl, &models, "dag200/qwm/slew", |e| {
+        e.run_with_slew(&QwmEvaluator::default(), 20e-12)
+            .expect("run_with_slew")
+    });
+}
+
+#[test]
+fn dual_polarity_is_deterministic_across_workers() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = random_dag_netlist(&tech, 80, 0x0bad_cafe);
+    let mut baseline: Option<(TimingReport, TimingReport)> = None;
+    for threads in THREAD_COUNTS {
+        let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall)
+            .expect("engine")
+            .with_threads(threads);
+        let (fall, rise) = engine
+            .run_dual(&QwmEvaluator::default(), 15e-12)
+            .expect("run_dual");
+        if let Some((bf, br)) = &baseline {
+            assert_reports_identical(bf, &fall, &format!("dual/fall @ {threads}"));
+            assert_reports_identical(br, &rise, &format!("dual/rise @ {threads}"));
+        } else {
+            baseline = Some((fall, rise));
+        }
+    }
+}
+
+#[test]
+fn waveform_accurate_run_is_deterministic_across_workers() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    // Smaller DAG: full QWM waveform evaluation per stage × transition.
+    let nl = random_dag_netlist(&tech, 40, 0x00c0_ffee);
+    let config = QwmConfig::default();
+    type Snapshot = (Vec<(usize, f64)>, Vec<(usize, f64)>, usize);
+    let mut baseline: Option<Snapshot> = None;
+    for threads in THREAD_COUNTS {
+        let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall)
+            .expect("engine")
+            .with_threads(threads);
+        let (fall, rise) = engine.run_waveform(&config, 20e-12).expect("run_waveform");
+        let sorted = |m: HashMap<qwm::circuit::netlist::NetId, f64>| {
+            let mut v: Vec<(usize, f64)> = m.into_iter().map(|(k, x)| (k.0, x)).collect();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        };
+        let snap = (sorted(fall), sorted(rise), engine.total_waveform_failures());
+        if let Some(base) = &baseline {
+            assert_eq!(base, &snap, "waveform run @ {threads} threads");
+        } else {
+            baseline = Some(snap);
+        }
+    }
+}
+
+#[test]
+fn resize_then_parallel_rerun_invalidates_the_right_caches() {
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = inverter_chain(&tech, 6, 10e-15);
+
+    // Parallel engine: full run, resize, incremental rerun at 4 workers.
+    let mut par = StaEngine::new(nl.clone(), &models, TransitionKind::Fall)
+        .expect("engine")
+        .with_threads(4);
+    let full = par.run(&QwmEvaluator::default()).expect("full run");
+    assert_eq!(full.evaluations, 6);
+    par.resize_device(4, 4.0 * tech.w_min).expect("resize");
+    let incr = par.run(&QwmEvaluator::default()).expect("incremental");
+    assert_eq!(
+        incr.evaluations, 2,
+        "only the resized stage and its re-loaded driver re-evaluate"
+    );
+
+    // Reference: a fresh single-worker engine over the resized netlist
+    // must agree bitwise with the incremental parallel rerun.
+    let mut fresh = StaEngine::new(nl, &models, TransitionKind::Fall)
+        .expect("engine")
+        .with_threads(1);
+    fresh.resize_device(4, 4.0 * tech.w_min).expect("resize");
+    let reference = fresh.run(&QwmEvaluator::default()).expect("reference");
+    assert_eq!(reference.evaluations, 6, "fresh engine evaluates all");
+    assert_eq!(incr.worst, reference.worst, "incremental == from-scratch");
+    let sorted = |m: &HashMap<qwm::circuit::netlist::NetId, f64>| {
+        let mut v: Vec<(usize, f64)> = m.iter().map(|(k, &x)| (k.0, x)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    };
+    assert_eq!(sorted(&incr.arrivals), sorted(&reference.arrivals));
+}

@@ -36,7 +36,7 @@ fn deck_to_timing_report() {
     let models = analytic_models(&tech);
     let netlist = parse_netlist(PATH_DECK).unwrap();
     let out = netlist.find_net("n4").unwrap();
-    let mut engine = StaEngine::new(netlist, &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(netlist, &models, TransitionKind::Fall).unwrap();
     assert_eq!(engine.graph().len(), 4, "four channel-connected stages");
 
     let report = engine.run(&QwmEvaluator::default()).unwrap();
@@ -75,7 +75,7 @@ fn evaluators_rank_sanely_on_the_same_graph() {
     ];
     let mut results = Vec::new();
     for ev in &evaluators {
-        let mut engine = mk();
+        let engine = mk();
         let r = engine.run(ev.as_ref()).unwrap();
         results.push((ev.name(), r.worst.unwrap().1));
     }
@@ -95,7 +95,7 @@ fn evaluator_caches_are_independent() {
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let nl = inverter_chain(&tech, 3, 10e-15);
-    let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
     let r1 = engine.run(&ElmoreEvaluator).unwrap();
     assert_eq!(r1.evaluations, 3);
     // A different evaluator must not hit the Elmore cache.
@@ -135,7 +135,7 @@ fn incremental_flow_matches_full_reanalysis() {
         ..nl.devices()[4].geom
     };
     nl.set_device_geometry(4, geom).unwrap();
-    let mut fresh = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let fresh = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
     let full = fresh.run(&QwmEvaluator::default()).unwrap();
     assert_eq!(full.evaluations, depth);
 
@@ -165,7 +165,7 @@ Cy y 0 8f
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let netlist = parse_netlist(deck).unwrap();
-    let mut engine = StaEngine::new(netlist, &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(netlist, &models, TransitionKind::Fall).unwrap();
     assert_eq!(engine.graph().len(), 1);
     let r = engine.run(&QwmEvaluator::default()).unwrap();
     // Worst output is y (behind the pass device), reached through the
@@ -185,7 +185,7 @@ fn decoder_tree_is_one_stage_with_all_leaves() {
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let nl = qwm::circuit::cells::decoder_tree_netlist(&tech, 3, 50e-6, 10e-15).unwrap();
-    let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
     assert_eq!(engine.graph().len(), 1, "whole tree is one stage");
     assert_eq!(engine.graph().partitions()[0].output_nets.len(), 8);
 
@@ -211,7 +211,7 @@ fn decoder_tree_leaf_delay_tracks_spice() {
     let tech = Technology::cmosp35();
     let models = analytic_models(&tech);
     let nl = qwm::circuit::cells::decoder_tree_netlist(&tech, 2, 50e-6, 10e-15).unwrap();
-    let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
     let q = engine.run(&QwmEvaluator::default()).unwrap();
     let s = engine
         .run(&qwm::sta::evaluator::SpiceEvaluator::default())
