@@ -420,6 +420,9 @@ pub fn solve_region_counted(
     opts: &RegionOptions,
     spent: &mut usize,
 ) -> Result<RegionSolution> {
+    if let Some(e) = qwm_fault::check("qwm.region") {
+        return Err(e);
+    }
     let n = ctx.chain.len();
     debug_assert_eq!(state.v.len(), n);
     let vdd = ctx.models.tech().vdd;

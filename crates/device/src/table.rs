@@ -330,6 +330,9 @@ impl DeviceModel for TableModel {
     }
 
     fn iv_eval(&self, geom: &Geometry, tv: TermVoltage) -> Result<IvEval> {
+        if let Some(e) = qwm_fault::check("device.table") {
+            return Err(e);
+        }
         let wl = geom.w / geom.l;
         match self.polarity {
             Polarity::Nmos => Ok(self.eval_normalized(tv, wl)),

@@ -1,0 +1,556 @@
+//! Deterministic fault injection for failure-path testing.
+//!
+//! The QWM pipeline has a small set of numeric failure modes — Newton
+//! stalls, singular pivots, table lookups outside the characterized
+//! grid, exhausted budgets — that are hard to reach with well-formed
+//! netlists. This crate makes every one of them reachable on demand:
+//! engines declare named **sites** (`"qwm.region"`, `"spice.adaptive"`,
+//! `"device.table"`, ...) and a process-global **fault plan** decides,
+//! deterministically from a seed, which site invocations fail and with
+//! what [`NumError`].
+//!
+//! Like `QWM_OBS`, the layer is **off by default** and costs a single
+//! relaxed atomic load per site when no plan is installed — production
+//! runs pay nothing. A plan comes from the builder API or from the
+//! `QWM_FAULTS` environment variable:
+//!
+//! ```text
+//! QWM_FAULTS='seed=42;qwm.region=noconv;spice.adaptive=singular:0.5:3'
+//! #           └ seed ┘ └ site = kind [: probability [: max fires]] ┘
+//! ```
+//!
+//! Fault kinds: `noconv`, `singular`, `outofgrid`, `timeout`.
+//!
+//! Rules with probability `1` (the default) fire on **every** match —
+//! their effect is independent of evaluation order, so reports stay
+//! bitwise-identical at any worker count. Probabilistic rules
+//! (`prob < 1`) draw from a per-rule seeded stream indexed by match
+//! count; under parallel evaluation the match order is scheduler
+//! dependent, so treat them as chaos-mode only.
+//!
+//! Retry rungs re-enter the same code site; a thread-local [`scope`]
+//! distinguishes them. Inside `scope("retry")` the site `"qwm.region"`
+//! matches rules for `"retry/qwm.region"` instead — a plan can fail the
+//! first QWM attempt while letting the retry succeed (or vice versa).
+//!
+//! ```
+//! qwm_fault::install(qwm_fault::FaultPlan::new(1).inject("demo.site", qwm_fault::FaultKind::Singular));
+//! assert!(qwm_fault::check("demo.site").is_some());
+//! {
+//!     let _g = qwm_fault::scope("retry");
+//!     assert!(qwm_fault::check("demo.site").is_none()); // "retry/demo.site" has no rule
+//! }
+//! qwm_fault::clear();
+//! assert!(qwm_fault::check("demo.site").is_none());
+//! ```
+
+use qwm_num::rng::Rng64;
+use qwm_num::NumError;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Which [`NumError`] an injected fault materializes as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An iterative method stalls (`NumError::NoConvergence`).
+    NoConvergence,
+    /// A factorization hits a zero pivot (`NumError::Singular`).
+    Singular,
+    /// A table lookup lands outside the characterized grid
+    /// (`NumError::InvalidInput`).
+    OutOfGrid,
+    /// A stage exceeds its wall/iteration budget (`NumError::Timeout`).
+    Timeout,
+}
+
+impl FaultKind {
+    /// Spec-grammar name (`noconv`, `singular`, `outofgrid`, `timeout`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::NoConvergence => "noconv",
+            FaultKind::Singular => "singular",
+            FaultKind::OutOfGrid => "outofgrid",
+            FaultKind::Timeout => "timeout",
+        }
+    }
+
+    /// Parses a spec-grammar name.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "noconv" => Some(FaultKind::NoConvergence),
+            "singular" => Some(FaultKind::Singular),
+            "outofgrid" => Some(FaultKind::OutOfGrid),
+            "timeout" => Some(FaultKind::Timeout),
+            _ => None,
+        }
+    }
+
+    /// The error an injected fault of this kind produces. `site` is the
+    /// effective (scope-qualified) site, for post-mortem attribution.
+    pub fn to_error(self, site: &str) -> NumError {
+        match self {
+            FaultKind::NoConvergence => NumError::NoConvergence {
+                method: "fault-injected solve",
+                iterations: 0,
+                residual: f64::INFINITY,
+            },
+            FaultKind::Singular => NumError::Singular {
+                index: 0,
+                pivot: 0.0,
+            },
+            FaultKind::OutOfGrid => NumError::InvalidInput {
+                context: "fault-injected table lookup",
+                detail: format!("operating point outside characterized grid at {site}"),
+            },
+            FaultKind::Timeout => NumError::Timeout {
+                context: "fault-injected budget",
+                detail: format!("budget exhausted at {site}"),
+            },
+        }
+    }
+}
+
+/// One `site → kind` injection rule with optional probability and cap.
+#[derive(Debug)]
+pub struct FaultRule {
+    /// Effective site this rule matches (exact string, scope-qualified).
+    pub site: String,
+    /// Error to inject on fire.
+    pub kind: FaultKind,
+    /// Fire probability per match, in `(0, 1]`; `1.0` fires always.
+    pub prob: f64,
+    /// Maximum number of fires; `None` is unbounded.
+    pub max: Option<u64>,
+    checked: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// Point-in-time counters for one rule, from [`stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleStats {
+    /// The rule's site pattern.
+    pub site: String,
+    /// Times a site check matched this rule.
+    pub checked: u64,
+    /// Times the rule actually injected a fault.
+    pub fired: u64,
+}
+
+/// A seeded set of injection rules.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic-rule streams.
+    pub seed: u64,
+    /// Rules, consulted in order; the first that fires wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds an always-fire rule (probability 1, unbounded).
+    #[must_use]
+    pub fn inject(self, site: impl Into<String>, kind: FaultKind) -> FaultPlan {
+        self.inject_with(site, kind, 1.0, None)
+    }
+
+    /// Adds a rule with explicit probability and fire cap.
+    #[must_use]
+    pub fn inject_with(
+        mut self,
+        site: impl Into<String>,
+        kind: FaultKind,
+        prob: f64,
+        max: Option<u64>,
+    ) -> FaultPlan {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            kind,
+            prob,
+            max,
+            checked: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Parses the `QWM_FAULTS` spec grammar:
+    /// `[seed=N;]site=kind[:prob[:max]][;...]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed clauses, unknown
+    /// kinds, or out-of-range probabilities.
+    pub fn parse(spec: &str) -> std::result::Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (lhs, rhs) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is not site=kind"))?;
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+            if lhs == "seed" {
+                plan.seed = rhs.parse().map_err(|e| format!("bad seed {rhs:?}: {e}"))?;
+                continue;
+            }
+            if lhs.is_empty() {
+                return Err(format!("fault clause {clause:?} has an empty site"));
+            }
+            let mut parts = rhs.split(':');
+            let kind_name = parts.next().unwrap_or("");
+            let kind = FaultKind::parse(kind_name).ok_or_else(|| {
+                format!("unknown fault kind {kind_name:?} (noconv|singular|outofgrid|timeout)")
+            })?;
+            let prob = match parts.next() {
+                Some(p) => {
+                    let v: f64 = p
+                        .parse()
+                        .map_err(|e| format!("bad probability {p:?}: {e}"))?;
+                    if !(v > 0.0 && v <= 1.0) {
+                        return Err(format!("probability {v} outside (0, 1]"));
+                    }
+                    v
+                }
+                None => 1.0,
+            };
+            let max = match parts.next() {
+                Some(m) => Some(m.parse().map_err(|e| format!("bad max {m:?}: {e}"))?),
+                None => None,
+            };
+            if parts.next().is_some() {
+                return Err(format!("trailing fields in fault clause {clause:?}"));
+            }
+            plan = plan.inject_with(lhs, kind, prob, max);
+        }
+        Ok(plan)
+    }
+
+    /// Parses the `QWM_FAULTS` environment variable, if set.
+    pub fn from_env() -> Option<std::result::Result<FaultPlan, String>> {
+        std::env::var("QWM_FAULTS").ok().map(|s| Self::parse(&s))
+    }
+}
+
+const STATE_OFF: u8 = 0;
+const STATE_ACTIVE: u8 = 1;
+const STATE_UNSET: u8 = u8::MAX;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNSET);
+
+fn plan_slot() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static PLAN: std::sync::OnceLock<RwLock<Option<Arc<FaultPlan>>>> = std::sync::OnceLock::new();
+    PLAN.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs a plan process-wide, replacing any previous one and
+/// resetting its counters. An empty plan is equivalent to [`clear`].
+pub fn install(plan: FaultPlan) {
+    let state = if plan.rules.is_empty() {
+        STATE_OFF
+    } else {
+        STATE_ACTIVE
+    };
+    *plan_slot().write().expect("fault plan lock") = Some(Arc::new(plan));
+    STATE.store(state, Ordering::Relaxed);
+}
+
+/// Removes the installed plan; every subsequent [`check`] is a no-op.
+pub fn clear() {
+    *plan_slot().write().expect("fault plan lock") = None;
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+fn state() -> u8 {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_UNSET => {
+            // First use: adopt QWM_FAULTS if present and well-formed.
+            // A malformed spec is surfaced loudly rather than ignored.
+            match FaultPlan::from_env() {
+                Some(Ok(plan)) => install(plan),
+                Some(Err(msg)) => {
+                    eprintln!("qwm-fault: ignoring malformed QWM_FAULTS: {msg}");
+                    STATE.store(STATE_OFF, Ordering::Relaxed);
+                }
+                None => STATE.store(STATE_OFF, Ordering::Relaxed),
+            }
+            STATE.load(Ordering::Relaxed)
+        }
+        s => s,
+    }
+}
+
+/// True when a non-empty plan is installed (reading `QWM_FAULTS` on
+/// first use).
+pub fn active() -> bool {
+    state() == STATE_ACTIVE
+}
+
+/// Pushes a scope qualifier for the current thread; inside the guard a
+/// site `s` matches rules for `"name/s"` instead of `"s"`. Scopes nest
+/// (`"a/b/s"`).
+pub fn scope(name: &'static str) -> ScopeGuard {
+    SCOPES.with(|s| s.borrow_mut().push(name));
+    ScopeGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// RAII guard from [`scope`]; pops the qualifier on drop.
+#[must_use = "the scope ends when the guard drops"]
+pub struct ScopeGuard {
+    // Popping must happen on the pushing thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The fault gate engines call at a named site. Returns the injected
+/// error when a rule fires, `None` otherwise. One relaxed atomic load
+/// when no plan is installed.
+#[inline]
+pub fn check(site: &'static str) -> Option<NumError> {
+    if state() != STATE_ACTIVE {
+        return None;
+    }
+    check_slow(site)
+}
+
+#[cold]
+fn check_slow(site: &'static str) -> Option<NumError> {
+    let guard = plan_slot().read().expect("fault plan lock");
+    let plan = guard.as_ref()?;
+    let effective = SCOPES.with(|s| {
+        let s = s.borrow();
+        if s.is_empty() {
+            site.to_string()
+        } else {
+            let mut e = s.join("/");
+            e.push('/');
+            e.push_str(site);
+            e
+        }
+    });
+    for (idx, rule) in plan.rules.iter().enumerate() {
+        if rule.site != effective {
+            continue;
+        }
+        let n = rule.checked.fetch_add(1, Ordering::Relaxed);
+        let roll = if rule.prob >= 1.0 {
+            true
+        } else {
+            // Per-rule seeded stream indexed by match count: the same
+            // plan replays the same fire pattern for the same match
+            // order.
+            let mix = plan
+                .seed
+                .wrapping_add((idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(n.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            Rng64::seed_from_u64(mix).unit() < rule.prob
+        };
+        if !roll {
+            continue;
+        }
+        if let Some(max) = rule.max {
+            let won = rule
+                .fired
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                    (f < max).then_some(f + 1)
+                })
+                .is_ok();
+            if !won {
+                continue;
+            }
+        } else {
+            rule.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        qwm_obs::counter!("fault.injected").incr();
+        qwm_obs::warn("fault.injected")
+            .field("site", &effective)
+            .field("kind", rule.kind.name())
+            .emit();
+        return Some(rule.kind.to_error(&effective));
+    }
+    None
+}
+
+/// Per-rule counters of the installed plan (empty when none).
+pub fn stats() -> Vec<RuleStats> {
+    let guard = plan_slot().read().expect("fault plan lock");
+    let Some(plan) = guard.as_ref() else {
+        return Vec::new();
+    };
+    plan.rules
+        .iter()
+        .map(|r| RuleStats {
+            site: r.site.clone(),
+            checked: r.checked.load(Ordering::Relaxed),
+            fired: r.fired.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The plan is process-global; serialize every test that touches it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan =
+            FaultPlan::parse("seed=7; qwm.region=noconv; spice.adaptive=singular:0.25:3").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].site, "qwm.region");
+        assert_eq!(plan.rules[0].kind, FaultKind::NoConvergence);
+        assert_eq!(plan.rules[0].prob, 1.0);
+        assert_eq!(plan.rules[0].max, None);
+        assert_eq!(plan.rules[1].site, "spice.adaptive");
+        assert_eq!(plan.rules[1].kind, FaultKind::Singular);
+        assert_eq!(plan.rules[1].prob, 0.25);
+        assert_eq!(plan.rules[1].max, Some(3));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("a=unknownkind").is_err());
+        assert!(FaultPlan::parse("a=noconv:2.0").is_err());
+        assert!(FaultPlan::parse("a=noconv:0.5:x").is_err());
+        assert!(FaultPlan::parse("a=noconv:0.5:1:extra").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        assert!(FaultPlan::parse("=noconv").is_err());
+        // Empty/whitespace specs are valid empty plans.
+        assert!(FaultPlan::parse("").unwrap().rules.is_empty());
+        assert!(FaultPlan::parse(" ; ").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn every_kind_round_trips_and_materializes() {
+        for kind in [
+            FaultKind::NoConvergence,
+            FaultKind::Singular,
+            FaultKind::OutOfGrid,
+            FaultKind::Timeout,
+        ] {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+            // The error must render something attributable.
+            let msg = kind.to_error("some.site").to_string();
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn check_fires_only_at_matching_sites() {
+        let _g = locked();
+        install(FaultPlan::new(0).inject("hit.site", FaultKind::Singular));
+        assert!(check("miss.site").is_none());
+        assert!(matches!(check("hit.site"), Some(NumError::Singular { .. })));
+        let s = stats();
+        assert_eq!(s[0].checked, 1);
+        assert_eq!(s[0].fired, 1);
+        clear();
+        assert!(check("hit.site").is_none());
+    }
+
+    #[test]
+    fn scopes_qualify_the_site() {
+        let _g = locked();
+        install(
+            FaultPlan::new(0)
+                .inject("retry/s.x", FaultKind::NoConvergence)
+                .inject("a/b/s.x", FaultKind::Timeout),
+        );
+        assert!(check("s.x").is_none(), "unscoped site has no rule");
+        {
+            let _r = scope("retry");
+            assert!(matches!(check("s.x"), Some(NumError::NoConvergence { .. })));
+        }
+        assert!(check("s.x").is_none(), "scope popped on drop");
+        {
+            let _a = scope("a");
+            let _b = scope("b");
+            assert!(matches!(check("s.x"), Some(NumError::Timeout { .. })));
+        }
+        clear();
+    }
+
+    #[test]
+    fn max_caps_the_fire_count() {
+        let _g = locked();
+        install(FaultPlan::new(0).inject_with("capped", FaultKind::Singular, 1.0, Some(2)));
+        let fired = (0..5).filter(|_| check("capped").is_some()).count();
+        assert_eq!(fired, 2);
+        let s = stats();
+        assert_eq!(s[0].checked, 5);
+        assert_eq!(s[0].fired, 2);
+        clear();
+    }
+
+    #[test]
+    fn probabilistic_rules_replay_the_same_pattern() {
+        let _g = locked();
+        let pattern = |seed: u64| -> Vec<bool> {
+            install(FaultPlan::new(seed).inject_with("p", FaultKind::NoConvergence, 0.5, None));
+            let v = (0..64).map(|_| check("p").is_some()).collect();
+            clear();
+            v
+        };
+        let a = pattern(3);
+        let b = pattern(3);
+        assert_eq!(a, b, "same seed, same fire pattern");
+        let c = pattern(4);
+        assert_ne!(a, c, "different seed, different pattern");
+        let fires = a.iter().filter(|&&f| f).count();
+        assert!((10..=54).contains(&fires), "p=0.5 over 64: {fires}");
+    }
+
+    #[test]
+    fn first_matching_rule_that_fires_wins() {
+        let _g = locked();
+        install(
+            FaultPlan::new(0)
+                .inject_with("dup", FaultKind::Singular, 1.0, Some(1))
+                .inject("dup", FaultKind::Timeout),
+        );
+        assert!(matches!(check("dup"), Some(NumError::Singular { .. })));
+        // Rule 0 is exhausted; rule 1 takes over.
+        assert!(matches!(check("dup"), Some(NumError::Timeout { .. })));
+        clear();
+    }
+
+    #[test]
+    fn empty_plan_is_off() {
+        let _g = locked();
+        install(FaultPlan::new(9));
+        assert!(!active());
+        assert!(check("anything").is_none());
+        clear();
+    }
+}

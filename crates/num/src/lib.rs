@@ -95,6 +95,13 @@ pub enum NumError {
         /// Human-readable description of the problem.
         detail: String,
     },
+    /// A computation exceeded its iteration or wall-clock budget.
+    Timeout {
+        /// Which budget was exhausted.
+        context: &'static str,
+        /// Budget details (limit, elapsed, site).
+        detail: String,
+    },
 }
 
 impl fmt::Display for NumError {
@@ -116,6 +123,9 @@ impl fmt::Display for NumError {
             ),
             NumError::InvalidInput { context, detail } => {
                 write!(f, "invalid input to {context}: {detail}")
+            }
+            NumError::Timeout { context, detail } => {
+                write!(f, "budget exhausted in {context}: {detail}")
             }
         }
     }

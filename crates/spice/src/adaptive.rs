@@ -69,6 +69,9 @@ pub fn simulate_adaptive(
     initial: &[f64],
     config: &AdaptiveConfig,
 ) -> Result<TransientResult> {
+    if let Some(e) = qwm_fault::check("spice.adaptive") {
+        return Err(e);
+    }
     if config.h_min.is_nan()
         || config.h_min <= 0.0
         || config.h_max < config.h_min

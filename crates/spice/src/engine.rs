@@ -214,6 +214,9 @@ pub fn simulate(
     initial: &[f64],
     config: &TransientConfig,
 ) -> Result<TransientResult> {
+    if let Some(e) = qwm_fault::check("spice.transient") {
+        return Err(e);
+    }
     if inputs.len() != stage.inputs().len() {
         return Err(NumError::InvalidInput {
             context: "spice::simulate",

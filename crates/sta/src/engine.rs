@@ -30,7 +30,7 @@
 //! stage and then re-propagates cheap arrival maxima — the
 //! incremental-speedup experiment of the calibration brief.
 
-use crate::evaluator::StageEvaluator;
+use crate::evaluator::{Degradation, FallbackRung, RungFailure, StageEvaluator};
 use crate::graph::{StageGraph, StageId};
 use qwm_circuit::netlist::{NetId, Netlist};
 use qwm_circuit::waveform::{TimingMetrics, TransitionKind};
@@ -55,10 +55,15 @@ pub struct TimingReport {
     pub critical_path: Vec<StageId>,
     /// Number of stage-delay evaluations performed for this report.
     pub evaluations: usize,
-    /// Stage evaluations that failed and were skipped (waveform-accurate
-    /// analysis only; always zero for the cached delay/slew flows, whose
-    /// evaluator errors propagate instead of being skipped).
+    /// Waveform-accurate stage evaluations whose primary QWM attempt
+    /// failed and that were recovered by a fallback rung (degraded
+    /// arcs). Always zero for the cached delay/slew flows, whose
+    /// evaluator errors propagate instead.
     pub waveform_failures: usize,
+    /// Provenance of every arc produced by a fallback rung instead of
+    /// the primary method (sorted; empty unless a degrading evaluator
+    /// such as `FallbackEvaluator` was used *and* something failed).
+    pub degradations: Vec<Degradation>,
 }
 
 /// Cache key: (evaluator name, stage index, packed output/slew key).
@@ -84,6 +89,10 @@ pub struct StaEngine<'m> {
     slew_cache: ShardedMap<CacheKey, (f64, f64)>,
     evaluations: AtomicUsize,
     waveform_failures: AtomicUsize,
+    /// Degradation provenance recorded by [`Self::run_waveform`]'s
+    /// internal fallback ladder (the evaluator flows record theirs in
+    /// the evaluator instead).
+    waveform_degradations: Mutex<Vec<Degradation>>,
     threads: usize,
 }
 
@@ -136,6 +145,7 @@ impl<'m> StaEngine<'m> {
             slew_cache: ShardedMap::new(),
             evaluations: AtomicUsize::new(0),
             waveform_failures: AtomicUsize::new(0),
+            waveform_degradations: Mutex::new(Vec::new()),
             threads: qwm_exec::default_threads(),
         })
     }
@@ -173,10 +183,32 @@ impl<'m> StaEngine<'m> {
         self.evaluations.load(Ordering::Relaxed)
     }
 
-    /// Waveform-accurate stage evaluations that failed and were skipped
-    /// so far (across all [`Self::run_waveform`] calls).
+    /// Waveform-accurate stage evaluations whose primary QWM attempt
+    /// failed and that landed on a fallback rung so far (across all
+    /// [`Self::run_waveform`] calls).
     pub fn total_waveform_failures(&self) -> usize {
         self.waveform_failures.load(Ordering::Relaxed)
+    }
+
+    /// Drains the degradation provenance recorded by
+    /// [`Self::run_waveform`]'s internal fallback ladder, sorted for
+    /// deterministic iteration.
+    pub fn take_waveform_degradations(&self) -> Vec<Degradation> {
+        let mut d = std::mem::take(
+            &mut *self
+                .waveform_degradations
+                .lock()
+                .expect("waveform degradations lock"),
+        );
+        d.sort_by_key(|a| a.sort_key());
+        d
+    }
+
+    /// Drains and sorts the evaluator's degradation book for a report.
+    fn drained_degradations(evaluator: &dyn StageEvaluator) -> Vec<Degradation> {
+        let mut d = evaluator.take_degradations();
+        d.sort_by_key(|a| a.sort_key());
+        d
     }
 
     /// The stage dependency DAG, levelized for the parallel runners.
@@ -316,6 +348,7 @@ impl<'m> StaEngine<'m> {
             critical_path,
             evaluations: self.total_evaluations() - evals_before,
             waveform_failures: 0,
+            degradations: Self::drained_degradations(evaluator),
         })
     }
 
@@ -403,6 +436,7 @@ impl<'m> StaEngine<'m> {
             critical_path,
             evaluations: self.total_evaluations() - evals_before,
             waveform_failures: 0,
+            degradations: Self::drained_degradations(evaluator),
         })
     }
 
@@ -494,7 +528,13 @@ impl<'m> StaEngine<'m> {
         })
         .map_err(|(_, e)| e)?;
         let evaluations = self.total_evaluations() - evals_before;
-        let mk_report = |book: &[Mutex<Option<(f64, f64)>>]| {
+        // Split the evaluator's provenance by the transition it was
+        // recorded for, so each polarity report carries its own arcs.
+        let (fall_deg, rise_deg): (Vec<Degradation>, Vec<Degradation>) =
+            Self::drained_degradations(evaluator)
+                .into_iter()
+                .partition(|d| d.direction == TransitionKind::Fall);
+        let mk_report = |book: &[Mutex<Option<(f64, f64)>>], degradations: Vec<Degradation>| {
             let mut arrivals: HashMap<NetId, f64> = HashMap::new();
             let mut slews: HashMap<NetId, f64> = HashMap::new();
             for (i, slot) in book.iter().enumerate() {
@@ -516,9 +556,10 @@ impl<'m> StaEngine<'m> {
                 critical_path: Vec::new(),
                 evaluations,
                 waveform_failures: 0,
+                degradations,
             }
         };
-        Ok((mk_report(&fall), mk_report(&rise)))
+        Ok((mk_report(&fall, fall_deg), mk_report(&rise, rise_deg)))
     }
 
     /// Waveform-accurate analysis — the paper's §III-C vision made
@@ -537,9 +578,18 @@ impl<'m> StaEngine<'m> {
     /// Returns `(fall arrivals, rise arrivals)` keyed by net, in absolute
     /// seconds (primary inputs step at `t = 0` with `input_slew`).
     ///
+    /// A failing QWM evaluation no longer skips the arc: it descends the
+    /// fallback ladder (damped QWM retry → adaptive transient →
+    /// fixed-step transient), counts in `waveform_failures`, and records
+    /// provenance retrievable via
+    /// [`Self::take_waveform_degradations`]. Structural skips (no driver
+    /// waveform, inextractable chain, no crossing) remain skips.
+    ///
     /// # Errors
     ///
-    /// Propagates evaluation failures.
+    /// Propagates setup failures; a stage whose transitions exhaust
+    /// *every* fallback rung is a hard error carrying the full
+    /// rung-failure chain.
     pub fn run_waveform(
         &self,
         config: &qwm_core::evaluate::QwmConfig,
@@ -623,37 +673,131 @@ impl<'m> StaEngine<'m> {
                             qwm_circuit::NodeKind::Internal => v_init,
                         })
                         .collect();
-                    let r = match evaluate(
-                        &part.stage,
-                        self.models,
-                        &inputs,
-                        &init,
-                        node,
-                        direction,
-                        config,
-                    ) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            self.waveform_failures.fetch_add(1, Ordering::Relaxed);
-                            qwm_obs::counter!("sta.waveform_failures").incr();
-                            qwm_obs::warn("sta.run_waveform.eval_failed")
+                    // Fallback ladder: QWM → damped retry → adaptive →
+                    // fixed-step transient. A rung succeeds when it
+                    // yields a committed output waveform; exhausting
+                    // every rung is a hard error, never a silently
+                    // missing arc.
+                    let qwm_attempt = |cfg: &qwm_core::evaluate::QwmConfig| -> Result<Waveform> {
+                        let r = evaluate(
+                            &part.stage,
+                            self.models,
+                            &inputs,
+                            &init,
+                            node,
+                            direction,
+                            cfg,
+                        )?;
+                        r.output_waveform().to_waveform(2)
+                    };
+                    // Transient rungs integrate well past the driver's
+                    // 50 % crossing; dense samples are decimated so the
+                    // downstream QWM stage is not flooded with promoted
+                    // breakpoints.
+                    let t_stop = t50 + 2e-9;
+                    let transient_attempt = |adaptive: bool| -> Result<Waveform> {
+                        let r = if adaptive {
+                            qwm_spice::adaptive::simulate_adaptive(
+                                &part.stage,
+                                self.models,
+                                &inputs,
+                                &init,
+                                &qwm_spice::adaptive::AdaptiveConfig::new(t_stop),
+                            )?
+                        } else {
+                            qwm_spice::engine::simulate(
+                                &part.stage,
+                                self.models,
+                                &inputs,
+                                &init,
+                                &qwm_spice::engine::TransientConfig::hspice_1ps(t_stop),
+                            )?
+                        };
+                        let w = r.waveform(node)?;
+                        let s = w.samples();
+                        let (t0, t1) = (s[0].0, s[s.len() - 1].0);
+                        Waveform::from_samples(w.resample(t0, t1, 33)?)
+                    };
+                    let mut failures: Vec<RungFailure> = Vec::new();
+                    let note =
+                        |failures: &mut Vec<RungFailure>, rung: FallbackRung, e: NumError| {
+                            qwm_obs::warn("sta.run_waveform.rung_failed")
                                 .field("stage", sid.0)
                                 .field("direction", format!("{direction:?}"))
-                                .field("error", e)
+                                .field("rung", rung.name())
+                                .field("error", &e)
                                 .emit();
-                            continue;
+                            failures.push(RungFailure {
+                                rung,
+                                error: e.to_string(),
+                            });
+                        };
+                    let landed = 'ladder: {
+                        match qwm_attempt(config) {
+                            Ok(w) => break 'ladder Some((FallbackRung::Qwm, w)),
+                            Err(e) => note(&mut failures, FallbackRung::Qwm, e),
                         }
+                        {
+                            let _retry = qwm_fault::scope("retry");
+                            let mut damped = config.clone();
+                            damped.region.max_iterations *= 2;
+                            damped.region.max_dv *= 0.5;
+                            match qwm_attempt(&damped) {
+                                Ok(w) => break 'ladder Some((FallbackRung::QwmRetry, w)),
+                                Err(e) => note(&mut failures, FallbackRung::QwmRetry, e),
+                            }
+                        }
+                        match transient_attempt(true) {
+                            Ok(w) => break 'ladder Some((FallbackRung::SpiceAdaptive, w)),
+                            Err(e) => note(&mut failures, FallbackRung::SpiceAdaptive, e),
+                        }
+                        match transient_attempt(false) {
+                            Ok(w) => break 'ladder Some((FallbackRung::SpiceFixed, w)),
+                            Err(e) => note(&mut failures, FallbackRung::SpiceFixed, e),
+                        }
+                        None
+                    };
+                    let Some((rung, out_wf)) = landed else {
+                        qwm_obs::counter!("sta.waveform_exhausted").incr();
+                        let chain_text: Vec<String> = failures
+                            .iter()
+                            .map(|f| format!("{}: {}", f.rung.name(), f.error))
+                            .collect();
+                        return Err(NumError::InvalidInput {
+                            context: "StaEngine::run_waveform: all fallback rungs failed",
+                            detail: format!(
+                                "stage {} {:?} output {}: {}",
+                                sid.0,
+                                direction,
+                                self.netlist.net_name(output_net),
+                                chain_text.join("; ")
+                            ),
+                        });
                     };
                     self.evaluations.fetch_add(1, Ordering::Relaxed);
                     qwm_obs::counter!("sta.evaluations").incr();
-                    let Ok(out_wf) = r.output_waveform().to_waveform(2) else {
-                        continue;
-                    };
+                    if rung != FallbackRung::Qwm {
+                        self.waveform_failures.fetch_add(1, Ordering::Relaxed);
+                        qwm_obs::counter!("sta.waveform_failures").incr();
+                        qwm_obs::warn("sta.run_waveform.degraded")
+                            .field("stage", sid.0)
+                            .field("direction", format!("{direction:?}"))
+                            .field("rung", rung.name())
+                            .emit();
+                        self.waveform_degradations
+                            .lock()
+                            .expect("waveform degradations lock")
+                            .push(Degradation {
+                                output: self.netlist.net_name(output_net).to_string(),
+                                direction,
+                                landed: rung,
+                                failures: std::mem::take(&mut failures),
+                            });
+                    }
                     let Some(t_out) = out_wf.crossing(vdd / 2.0, direction == TransitionKind::Rise)
                     else {
                         continue;
                     };
-                    let _ = t50; // arrival carried in absolute time by t_out
                     let book = match direction {
                         TransitionKind::Fall => &fall,
                         TransitionKind::Rise => &rise,

@@ -11,13 +11,22 @@
 //!   matching over the extracted chain.
 //! * [`SpiceEvaluator`] — the golden reference: full fixed-step
 //!   transient.
+//!
+//! A fourth, [`FallbackEvaluator`], is not a new method but a
+//! *robustness wrapper*: it descends the ladder QWM → damped-QWM retry
+//! → adaptive transient → fixed-step transient → Elmore bound until one
+//! rung produces an answer, recording a [`Degradation`] provenance for
+//! every arc that did not come from plain QWM.
 
 use qwm_circuit::stage::{DeviceKind, LogicStage, NodeId, NodeKind};
 use qwm_circuit::waveform::{measure_transition, TimingMetrics, TransitionKind, Waveform};
 use qwm_core::evaluate::{evaluate, QwmConfig};
 use qwm_device::model::{Geometry, ModelSet, Polarity, TermVoltage};
 use qwm_num::{NumError, Result};
+use qwm_spice::adaptive::{simulate_adaptive, AdaptiveConfig};
 use qwm_spice::engine::{simulate, TransientConfig};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A stage-delay oracle.
 pub trait StageEvaluator: Send + Sync {
@@ -61,6 +70,13 @@ pub trait StageEvaluator: Send + Sync {
             delay: self.delay(stage, models, output, direction)?,
             slew: 0.0,
         })
+    }
+
+    /// Drains the degradation provenance accumulated since the last
+    /// call. Only degrading evaluators ([`FallbackEvaluator`]) record
+    /// anything; the default is always empty.
+    fn take_degradations(&self) -> Vec<Degradation> {
+        Vec::new()
     }
 }
 
@@ -290,6 +306,9 @@ impl StageEvaluator for ElmoreEvaluator {
         direction: TransitionKind,
     ) -> Result<f64> {
         let _span = qwm_obs::span!("sta.eval.elmore");
+        if let Some(e) = qwm_fault::check("sta.elmore") {
+            return Err(e);
+        }
         let chain = qwm_core::chain::Chain::extract_worst(stage, output, direction)?;
         let vdd = models.tech().vdd;
         // RC ladder: resistor k from the chain, cap at each chain node
@@ -379,6 +398,490 @@ impl StageEvaluator for SpiceEvaluator {
             iterations: 6,
             residual: cfg.t_stop,
         })
+    }
+}
+
+/// Rungs of the graceful-degradation ladder, in descent order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FallbackRung {
+    /// Plain QWM (the paper's configuration) — not a degradation.
+    Qwm,
+    /// QWM retried with doubled iteration budget, halved Newton damping
+    /// clamp and perturbed region-span seeds.
+    QwmRetry,
+    /// Adaptive-step transient (LTE-controlled, the stiffer integrator).
+    SpiceAdaptive,
+    /// Fixed-step 1 ps transient (the golden baseline).
+    SpiceFixed,
+    /// `ln 2 ·` Elmore switch-level bound — always computable, crude.
+    ElmoreBound,
+}
+
+impl FallbackRung {
+    /// Stable name used in reports and the golden renderer.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackRung::Qwm => "qwm",
+            FallbackRung::QwmRetry => "qwm-retry",
+            FallbackRung::SpiceAdaptive => "spice-adaptive",
+            FallbackRung::SpiceFixed => "spice-fixed",
+            FallbackRung::ElmoreBound => "elmore-bound",
+        }
+    }
+}
+
+/// Why one rung of the ladder declined to produce an arc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungFailure {
+    /// The rung that failed.
+    pub rung: FallbackRung,
+    /// Rendered error from that rung.
+    pub error: String,
+}
+
+/// Provenance of one degraded arc: which rung finally produced it and
+/// the full chain of earlier-rung failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Output node name (stage-local, e.g. `"out"` or the net name).
+    pub output: String,
+    /// Transition the arc describes.
+    pub direction: TransitionKind,
+    /// Rung that produced the committed value.
+    pub landed: FallbackRung,
+    /// Failures of every rung above `landed`, in descent order.
+    pub failures: Vec<RungFailure>,
+}
+
+impl Degradation {
+    /// Deterministic report ordering: by output name, direction, rung.
+    pub fn sort_key(&self) -> (String, u8, FallbackRung) {
+        let dir = match self.direction {
+            TransitionKind::Fall => 0u8,
+            TransitionKind::Rise => 1u8,
+        };
+        (self.output.clone(), dir, self.landed)
+    }
+}
+
+/// Retry/descent budgets for [`FallbackEvaluator`].
+#[derive(Debug, Clone)]
+pub struct FallbackBudget {
+    /// Damped/perturbed QWM retry attempts after the first failure.
+    pub qwm_retries: usize,
+    /// Optional wall-clock budget per stage evaluation: once exceeded,
+    /// remaining transient rungs are skipped (recorded as `Timeout`
+    /// failures) and the ladder drops straight to the Elmore bound.
+    /// `None` (the default) disables the clock — wall budgets are
+    /// inherently non-deterministic, so determinism-sensitive runs
+    /// leave this off.
+    pub stage_wall: Option<Duration>,
+}
+
+impl Default for FallbackBudget {
+    fn default() -> Self {
+        FallbackBudget {
+            qwm_retries: 1,
+            stage_wall: None,
+        }
+    }
+}
+
+/// Graceful-degradation wrapper: descends QWM → damped-QWM retry →
+/// adaptive transient → fixed-step transient → Elmore bound until one
+/// rung answers, and records a [`Degradation`] for every arc not
+/// produced by plain QWM. Exhausting all rungs is a hard error carrying
+/// the full failure chain — never a silently missing arc.
+///
+/// The QWM retry rung re-enters the same solver code; the fault site it
+/// sees is scope-qualified as `"retry/qwm.region"` so fault plans can
+/// fail the first attempt and the retry independently.
+#[derive(Debug, Default)]
+pub struct FallbackEvaluator {
+    /// First-rung QWM configuration.
+    pub qwm: QwmConfig,
+    /// Adaptive-transient rung configuration (`t_stop` grows ×4 until
+    /// the crossing is captured, as in [`SpiceEvaluator`]).
+    pub adaptive: FallbackAdaptive,
+    /// Fixed-step rung configuration.
+    pub spice: FallbackSpice,
+    /// Retry/wall budgets.
+    pub budget: FallbackBudget,
+    degradations: Mutex<Vec<Degradation>>,
+}
+
+/// Newtype holding the adaptive rung's config so `Default` can pick the
+/// same 2 ns horizon as [`SpiceEvaluator`].
+#[derive(Debug, Clone)]
+pub struct FallbackAdaptive(pub AdaptiveConfig);
+
+impl Default for FallbackAdaptive {
+    fn default() -> Self {
+        FallbackAdaptive(AdaptiveConfig::new(2e-9))
+    }
+}
+
+/// Newtype holding the fixed-step rung's config (2 ns, 1 ps steps).
+#[derive(Debug, Clone)]
+pub struct FallbackSpice(pub TransientConfig);
+
+impl Default for FallbackSpice {
+    fn default() -> Self {
+        FallbackSpice(TransientConfig::hspice_1ps(2e-9))
+    }
+}
+
+impl FallbackEvaluator {
+    /// Damped/perturbed QWM configuration for retry `attempt`: doubled
+    /// iteration budget, halved per-iteration voltage clamp, and
+    /// region-span seeds scaled by a per-attempt factor so each retry
+    /// explores different Newton seeds than the failed attempt.
+    fn damped_qwm(&self, attempt: usize) -> QwmConfig {
+        let mut cfg = self.qwm.clone();
+        cfg.region.max_iterations *= 2;
+        cfg.region.max_dv *= 0.5;
+        let scale = match attempt % 3 {
+            0 => 0.33,
+            1 => 3.0,
+            _ => 0.1,
+        };
+        for g in &mut cfg.dt_guesses {
+            *g *= scale;
+        }
+        cfg
+    }
+
+    fn qwm_attempt(
+        &self,
+        cfg: &QwmConfig,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        input_slew: Option<f64>,
+    ) -> Result<TimingMetrics> {
+        let vdd = models.tech().vdd;
+        match input_slew {
+            Some(s) => {
+                let (inputs, init, t_ref) =
+                    sensitized_setup_with_slew(stage, models, output, direction, s)?;
+                let r = evaluate(stage, models, &inputs, &init, output, direction, cfg)?;
+                let delay = r.delay_50(vdd, t_ref).ok_or(NumError::InvalidInput {
+                    context: "FallbackEvaluator qwm rung",
+                    detail: "output never crossed 50%".to_string(),
+                })?;
+                let slew = r.slew(vdd).ok_or(NumError::InvalidInput {
+                    context: "FallbackEvaluator qwm rung",
+                    detail: "output never crossed 10/90%".to_string(),
+                })?;
+                Ok(TimingMetrics { delay, slew })
+            }
+            None => {
+                let (inputs, init, _chain) = sensitized_setup(stage, models, output, direction)?;
+                let r = evaluate(stage, models, &inputs, &init, output, direction, cfg)?;
+                let delay = r.delay_50(vdd, 0.0).ok_or(NumError::InvalidInput {
+                    context: "FallbackEvaluator qwm rung",
+                    detail: "output never crossed 50%".to_string(),
+                })?;
+                Ok(TimingMetrics { delay, slew: 0.0 })
+            }
+        }
+    }
+
+    /// Measures delay (and slew, when slew-aware) off a transient
+    /// waveform; `None` when the required levels are not yet reached.
+    fn measure(
+        w: &Waveform,
+        direction: TransitionKind,
+        t_ref: f64,
+        vdd: f64,
+        want_slew: bool,
+    ) -> Option<TimingMetrics> {
+        if want_slew {
+            measure_transition(w, direction, t_ref, vdd).ok()
+        } else {
+            let falling = direction == TransitionKind::Fall;
+            w.crossing(vdd / 2.0, !falling).map(|t| TimingMetrics {
+                delay: t,
+                slew: 0.0,
+            })
+        }
+    }
+
+    fn spice_attempt(
+        &self,
+        adaptive: bool,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        input_slew: Option<f64>,
+    ) -> Result<TimingMetrics> {
+        let vdd = models.tech().vdd;
+        let (inputs, init, t_ref) = match input_slew {
+            Some(s) => sensitized_setup_with_slew(stage, models, output, direction, s)?,
+            None => {
+                let (inputs, init, _chain) = sensitized_setup(stage, models, output, direction)?;
+                (inputs, init, 0.0)
+            }
+        };
+        let want_slew = input_slew.is_some();
+        if adaptive {
+            let mut cfg = self.adaptive.0;
+            for _ in 0..6 {
+                let r = simulate_adaptive(stage, models, &inputs, &init, &cfg)?;
+                let w = r.waveform(output)?;
+                if let Some(m) = Self::measure(&w, direction, t_ref, vdd, want_slew) {
+                    return Ok(m);
+                }
+                cfg.base.t_stop *= 4.0;
+            }
+            Err(NumError::NoConvergence {
+                method: "FallbackEvaluator adaptive rung (levels unreached)",
+                iterations: 6,
+                residual: cfg.base.t_stop,
+            })
+        } else {
+            let mut cfg = self.spice.0;
+            for _ in 0..6 {
+                let r = simulate(stage, models, &inputs, &init, &cfg)?;
+                let w = r.waveform(output)?;
+                if let Some(m) = Self::measure(&w, direction, t_ref, vdd, want_slew) {
+                    return Ok(m);
+                }
+                cfg.t_stop *= 4.0;
+            }
+            Err(NumError::NoConvergence {
+                method: "FallbackEvaluator fixed-step rung (levels unreached)",
+                iterations: 6,
+                residual: cfg.t_stop,
+            })
+        }
+    }
+
+    fn note_failure(
+        failures: &mut Vec<RungFailure>,
+        rung: FallbackRung,
+        err: NumError,
+        output_name: &str,
+    ) {
+        qwm_obs::warn("fallback.rung_failed")
+            .field("output", output_name)
+            .field("rung", rung.name())
+            .field("error", &err)
+            .emit();
+        failures.push(RungFailure {
+            rung,
+            error: err.to_string(),
+        });
+    }
+
+    /// Checks the stage wall budget before a (potentially expensive)
+    /// rung; on exhaustion records a `Timeout` failure for that rung.
+    fn wall_exhausted(
+        &self,
+        start: Instant,
+        failures: &mut Vec<RungFailure>,
+        rung: FallbackRung,
+        output_name: &str,
+    ) -> bool {
+        let Some(wall) = self.budget.stage_wall else {
+            return false;
+        };
+        if start.elapsed() < wall {
+            return false;
+        }
+        qwm_obs::counter!("fallback.budget_exhausted").incr();
+        Self::note_failure(
+            failures,
+            rung,
+            NumError::Timeout {
+                context: "FallbackEvaluator stage wall budget",
+                detail: format!("budget {wall:?} exhausted before {} rung", rung.name()),
+            },
+            output_name,
+        );
+        true
+    }
+
+    fn land(
+        &self,
+        landed: FallbackRung,
+        failures: Vec<RungFailure>,
+        output_name: &str,
+        direction: TransitionKind,
+        metrics: TimingMetrics,
+    ) -> Result<TimingMetrics> {
+        match landed {
+            FallbackRung::Qwm => qwm_obs::counter!("fallback.qwm_ok").incr(),
+            FallbackRung::QwmRetry => qwm_obs::counter!("fallback.rung_qwm_retry").incr(),
+            FallbackRung::SpiceAdaptive => qwm_obs::counter!("fallback.rung_spice_adaptive").incr(),
+            FallbackRung::SpiceFixed => qwm_obs::counter!("fallback.rung_spice_fixed").incr(),
+            FallbackRung::ElmoreBound => qwm_obs::counter!("fallback.rung_elmore_bound").incr(),
+        }
+        qwm_obs::histogram!("fallback.rungs_tried", qwm_obs::ITER_BOUNDS)
+            .record(failures.len() as u64 + 1);
+        if landed != FallbackRung::Qwm {
+            let mut book = self.degradations.lock().expect("fallback degradations");
+            book.push(Degradation {
+                output: output_name.to_string(),
+                direction,
+                landed,
+                failures,
+            });
+        }
+        Ok(metrics)
+    }
+
+    /// The ladder: every rung is tried in descent order; the first
+    /// success is committed with its provenance, and exhaustion of all
+    /// rungs is a hard error carrying the full failure chain.
+    fn ladder(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        input_slew: Option<f64>,
+    ) -> Result<TimingMetrics> {
+        let _span = qwm_obs::span!("sta.eval.fallback");
+        let start = Instant::now();
+        let output_name = stage.node(output).name.clone();
+        let mut failures: Vec<RungFailure> = Vec::new();
+
+        match self.qwm_attempt(&self.qwm, stage, models, output, direction, input_slew) {
+            Ok(m) => {
+                return self.land(FallbackRung::Qwm, failures, &output_name, direction, m);
+            }
+            Err(e) => Self::note_failure(&mut failures, FallbackRung::Qwm, e, &output_name),
+        }
+
+        if !self.wall_exhausted(start, &mut failures, FallbackRung::QwmRetry, &output_name) {
+            let _scope = qwm_fault::scope("retry");
+            for attempt in 0..self.budget.qwm_retries {
+                match self.qwm_attempt(
+                    &self.damped_qwm(attempt),
+                    stage,
+                    models,
+                    output,
+                    direction,
+                    input_slew,
+                ) {
+                    Ok(m) => {
+                        return self.land(
+                            FallbackRung::QwmRetry,
+                            failures,
+                            &output_name,
+                            direction,
+                            m,
+                        );
+                    }
+                    Err(e) => {
+                        Self::note_failure(&mut failures, FallbackRung::QwmRetry, e, &output_name);
+                    }
+                }
+            }
+        }
+
+        if !self.wall_exhausted(
+            start,
+            &mut failures,
+            FallbackRung::SpiceAdaptive,
+            &output_name,
+        ) {
+            match self.spice_attempt(true, stage, models, output, direction, input_slew) {
+                Ok(m) => {
+                    return self.land(
+                        FallbackRung::SpiceAdaptive,
+                        failures,
+                        &output_name,
+                        direction,
+                        m,
+                    );
+                }
+                Err(e) => {
+                    Self::note_failure(&mut failures, FallbackRung::SpiceAdaptive, e, &output_name);
+                }
+            }
+        }
+
+        if !self.wall_exhausted(start, &mut failures, FallbackRung::SpiceFixed, &output_name) {
+            match self.spice_attempt(false, stage, models, output, direction, input_slew) {
+                Ok(m) => {
+                    return self.land(
+                        FallbackRung::SpiceFixed,
+                        failures,
+                        &output_name,
+                        direction,
+                        m,
+                    );
+                }
+                Err(e) => {
+                    Self::note_failure(&mut failures, FallbackRung::SpiceFixed, e, &output_name);
+                }
+            }
+        }
+
+        // The Elmore bound is cheap and always attempted, even when the
+        // wall budget is spent — better a crude bound than no arc.
+        match ElmoreEvaluator.delay(stage, models, output, direction) {
+            Ok(delay) => self.land(
+                FallbackRung::ElmoreBound,
+                failures,
+                &output_name,
+                direction,
+                TimingMetrics { delay, slew: 0.0 },
+            ),
+            Err(e) => {
+                Self::note_failure(&mut failures, FallbackRung::ElmoreBound, e, &output_name);
+                qwm_obs::counter!("fallback.exhausted").incr();
+                let chain: Vec<String> = failures
+                    .iter()
+                    .map(|f| format!("{}: {}", f.rung.name(), f.error))
+                    .collect();
+                Err(NumError::InvalidInput {
+                    context: "FallbackEvaluator: all rungs failed",
+                    detail: format!("output {output_name}: {}", chain.join("; ")),
+                })
+            }
+        }
+    }
+}
+
+impl StageEvaluator for FallbackEvaluator {
+    fn name(&self) -> &'static str {
+        "fallback"
+    }
+
+    fn delay(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+    ) -> Result<f64> {
+        self.ladder(stage, models, output, direction, None)
+            .map(|m| m.delay)
+    }
+
+    fn timing(
+        &self,
+        stage: &LogicStage,
+        models: &ModelSet,
+        output: NodeId,
+        direction: TransitionKind,
+        input_slew: f64,
+    ) -> Result<TimingMetrics> {
+        self.ladder(stage, models, output, direction, Some(input_slew))
+    }
+
+    fn take_degradations(&self) -> Vec<Degradation> {
+        std::mem::take(
+            &mut *self
+                .degradations
+                .lock()
+                .expect("fallback degradations lock"),
+        )
     }
 }
 

@@ -7,7 +7,15 @@
 use crate::engine::TimingReport;
 use crate::graph::StageGraph;
 use qwm_circuit::netlist::Netlist;
+use qwm_circuit::waveform::TransitionKind;
 use std::fmt::Write as _;
+
+fn direction_name(d: TransitionKind) -> &'static str {
+    match d {
+        TransitionKind::Fall => "fall",
+        TransitionKind::Rise => "rise",
+    }
+}
 
 /// Renders the critical path as a text table.
 ///
@@ -71,6 +79,25 @@ pub fn format_report(
             );
         }
     }
+    if !report.degradations.is_empty() {
+        let _ = writeln!(
+            out,
+            "degraded arcs: {} (fallback ladder engaged)",
+            report.degradations.len()
+        );
+        for d in &report.degradations {
+            let _ = writeln!(
+                out,
+                "  {} {} -> {}",
+                d.output,
+                direction_name(d.direction),
+                d.landed.name()
+            );
+            for f in &d.failures {
+                let _ = writeln!(out, "    {} failed: {}", f.rung.name(), f.error);
+            }
+        }
+    }
     out
 }
 
@@ -111,6 +138,27 @@ pub fn golden_report(report: &TimingReport, netlist: &Netlist) -> String {
             None => {
                 let _ = writeln!(out, "net {} {arr:?} -", netlist.net_name(net));
             }
+        }
+    }
+    // Degradation provenance is appended only when present, so clean
+    // runs render byte-identically to snapshots blessed before the
+    // fallback ladder existed.
+    if !report.degradations.is_empty() {
+        let _ = writeln!(out, "degradations {}", report.degradations.len());
+        for d in &report.degradations {
+            let chain: Vec<String> = d
+                .failures
+                .iter()
+                .map(|f| format!("{}: {}", f.rung.name(), f.error))
+                .collect();
+            let _ = writeln!(
+                out,
+                "degraded {} {} {} [{}]",
+                d.output,
+                direction_name(d.direction),
+                d.landed.name(),
+                chain.join("; ")
+            );
         }
     }
     out

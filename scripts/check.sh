@@ -19,6 +19,14 @@ QWM_THREADS=4 cargo test -q
 echo "==> RUST_TEST_THREADS=1 cargo test -q"
 RUST_TEST_THREADS=1 cargo test -q
 
+# Failure-path gate: the fault-injection suite must also hold when the
+# whole binary runs under an ambient probabilistic chaos plan (two
+# fixed seeds so the streams differ but stay reproducible).
+echo "==> QWM_FAULTS chaos plans (seeds 1, 2)"
+QWM_FAULTS='seed=1;qwm.region=noconv:0.5' cargo test -q --test fault_injection
+QWM_FAULTS='seed=2;qwm.region=singular:0.5;spice.adaptive=timeout:0.25' \
+    cargo test -q --test fault_injection
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

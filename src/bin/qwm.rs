@@ -19,12 +19,21 @@
 //! `--obs [summary|json]` (or the `QWM_OBS` environment variable)
 //! appends a telemetry report — spans, counters, solver histograms and
 //! buffered warn/error events — after the timing report.
+//!
+//! `--fallback` selects the graceful-degradation evaluator (QWM →
+//! damped retry → adaptive transient → fixed-step transient → Elmore
+//! bound); degraded arcs are listed with full rung provenance after the
+//! critical-path table. `--fault-plan <spec>` (or the `QWM_FAULTS`
+//! environment variable) installs a deterministic fault-injection plan,
+//! e.g. `seed=1;qwm.region=noconv:0.5` — see `qwm::fault`.
 
 use qwm::circuit::parser::parse_netlist;
 use qwm::circuit::waveform::TransitionKind;
 use qwm::device::{analytic_models, tabular_models, Technology};
 use qwm::sta::engine::StaEngine;
-use qwm::sta::evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
+use qwm::sta::evaluator::{
+    ElmoreEvaluator, FallbackEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator,
+};
 use qwm::sta::report::format_report;
 use std::process::ExitCode;
 
@@ -37,12 +46,14 @@ struct Options {
     show_stages: bool,
     obs: Option<qwm::obs::ObsMode>,
     threads: Option<usize>,
+    fault_plan: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice] [--direction fall|rise]\n\
-     \u{20}          [--slew <ps>] [--required <ps>] [--stages] [--threads <n>]\n\
-     \u{20}          [--obs [summary|json]]"
+    "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice|fallback] [--fallback]\n\
+     \u{20}          [--direction fall|rise] [--slew <ps>] [--required <ps>]\n\
+     \u{20}          [--stages] [--threads <n>] [--obs [summary|json]]\n\
+     \u{20}          [--fault-plan <spec>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -54,14 +65,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut show_stages = false;
     let mut obs = None;
     let mut threads = None;
+    let mut fault_plan = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--evaluator" => {
                 evaluator = it.next().ok_or("--evaluator needs a value")?.clone();
-                if !["qwm", "elmore", "spice"].contains(&evaluator.as_str()) {
+                if !["qwm", "elmore", "spice", "fallback"].contains(&evaluator.as_str()) {
                     return Err(format!("unknown evaluator {evaluator:?}"));
                 }
+            }
+            "--fallback" => evaluator = "fallback".to_string(),
+            "--fault-plan" => {
+                let spec = it.next().ok_or("--fault-plan needs a spec")?.clone();
+                // Validate eagerly so a typo fails before any analysis.
+                qwm::fault::FaultPlan::parse(&spec)
+                    .map_err(|e| format!("bad --fault-plan: {e}"))?;
+                fault_plan = Some(spec);
             }
             "--direction" => {
                 direction = match it.next().ok_or("--direction needs a value")?.as_str() {
@@ -128,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         show_stages,
         obs,
         threads,
+        fault_plan,
     })
 }
 
@@ -137,11 +158,18 @@ fn run(opts: &Options) -> Result<(), String> {
     if let Some(mode) = opts.obs {
         qwm::obs::set_mode(mode);
     }
+    // `--fault-plan` overrides QWM_FAULTS; install before any
+    // instrumented site runs.
+    if let Some(spec) = &opts.fault_plan {
+        let plan =
+            qwm::fault::FaultPlan::parse(spec).map_err(|e| format!("bad fault plan: {e}"))?;
+        qwm::fault::install(plan);
+    }
     let text = std::fs::read_to_string(&opts.deck)
         .map_err(|e| format!("cannot read {}: {e}", opts.deck))?;
     let netlist = parse_netlist(&text).map_err(|e| e.to_string())?;
     let tech = Technology::cmosp35();
-    let models = if opts.evaluator == "qwm" {
+    let models = if opts.evaluator == "qwm" || opts.evaluator == "fallback" {
         tabular_models(&tech).map_err(|e| e.to_string())?
     } else {
         analytic_models(&tech)
@@ -183,6 +211,7 @@ fn run(opts: &Options) -> Result<(), String> {
     let evaluator: Box<dyn StageEvaluator> = match opts.evaluator.as_str() {
         "elmore" => Box::new(ElmoreEvaluator),
         "spice" => Box::new(SpiceEvaluator::default()),
+        "fallback" => Box::new(FallbackEvaluator::default()),
         _ => Box::new(QwmEvaluator::default()),
     };
     let report = match opts.slew {

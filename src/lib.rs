@@ -16,6 +16,7 @@
 //! | [`sta`] | static timing analysis over stage graphs with pluggable evaluators |
 //! | [`exec`] | zero-dependency parallelism: work-stealing pool, DAG scheduler (`QWM_THREADS`) |
 //! | [`obs`] | zero-dependency telemetry: spans, counters, histograms, events (`QWM_OBS`) |
+//! | [`fault`] | deterministic fault injection at named sites (`QWM_FAULTS`) |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use qwm_circuit as circuit;
 pub use qwm_core as core;
 pub use qwm_device as device;
 pub use qwm_exec as exec;
+pub use qwm_fault as fault;
 pub use qwm_interconnect as interconnect;
 pub use qwm_num as num;
 pub use qwm_obs as obs;

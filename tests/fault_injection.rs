@@ -1,0 +1,425 @@
+//! Failure-path lock-down: deterministic fault injection drives the
+//! graceful-degradation ladder through every rung, and the resulting
+//! reports carry full provenance and stay bitwise-identical across
+//! worker counts.
+//!
+//! The fault plan is process-global state, so every test in this binary
+//! serializes on one mutex and installs (or clears) its own plan inside
+//! the critical section. `scripts/check.sh` additionally runs this
+//! whole binary under `QWM_FAULTS` chaos plans; tests that need a clean
+//! slate call `qwm::fault::clear()` explicitly rather than assuming the
+//! environment is quiet.
+
+use qwm::circuit::netlist::Netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::core::evaluate::QwmConfig;
+use qwm::device::{analytic_models, tabular_models, ModelSet, Technology};
+use qwm::fault::{FaultKind, FaultPlan};
+use qwm::sta::engine::{StaEngine, TimingReport};
+use qwm::sta::evaluator::{FallbackEvaluator, FallbackRung, SpiceEvaluator};
+use qwm::sta::graph::{inverter_chain, random_dag_netlist};
+use qwm::sta::report::golden_report;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes tests around the global fault plan. A panicking test
+/// poisons the mutex; later tests still run (they install their own
+/// plan regardless), so the poison is deliberately ignored.
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const ALL_KINDS: [FaultKind; 4] = [
+    FaultKind::NoConvergence,
+    FaultKind::Singular,
+    FaultKind::OutOfGrid,
+    FaultKind::Timeout,
+];
+
+/// Builds the prob-1.0 plan that forces the ladder to land on `rung`:
+/// every rung above it has its site faulted unconditionally.
+/// Probability-1 rules are order-independent, so these plans preserve
+/// the engine's bitwise-determinism contract at any worker count.
+fn plan_landing_on(rung: FallbackRung, kind: FaultKind) -> FaultPlan {
+    let sites: &[&str] = match rung {
+        FallbackRung::Qwm => &[],
+        FallbackRung::QwmRetry => &["qwm.region"],
+        FallbackRung::SpiceAdaptive => &["qwm.region", "retry/qwm.region"],
+        FallbackRung::SpiceFixed => &["qwm.region", "retry/qwm.region", "spice.adaptive"],
+        FallbackRung::ElmoreBound => &[
+            "qwm.region",
+            "retry/qwm.region",
+            "spice.adaptive",
+            "spice.transient",
+        ],
+    };
+    sites
+        .iter()
+        .fold(FaultPlan::new(1), |p, &s| p.inject(s, kind))
+}
+
+/// The rungs every arc must have failed through before landing.
+fn expected_chain(landed: FallbackRung) -> Vec<FallbackRung> {
+    [
+        FallbackRung::Qwm,
+        FallbackRung::QwmRetry,
+        FallbackRung::SpiceAdaptive,
+        FallbackRung::SpiceFixed,
+    ]
+    .into_iter()
+    .filter(|&r| r < landed)
+    .collect()
+}
+
+fn chain3(tech: &Technology) -> Netlist {
+    inverter_chain(tech, 3, 10e-15)
+}
+
+fn run_fallback(nl: &Netlist, models: &ModelSet, threads: usize) -> TimingReport {
+    let engine = StaEngine::new(nl.clone(), models, TransitionKind::Fall)
+        .expect("engine")
+        .with_threads(threads);
+    engine
+        .run(&FallbackEvaluator::default())
+        .expect("ladder absorbs injected faults")
+}
+
+/// Tentpole matrix: every fault kind × every landing rung × {1, 4}
+/// workers. Asserts (a) the run still succeeds, (b) every degraded arc
+/// landed on exactly the predicted rung with the predicted failure
+/// chain, (c) the canonical golden render — which embeds the
+/// degradation provenance — is byte-identical across worker counts.
+#[test]
+fn every_kind_lands_on_every_rung_deterministically() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = chain3(&tech);
+    for kind in ALL_KINDS {
+        for landed in [
+            FallbackRung::QwmRetry,
+            FallbackRung::SpiceAdaptive,
+            FallbackRung::SpiceFixed,
+            FallbackRung::ElmoreBound,
+        ] {
+            let mut renders = Vec::new();
+            for threads in [1usize, 4] {
+                qwm::fault::install(plan_landing_on(landed, kind));
+                let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall)
+                    .expect("engine")
+                    .with_threads(threads);
+                let report = engine
+                    .run(&FallbackEvaluator::default())
+                    .unwrap_or_else(|e| panic!("{kind:?} -> {landed:?}: {e}"));
+                assert!(
+                    !report.degradations.is_empty(),
+                    "{kind:?} -> {landed:?}: degradations recorded"
+                );
+                let want_chain = expected_chain(landed);
+                for d in &report.degradations {
+                    assert_eq!(
+                        d.landed, landed,
+                        "{kind:?}: arc {} landed on the wrong rung",
+                        d.output
+                    );
+                    let got: Vec<FallbackRung> = d.failures.iter().map(|f| f.rung).collect();
+                    assert_eq!(got, want_chain, "{kind:?} -> {landed:?}: failure chain");
+                    // Provenance carries a rendered error per failed
+                    // rung. The QWM rung wraps solver errors in its own
+                    // no-candidate-converged message, but the transient
+                    // rungs propagate the injected error verbatim.
+                    assert!(
+                        d.failures.iter().all(|f| !f.error.is_empty()),
+                        "{kind:?}: every failure is rendered: {:?}",
+                        d.failures
+                    );
+                    // (`NumError::Singular` carries only an index and a
+                    // pivot — no context string — so it is exempt.)
+                    if landed > FallbackRung::SpiceAdaptive && kind != FaultKind::Singular {
+                        let adaptive = d
+                            .failures
+                            .iter()
+                            .find(|f| f.rung == FallbackRung::SpiceAdaptive)
+                            .expect("adaptive rung failed");
+                        assert!(
+                            adaptive.error.contains("fault-injected"),
+                            "{kind:?}: adaptive failure names the \
+                             injected fault: {}",
+                            adaptive.error
+                        );
+                    }
+                }
+                renders.push(golden_report(&report, engine.netlist()));
+            }
+            assert_eq!(
+                renders[0], renders[1],
+                "{kind:?} -> {landed:?}: degraded report must be \
+                 byte-identical at 1 vs 4 workers"
+            );
+            assert!(
+                renders[0].contains(&format!(" {}", landed.name())),
+                "golden render names the landing rung:\n{}",
+                renders[0]
+            );
+        }
+    }
+    qwm::fault::clear();
+}
+
+/// A fault in the characterized-table lookup (`device.table`) degrades
+/// the QWM rung when the engine runs on tabular models; the transient
+/// rungs share those models, so the ladder descends past them too and
+/// the failure chain names the table lookup.
+#[test]
+fn table_lookup_faults_degrade_with_provenance() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = tabular_models(&tech).expect("characterize");
+    let nl = chain3(&tech);
+    qwm::fault::install(FaultPlan::new(3).inject("device.table", FaultKind::OutOfGrid));
+    let report = run_fallback(&nl, &models, 1);
+    qwm::fault::clear();
+    assert!(!report.degradations.is_empty());
+    for d in &report.degradations {
+        assert!(
+            d.failures
+                .iter()
+                .any(|f| f.error.contains("fault-injected table lookup")),
+            "chain names the table fault: {:?}",
+            d.failures
+        );
+    }
+}
+
+/// Exhausting every rung — including the terminal Elmore bound — must
+/// surface as a hard error carrying the full rung-failure chain, never
+/// a silently missing arc.
+#[test]
+fn exhausting_all_rungs_is_a_hard_error_with_the_full_chain() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = chain3(&tech);
+    qwm::fault::install(
+        plan_landing_on(FallbackRung::ElmoreBound, FaultKind::NoConvergence)
+            .inject("sta.elmore", FaultKind::NoConvergence),
+    );
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+    let err = engine
+        .run(&FallbackEvaluator::default())
+        .expect_err("all rungs faulted must not succeed");
+    qwm::fault::clear();
+    let msg = err.to_string();
+    assert!(msg.contains("all rungs failed"), "hard error: {msg}");
+    for rung in [
+        "qwm",
+        "qwm-retry",
+        "spice-adaptive",
+        "spice-fixed",
+        "elmore-bound",
+    ] {
+        assert!(msg.contains(rung), "chain names {rung}: {msg}");
+    }
+}
+
+/// `run_waveform` satellite pin: a numeric QWM failure no longer skips
+/// the arc silently — the arc is still produced (by a transient rung),
+/// counted in `waveform_failures`, and its provenance is retrievable.
+#[test]
+fn run_waveform_degrades_instead_of_skipping() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = chain3(&tech);
+    // Clean baseline: which nets get arrivals when nothing fails.
+    qwm::fault::clear();
+    let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).expect("engine");
+    let (clean_fall, clean_rise) = engine
+        .run_waveform(&QwmConfig::default(), 30e-12)
+        .expect("clean run");
+    assert_eq!(engine.total_waveform_failures(), 0);
+    assert!(engine.take_waveform_degradations().is_empty());
+
+    qwm::fault::install(
+        FaultPlan::new(5)
+            .inject("qwm.region", FaultKind::NoConvergence)
+            .inject("retry/qwm.region", FaultKind::NoConvergence),
+    );
+    let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).expect("engine");
+    let (fall, rise) = engine
+        .run_waveform(&QwmConfig::default(), 30e-12)
+        .expect("ladder absorbs QWM faults");
+    qwm::fault::clear();
+    // Every arc the clean run produced is still present — degraded,
+    // not dropped.
+    assert_eq!(fall.len(), clean_fall.len(), "no fall arc went missing");
+    assert_eq!(rise.len(), clean_rise.len(), "no rise arc went missing");
+    assert!(engine.total_waveform_failures() > 0, "failures counted");
+    let degs = engine.take_waveform_degradations();
+    assert!(!degs.is_empty(), "provenance recorded");
+    for d in &degs {
+        assert_eq!(d.landed, FallbackRung::SpiceAdaptive, "{}", d.output);
+        assert_eq!(
+            d.failures.iter().map(|f| f.rung).collect::<Vec<_>>(),
+            [FallbackRung::Qwm, FallbackRung::QwmRetry]
+        );
+    }
+    // Degraded arrivals stay physical: close to the clean answer.
+    for (net, &t) in &fall {
+        let clean = clean_fall[net];
+        assert!(
+            (t - clean).abs() / clean < 0.15,
+            "net {net:?}: degraded {t:.3e} vs clean {clean:.3e}"
+        );
+    }
+}
+
+/// `run_waveform` has no Elmore rung: exhausting its four rungs is a
+/// hard error carrying the chain.
+#[test]
+fn run_waveform_exhaustion_is_a_hard_error() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = chain3(&tech);
+    qwm::fault::install(plan_landing_on(
+        FallbackRung::ElmoreBound,
+        FaultKind::Singular,
+    ));
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+    let err = engine
+        .run_waveform(&QwmConfig::default(), 30e-12)
+        .expect_err("no rung left");
+    qwm::fault::clear();
+    let msg = err.to_string();
+    assert!(msg.contains("all fallback rungs failed"), "{msg}");
+    for rung in ["qwm", "qwm-retry", "spice-adaptive", "spice-fixed"] {
+        assert!(msg.contains(rung), "chain names {rung}: {msg}");
+    }
+}
+
+/// Property (seeded loop): degradation must never change the answer,
+/// only the path to it. With faults confined to the QWM rungs, the
+/// fallback engine's delays agree with a direct SPICE-class run within
+/// the `engine_agreement.rs` band.
+#[test]
+fn degraded_delays_agree_with_direct_spice() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    for seed in [0x5eed_0001u64, 0x5eed_0002, 0x5eed_0003] {
+        let nl = random_dag_netlist(&tech, 10, seed);
+
+        qwm::fault::clear();
+        let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).expect("engine");
+        let spice = engine
+            .run(&SpiceEvaluator::default())
+            .expect("direct spice run");
+
+        qwm::fault::install(
+            FaultPlan::new(seed)
+                .inject("qwm.region", FaultKind::NoConvergence)
+                .inject("retry/qwm.region", FaultKind::NoConvergence),
+        );
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+        let degraded = engine
+            .run(&FallbackEvaluator::default())
+            .expect("ladder lands on the adaptive rung");
+        qwm::fault::clear();
+
+        assert!(
+            degraded
+                .degradations
+                .iter()
+                .all(|d| d.landed == FallbackRung::SpiceAdaptive),
+            "seed {seed:#x}: QWM-only faults land on the adaptive rung"
+        );
+        let (_, worst_s) = spice.worst.expect("spice worst");
+        let (_, worst_d) = degraded.worst.expect("degraded worst");
+        assert!(
+            (worst_d - worst_s).abs() / worst_s < 0.05,
+            "seed {seed:#x}: degraded worst {worst_d:.3e} vs spice {worst_s:.3e}"
+        );
+        for (net, &t) in &degraded.arrivals {
+            let ts = spice.arrivals[net];
+            // Primary inputs arrive at exactly 0 in both runs; compare
+            // the rest relatively.
+            if ts < 1e-15 {
+                assert_eq!(t, ts, "seed {seed:#x} net {net:?}: zero arrival");
+                continue;
+            }
+            assert!(
+                (t - ts).abs() / ts < 0.05,
+                "seed {seed:#x} net {net:?}: degraded {t:.3e} vs spice {ts:.3e}"
+            );
+        }
+    }
+}
+
+/// With injection off, the fallback evaluator is pure QWM: no
+/// degradations, no provenance lines in the golden render.
+#[test]
+fn clean_fallback_run_records_nothing() {
+    let _g = locked();
+    qwm::fault::clear();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let report = run_fallback(&chain3(&tech), &models, 2);
+    assert!(report.degradations.is_empty(), "clean run degrades nothing");
+    assert_eq!(report.waveform_failures, 0);
+    let nl = chain3(&tech);
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+    let report = engine.run(&FallbackEvaluator::default()).expect("run");
+    let rendered = golden_report(&report, engine.netlist());
+    assert!(
+        !rendered.contains("degrad"),
+        "no degradation lines when injection is off:\n{rendered}"
+    );
+}
+
+/// Chaos-mode smoke test: under whatever `QWM_FAULTS` plan the
+/// environment supplies (or a 50 % no-convergence plan when it supplies
+/// none), the analysis still completes and the answer stays within the
+/// agreement band of a clean run. Probabilistic plans are
+/// order-dependent across schedules, so this asserts robustness, not
+/// bitwise determinism.
+#[test]
+fn survives_probabilistic_fault_plans() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let nl = random_dag_netlist(&tech, 12, 0xc4a05);
+
+    qwm::fault::clear();
+    let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall).expect("engine");
+    let clean = engine.run(&FallbackEvaluator::default()).expect("clean");
+    let (_, worst_clean) = clean.worst.expect("worst");
+
+    match qwm::fault::FaultPlan::from_env() {
+        Some(Ok(plan)) => qwm::fault::install(plan),
+        Some(Err(e)) => panic!("malformed QWM_FAULTS: {e}"),
+        None => qwm::fault::install(FaultPlan::new(7).inject_with(
+            "qwm.region",
+            FaultKind::NoConvergence,
+            0.5,
+            None,
+        )),
+    }
+    for threads in [1usize, 4] {
+        let engine = StaEngine::new(nl.clone(), &models, TransitionKind::Fall)
+            .expect("engine")
+            .with_threads(threads);
+        let report = engine
+            .run(&FallbackEvaluator::default())
+            .expect("ladder absorbs chaos plan");
+        let (_, worst) = report.worst.expect("worst");
+        assert!(
+            (worst - worst_clean).abs() / worst_clean < 0.10,
+            "@{threads} threads: chaos worst {worst:.3e} vs clean {worst_clean:.3e}"
+        );
+    }
+    let fired: u64 = qwm::fault::stats().iter().map(|s| s.fired).sum();
+    qwm::fault::clear();
+    assert!(fired > 0, "the chaos plan actually injected something");
+}

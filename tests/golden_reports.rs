@@ -13,12 +13,29 @@
 use qwm::circuit::parser::parse_netlist;
 use qwm::circuit::waveform::TransitionKind;
 use qwm::device::{analytic_models, Technology};
+use qwm::fault::{FaultKind, FaultPlan};
 use qwm::sta::engine::StaEngine;
-use qwm::sta::evaluator::QwmEvaluator;
+use qwm::sta::evaluator::{FallbackEvaluator, QwmEvaluator};
 use qwm::sta::report::golden_report;
 use std::path::Path;
+use std::sync::Mutex;
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/golden/path4.report");
+const GOLDEN_DEGRADED: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/testdata/golden/path4_degraded.report"
+);
+
+/// The degraded snapshot installs a process-global fault plan, so every
+/// test in this binary serializes on one mutex and starts from a clean
+/// plan.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    qwm::fault::clear();
+    g
+}
 
 fn render_path4_report() -> String {
     let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
@@ -33,33 +50,105 @@ fn render_path4_report() -> String {
     golden_report(&report, engine.netlist())
 }
 
-#[test]
-fn path4_report_matches_golden_snapshot() {
-    let rendered = render_path4_report();
+/// Renders path4 under a deterministic fault plan that fails both QWM
+/// attempts on every region solve: each arc descends the fallback
+/// ladder and lands on the adaptive-transient rung, and the snapshot
+/// pins arrivals, slews *and* the degradation provenance lines.
+fn render_path4_degraded_report() -> String {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let nl = parse_netlist(&text).expect("parse path4.sp");
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+    qwm::fault::install(
+        FaultPlan::new(1)
+            .inject("qwm.region", FaultKind::NoConvergence)
+            .inject("retry/qwm.region", FaultKind::NoConvergence),
+    );
+    let report = engine
+        .run_with_slew(&FallbackEvaluator::default(), 30e-12)
+        .expect("ladder absorbs the injected faults");
+    qwm::fault::clear();
+    golden_report(&report, engine.netlist())
+}
+
+fn assert_matches_golden(rendered: &str, path: &str) {
     if std::env::var_os("QWM_BLESS").is_some() {
-        std::fs::create_dir_all(Path::new(GOLDEN).parent().unwrap()).expect("mkdir golden");
-        std::fs::write(GOLDEN, &rendered).expect("write golden");
-        eprintln!("blessed {GOLDEN}");
+        std::fs::create_dir_all(Path::new(path).parent().unwrap()).expect("mkdir golden");
+        std::fs::write(path, rendered).expect("write golden");
+        eprintln!("blessed {path}");
         return;
     }
-    let golden = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
-            "cannot read {GOLDEN}: {e}\n\
+            "cannot read {path}: {e}\n\
              generate it with: QWM_BLESS=1 cargo test --test golden_reports"
         )
     });
     assert_eq!(
-        rendered, golden,
-        "path4 timing report drifted from the blessed snapshot.\n\
+        rendered, &golden,
+        "timing report drifted from the blessed snapshot {path}.\n\
          If the change is intentional, re-bless with:\n\
          QWM_BLESS=1 cargo test --test golden_reports"
     );
 }
 
 #[test]
+fn path4_report_matches_golden_snapshot() {
+    let _g = locked();
+    let rendered = render_path4_report();
+    assert_matches_golden(&rendered, GOLDEN);
+}
+
+#[test]
+fn path4_degraded_report_matches_golden_snapshot() {
+    let _g = locked();
+    let rendered = render_path4_degraded_report();
+    assert!(
+        rendered.contains("degradations "),
+        "degraded snapshot carries provenance:\n{rendered}"
+    );
+    assert_matches_golden(&rendered, GOLDEN_DEGRADED);
+}
+
+/// Zero-overhead-when-off pin: with injection disabled, the fallback
+/// evaluator renders the same arrivals and slews as plain QWM — the
+/// clean `path4.report` bytes, with only the evaluation count differing
+/// (the fallback evaluator caches under its own namespace).
+#[test]
+fn clean_fallback_render_matches_qwm_lines() {
+    let _g = locked();
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let nl = parse_netlist(&text).expect("parse path4.sp");
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let engine = StaEngine::new(nl, &models, TransitionKind::Fall).expect("engine");
+    let report = engine
+        .run_with_slew(&FallbackEvaluator::default(), 30e-12)
+        .expect("clean fallback run");
+    let rendered = golden_report(&report, engine.netlist());
+    assert!(!rendered.contains("degrad"), "no provenance lines when off");
+    let qwm_render = render_path4_report();
+    let qwm_lines: Vec<&str> = qwm_render
+        .lines()
+        .filter(|l| !l.starts_with("evaluations"))
+        .map(str::trim_end)
+        .collect();
+    let fb_lines: Vec<&str> = rendered
+        .lines()
+        .filter(|l| !l.starts_with("evaluations"))
+        .map(str::trim_end)
+        .collect();
+    assert_eq!(qwm_lines, fb_lines, "clean fallback == QWM byte for byte");
+}
+
+#[test]
 fn golden_render_is_thread_count_invariant() {
     // The snapshot itself must not depend on QWM_THREADS: render at
     // several worker counts and require byte equality.
+    let _g = locked();
     let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
         .expect("read path4.sp");
     let tech = Technology::cmosp35();
