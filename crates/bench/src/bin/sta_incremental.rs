@@ -1,36 +1,74 @@
-//! Incremental STA: full analysis vs re-analysis after one transistor
-//! resize (the calibration brief's incremental-speedup experiment).
+//! Incremental STA: cold full analysis vs dirty-cone re-analysis after
+//! single edits on seeded `random_dag_netlist` workloads — the
+//! ISSUE-4 acceptance experiment (≥5× wall-clock speedup for a single
+//! mid-DAG resize on a ≥200-stage DAG).
+//!
+//! For each size, the bench seeds the committed book with a cold
+//! `run_incremental`, then times (a) a full re-propagation on a fresh
+//! engine and (b) the incremental re-run after resizing one mid-DAG
+//! device, asserting the reports agree bitwise on the worst arrival.
 use qwm::circuit::waveform::TransitionKind;
 use qwm::sta::engine::StaEngine;
 use qwm::sta::evaluator::QwmEvaluator;
-use qwm::sta::graph::inverter_chain;
+use qwm::sta::graph::random_dag_netlist;
 use qwm_bench::Bench;
 use std::time::Instant;
 
 fn main() {
     let bench = Bench::new();
-    for depth in [8usize, 16, 32] {
-        let nl = inverter_chain(&bench.tech, depth, 10e-15);
+    let ev = QwmEvaluator::default();
+    for stages in [60usize, 120, 240] {
+        let nl = random_dag_netlist(&bench.tech, stages, 0xB0B5 + stages as u64);
         let mut engine =
-            StaEngine::new(nl, &bench.qwm_models, TransitionKind::Fall).expect("engine");
-        let ev = QwmEvaluator::default();
-        let t0 = Instant::now();
-        let full = engine.run(&ev).expect("full run");
-        let t_full = t0.elapsed();
+            StaEngine::new(nl.clone(), &bench.qwm_models, TransitionKind::Fall).expect("engine");
+        engine.set_input_slew(20e-12).expect("slew");
 
-        // Resize one middle inverter's NMOS and re-run incrementally.
+        // Cold run seeds the committed book (and the arc caches).
+        let t0 = Instant::now();
+        let cold = engine.run_incremental(&ev).expect("cold run");
+        let t_cold = t0.elapsed();
+
+        // Resize one mid-DAG device, then re-time incrementally.
+        let victim = engine
+            .netlist()
+            .find_device(&format!("MN{}", stages / 2))
+            .or_else(|| engine.netlist().find_device(&format!("MN{}a", stages / 2)))
+            .expect("mid-DAG device");
         engine
-            .resize_device(depth, 3.0 * bench.tech.w_min)
+            .resize_device(victim, 3.0 * bench.tech.w_min)
             .expect("resize");
         let t0 = Instant::now();
-        let incr = engine.run(&ev).expect("incremental run");
+        let incr = engine.run_incremental(&ev).expect("incremental run");
         let t_incr = t0.elapsed();
+        let stats = engine.incremental_stats();
+
+        // Reference: the same edit timed as a full cold re-run.
+        let mut full_engine =
+            StaEngine::new(nl, &bench.qwm_models, TransitionKind::Fall).expect("engine");
+        full_engine
+            .resize_device(victim, 3.0 * bench.tech.w_min)
+            .expect("resize");
+        let t0 = Instant::now();
+        let full = full_engine.run_with_slew(&ev, 20e-12).expect("full rerun");
+        let t_full = t0.elapsed();
+        assert_eq!(
+            full.worst.unwrap().1.to_bits(),
+            incr.worst.unwrap().1.to_bits(),
+            "incremental must be bitwise-identical to the full re-run"
+        );
 
         println!(
-            "depth {depth:3}: full {} evals in {:?}; incremental {} evals (stage + its driver) in {:?}; speedup {:.1}x; worst arrival {:.1} ps -> {:.1} ps",
-            full.evaluations,
+            "stages {stages:4}: cold {} evals in {:?}; full re-run {:?}; incremental \
+             {}/{} stages ({} evals, {} reused arcs, {} early stops) in {:?}; speedup {:.1}x; \
+             worst {:.1} ps -> {:.1} ps",
+            cold.evaluations,
+            t_cold,
             t_full,
-            incr.evaluations,
+            stats.evaluated_stages,
+            stats.dirty_stages,
+            stats.evaluations,
+            stats.reused_arcs,
+            stats.early_stop_nets,
             t_incr,
             t_full.as_secs_f64() / t_incr.as_secs_f64().max(1e-9),
             full.worst.unwrap().1 * 1e12,

@@ -148,6 +148,67 @@ impl Netlist {
         *self.caps.entry(net).or_insert(0.0) += value;
     }
 
+    /// Sets the explicit grounded capacitance at a net to an absolute
+    /// value (what-if load edits), replacing any accumulated value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a negative or non-finite
+    /// value or an out-of-range net.
+    pub fn set_cap(&mut self, net: NetId, value: f64) -> Result<()> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "Netlist::set_cap",
+                detail: format!("capacitance {value}"),
+            });
+        }
+        if net.0 >= self.names.len() {
+            return Err(NumError::InvalidInput {
+                context: "Netlist::set_cap",
+                detail: format!("net {} out of range", net.0),
+            });
+        }
+        self.caps.insert(net, value);
+        Ok(())
+    }
+
+    /// Renames a net (ECO-style edits). The old name stops resolving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a rail, an out-of-range
+    /// net, or a name that already exists.
+    pub fn rename_net(&mut self, net: NetId, name: &str) -> Result<()> {
+        if self.is_rail(net) {
+            return Err(NumError::InvalidInput {
+                context: "Netlist::rename_net",
+                detail: "cannot rename a supply rail".to_string(),
+            });
+        }
+        if net.0 >= self.names.len() {
+            return Err(NumError::InvalidInput {
+                context: "Netlist::rename_net",
+                detail: format!("net {} out of range", net.0),
+            });
+        }
+        if self.by_name.contains_key(name) {
+            return Err(NumError::InvalidInput {
+                context: "Netlist::rename_net",
+                detail: format!("net name {name:?} already exists"),
+            });
+        }
+        let old = std::mem::replace(&mut self.names[net.0], name.to_string());
+        self.by_name.remove(&old);
+        self.by_name.insert(name.to_string(), net);
+        Ok(())
+    }
+
+    /// Resolves a device index by instance name (linear scan; edit
+    /// files and CLIs address devices by name).
+    pub fn find_device(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d.name == name)
+    }
+
     /// Declares a primary input net.
     pub fn add_primary_input(&mut self, net: NetId) {
         if !self.primary_inputs.contains(&net) {

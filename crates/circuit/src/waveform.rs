@@ -171,7 +171,7 @@ impl Waveform {
 }
 
 /// Direction of an output transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransitionKind {
     /// Output falls (pull-down / discharge).
     Fall,

@@ -79,6 +79,39 @@ impl Levelizer {
         })
     }
 
+    /// Levelizes the sub-DAG induced by `subset` over a full graph's
+    /// successor lists, renumbering to local indices `0..subset.len()`
+    /// in `subset` order. Edges with either endpoint outside the subset
+    /// are dropped — the caller owns the contract that such boundary
+    /// state is already committed (the incremental-STA dirty cone).
+    /// `local_of(i)` maps a local index back to `subset[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadEdge`] on an out-of-range or duplicate
+    /// subset entry and [`ExecError::Cycle`] if the induced sub-graph
+    /// is cyclic (impossible when the full graph is a DAG).
+    pub fn from_subgraph(succs: &[Vec<usize>], subset: &[usize]) -> Result<Self, ExecError> {
+        let n = succs.len();
+        let mut local = vec![usize::MAX; n];
+        for (li, &g) in subset.iter().enumerate() {
+            if g >= n || local[g] != usize::MAX {
+                return Err(ExecError::BadEdge { node: g, total: n });
+            }
+            local[g] = li;
+        }
+        let sub_succs: Vec<Vec<usize>> = subset
+            .iter()
+            .map(|&g| {
+                succs[g]
+                    .iter()
+                    .filter_map(|&t| (local[t] != usize::MAX).then_some(local[t]))
+                    .collect()
+            })
+            .collect();
+        Self::from_succs(sub_succs)
+    }
+
     /// Levelizes an edge-list DAG over `n` nodes.
     ///
     /// # Errors
@@ -225,6 +258,24 @@ mod tests {
             Err(ExecError::BadEdge { node: 5, total: 2 })
         ));
         assert!(Levelizer::from_edges(2, [(7, 0)]).is_err());
+    }
+
+    #[test]
+    fn subgraph_renumbers_and_drops_boundary_edges() {
+        // Chain 0 -> 1 -> 2 -> 3; take the suffix {2, 3}.
+        let full = vec![vec![1], vec![2], vec![3], vec![]];
+        let l = Levelizer::from_subgraph(&full, &[2, 3]).unwrap();
+        assert_eq!(l.node_count(), 2);
+        // Local 0 is global 2; the 1->2 boundary edge is gone, so it
+        // sits at level 0 with local 1 (global 3) depending on it.
+        assert_eq!(l.levels(), &[vec![0], vec![1]]);
+        assert_eq!(l.succs()[0], vec![1]);
+        // Duplicate or out-of-range subset entries are rejected.
+        assert!(Levelizer::from_subgraph(&full, &[2, 2]).is_err());
+        assert!(Levelizer::from_subgraph(&full, &[9]).is_err());
+        // Empty subset is a valid empty DAG.
+        let e = Levelizer::from_subgraph(&full, &[]).unwrap();
+        assert_eq!(e.node_count(), 0);
     }
 
     #[test]

@@ -66,11 +66,38 @@ pub struct TimingReport {
     pub degradations: Vec<Degradation>,
 }
 
-/// Cache key: (evaluator name, stage index, packed output/slew key).
-type CacheKey = (&'static str, usize, usize);
+/// Cache key for per-stage timing arcs.
+///
+/// Every field that influences the evaluated value is a *structural*
+/// member — nothing is arithmetically packed. In particular the input
+/// slew is keyed by its exact bit pattern ([`f64::to_bits`]), never a
+/// quantized grid position, and the analyzed transition is part of the
+/// key, so the single-slew and dual-transition flows can never alias
+/// each other's entries (two bugs the 1 ps-grid packing scheme had).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// Evaluator name (distinct evaluators never share entries).
+    evaluator: &'static str,
+    /// Stage index ([`StageId`]), the invalidation granule.
+    pub(crate) stage: usize,
+    /// Output position within the stage.
+    out_pos: usize,
+    /// Analyzed output transition.
+    direction: TransitionKind,
+    /// Exact requested input slew, `f64::to_bits`. Zero for the
+    /// step-input delay flow (which carries no slew at all).
+    slew_bits: u64,
+}
 
 /// Sentinel for "no predecessor stage" in the per-net commit books.
-const NO_PRED: usize = usize::MAX;
+pub(crate) const NO_PRED: usize = usize::MAX;
+
+/// One committed net state of the slew-aware flow:
+/// `(arrival, output slew, committing stage or NO_PRED)`.
+pub(crate) type NetCommit = (f64, f64, usize);
+
+/// Worst endpoint (net, arrival) plus the backtracked critical path.
+pub(crate) type WorstAndPath = (Option<(NetId, f64)>, Vec<StageId>);
 
 /// The timing engine: owns the netlist, the stage graph and the
 /// per-stage delay caches.
@@ -79,21 +106,31 @@ const NO_PRED: usize = usize::MAX;
 /// worker count (see [`StaEngine::set_threads`]); internal state is
 /// lock-sharded caches and atomic counters, so the engine is `Sync`.
 pub struct StaEngine<'m> {
-    netlist: Netlist,
-    graph: StageGraph,
-    models: &'m ModelSet,
-    direction: TransitionKind,
-    /// Cached worst delay per (evaluator, stage, output position).
-    delay_cache: ShardedMap<CacheKey, f64>,
-    /// Cached (delay, slew) per (evaluator, stage, packed out/slew key).
-    slew_cache: ShardedMap<CacheKey, (f64, f64)>,
-    evaluations: AtomicUsize,
+    pub(crate) netlist: Netlist,
+    pub(crate) graph: StageGraph,
+    pub(crate) models: &'m ModelSet,
+    pub(crate) direction: TransitionKind,
+    /// Cached worst step-input delay per arc.
+    pub(crate) delay_cache: ShardedMap<CacheKey, f64>,
+    /// Cached (delay, slew) per arc at an exact input slew.
+    pub(crate) slew_cache: ShardedMap<CacheKey, (f64, f64)>,
+    pub(crate) evaluations: AtomicUsize,
     waveform_failures: AtomicUsize,
     /// Degradation provenance recorded by [`Self::run_waveform`]'s
     /// internal fallback ladder (the evaluator flows record theirs in
     /// the evaluator instead).
     waveform_degradations: Mutex<Vec<Degradation>>,
     threads: usize,
+    /// Seed slew at the primary inputs for the incremental flow
+    /// (edited via [`StaEngine::set_input_slew`]).
+    pub(crate) input_slew: f64,
+    /// Stages edited since the last incremental commit.
+    pub(crate) dirty: std::collections::BTreeSet<usize>,
+    /// Arrival/slew book committed by the last [`Self::run_incremental`]
+    /// (survives across runs; `None` until the first incremental run).
+    pub(crate) committed: Option<crate::incremental::CommittedBook>,
+    /// Statistics of the last incremental run.
+    pub(crate) last_incremental: crate::incremental::IncrementalStats,
 }
 
 impl<'m> StaEngine<'m> {
@@ -147,6 +184,10 @@ impl<'m> StaEngine<'m> {
             waveform_failures: AtomicUsize::new(0),
             waveform_degradations: Mutex::new(Vec::new()),
             threads: qwm_exec::default_threads(),
+            input_slew: 0.0,
+            dirty: std::collections::BTreeSet::new(),
+            committed: None,
+            last_incremental: crate::incremental::IncrementalStats::default(),
         })
     }
 
@@ -229,7 +270,13 @@ impl<'m> StaEngine<'m> {
         sid: StageId,
         out_pos: usize,
     ) -> Result<f64> {
-        let key = (evaluator.name(), sid.0, out_pos);
+        let key = CacheKey {
+            evaluator: evaluator.name(),
+            stage: sid.0,
+            out_pos,
+            direction: self.direction,
+            slew_bits: 0,
+        };
         if let Some(d) = self.delay_cache.get(&key) {
             qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(d);
@@ -250,24 +297,51 @@ impl<'m> StaEngine<'m> {
         Ok(d)
     }
 
+    /// Rejects non-finite arrivals before any max scan, naming the
+    /// offending net (the lowest-indexed one, for a deterministic
+    /// message). A NaN arrival used to panic the worker mid-reduction;
+    /// it now surfaces through the error/degradation machinery.
+    pub(crate) fn reject_non_finite(&self, arrivals: &HashMap<NetId, f64>) -> Result<()> {
+        if let Some((&n, &a)) = arrivals
+            .iter()
+            .filter(|(_, a)| !a.is_finite())
+            .min_by_key(|(n, _)| n.0)
+        {
+            return Err(NumError::InvalidInput {
+                context: "StaEngine::worst_and_path",
+                detail: format!(
+                    "non-finite arrival {a} at net {} — evaluator produced NaN/inf",
+                    self.netlist.net_name(n)
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Worst primary output (fall back to the globally worst net), and
     /// the critical path backtracked through stage inputs.
-    fn worst_and_path(
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] when any arrival is NaN or
+    /// infinite, carrying the offending net name.
+    pub(crate) fn worst_and_path(
         &self,
         arrivals: &HashMap<NetId, f64>,
         pred: &HashMap<NetId, StageId>,
-    ) -> (Option<(NetId, f64)>, Vec<StageId>) {
+    ) -> Result<WorstAndPath> {
+        self.reject_non_finite(arrivals)?;
         let worst = self
             .netlist
             .primary_outputs()
             .iter()
             .filter_map(|&n| arrivals.get(&n).map(|&a| (n, a)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .or_else(|| {
                 arrivals
                     .iter()
                     .map(|(&n, &a)| (n, a))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
             });
         let mut critical_path = Vec::new();
         if let Some((mut net, _)) = worst {
@@ -280,7 +354,7 @@ impl<'m> StaEngine<'m> {
                     .input_nets
                     .iter()
                     .filter_map(|&n| arrivals.get(&n).map(|&a| (n, a)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"));
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
                 match next {
                     Some((n, a)) if a > 0.0 => net = n,
                     _ => break,
@@ -288,7 +362,7 @@ impl<'m> StaEngine<'m> {
             }
             critical_path.reverse();
         }
-        (worst, critical_path)
+        Ok((worst, critical_path))
     }
 
     /// Runs (or re-runs) the analysis, reusing every cached stage delay.
@@ -340,7 +414,7 @@ impl<'m> StaEngine<'m> {
                 }
             }
         }
-        let (worst, critical_path) = self.worst_and_path(&arrivals, &pred);
+        let (worst, critical_path) = self.worst_and_path(&arrivals, &pred)?;
         Ok(TimingReport {
             arrivals,
             slews: HashMap::new(),
@@ -376,8 +450,21 @@ impl<'m> StaEngine<'m> {
     ) -> Result<TimingReport> {
         let _span = qwm_obs::span!("sta.run_with_slew");
         let evals_before = self.total_evaluations();
+        let book = self.propagate_slew_book(evaluator, input_slew)?;
+        self.report_from_book(&book, evals_before, evaluator)
+    }
+
+    /// Full slew-aware propagation: evaluates every stage
+    /// dependency-driven and returns the committed per-net book —
+    /// shared by [`Self::run_with_slew`] and the incremental flow's
+    /// cold path, so both commit bitwise-identical state.
+    pub(crate) fn propagate_slew_book(
+        &self,
+        evaluator: &dyn StageEvaluator,
+        input_slew: f64,
+    ) -> Result<Vec<Option<NetCommit>>> {
         // Per-net commit book: (arrival, slew, committing stage).
-        let book: Vec<Mutex<Option<(f64, f64, usize)>>> = (0..self.netlist.net_count())
+        let book: Vec<Mutex<Option<NetCommit>>> = (0..self.netlist.net_count())
             .map(|_| Mutex::new(None))
             .collect();
         for &pi in self.netlist.primary_inputs() {
@@ -415,12 +502,25 @@ impl<'m> StaEngine<'m> {
             Ok(())
         })
         .map_err(|(_, e)| e)?;
+        Ok(book
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("net book"))
+            .collect())
+    }
+
+    /// Builds a [`TimingReport`] from a committed per-net book.
+    pub(crate) fn report_from_book(
+        &self,
+        book: &[Option<NetCommit>],
+        evals_before: usize,
+        evaluator: &dyn StageEvaluator,
+    ) -> Result<TimingReport> {
         // Deterministic extraction, keyed by net index.
         let mut arrivals: HashMap<NetId, f64> = HashMap::new();
         let mut slews: HashMap<NetId, f64> = HashMap::new();
         let mut pred: HashMap<NetId, StageId> = HashMap::new();
         for (i, slot) in book.iter().enumerate() {
-            if let Some((a, sl, p)) = *slot.lock().expect("net book") {
+            if let Some((a, sl, p)) = *slot {
                 arrivals.insert(NetId(i), a);
                 slews.insert(NetId(i), sl);
                 if p != NO_PRED {
@@ -428,7 +528,7 @@ impl<'m> StaEngine<'m> {
                 }
             }
         }
-        let (worst, critical_path) = self.worst_and_path(&arrivals, &pred);
+        let (worst, critical_path) = self.worst_and_path(&arrivals, &pred)?;
         Ok(TimingReport {
             arrivals,
             slews,
@@ -534,32 +634,34 @@ impl<'m> StaEngine<'m> {
             Self::drained_degradations(evaluator)
                 .into_iter()
                 .partition(|d| d.direction == TransitionKind::Fall);
-        let mk_report = |book: &[Mutex<Option<(f64, f64)>>], degradations: Vec<Degradation>| {
-            let mut arrivals: HashMap<NetId, f64> = HashMap::new();
-            let mut slews: HashMap<NetId, f64> = HashMap::new();
-            for (i, slot) in book.iter().enumerate() {
-                if let Some((a, s)) = *slot.lock().expect("net book") {
-                    arrivals.insert(NetId(i), a);
-                    slews.insert(NetId(i), s);
+        let mk_report =
+            |book: &[Mutex<Option<(f64, f64)>>], degradations: Vec<Degradation>| -> Result<_> {
+                let mut arrivals: HashMap<NetId, f64> = HashMap::new();
+                let mut slews: HashMap<NetId, f64> = HashMap::new();
+                for (i, slot) in book.iter().enumerate() {
+                    if let Some((a, s)) = *slot.lock().expect("net book") {
+                        arrivals.insert(NetId(i), a);
+                        slews.insert(NetId(i), s);
+                    }
                 }
-            }
-            let worst = self
-                .netlist
-                .primary_outputs()
-                .iter()
-                .filter_map(|&n| arrivals.get(&n).map(|&a| (n, a)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"));
-            TimingReport {
-                arrivals,
-                slews,
-                worst,
-                critical_path: Vec::new(),
-                evaluations,
-                waveform_failures: 0,
-                degradations,
-            }
-        };
-        Ok((mk_report(&fall, fall_deg), mk_report(&rise, rise_deg)))
+                self.reject_non_finite(&arrivals)?;
+                let worst = self
+                    .netlist
+                    .primary_outputs()
+                    .iter()
+                    .filter_map(|&n| arrivals.get(&n).map(|&a| (n, a)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
+                Ok(TimingReport {
+                    arrivals,
+                    slews,
+                    worst,
+                    critical_path: Vec::new(),
+                    evaluations,
+                    waveform_failures: 0,
+                    degradations,
+                })
+            };
+        Ok((mk_report(&fall, fall_deg)?, mk_report(&rise, rise_deg)?))
     }
 
     /// Waveform-accurate analysis — the paper's §III-C vision made
@@ -824,6 +926,16 @@ impl<'m> StaEngine<'m> {
         Ok((to_map(fall), to_map(rise)))
     }
 
+    /// Timing arc at an *exact* input slew. The cache key carries the
+    /// slew's full bit pattern and the transition as structural fields:
+    /// two distinct slews can never collapse into one grid bin (the old
+    /// 1 ps rounding evaluated at the rounded slew, so sub-ps slews all
+    /// became 0), and the single-slew and dual flows can never serve
+    /// each other entries computed for a different request (the old
+    /// arithmetic packing made even-valued dual keys alias single-flow
+    /// keys). Entries are shared only when evaluator, stage, output,
+    /// direction *and* slew bits all match — by construction the same
+    /// pure computation.
     fn stage_output_timing_dir(
         &self,
         evaluator: &dyn StageEvaluator,
@@ -832,17 +944,13 @@ impl<'m> StaEngine<'m> {
         input_slew: f64,
         direction: TransitionKind,
     ) -> Result<TimingMetrics> {
-        let slew_key = (input_slew / 1e-12).round() as usize;
-        let dir_tag = if direction == TransitionKind::Rise {
-            1
-        } else {
-            0
+        let key = CacheKey {
+            evaluator: evaluator.name(),
+            stage: sid.0,
+            out_pos,
+            direction,
+            slew_bits: input_slew.to_bits(),
         };
-        let key = (
-            evaluator.name(),
-            sid.0,
-            (out_pos * 1_000_003 + slew_key) * 2 + dir_tag,
-        );
         if let Some(d) = self.slew_cache.get(&key) {
             qwm_obs::counter!("sta.cache_hits").incr();
             return Ok(TimingMetrics {
@@ -859,56 +967,21 @@ impl<'m> StaEngine<'m> {
                 context: "StaEngine::stage_output_timing_dir",
                 detail: format!("output net {output_net:?} missing from stage"),
             })?;
-        let m = evaluator.timing(
-            &part.stage,
-            self.models,
-            node,
-            direction,
-            slew_key as f64 * 1e-12,
-        )?;
+        let m = evaluator.timing(&part.stage, self.models, node, direction, input_slew)?;
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         qwm_obs::counter!("sta.evaluations").incr();
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }
 
-    fn stage_output_timing(
+    pub(crate) fn stage_output_timing(
         &self,
         evaluator: &dyn StageEvaluator,
         sid: StageId,
         out_pos: usize,
         input_slew: f64,
     ) -> Result<TimingMetrics> {
-        // Quantize the slew so the cache has a chance to hit.
-        let slew_key = (input_slew / 1e-12).round() as usize;
-        let key = (evaluator.name(), sid.0, out_pos * 1_000_003 + slew_key);
-        if let Some(d) = self.slew_cache.get(&key) {
-            qwm_obs::counter!("sta.cache_hits").incr();
-            return Ok(TimingMetrics {
-                delay: d.0,
-                slew: d.1,
-            });
-        }
-        let part = self.graph.stage(sid);
-        let output_net = part.output_nets[out_pos];
-        let node = part
-            .stage
-            .node_by_name(self.netlist.net_name(output_net))
-            .ok_or_else(|| NumError::InvalidInput {
-                context: "StaEngine::stage_output_timing",
-                detail: format!("output net {output_net:?} missing from stage"),
-            })?;
-        let m = evaluator.timing(
-            &part.stage,
-            self.models,
-            node,
-            self.direction,
-            slew_key as f64 * 1e-12,
-        )?;
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
-        qwm_obs::counter!("sta.evaluations").incr();
-        self.slew_cache.insert(key, (m.delay, m.slew));
-        Ok(m)
+        self.stage_output_timing_dir(evaluator, sid, out_pos, input_slew, self.direction)
     }
 
     /// Resizes netlist device `device_index` to width `w` and invalidates
@@ -950,24 +1023,40 @@ impl<'m> StaEngine<'m> {
             .position(|&d| d == device_index)
             .expect("device is in its stage");
         part.stage.set_edge_geometry(qwm_circuit::EdgeId(pos), geom);
-        // Invalidate that stage's cached delays.
-        self.delay_cache.retain(|&(_, s, _)| s != sid.0);
-        self.slew_cache.retain(|&(_, s, _)| s != sid.0);
+        // Invalidate that stage's cached delays and mark it dirty for
+        // the incremental flow.
+        self.delay_cache.retain(|k| k.stage != sid.0);
+        self.slew_cache.retain(|k| k.stage != sid.0);
+        self.dirty.insert(sid.0);
 
         // The resized gate's capacitance loads whichever stage drives
         // its gate net: update that stage's baked fanout load and drop
-        // its caches too.
+        // its caches too. A missing node here means the stage graph and
+        // the netlist disagree about net naming — silently skipping the
+        // load update would leave the driver's caches warm with a stale
+        // load, so it is a hard error.
         if let (Some(gate), Some(p)) = (gate_net, polarity) {
             if let Some(driver) = self.graph.driver_of(gate) {
                 let model = self.models.for_polarity(p);
                 let delta = model.input_cap(&geom) - model.input_cap(&old_geom);
                 let name = self.netlist.net_name(gate).to_string();
                 let dpart = &mut self.graph.partitions_mut()[driver.0];
-                if let Some(node) = dpart.stage.node_by_name(&name) {
-                    dpart.stage.add_load(node, delta);
-                    self.delay_cache.retain(|&(_, s, _)| s != driver.0);
-                    self.slew_cache.retain(|&(_, s, _)| s != driver.0);
-                }
+                let node =
+                    dpart
+                        .stage
+                        .node_by_name(&name)
+                        .ok_or_else(|| NumError::InvalidInput {
+                            context: "StaEngine::resize_device",
+                            detail: format!(
+                                "gate net {name:?} has driver stage {} but no node of that \
+                                 name in it — stage graph and netlist disagree",
+                                driver.0
+                            ),
+                        })?;
+                dpart.stage.add_load(node, delta);
+                self.delay_cache.retain(|k| k.stage != driver.0);
+                self.slew_cache.retain(|k| k.stage != driver.0);
+                self.dirty.insert(driver.0);
             }
         }
         Ok(())
@@ -1049,6 +1138,30 @@ mod tests {
         let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
         assert!(engine.resize_device(0, -1.0).is_err());
         assert!(engine.resize_device(99, 1e-6).is_err());
+    }
+
+    /// Regression (silent resize skip): when the stage graph and the
+    /// netlist disagree about a gate net's name, the fanout-load update
+    /// on the driver stage used to be silently skipped, leaving its
+    /// caches warm with a stale load. It is now a hard error.
+    #[test]
+    fn resize_with_renamed_net_is_a_hard_error() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 2, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        // Rename n1 behind the stage graph's back: its driver stage
+        // still calls the node "n1".
+        let n1 = engine.netlist.find_net("n1").unwrap();
+        engine.netlist.rename_net(n1, "n1_renamed").unwrap();
+        // Device 2 = MN1, gated by the renamed net: the driver-stage
+        // load update must fail loudly, not skip.
+        let err = engine.resize_device(2, 2.0 * tech.w_min).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("n1_renamed") && msg.contains("disagree"),
+            "expected a graph/netlist-disagreement error, got: {msg}"
+        );
     }
 
     #[test]
@@ -1149,6 +1262,126 @@ mod slew_tests {
             .unwrap();
         assert_eq!(m.slew, 0.0);
         assert!(m.delay > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod cache_key_regression_tests {
+    use super::*;
+    use crate::evaluator::QwmEvaluator;
+    use crate::graph::inverter_chain;
+    use qwm_device::{analytic_models, Technology};
+
+    /// Regression (slew quantization): slews used to be rounded to a
+    /// 1 ps grid *and evaluated at the rounded value*, so two slews
+    /// 0.4 ps apart returned the same cached arc and every sub-ps slew
+    /// collapsed to exactly 0. Exact `to_bits` keys + exact evaluation
+    /// make them distinct.
+    #[test]
+    fn nearby_slews_produce_different_delays() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 2, 10e-15);
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let ev = QwmEvaluator::default();
+        // Same 1 ps bin under the old rounding (both "10 ps").
+        let a = engine.run_with_slew(&ev, 10.0e-12).unwrap();
+        let b = engine.run_with_slew(&ev, 10.4e-12).unwrap();
+        assert!(b.evaluations > 0, "second slew must not hit the cache");
+        assert_ne!(
+            a.worst.unwrap().1,
+            b.worst.unwrap().1,
+            "slews 0.4 ps apart must evaluate differently"
+        );
+        // Sub-ps slews used to collapse to one cached entry at exactly
+        // 0 ps; they now key separately. (Their *values* may still
+        // agree: the stimulus builder floors the input ramp at 1 ps,
+        // a physical clamp, not a cache artifact.)
+        let _ = engine.run_with_slew(&ev, 0.2e-12).unwrap();
+        let d = engine.run_with_slew(&ev, 0.4e-12).unwrap();
+        assert!(d.evaluations > 0, "sub-ps slews must not share a bin");
+    }
+
+    /// Regression (cross-flow cache aliasing): the dual flow packed
+    /// `(out_pos * 1_000_003 + slew_key) * 2 + dir_tag` and the single
+    /// flow `out_pos * 1_000_003 + slew_key` into the same cache, so a
+    /// dual run at 10 ps (key 20) aliased a later single run at 20 ps
+    /// (key 20) and served it a wrong-direction entry. The direction is
+    /// now a structural key field; interleaving must be value-identical
+    /// to a cold single run.
+    #[test]
+    fn interleaved_dual_and_single_runs_never_alias() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let ev = QwmEvaluator::default();
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let _ = engine.run_dual(&ev, 10e-12).unwrap();
+        let interleaved = engine.run_with_slew(&ev, 20e-12).unwrap();
+        let fresh =
+            StaEngine::new(engine.netlist().clone(), &models, TransitionKind::Fall).unwrap();
+        let reference = fresh.run_with_slew(&ev, 20e-12).unwrap();
+        assert_eq!(
+            interleaved.worst.unwrap().1,
+            reference.worst.unwrap().1,
+            "dual-flow cache entries leaked into the single-slew flow"
+        );
+        for (net, arr) in &reference.arrivals {
+            assert_eq!(interleaved.arrivals[net], *arr, "net {net:?}");
+        }
+        for (net, slew) in &reference.slews {
+            assert_eq!(interleaved.slews[net], *slew, "slew at {net:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod nan_regression_tests {
+    use super::*;
+    use crate::evaluator::StageEvaluator;
+    use crate::graph::inverter_chain;
+    use qwm_circuit::{LogicStage, NodeId};
+    use qwm_device::{analytic_models, ModelSet, Technology};
+
+    /// An evaluator that "converges" to NaN — the shape of a silent
+    /// numeric blow-up inside a model.
+    struct NanEvaluator;
+
+    impl StageEvaluator for NanEvaluator {
+        fn name(&self) -> &'static str {
+            "nan-test"
+        }
+
+        fn delay(
+            &self,
+            _stage: &LogicStage,
+            _models: &ModelSet,
+            _output: NodeId,
+            _direction: TransitionKind,
+        ) -> Result<f64> {
+            Ok(f64::NAN)
+        }
+    }
+
+    /// Regression (NaN panic): `worst_and_path` used
+    /// `partial_cmp(...).expect("finite arrivals")`, so one NaN arrival
+    /// panicked the worker mid-reduction. It now surfaces as a
+    /// `NumError` naming the offending net.
+    #[test]
+    fn nan_arrival_is_an_error_not_a_panic() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let err = engine.run(&NanEvaluator).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("non-finite") && msg.contains("n1"),
+            "error must name the first offending net: {msg}"
+        );
+        // The slew-aware and dual flows reject it too.
+        assert!(engine.run_with_slew(&NanEvaluator, 10e-12).is_err());
+        assert!(engine.run_dual(&NanEvaluator, 10e-12).is_err());
     }
 }
 

@@ -149,6 +149,32 @@ impl StageGraph {
         self.device_stage.get(&device_index).copied()
     }
 
+    /// The static fanout cone of `seeds`: every stage reachable from a
+    /// seed stage along dependency edges, seeds included, as a sorted
+    /// set of stage indices. This is the upper bound of what an
+    /// incremental re-timing may re-evaluate; early stop inside the
+    /// cone can only shrink the actually-evaluated set.
+    pub fn fanout_cone(&self, seeds: impl IntoIterator<Item = usize>) -> Vec<usize> {
+        let succs = self.stage_dependencies();
+        let mut in_cone = vec![false; self.partitions.len()];
+        let mut frontier: Vec<usize> = Vec::new();
+        for s in seeds {
+            if s < in_cone.len() && !in_cone[s] {
+                in_cone[s] = true;
+                frontier.push(s);
+            }
+        }
+        while let Some(s) = frontier.pop() {
+            for &t in &succs[s] {
+                if !in_cone[t] {
+                    in_cone[t] = true;
+                    frontier.push(t);
+                }
+            }
+        }
+        (0..in_cone.len()).filter(|&i| in_cone[i]).collect()
+    }
+
     /// Stage→stage dependency edges as deduplicated successor lists
     /// (`succs[i]` holds every stage reading one of stage `i`'s output
     /// nets), the input the parallel runners levelize.
@@ -324,6 +350,26 @@ mod tests {
         nl.add_transistor("MN2", DeviceKind::Nmos, q, qb, gnd, geom);
         nl.add_transistor("MP2", DeviceKind::Pmos, q, vdd, qb, gp);
         assert!(StageGraph::build(&nl).is_err());
+    }
+
+    #[test]
+    fn fanout_cone_of_chain_is_a_suffix() {
+        let tech = Technology::cmosp35();
+        let nl = inverter_chain(&tech, 5, 10e-15);
+        let g = StageGraph::build(&nl).unwrap();
+        // Seed at the stage driving n3: cone = drivers of n3, n4, n5.
+        let n3 = nl.find_net("n3").unwrap();
+        let seed = g.driver_of(n3).unwrap();
+        let cone = g.fanout_cone([seed.0]);
+        assert_eq!(cone.len(), 3);
+        assert!(cone.contains(&seed.0));
+        for i in 4..=5 {
+            let net = nl.find_net(&format!("n{i}")).unwrap();
+            assert!(cone.contains(&g.driver_of(net).unwrap().0));
+        }
+        // Empty seed set → empty cone; duplicate seeds don't double.
+        assert!(g.fanout_cone([]).is_empty());
+        assert_eq!(g.fanout_cone([seed.0, seed.0]).len(), 3);
     }
 
     #[test]

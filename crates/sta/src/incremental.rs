@@ -1,0 +1,605 @@
+//! Incremental STA: dirty-cone re-timing over a persistent commit book.
+//!
+//! The paper's decomposition makes a single stage evaluation cheap; the
+//! flow that makes *repeated* analysis cheap — the sizing/optimization
+//! loop the paper targets — is not re-solving what didn't change. This
+//! module adds that flow on top of the levelized-parallel engine:
+//!
+//! * a **persistent arrival/slew book** ([`CommittedBook`]) survives
+//!   across runs, holding the per-net `(arrival, slew, committing
+//!   stage)` state of the last analysis;
+//! * a first-class **edit API** ([`Edit`], [`StaEngine::apply_edits`],
+//!   [`StaEngine::set_net_load`], [`StaEngine::set_input_slew`], plus
+//!   the existing [`StaEngine::resize_device`]) marks exactly the
+//!   edited stages dirty and surgically invalidates their cached arcs;
+//! * [`StaEngine::run_incremental`] levelizes **only the dirty fanout
+//!   cone** and re-evaluates it dependency-driven, stopping early at
+//!   any net whose recommitted `(arrival, slew)` is bitwise-unchanged.
+//!
+//! # Correctness contract
+//!
+//! The report returned by [`StaEngine::run_incremental`] is
+//! **bitwise-identical** to a cold [`StaEngine::run_with_slew`] at the
+//! engine's current input slew, at any worker count, for any edit
+//! sequence (pinned by `tests/incremental.rs`). The argument:
+//!
+//! 1. Every stage whose inputs could have changed lies in the static
+//!    fanout cone of the dirty seeds (cone closure), so stages outside
+//!    the cone keep their committed values — which are the cold-run
+//!    values by induction.
+//! 2. Inside the cone, a stage re-evaluates iff it is a seed or one of
+//!    its fanin nets actually changed; otherwise its old commit stands.
+//!    Re-evaluated arcs hit the exact-keyed caches
+//!    ([`crate::engine::CacheKey`] carries the full slew bit pattern
+//!    and the transition), so an arc at an unchanged operating point
+//!    reproduces the cold value bit for bit.
+//! 3. Each net is committed by exactly one stage and the cone sub-DAG
+//!    preserves every in-cone dependency edge, so commit order has the
+//!    same happens-before structure as the full run.
+//!
+//! Degradation provenance is drained per report by degrading
+//! evaluators (e.g. `FallbackEvaluator`), so only the *report bodies*
+//! (arrivals, slews, worst, critical path) carry the bitwise contract;
+//! `evaluations` naturally differs (that is the point).
+
+use crate::engine::{NetCommit, StaEngine, TimingReport, NO_PRED};
+use crate::evaluator::StageEvaluator;
+use crate::graph::StageId;
+use qwm_circuit::netlist::NetId;
+use qwm_exec::Levelizer;
+use qwm_num::{NumError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The persistent per-net commit book of the last incremental run.
+#[derive(Debug, Clone)]
+pub(crate) struct CommittedBook {
+    /// Evaluator that produced the book; a different evaluator forces
+    /// a full re-run (its numbers are not comparable).
+    pub(crate) evaluator: &'static str,
+    /// Seed slew the book was computed at.
+    pub(crate) input_slew: f64,
+    /// `(arrival, slew, committing stage or NO_PRED)` per net index;
+    /// `None` for nets never committed (rails, floating nets).
+    pub(crate) book: Vec<Option<NetCommit>>,
+}
+
+/// Statistics of the last [`StaEngine::run_incremental`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Whether the run fell back to a full propagation (first run, or
+    /// evaluator switch).
+    pub full_run: bool,
+    /// Stages in the static fanout cone of the dirty seeds (the upper
+    /// bound of re-evaluation; the whole graph for a full run).
+    pub dirty_stages: usize,
+    /// Stages actually re-evaluated (triggered: seed-dirty or a fanin
+    /// net changed).
+    pub evaluated_stages: usize,
+    /// Timing arcs requested by triggered stages that were served from
+    /// the exact-keyed caches instead of the evaluator.
+    pub reused_arcs: usize,
+    /// Nets whose recommitted `(arrival, slew)` was bitwise-unchanged,
+    /// stopping propagation early (includes the outputs of in-cone
+    /// stages that never triggered).
+    pub early_stop_nets: usize,
+    /// Evaluator calls performed by this run.
+    pub evaluations: usize,
+}
+
+/// One circuit edit for the what-if flow; apply batches with
+/// [`StaEngine::apply_edits`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Edit {
+    /// Resize netlist device `device` to width `w` (metres).
+    ResizeDevice {
+        /// Netlist device index.
+        device: usize,
+        /// New channel width \[m\].
+        w: f64,
+    },
+    /// Set the explicit grounded load at `net` to an absolute value.
+    SetNetLoad {
+        /// The loaded net.
+        net: NetId,
+        /// New total explicit capacitance \[F\].
+        cap: f64,
+    },
+    /// Change the seed slew at the primary inputs.
+    SetInputSlew {
+        /// New 10–90 % input slew \[s\].
+        slew: f64,
+    },
+}
+
+fn commit_eq(a: Option<NetCommit>, b: Option<NetCommit>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some((aa, asl, ap)), Some((ba, bsl, bp))) => {
+            aa.to_bits() == ba.to_bits() && asl.to_bits() == bsl.to_bits() && ap == bp
+        }
+        _ => false,
+    }
+}
+
+impl<'m> StaEngine<'m> {
+    /// The seed slew the incremental flow analyzes at (see
+    /// [`StaEngine::set_input_slew`]).
+    pub fn input_slew(&self) -> f64 {
+        self.input_slew
+    }
+
+    /// Statistics of the last [`StaEngine::run_incremental`] call.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.last_incremental
+    }
+
+    /// Sets the seed slew at the primary inputs for the incremental
+    /// flow. Takes effect at the next [`StaEngine::run_incremental`];
+    /// no caches are invalidated (arc caches are keyed by exact slew,
+    /// so entries at other slews stay valid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a negative or non-finite
+    /// slew.
+    pub fn set_input_slew(&mut self, slew: f64) -> Result<()> {
+        if !slew.is_finite() || slew < 0.0 {
+            return Err(NumError::InvalidInput {
+                context: "StaEngine::set_input_slew",
+                detail: format!("input slew {slew}"),
+            });
+        }
+        self.input_slew = slew;
+        Ok(())
+    }
+
+    /// Sets the explicit grounded load at `net` to an absolute value,
+    /// updating the owning stage's baked node load and marking it
+    /// dirty. The owning stage is the net's driver when it has one, or
+    /// — for an internal channel node such as a NAND stack's mid net —
+    /// the stage whose channel-connected component contains it (a cold
+    /// partition bakes explicit caps into *every* stage node, not just
+    /// driven outputs). A load on a net in no stage (primary input) is
+    /// recorded in the netlist only, exactly as in a cold partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a rail, an out-of-range
+    /// net, a negative/non-finite value, or (hard error, like
+    /// [`StaEngine::resize_device`]) an owning stage whose node naming
+    /// disagrees with the netlist.
+    pub fn set_net_load(&mut self, net: NetId, cap: f64) -> Result<()> {
+        if self.netlist.is_rail(net) {
+            return Err(NumError::InvalidInput {
+                context: "StaEngine::set_net_load",
+                detail: "cannot load a supply rail".to_string(),
+            });
+        }
+        let delta = cap - self.netlist.cap(net);
+        self.netlist.set_cap(net, cap)?;
+        let owner = self.graph.driver_of(net).or_else(|| {
+            self.netlist
+                .devices()
+                .iter()
+                .position(|d| d.src == net || d.snk == net)
+                .and_then(|di| self.graph.stage_of_device(di))
+        });
+        if let Some(driver) = owner {
+            let name = self.netlist.net_name(net).to_string();
+            let dpart = &mut self.graph.partitions_mut()[driver.0];
+            let node = dpart
+                .stage
+                .node_by_name(&name)
+                .ok_or_else(|| NumError::InvalidInput {
+                    context: "StaEngine::set_net_load",
+                    detail: format!(
+                        "net {name:?} has driver stage {} but no node of that name in it \
+                         — stage graph and netlist disagree",
+                        driver.0
+                    ),
+                })?;
+            dpart.stage.add_load(node, delta);
+            self.delay_cache.retain(|k| k.stage != driver.0);
+            self.slew_cache.retain(|k| k.stage != driver.0);
+            self.dirty.insert(driver.0);
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of edits in order, accumulating dirty stages for
+    /// the next [`StaEngine::run_incremental`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first failing edit; earlier edits in
+    /// the batch remain applied.
+    pub fn apply_edits(&mut self, edits: &[Edit]) -> Result<()> {
+        for &e in edits {
+            match e {
+                Edit::ResizeDevice { device, w } => self.resize_device(device, w)?,
+                Edit::SetNetLoad { net, cap } => self.set_net_load(net, cap)?,
+                Edit::SetInputSlew { slew } => self.set_input_slew(slew)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Incremental analysis: re-evaluates only the fanout cone of the
+    /// stages dirtied since the last run, early-stopping at nets whose
+    /// recommitted state is bitwise-unchanged, and returns a report
+    /// bitwise-identical to a cold [`StaEngine::run_with_slew`] at the
+    /// current input slew — at any worker count.
+    ///
+    /// The first call (or a call with a different evaluator than the
+    /// committed book's) performs a full propagation and seeds the
+    /// book. Inspect what happened via [`StaEngine::incremental_stats`]
+    /// and the `sta.incremental.*` counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures; the committed book and the dirty
+    /// set are left untouched on error, so the next call retries.
+    pub fn run_incremental(&mut self, evaluator: &dyn StageEvaluator) -> Result<TimingReport> {
+        let _span = qwm_obs::span!("sta.run_incremental");
+        qwm_obs::counter!("sta.incremental.runs").incr();
+        let evals_before = self.total_evaluations();
+        let needs_full = match &self.committed {
+            None => true,
+            Some(c) => c.evaluator != evaluator.name(),
+        };
+        if needs_full {
+            let book = self.propagate_slew_book(evaluator, self.input_slew)?;
+            let report = self.report_from_book(&book, evals_before, evaluator)?;
+            self.committed = Some(CommittedBook {
+                evaluator: evaluator.name(),
+                input_slew: self.input_slew,
+                book,
+            });
+            self.dirty.clear();
+            self.last_incremental = IncrementalStats {
+                full_run: true,
+                dirty_stages: self.graph.len(),
+                evaluated_stages: self.graph.len(),
+                reused_arcs: 0,
+                early_stop_nets: 0,
+                evaluations: report.evaluations,
+            };
+            qwm_obs::counter!("sta.incremental.full_runs").incr();
+            return Ok(report);
+        }
+        let committed = self.committed.as_ref().expect("committed book");
+        let old_book = &committed.book;
+        let seed_slew = self.input_slew;
+        let slew_changed = committed.input_slew.to_bits() != seed_slew.to_bits();
+
+        // Seed set: explicitly dirtied stages, plus — when the seed
+        // slew changed — every stage whose launch point in the old book
+        // had no positive-arrival fanin (those stages launch from the
+        // seed slew itself: primary-input readers, input-less stages,
+        // zero-arrival corners).
+        let mut seeds: std::collections::BTreeSet<usize> = self.dirty.clone();
+        if slew_changed {
+            for (i, p) in self.graph.partitions().iter().enumerate() {
+                let max_arr = p
+                    .input_nets
+                    .iter()
+                    .map(|n| old_book[n.0].map_or(0.0, |(a, _, _)| a))
+                    .fold(0.0_f64, f64::max);
+                if max_arr <= 0.0 {
+                    seeds.insert(i);
+                }
+            }
+        }
+
+        let cone = self.graph.fanout_cone(seeds.iter().copied());
+        self.last_incremental = IncrementalStats {
+            full_run: false,
+            dirty_stages: cone.len(),
+            evaluated_stages: 0,
+            reused_arcs: 0,
+            early_stop_nets: 0,
+            evaluations: 0,
+        };
+        if cone.is_empty() && !slew_changed {
+            // Nothing to do: the committed book is the answer.
+            let book = old_book.clone();
+            let report = self.report_from_book(&book, evals_before, evaluator)?;
+            self.dirty.clear();
+            return Ok(report);
+        }
+
+        // New book starts from the committed state; primary-input seed
+        // entries (the ones the seed, not a stage, committed) are
+        // re-seeded at the current slew.
+        let new_book: Vec<Mutex<Option<NetCommit>>> =
+            old_book.iter().map(|&s| Mutex::new(s)).collect();
+        let changed: Vec<AtomicBool> = (0..old_book.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        let mut is_pi = vec![false; old_book.len()];
+        for &pi in self.netlist.primary_inputs() {
+            is_pi[pi.0] = true;
+            let seeded = Some((0.0, seed_slew, NO_PRED));
+            let mut slot = new_book[pi.0].lock().expect("net book");
+            if slot.is_none_or(|(_, _, p)| p == NO_PRED) && !commit_eq(*slot, seeded) {
+                *slot = seeded;
+                changed[pi.0].store(true, Ordering::Relaxed);
+            }
+        }
+
+        let in_seeds = {
+            let mut v = vec![false; self.graph.len()];
+            for &s in &seeds {
+                v[s] = true;
+            }
+            v
+        };
+        let succs = self.graph.stage_dependencies();
+        let lev = Levelizer::from_subgraph(&succs, &cone).map_err(|e| NumError::InvalidInput {
+            context: "StaEngine::run_incremental",
+            detail: e.to_string(),
+        })?;
+        let evaluated = AtomicUsize::new(0);
+        let arcs_requested = AtomicUsize::new(0);
+        let early_stops = AtomicUsize::new(0);
+        qwm_exec::run_dag(self.threads(), &lev, |_w, local| -> Result<()> {
+            let gid = cone[local];
+            let part = self.graph.stage(StageId(gid));
+            let triggered = in_seeds[gid]
+                || part
+                    .input_nets
+                    .iter()
+                    .any(|n| changed[n.0].load(Ordering::Relaxed));
+            if !triggered {
+                // Fanin state is bitwise what the committed book was
+                // computed from: the old commits stand.
+                early_stops.fetch_add(part.output_nets.len(), Ordering::Relaxed);
+                return Ok(());
+            }
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            // Identical launch fold to the cold propagation.
+            let (launch, launch_slew) = part
+                .input_nets
+                .iter()
+                .map(|n| match *new_book[n.0].lock().expect("net book") {
+                    Some((a, sl, _)) => (a, sl),
+                    None => (0.0, seed_slew),
+                })
+                .fold(
+                    (0.0_f64, seed_slew),
+                    |acc, (a, s)| {
+                        if a > acc.0 {
+                            (a, s)
+                        } else {
+                            acc
+                        }
+                    },
+                );
+            arcs_requested.fetch_add(part.output_nets.len(), Ordering::Relaxed);
+            for (pos, &net) in part.output_nets.iter().enumerate() {
+                let m = self.stage_output_timing(evaluator, StageId(gid), pos, launch_slew)?;
+                let arr = launch + m.delay;
+                // Replicate the cold commit rule exactly: a seeded
+                // primary-input entry only loses to a later arrival;
+                // every other net has this stage as its sole committer.
+                let candidate = if is_pi[net.0] && arr <= 0.0 {
+                    Some((0.0, seed_slew, NO_PRED))
+                } else {
+                    Some((arr, m.slew, gid))
+                };
+                let mut slot = new_book[net.0].lock().expect("net book");
+                if commit_eq(*slot, candidate) {
+                    early_stops.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *slot = candidate;
+                    changed[net.0].store(true, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        })
+        .map_err(|(_, e)| e)?;
+
+        let book: Vec<Option<NetCommit>> = new_book
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("net book"))
+            .collect();
+        let report = self.report_from_book(&book, evals_before, evaluator)?;
+        let stats = IncrementalStats {
+            full_run: false,
+            dirty_stages: cone.len(),
+            evaluated_stages: evaluated.load(Ordering::Relaxed),
+            reused_arcs: arcs_requested.load(Ordering::Relaxed) - report.evaluations,
+            early_stop_nets: early_stops.load(Ordering::Relaxed),
+            evaluations: report.evaluations,
+        };
+        self.last_incremental = stats;
+        qwm_obs::counter!("sta.incremental.dirty_stages").add(stats.dirty_stages as u64);
+        qwm_obs::counter!("sta.incremental.evaluated_stages").add(stats.evaluated_stages as u64);
+        qwm_obs::counter!("sta.incremental.reused_arcs").add(stats.reused_arcs as u64);
+        qwm_obs::counter!("sta.incremental.early_stop_nets").add(stats.early_stop_nets as u64);
+        self.committed = Some(CommittedBook {
+            evaluator: evaluator.name(),
+            input_slew: seed_slew,
+            book,
+        });
+        self.dirty.clear();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StaEngine;
+    use crate::evaluator::{ElmoreEvaluator, QwmEvaluator};
+    use crate::graph::inverter_chain;
+    use qwm_circuit::waveform::TransitionKind;
+    use qwm_device::{analytic_models, Technology};
+
+    fn reports_bitwise_eq(a: &TimingReport, b: &TimingReport) -> bool {
+        let key = |r: &TimingReport| {
+            let mut arr: Vec<(usize, u64)> =
+                r.arrivals.iter().map(|(n, a)| (n.0, a.to_bits())).collect();
+            arr.sort_unstable();
+            let mut sl: Vec<(usize, u64)> =
+                r.slews.iter().map(|(n, s)| (n.0, s.to_bits())).collect();
+            sl.sort_unstable();
+            (
+                arr,
+                sl,
+                r.worst.map(|(n, a)| (n.0, a.to_bits())),
+                r.critical_path.clone(),
+            )
+        };
+        key(a) == key(b)
+    }
+
+    #[test]
+    fn first_incremental_run_is_a_full_run() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 4, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        engine.set_input_slew(20e-12).unwrap();
+        let r = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let stats = engine.incremental_stats();
+        assert!(stats.full_run);
+        assert_eq!(stats.evaluations, 4);
+        let cold = engine
+            .run_with_slew(&QwmEvaluator::default(), 20e-12)
+            .unwrap();
+        assert!(reports_bitwise_eq(&r, &cold));
+    }
+
+    #[test]
+    fn no_edits_reevaluates_nothing() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 4, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let r1 = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let r2 = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let stats = engine.incremental_stats();
+        assert!(!stats.full_run);
+        assert_eq!(stats.dirty_stages, 0);
+        assert_eq!(stats.evaluated_stages, 0);
+        assert_eq!(stats.evaluations, 0);
+        assert!(reports_bitwise_eq(&r1, &r2));
+    }
+
+    #[test]
+    fn resize_reevaluates_only_the_cone() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 6, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let _ = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        // Upsize MN2 (middle inverter): its stage plus the fanout-load
+        // driver go dirty; the cone is the chain suffix from the driver.
+        engine
+            .apply_edits(&[Edit::ResizeDevice {
+                device: 4,
+                w: 4.0 * tech.w_min,
+            }])
+            .unwrap();
+        let incr = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let stats = engine.incremental_stats();
+        assert!(!stats.full_run);
+        // Driver of the resized gate is stage 1 → cone = stages 1..=5.
+        assert_eq!(stats.dirty_stages, 5);
+        assert!(stats.evaluated_stages <= stats.dirty_stages);
+        assert!(stats.evaluations >= 2);
+        // Identical to a cold run on an identically edited fresh engine.
+        let mut fresh =
+            StaEngine::new(engine.netlist().clone(), &models, TransitionKind::Fall).unwrap();
+        fresh.resize_device(4, 4.0 * tech.w_min).unwrap();
+        let cold = fresh.run_with_slew(&QwmEvaluator::default(), 0.0).unwrap();
+        assert!(reports_bitwise_eq(&incr, &cold));
+    }
+
+    #[test]
+    fn same_width_resize_early_stops_downstream() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 6, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let r1 = engine.run_incremental(&ElmoreEvaluator).unwrap();
+        // "Resize" MN2 to its existing width: caches are invalidated and
+        // the stage re-evaluates, but every recommit is bitwise-equal,
+        // so propagation stops at the cone seeds' outputs.
+        let w = engine.netlist().devices()[4].geom.w;
+        engine.resize_device(4, w).unwrap();
+        let r2 = engine.run_incremental(&ElmoreEvaluator).unwrap();
+        let stats = engine.incremental_stats();
+        assert!(reports_bitwise_eq(&r1, &r2));
+        // Only the two seed stages re-evaluate; the other three in-cone
+        // stages never trigger.
+        assert_eq!(stats.evaluated_stages, 2);
+        assert!(stats.early_stop_nets >= 3);
+    }
+
+    #[test]
+    fn set_net_load_marks_driver_dirty_and_matches_cold() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 5, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let _ = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let n3 = engine.netlist().find_net("n3").unwrap();
+        engine.set_net_load(n3, 25e-15).unwrap();
+        let incr = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let stats = engine.incremental_stats();
+        assert!(!stats.full_run);
+        // Driver of n3 is stage 2 → cone = stages 2..=4.
+        assert_eq!(stats.dirty_stages, 3);
+        let fresh =
+            StaEngine::new(engine.netlist().clone(), &models, TransitionKind::Fall).unwrap();
+        let cold = fresh.run_with_slew(&QwmEvaluator::default(), 0.0).unwrap();
+        assert!(reports_bitwise_eq(&incr, &cold));
+        // Loading an undriven net is netlist-only, not an error.
+        let input = engine.netlist().find_net("in").unwrap();
+        engine.set_net_load(input, 5e-15).unwrap();
+        assert_eq!(engine.incremental_stats().dirty_stages, 3);
+        // Rails are rejected.
+        let vdd = engine.netlist().vdd();
+        assert!(engine.set_net_load(vdd, 1e-15).is_err());
+    }
+
+    #[test]
+    fn input_slew_edit_retimes_and_matches_cold() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 4, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        engine.set_input_slew(10e-12).unwrap();
+        let _ = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        engine
+            .apply_edits(&[Edit::SetInputSlew { slew: 45e-12 }])
+            .unwrap();
+        let incr = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        let fresh =
+            StaEngine::new(engine.netlist().clone(), &models, TransitionKind::Fall).unwrap();
+        let cold = fresh
+            .run_with_slew(&QwmEvaluator::default(), 45e-12)
+            .unwrap();
+        assert!(reports_bitwise_eq(&incr, &cold));
+        assert!(engine.set_input_slew(-1.0).is_err());
+        assert!(engine.set_input_slew(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn evaluator_switch_forces_full_run() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let mut engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let _ = engine.run_incremental(&ElmoreEvaluator).unwrap();
+        assert!(engine.incremental_stats().full_run);
+        let _ = engine.run_incremental(&QwmEvaluator::default()).unwrap();
+        assert!(
+            engine.incremental_stats().full_run,
+            "a different evaluator cannot reuse the committed book"
+        );
+    }
+}

@@ -40,6 +40,7 @@
 pub mod engine;
 pub mod evaluator;
 pub mod graph;
+pub mod incremental;
 pub mod liberty;
 pub mod nldm;
 pub mod report;
@@ -47,6 +48,7 @@ pub mod report;
 pub use engine::{StaEngine, TimingReport};
 pub use evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
 pub use graph::{StageGraph, StageId};
+pub use incremental::{Edit, IncrementalStats};
 pub use liberty::{write_liberty, LibertyArc, LibertyCell};
 pub use nldm::NldmTable;
 pub use report::format_report;

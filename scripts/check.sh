@@ -19,6 +19,12 @@ QWM_THREADS=4 cargo test -q
 echo "==> RUST_TEST_THREADS=1 cargo test -q"
 RUST_TEST_THREADS=1 cargo test -q
 
+# Incremental gate: the dirty-cone re-timing suite must hold when the
+# engines are forced wide (bitwise identity vs cold runs is asserted
+# per worker count inside the suite too).
+echo "==> QWM_THREADS=4 cargo test -q --test incremental"
+QWM_THREADS=4 cargo test -q --test incremental
+
 # Failure-path gate: the fault-injection suite must also hold when the
 # whole binary runs under an ambient probabilistic chaos plan (two
 # fixed seeds so the streams differ but stay reproducible).

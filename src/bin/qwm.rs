@@ -34,6 +34,7 @@ use qwm::sta::engine::StaEngine;
 use qwm::sta::evaluator::{
     ElmoreEvaluator, FallbackEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator,
 };
+use qwm::sta::incremental::Edit;
 use qwm::sta::report::format_report;
 use std::process::ExitCode;
 
@@ -47,13 +48,14 @@ struct Options {
     obs: Option<qwm::obs::ObsMode>,
     threads: Option<usize>,
     fault_plan: Option<String>,
+    edits: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice|fallback] [--fallback]\n\
      \u{20}          [--direction fall|rise] [--slew <ps>] [--required <ps>]\n\
      \u{20}          [--stages] [--threads <n>] [--obs [summary|json]]\n\
-     \u{20}          [--fault-plan <spec>]"
+     \u{20}          [--fault-plan <spec>] [--edits <file>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -66,6 +68,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut obs = None;
     let mut threads = None;
     let mut fault_plan = None;
+    let mut edits = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -105,6 +108,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --required: {e}"))?;
                 required = Some(v * 1e-12);
+            }
+            "--edits" => {
+                edits = Some(it.next().ok_or("--edits needs a file")?.clone());
             }
             "--stages" => show_stages = true,
             "--threads" => {
@@ -149,7 +155,60 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         obs,
         threads,
         fault_plan,
+        edits,
     })
+}
+
+/// Parses a what-if edits file: one edit per line, `#` comments.
+///
+/// ```text
+/// resize <device-name> <width>   # e.g. resize MN2 1.2u
+/// load <net-name> <cap>          # e.g. load n3 25f
+/// slew <ps>                      # e.g. slew 40
+/// ```
+fn parse_edits(text: &str, netlist: &qwm::circuit::netlist::Netlist) -> Result<Vec<Edit>, String> {
+    use qwm::circuit::parser::parse_value;
+    let mut edits = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |e: &str| format!("edits line {}: {e}", lineno + 1);
+        let mut tok = line.split_whitespace();
+        let verb = tok.next().expect("non-empty line");
+        let edit = match verb {
+            "resize" => {
+                let name = tok.next().ok_or_else(|| at("resize needs a device name"))?;
+                let w = tok.next().ok_or_else(|| at("resize needs a width"))?;
+                let device = netlist
+                    .find_device(name)
+                    .ok_or_else(|| at(&format!("unknown device {name:?}")))?;
+                let w = parse_value(w).map_err(|e| at(&e.to_string()))?;
+                Edit::ResizeDevice { device, w }
+            }
+            "load" => {
+                let name = tok.next().ok_or_else(|| at("load needs a net name"))?;
+                let cap = tok.next().ok_or_else(|| at("load needs a capacitance"))?;
+                let net = netlist
+                    .find_net(name)
+                    .ok_or_else(|| at(&format!("unknown net {name:?}")))?;
+                let cap = parse_value(cap).map_err(|e| at(&e.to_string()))?;
+                Edit::SetNetLoad { net, cap }
+            }
+            "slew" => {
+                let ps = tok.next().ok_or_else(|| at("slew needs a value in ps"))?;
+                let ps: f64 = ps.parse().map_err(|e| at(&format!("bad slew: {e}")))?;
+                Edit::SetInputSlew { slew: ps * 1e-12 }
+            }
+            other => return Err(at(&format!("unknown edit {other:?}"))),
+        };
+        if tok.next().is_some() {
+            return Err(at("trailing tokens"));
+        }
+        edits.push(edit);
+    }
+    Ok(edits)
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -214,6 +273,53 @@ fn run(opts: &Options) -> Result<(), String> {
         "fallback" => Box::new(FallbackEvaluator::default()),
         _ => Box::new(QwmEvaluator::default()),
     };
+    // What-if mode: baseline incremental run, apply the edits file,
+    // re-time only the dirty fanout cone, report both.
+    if let Some(path) = &opts.edits {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let edits = parse_edits(&text, engine.netlist())?;
+        if let Some(s) = opts.slew {
+            engine.set_input_slew(s).map_err(|e| e.to_string())?;
+        }
+        let baseline = engine
+            .run_incremental(evaluator.as_ref())
+            .map_err(|e| e.to_string())?;
+        println!();
+        println!("=== baseline ===");
+        print!(
+            "{}",
+            format_report(&baseline, engine.graph(), engine.netlist(), opts.required)
+        );
+        engine.apply_edits(&edits).map_err(|e| e.to_string())?;
+        let t0 = std::time::Instant::now();
+        let whatif = engine
+            .run_incremental(evaluator.as_ref())
+            .map_err(|e| e.to_string())?;
+        let elapsed = t0.elapsed();
+        let stats = engine.incremental_stats();
+        println!();
+        println!("=== what-if ({} edits) ===", edits.len());
+        print!(
+            "{}",
+            format_report(&whatif, engine.graph(), engine.netlist(), opts.required)
+        );
+        if let (Some((_, b)), Some((_, w))) = (baseline.worst, whatif.worst) {
+            println!("delta {:+.2} ps", (w - b) * 1e12);
+        }
+        println!(
+            "incremental: {} dirty / {} evaluated of {} stages, {} arcs reused, \
+             {} early-stop nets, {:.1} ms",
+            stats.dirty_stages,
+            stats.evaluated_stages,
+            engine.graph().len(),
+            stats.reused_arcs,
+            stats.early_stop_nets,
+            elapsed.as_secs_f64() * 1e3
+        );
+        qwm::obs::emit();
+        return Ok(());
+    }
+
     let report = match opts.slew {
         Some(s) => engine
             .run_with_slew(evaluator.as_ref(), s)

@@ -63,6 +63,46 @@ fn cli_slew_mode_reports_output_slew() {
 }
 
 #[test]
+fn cli_edits_what_if_mode() {
+    let deck = deck_path();
+    let edits = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/path4.edits");
+    let (out, stderr, ok) = run_cli(&[
+        deck.to_str().unwrap(),
+        "--edits",
+        edits.to_str().unwrap(),
+        "--evaluator",
+        "elmore",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(out.contains("=== baseline ==="), "{out}");
+    assert!(out.contains("=== what-if (3 edits) ==="), "{out}");
+    assert!(out.contains("delta "), "{out}");
+    // The stats line proves the re-run was cone-limited, not full.
+    assert!(out.contains("incremental:"), "{out}");
+    assert!(out.contains("dirty"), "{out}");
+}
+
+#[test]
+fn cli_edits_rejects_bad_files() {
+    let deck = deck_path();
+    let d = deck.to_str().unwrap();
+    let dir = std::env::temp_dir();
+    let bad_device = dir.join("qwm_cli_bad_device.edits");
+    std::fs::write(&bad_device, "resize NOPE 1u\n").unwrap();
+    let (_, stderr, ok) = run_cli(&[d, "--edits", bad_device.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown device"), "{stderr}");
+    let bad_verb = dir.join("qwm_cli_bad_verb.edits");
+    std::fs::write(&bad_verb, "teleport n2 1f\n").unwrap();
+    let (_, stderr, ok) = run_cli(&[d, "--edits", bad_verb.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown edit"), "{stderr}");
+    let (_, stderr, ok) = run_cli(&[d, "--edits", "/nonexistent.edits"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
 fn cli_errors_are_clean() {
     let (_, stderr, ok) = run_cli(&[]);
     assert!(!ok);
