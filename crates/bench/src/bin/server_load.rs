@@ -1,0 +1,370 @@
+//! Load generator for `qwm serve`: seeded what-if edit streams over N
+//! concurrent connections, reporting client-side latency percentiles
+//! and the warm-incremental vs per-process-cold speedup to
+//! `BENCH_server.json`.
+//!
+//! ```text
+//! server_load --addr 127.0.0.1:7117 [--connections 8] [--requests 50]
+//!             [--seed 3135097598] [--deck testdata/path4.sp]
+//!             [--out BENCH_server.json] [--cold target/release/qwm]
+//!             [--shutdown]
+//! ```
+//!
+//! Each connection owns one session: it loads the deck, then issues
+//! `requests` rounds of a seeded `edit` (random transistor resize)
+//! followed by `run qwm slew_ps=20`, timing each edit+run round-trip.
+//! With `--cold <qwm-bin>` the same queries are replayed as one-shot
+//! CLI invocations (`qwm <deck> --edits <file> --slew 20`), which pay
+//! parse + characterization + full propagation every time — the
+//! baseline the persistent server exists to beat.
+//!
+//! Exits non-zero if any request fails, so CI can gate on it.
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::num::rng::Rng64;
+use qwm::server::Client;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    seed: u64,
+    deck: String,
+    out: String,
+    cold: Option<String>,
+    shutdown: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: server_load --addr <host:port> [--connections <n>] [--requests <n>]\n\
+     \u{20}       [--seed <u64>] [--deck <file>] [--out <file>]\n\
+     \u{20}       [--cold <qwm-bin>] [--shutdown]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        connections: 8,
+        requests: 50,
+        seed: 0x0BAD_5EED_u64,
+        deck: "testdata/path4.sp".to_string(),
+        out: "BENCH_server.json".to_string(),
+        cold: None,
+        shutdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--addr" => args.addr = next("host:port")?,
+            "--connections" => {
+                args.connections = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+            }
+            "--requests" => {
+                args.requests = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = next("a u64")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--deck" => args.deck = next("a file")?,
+            "--out" => args.out = next("a file")?,
+            "--cold" => args.cold = Some(next("the qwm binary")?),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    if args.connections == 0 || args.requests == 0 {
+        return Err("--connections and --requests must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// The seeded edit for round `i` of stream `seed`: resize a random
+/// transistor within [0.5u, 2u]. Deterministic per (seed, i), so warm
+/// and cold replays see identical work.
+fn edit_script(devices: &[String], seed: u64, i: u64) -> String {
+    let mut rng = Rng64::seed_from_u64(seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let dev = &devices[rng.range_usize(0, devices.len())];
+    let w = rng.range(0.5e-6, 2.0e-6);
+    format!("resize {dev} {w:.6e}\n")
+}
+
+struct StreamResult {
+    latencies: Vec<Duration>,
+    failures: usize,
+    /// `429 busy` responses absorbed by retrying — backpressure, not
+    /// failure, but reported so saturation is visible.
+    rejections: usize,
+}
+
+/// Sends a closure-built request, retrying `429 busy` with backoff.
+/// Returns the successful reply, or `None` after exhausting retries or
+/// on any other error (which the caller counts as a failure).
+fn with_busy_retry(
+    rejections: &mut usize,
+    mut send: impl FnMut() -> std::io::Result<qwm::server::Reply>,
+) -> Option<qwm::server::Reply> {
+    for attempt in 0..50u32 {
+        match send() {
+            Ok(r) if r.status == 429 => {
+                *rejections += 1;
+                std::thread::sleep(Duration::from_micros(200 * u64::from(attempt + 1)));
+            }
+            Ok(r) if r.ok() => return Some(r),
+            Ok(_) | Err(_) => return None,
+        }
+    }
+    None
+}
+
+/// One connection's warm workload: load the deck, then `requests`
+/// seeded edit+run round-trips against its private session.
+fn warm_stream(args: &Args, deck: &str, devices: &[String], conn: usize) -> StreamResult {
+    let mut out = StreamResult {
+        latencies: Vec::with_capacity(args.requests),
+        failures: 0,
+        rejections: 0,
+    };
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("server_load: conn {conn}: connect: {e}");
+            out.failures += args.requests;
+            return out;
+        }
+    };
+    let sid = format!("load-{conn}");
+    if with_busy_retry(&mut out.rejections, || client.load(&sid, deck)).is_none() {
+        eprintln!("server_load: conn {conn}: load failed");
+        out.failures += args.requests;
+        return out;
+    }
+    for i in 0..args.requests {
+        let script = edit_script(devices, args.seed.wrapping_add(conn as u64), i as u64);
+        let t0 = Instant::now();
+        let edited = with_busy_retry(&mut out.rejections, || client.edit(&sid, &script));
+        let ran = edited.is_some()
+            && with_busy_retry(&mut out.rejections, || {
+                client.send(&format!("run {sid} qwm slew_ps=20"))
+            })
+            .is_some();
+        if ran {
+            out.latencies.push(t0.elapsed());
+        } else {
+            out.failures += 1;
+        }
+    }
+    out
+}
+
+/// The cold baseline: the same seeded edit queries as fresh `qwm`
+/// processes, offered at the *same concurrency* as the warm streams —
+/// `connections` workers each spawning its own sequence of one-shot
+/// invocations. Holding offered load constant is what makes the
+/// warm/cold medians comparable: both sides contend for the same
+/// cores.
+fn cold_streams(args: &Args, qwm_bin: &str, devices: &[String], rounds: usize) -> Vec<Duration> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut times = Vec::with_capacity(rounds);
+                    let edits_path = std::env::temp_dir().join(format!(
+                        "server_load_cold_{}_{conn}.edits",
+                        std::process::id()
+                    ));
+                    for i in 0..rounds {
+                        let script =
+                            edit_script(devices, args.seed.wrapping_add(conn as u64), i as u64);
+                        if let Err(e) = std::fs::write(&edits_path, &script) {
+                            eprintln!("server_load: cold: write {}: {e}", edits_path.display());
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let status = std::process::Command::new(qwm_bin)
+                            .arg(&args.deck)
+                            .arg("--edits")
+                            .arg(&edits_path)
+                            .arg("--slew")
+                            .arg("20")
+                            .stdout(std::process::Stdio::null())
+                            .stderr(std::process::Stdio::null())
+                            .status();
+                        match status {
+                            Ok(s) if s.success() => times.push(t0.elapsed()),
+                            Ok(s) => eprintln!("server_load: cold run {conn}/{i}: exit {s}"),
+                            Err(e) => eprintln!("server_load: cold run {conn}/{i}: {e}"),
+                        }
+                    }
+                    let _ = std::fs::remove_file(&edits_path);
+                    times
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+}
+
+/// Exact nearest-rank percentile over the sorted sample, in microseconds.
+fn pct_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e6
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let deck = match std::fs::read_to_string(&args.deck) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("server_load: cannot read {}: {e}", args.deck);
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let netlist = match parse_netlist(&deck) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("server_load: {}: {e}", args.deck);
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    // Transistors only: wires/caps have no gate and no width to resize.
+    let devices: Vec<String> = netlist
+        .devices()
+        .iter()
+        .filter(|d| d.gate.is_some())
+        .map(|d| d.name.clone())
+        .collect();
+    if devices.is_empty() {
+        eprintln!("server_load: {} has no transistors to edit", args.deck);
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let t_all = Instant::now();
+    let results: Vec<StreamResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|conn| {
+                let (args, deck, devices) = (&args, deck.as_str(), devices.as_slice());
+                scope.spawn(move || warm_stream(args, deck, devices, conn))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t_all.elapsed();
+
+    let mut latencies: Vec<Duration> = results.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort();
+    let failures: usize = results.iter().map(|r| r.failures).sum();
+    let rejections: usize = results.iter().map(|r| r.rejections).sum();
+    let total = args.connections * args.requests;
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>() / latencies.len() as f64 * 1e6
+    };
+    let (p50, p95, p99) = (
+        pct_us(&latencies, 0.50),
+        pct_us(&latencies, 0.95),
+        pct_us(&latencies, 0.99),
+    );
+
+    // Cold comparison: a handful of rounds per worker is enough for a
+    // stable median, and each costs a full process + characterization.
+    let cold = args.cold.as_ref().map(|bin| {
+        let rounds = args.requests.clamp(3, 5);
+        let mut t = cold_streams(&args, bin, &devices, rounds);
+        t.sort();
+        t
+    });
+    let cold_median_us = cold.as_ref().map(|t| pct_us(t, 0.50));
+    let speedup = cold_median_us.and_then(|c| (p50 > 0.0).then_some(c / p50));
+
+    if args.shutdown {
+        match Client::connect(&args.addr).and_then(|mut c| c.send("shutdown")) {
+            Ok(r) if r.ok() => {}
+            Ok(r) => eprintln!("server_load: shutdown: {} {}", r.status, r.head),
+            Err(e) => eprintln!("server_load: shutdown: {e}"),
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"deck\": \"{}\",\n", args.deck));
+    json.push_str(&format!("  \"connections\": {},\n", args.connections));
+    json.push_str(&format!(
+        "  \"requests_per_connection\": {},\n",
+        args.requests
+    ));
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!("  \"total_requests\": {total},\n"));
+    json.push_str(&format!("  \"failures\": {failures},\n"));
+    json.push_str(&format!("  \"busy_retries\": {rejections},\n"));
+    json.push_str(&format!(
+        "  \"wall_ms\": {:.3},\n",
+        wall.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"warm\": {{ \"mean_us\": {mean_us:.1}, \"p50_us\": {p50:.1}, \
+         \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1} }}"
+    ));
+    if let (Some(t), Some(med)) = (&cold, cold_median_us) {
+        json.push_str(&format!(
+            ",\n  \"cold\": {{ \"runs\": {}, \"median_us\": {med:.1} }}",
+            t.len()
+        ));
+    }
+    if let Some(s) = speedup {
+        json.push_str(&format!(",\n  \"speedup_median\": {s:.2}"));
+    }
+    json.push_str("\n}\n");
+
+    match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("server_load: cannot write {}: {e}", args.out);
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    print!("{json}");
+    println!(
+        "server_load: {} ok / {} failed over {} connections; warm p50 {:.1} us{}",
+        total - failures,
+        failures,
+        args.connections,
+        p50,
+        match speedup {
+            Some(s) => format!("; cold/warm median speedup {s:.1}x"),
+            None => String::new(),
+        }
+    );
+    if failures > 0 {
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -15,6 +15,14 @@
 //!
 //! Values accept the usual engineering suffixes
 //! (`f p n u m k meg g`). Net `0` aliases ground.
+//!
+//! The parser is total over arbitrary input: any malformed deck — bad
+//! card, bad value, non-finite or non-positive geometry, duplicate
+//! device name, self-shorted device — comes back as
+//! [`NumError::InvalidInput`] carrying the 1-based line *and column* of
+//! the offending token, never a panic. This is the contract the serving
+//! layer relies on to turn bad `load` payloads into protocol `400`
+//! replies.
 
 use crate::netlist::Netlist;
 use crate::stage::DeviceKind;
@@ -25,7 +33,9 @@ use qwm_num::{NumError, Result};
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] on malformed numbers.
+/// Returns [`NumError::InvalidInput`] on malformed or non-finite
+/// numbers (overflowing literals like `1e999` are rejected, not mapped
+/// to infinity).
 pub fn parse_value(s: &str) -> Result<f64> {
     let lower = s.to_ascii_lowercase();
     let (num, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
@@ -47,12 +57,46 @@ pub fn parse_value(s: &str) -> Result<f64> {
     } else {
         (lower.as_str(), 1.0)
     };
-    num.parse::<f64>()
-        .map(|v| v * mult)
-        .map_err(|_| NumError::InvalidInput {
+    match num.parse::<f64>() {
+        Ok(v) if (v * mult).is_finite() => Ok(v * mult),
+        _ => Err(NumError::InvalidInput {
             context: "parse_value",
             detail: format!("malformed value {s:?}"),
-        })
+        }),
+    }
+}
+
+/// A token plus its 1-based byte column within the source line.
+#[derive(Clone, Copy)]
+struct Tok<'a> {
+    text: &'a str,
+    col: usize,
+}
+
+/// Splits the code portion of a line into whitespace-separated tokens,
+/// remembering where each starts.
+fn tokenize(code: &str) -> Vec<Tok<'_>> {
+    let mut toks = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in code.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                toks.push(Tok {
+                    text: &code[s..i],
+                    col: s + 1,
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        toks.push(Tok {
+            text: &code[s..],
+            col: s + 1,
+        });
+    }
+    toks
 }
 
 fn parse_kv(token: &str, key: &str) -> Option<Result<f64>> {
@@ -64,110 +108,152 @@ fn parse_kv(token: &str, key: &str) -> Option<Result<f64>> {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] on any malformed line, with the
-/// 1-based line number in the message.
+/// Returns [`NumError::InvalidInput`] on any malformed input, with the
+/// 1-based line and column of the offending token in the message.
 pub fn parse_netlist(text: &str) -> Result<Netlist> {
     let mut nl = Netlist::new();
-    let bad = |line_no: usize, why: &str| NumError::InvalidInput {
-        context: "parse_netlist",
-        detail: format!("line {line_no}: {why}"),
-    };
+    let mut seen_names: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split(';').next().unwrap_or("").trim();
-        if line.is_empty() || line.starts_with('*') {
-            continue;
-        }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        let head = tokens[0];
-        let upper = head.to_ascii_uppercase();
+        let bad = |col: usize, why: &str| NumError::InvalidInput {
+            context: "parse_netlist",
+            detail: format!("line {line_no}, col {col}: {why}"),
+        };
+        let code = raw.split(';').next().unwrap_or("");
+        let tokens = tokenize(code);
+        let head = match tokens.first() {
+            None => continue,
+            Some(t) if t.text.starts_with('*') => continue,
+            Some(t) => *t,
+        };
+        // A `?` on a value token should carry that token's location.
+        let at = |tok: Tok<'_>, r: Result<f64>| -> Result<f64> {
+            r.map_err(|e| bad(tok.col, &e.to_string()))
+        };
+        // W/L geometry must be a positive, finite length.
+        let geom_kv = |tok: Tok<'_>, key: &str| -> Option<Result<f64>> {
+            parse_kv(tok.text, key).map(|r| match at(tok, r) {
+                Ok(v) if v > 0.0 => Ok(v),
+                Ok(v) => Err(bad(
+                    tok.col,
+                    &format!("{} must be positive, got {v:e}", key.to_uppercase()),
+                )),
+                Err(e) => Err(e),
+            })
+        };
+        let upper = head.text.to_ascii_uppercase();
         if upper == ".END" {
             break;
         }
         if upper == ".INPUT" {
             for t in &tokens[1..] {
-                let id = nl.net(t);
+                let id = nl.net(t.text);
                 nl.add_primary_input(id);
             }
             continue;
         }
         if upper == ".OUTPUT" {
             for t in &tokens[1..] {
-                let id = nl.net(t);
+                let id = nl.net(t.text);
                 nl.add_primary_output(id);
             }
             continue;
+        }
+        let is_device = matches!(upper.chars().next(), Some('M' | 'W' | 'C'));
+        if is_device && !seen_names.insert(upper.clone()) {
+            return Err(bad(
+                head.col,
+                &format!("duplicate device name {:?}", head.text),
+            ));
         }
         match upper.chars().next() {
             Some('M') => {
                 // M<name> d g s b <nmos|pmos> W=.. L=..
                 if tokens.len() < 8 {
-                    return Err(bad(line_no, "transistor needs 8 fields"));
+                    return Err(bad(head.col, "transistor needs 8 fields"));
                 }
-                let d = nl.net(tokens[1]);
-                let g = nl.net(tokens[2]);
-                let s = nl.net(tokens[3]);
+                let d = nl.net(tokens[1].text);
+                let g = nl.net(tokens[2].text);
+                let s = nl.net(tokens[3].text);
                 // tokens[4] = body, recorded implicitly by polarity.
-                let kind = match tokens[5].to_ascii_lowercase().as_str() {
+                if d == s {
+                    return Err(bad(
+                        tokens[3].col,
+                        &format!("transistor {:?} shorts drain to source", head.text),
+                    ));
+                }
+                let kind = match tokens[5].text.to_ascii_lowercase().as_str() {
                     "nmos" | "n" => DeviceKind::Nmos,
                     "pmos" | "p" => DeviceKind::Pmos,
-                    other => return Err(bad(line_no, &format!("unknown model {other:?}"))),
+                    other => return Err(bad(tokens[5].col, &format!("unknown model {other:?}"))),
                 };
                 let mut w = None;
                 let mut l = None;
                 for t in &tokens[6..] {
-                    if let Some(v) = parse_kv(t, "w") {
+                    if let Some(v) = geom_kv(*t, "w") {
                         w = Some(v?);
-                    } else if let Some(v) = parse_kv(t, "l") {
+                    } else if let Some(v) = geom_kv(*t, "l") {
                         l = Some(v?);
                     }
                 }
                 let (w, l) = match (w, l) {
                     (Some(w), Some(l)) => (w, l),
-                    _ => return Err(bad(line_no, "transistor needs W= and L=")),
+                    _ => return Err(bad(head.col, "transistor needs W= and L=")),
                 };
-                nl.add_transistor(head, kind, g, d, s, Geometry::new(w, l));
+                nl.add_transistor(head.text, kind, g, d, s, Geometry::new(w, l));
             }
             Some('W') => {
                 // W<name> a b W=.. L=..
                 if tokens.len() < 5 {
-                    return Err(bad(line_no, "wire needs 5 fields"));
+                    return Err(bad(head.col, "wire needs 5 fields"));
                 }
-                let a = nl.net(tokens[1]);
-                let b = nl.net(tokens[2]);
+                let a = nl.net(tokens[1].text);
+                let b = nl.net(tokens[2].text);
+                if a == b {
+                    return Err(bad(
+                        tokens[2].col,
+                        &format!("wire {:?} shorts a net to itself", head.text),
+                    ));
+                }
                 let mut w = None;
                 let mut l = None;
                 for t in &tokens[3..] {
-                    if let Some(v) = parse_kv(t, "w") {
+                    if let Some(v) = geom_kv(*t, "w") {
                         w = Some(v?);
-                    } else if let Some(v) = parse_kv(t, "l") {
+                    } else if let Some(v) = geom_kv(*t, "l") {
                         l = Some(v?);
                     }
                 }
                 let (w, l) = match (w, l) {
                     (Some(w), Some(l)) => (w, l),
-                    _ => return Err(bad(line_no, "wire needs W= and L=")),
+                    _ => return Err(bad(head.col, "wire needs W= and L=")),
                 };
-                nl.add_wire(head, a, b, w, l);
+                nl.add_wire(head.text, a, b, w, l);
             }
             Some('C') => {
                 // C<name> node 0 value
                 if tokens.len() < 4 {
-                    return Err(bad(line_no, "capacitor needs 4 fields"));
+                    return Err(bad(head.col, "capacitor needs 4 fields"));
                 }
-                let a = nl.net(tokens[1]);
-                let b = nl.net(tokens[2]);
-                let v = parse_value(tokens[3])?;
+                let a = nl.net(tokens[1].text);
+                let b = nl.net(tokens[2].text);
+                let v = at(tokens[3], parse_value(tokens[3].text))?;
+                if v < 0.0 {
+                    return Err(bad(
+                        tokens[3].col,
+                        &format!("capacitance must be non-negative, got {v:e}"),
+                    ));
+                }
                 let node = if b == nl.gnd() {
                     a
                 } else if a == nl.gnd() {
                     b
                 } else {
-                    return Err(bad(line_no, "only grounded capacitors are supported"));
+                    return Err(bad(head.col, "only grounded capacitors are supported"));
                 };
                 nl.add_cap(node, v);
             }
-            _ => return Err(bad(line_no, &format!("unrecognized card {head:?}"))),
+            _ => return Err(bad(head.col, &format!("unrecognized card {:?}", head.text))),
         }
     }
     nl.validate()?;
@@ -186,6 +272,14 @@ mod tests {
         assert_eq!(parse_value("2k").unwrap(), 2e3);
         assert_eq!(parse_value("3").unwrap(), 3.0);
         assert!(parse_value("oops").is_err());
+    }
+
+    #[test]
+    fn overflowing_values_are_rejected_not_infinite() {
+        assert!(parse_value("1e999").is_err());
+        assert!(parse_value("inf").is_err());
+        assert!(parse_value("nan").is_err());
+        assert!(parse_value("1e308k").is_err()); // finite literal, infinite after scaling
     }
 
     #[test]
@@ -232,6 +326,70 @@ C1 0 b 5f
         assert!(e.to_string().contains("unknown model"));
         let e = parse_netlist("C1 a b 1f\n").unwrap_err();
         assert!(e.to_string().contains("grounded"));
+    }
+
+    #[test]
+    fn error_reporting_includes_columns() {
+        // The bad model token starts at byte 15 → col 15.
+        let e = parse_netlist("MN1 out a 0 0 bjt W=1u L=1u\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, col 15"), "{e}");
+        // Second line, malformed capacitor value token at col 10.
+        let e = parse_netlist("* ok\nC1 out 0 bogus\n").unwrap_err();
+        assert!(e.to_string().contains("line 2, col 10"), "{e}");
+        // Indented card: the column tracks the token, not the line start.
+        let e = parse_netlist("   X1 whatever\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, col 4"), "{e}");
+    }
+
+    #[test]
+    fn geometry_must_be_positive_and_finite() {
+        for bad in [
+            "MN1 out a 0 0 nmos W=0 L=0.35u\n",
+            "MN1 out a 0 0 nmos W=-1u L=0.35u\n",
+            "MN1 out a 0 0 nmos W=1u L=1e999\n",
+            "W1 a b W=0.6u L=0\n",
+        ] {
+            let e = parse_netlist(bad).unwrap_err();
+            let msg = e.to_string();
+            assert!(msg.contains("col"), "{bad:?} -> {msg}");
+        }
+        let e = parse_netlist("C1 out 0 -5f\n").unwrap_err();
+        assert!(e.to_string().contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn structural_errors_carry_locations() {
+        let e = parse_netlist("MN1 out a out 0 nmos W=1u L=1u\n").unwrap_err();
+        assert!(e.to_string().contains("shorts drain to source"), "{e}");
+        assert!(e.to_string().contains("line 1"), "{e}");
+        let e = parse_netlist("W1 a a W=0.6u L=40u\n").unwrap_err();
+        assert!(e.to_string().contains("shorts a net to itself"), "{e}");
+        let deck = "\
+MN1 out a 0 0 nmos W=1u L=1u
+mn1 z out 0 0 nmos W=1u L=1u
+";
+        let e = parse_netlist(deck).unwrap_err();
+        assert!(e.to_string().contains("duplicate device name"), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        for deck in [
+            "",
+            "\n\n\n",
+            "M\n",
+            "M1\n",
+            "C1\n",
+            "W1 a\n",
+            ".input\n.output\n.end\n",
+            "\u{7f}\u{1b}[31m\n",
+            "M1 \t a\tb  c d nmos\n",
+            "C1 0 0 1f\n",
+            "πβγ δ ε\n",
+        ] {
+            let _ = parse_netlist(deck);
+        }
     }
 
     #[test]

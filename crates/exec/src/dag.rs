@@ -24,15 +24,16 @@ use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Default worker count: `QWM_THREADS` when set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. A malformed value is
+/// reported loudly (warn event + stderr) via `qwm_obs::env` before the
+/// hardware default applies — never a silent fallback.
 pub fn default_threads() -> usize {
-    match std::env::var("QWM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => hardware_threads(),
-        },
-        Err(_) => hardware_threads(),
-    }
+    qwm_obs::env::parse_or_warn(
+        "QWM_THREADS",
+        "hardware thread count",
+        qwm_obs::env::positive_usize,
+    )
+    .unwrap_or_else(hardware_threads)
 }
 
 /// The machine's available parallelism (1 when undetectable).

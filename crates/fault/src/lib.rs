@@ -235,9 +235,14 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Parses the `QWM_FAULTS` environment variable, if set.
-    pub fn from_env() -> Option<std::result::Result<FaultPlan, String>> {
-        std::env::var("QWM_FAULTS").ok().map(|s| Self::parse(&s))
+    /// Parses the `QWM_FAULTS` environment variable, if set. The error
+    /// carries the variable name, raw value and parse failure.
+    pub fn from_env() -> Option<std::result::Result<FaultPlan, qwm_obs::env::EnvParseError>> {
+        match qwm_obs::env::read_env("QWM_FAULTS", Self::parse) {
+            Ok(None) => None,
+            Ok(Some(plan)) => Some(Ok(plan)),
+            Err(e) => Some(Err(e)),
+        }
     }
 }
 
@@ -281,8 +286,8 @@ fn state() -> u8 {
             // A malformed spec is surfaced loudly rather than ignored.
             match FaultPlan::from_env() {
                 Some(Ok(plan)) => install(plan),
-                Some(Err(msg)) => {
-                    eprintln!("qwm-fault: ignoring malformed QWM_FAULTS: {msg}");
+                Some(Err(e)) => {
+                    qwm_obs::env::report_malformed(&e, "no faults injected");
                     STATE.store(STATE_OFF, Ordering::Relaxed);
                 }
                 None => STATE.store(STATE_OFF, Ordering::Relaxed),
@@ -435,6 +440,21 @@ mod tests {
         assert_eq!(plan.rules[1].kind, FaultKind::Singular);
         assert_eq!(plan.rules[1].prob, 0.25);
         assert_eq!(plan.rules[1].max, Some(3));
+    }
+
+    #[test]
+    fn from_env_names_the_variable_on_malformed_specs() {
+        let _g = locked();
+        let prior = std::env::var("QWM_FAULTS").ok();
+        std::env::set_var("QWM_FAULTS", "definitely;not=a;plan");
+        let err = FaultPlan::from_env().expect("var is set").unwrap_err();
+        assert_eq!(err.name, "QWM_FAULTS");
+        assert_eq!(err.raw, "definitely;not=a;plan");
+        assert!(err.to_string().contains("QWM_FAULTS"), "{err}");
+        match prior {
+            Some(v) => std::env::set_var("QWM_FAULTS", v),
+            None => std::env::remove_var("QWM_FAULTS"),
+        }
     }
 
     #[test]

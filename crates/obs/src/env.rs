@@ -1,0 +1,147 @@
+//! Loud, unified environment-variable parsing.
+//!
+//! Every `QWM_*` knob in the workspace reads its variable through this
+//! module so that a malformed value is **never** a silent fallback: the
+//! caller either gets a hard [`EnvParseError`] (via [`read_env`]) or the
+//! process emits a structured warn event *and* an unconditional stderr
+//! line before the documented default applies (via [`parse_or_warn`]).
+
+use crate::warn;
+
+/// A named, structured description of a malformed environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// Variable name, e.g. `QWM_THREADS`.
+    pub name: String,
+    /// The raw value found in the environment.
+    pub raw: String,
+    /// Why it failed to parse.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed {}={:?}: {}", self.name, self.raw, self.reason)
+    }
+}
+
+impl std::error::Error for EnvParseError {}
+
+/// Reads `name` and parses it with `parse`.
+///
+/// - unset (or set to the empty string) → `Ok(None)`
+/// - parses cleanly → `Ok(Some(value))`
+/// - anything else → `Err(EnvParseError)` — the hard-error path for
+///   call sites that can propagate failure.
+pub fn read_env<T>(
+    name: &str,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<Option<T>, EnvParseError> {
+    let raw = match std::env::var(name) {
+        Ok(v) => v,
+        Err(_) => return Ok(None),
+    };
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match parse(&raw) {
+        Ok(v) => Ok(Some(v)),
+        Err(reason) => Err(EnvParseError {
+            name: name.to_string(),
+            raw,
+            reason,
+        }),
+    }
+}
+
+/// Reads `name` with `parse`; on a malformed value, reports it loudly
+/// (see [`report_malformed`]) and returns `None` so the caller applies
+/// `default_desc` — the documented default it must name.
+pub fn parse_or_warn<T>(
+    name: &str,
+    default_desc: &str,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Option<T> {
+    match read_env(name, parse) {
+        Ok(v) => v,
+        Err(e) => {
+            report_malformed(&e, default_desc);
+            None
+        }
+    }
+}
+
+/// Emits the never-silent malformed-variable report: a structured warn
+/// event (when the obs layer is collecting) plus an unconditional
+/// stderr line (so the report survives even with `QWM_OBS=off`).
+pub fn report_malformed(e: &EnvParseError, default_desc: &str) {
+    warn("env.malformed")
+        .field("name", &e.name)
+        .field("raw", &e.raw)
+        .field("reason", &e.reason)
+        .field("default", default_desc)
+        .emit();
+    eprintln!("qwm: {e}; using default ({default_desc})");
+}
+
+/// Parser for strictly positive integers (`QWM_THREADS`-style knobs).
+pub fn positive_usize(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err("must be a positive integer, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err("must be a positive integer".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; serialize these tests.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unset_and_empty_are_none() {
+        let _g = env_lock();
+        std::env::remove_var("QWM_TEST_ENV_A");
+        assert_eq!(read_env("QWM_TEST_ENV_A", positive_usize), Ok(None));
+        std::env::set_var("QWM_TEST_ENV_A", "");
+        assert_eq!(read_env("QWM_TEST_ENV_A", positive_usize), Ok(None));
+        std::env::remove_var("QWM_TEST_ENV_A");
+    }
+
+    #[test]
+    fn valid_value_parses() {
+        let _g = env_lock();
+        std::env::set_var("QWM_TEST_ENV_B", " 7 ");
+        assert_eq!(read_env("QWM_TEST_ENV_B", positive_usize), Ok(Some(7)));
+        std::env::remove_var("QWM_TEST_ENV_B");
+    }
+
+    #[test]
+    fn malformed_value_is_a_named_error() {
+        let _g = env_lock();
+        for bad in ["zero", "0", "-3", "4.5"] {
+            std::env::set_var("QWM_TEST_ENV_C", bad);
+            let err = read_env("QWM_TEST_ENV_C", positive_usize).unwrap_err();
+            assert_eq!(err.name, "QWM_TEST_ENV_C");
+            assert_eq!(err.raw, bad);
+            assert!(err.to_string().contains("QWM_TEST_ENV_C"), "{err}");
+        }
+        std::env::remove_var("QWM_TEST_ENV_C");
+    }
+
+    #[test]
+    fn parse_or_warn_returns_none_and_reports() {
+        let _g = env_lock();
+        std::env::set_var("QWM_TEST_ENV_D", "not-a-number");
+        assert_eq!(
+            parse_or_warn("QWM_TEST_ENV_D", "default of 4", positive_usize),
+            None
+        );
+        std::env::remove_var("QWM_TEST_ENV_D");
+    }
+}

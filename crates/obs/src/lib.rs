@@ -12,10 +12,15 @@
 //! environment variable (or programmatically via [`set_mode`]):
 //!
 //! ```text
-//! QWM_OBS=off      # default: everything is a no-op
+//! QWM_OBS=off      # default: everything is a no-op (aliases: "", "0")
 //! QWM_OBS=summary  # collect, render a human-readable table on emit()
 //! QWM_OBS=json     # collect, render line-oriented JSON on emit()
 //! ```
+//!
+//! Any other value is *not* a silent fallback: it is reported through
+//! [`env::report_malformed`] (warn event + stderr line) and then the
+//! documented default `off` applies. All `QWM_*` variables in the
+//! workspace parse through the [`env`] module with the same contract.
 //!
 //! Typical instrumentation:
 //!
@@ -39,6 +44,7 @@
 //! (stage-DAG parallelism profile) and `exec.worker_busy_ns` (per-worker
 //! busy time per `run_dag` invocation).
 
+pub mod env;
 mod event;
 mod metrics;
 mod render;
@@ -74,12 +80,28 @@ pub fn mode() -> ObsMode {
         1 => ObsMode::Summary,
         2 => ObsMode::Json,
         _ => {
-            let m = match std::env::var("QWM_OBS").as_deref() {
-                Ok("summary") => ObsMode::Summary,
-                Ok("json") => ObsMode::Json,
-                _ => ObsMode::Off,
+            let (m, malformed) = match std::env::var("QWM_OBS") {
+                Err(_) => (ObsMode::Off, None),
+                Ok(raw) => match raw.as_str() {
+                    "" | "off" | "0" => (ObsMode::Off, None),
+                    "summary" => (ObsMode::Summary, None),
+                    "json" => (ObsMode::Json, None),
+                    _ => (ObsMode::Off, Some(raw)),
+                },
             };
+            // Store before reporting: the warn path re-enters `enabled()`,
+            // which must not recurse back into this env read.
             MODE.store(m as u8, Ordering::Relaxed);
+            if let Some(raw) = malformed {
+                env::report_malformed(
+                    &env::EnvParseError {
+                        name: "QWM_OBS".to_string(),
+                        raw,
+                        reason: "expected off|summary|json".to_string(),
+                    },
+                    "off",
+                );
+            }
             m
         }
     }

@@ -153,6 +153,7 @@ impl HistogramInner {
             },
             p50: quantile(0.50),
             p95: quantile(0.95),
+            p99: quantile(0.99),
             max,
         }
     }
@@ -207,7 +208,7 @@ impl Histogram {
         self.0.max.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// Current summary (count, mean, p50/p95, max).
+    /// Current summary (count, mean, p50/p95/p99, max).
     pub fn summary(self) -> HistogramSummary {
         self.0.summary()
     }
@@ -242,6 +243,8 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// Nearest-rank 95th percentile, resolved to a bucket upper bound.
     pub p95: u64,
+    /// Nearest-rank 99th percentile, resolved to a bucket upper bound.
+    pub p99: u64,
     /// Exact observed maximum.
     pub max: u64,
 }

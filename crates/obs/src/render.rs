@@ -91,14 +91,14 @@ fn render_summary() -> String {
     if !hists.is_empty() {
         let _ = writeln!(
             out,
-            "{:<50} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "histograms:", "count", "mean", "p50", "p95", "max"
+            "{:<50} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histograms:", "count", "mean", "p50", "p95", "p99", "max"
         );
         for (name, s) in hists {
             let _ = writeln!(
                 out,
-                "  {name:<48} {:>9} {:>9.1} {:>9} {:>9} {:>9}",
-                s.count, s.mean, s.p50, s.p95, s.max
+                "  {name:<48} {:>9} {:>9.1} {:>9} {:>9} {:>9} {:>9}",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
             );
         }
     }
@@ -178,12 +178,13 @@ fn render_json() -> String {
     for (name, s) in hists {
         let _ = writeln!(
             out,
-            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"max\":{}}}",
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
             json_escape(name),
             s.count,
             s.mean,
             s.p50,
             s.p95,
+            s.p99,
             s.max
         );
     }

@@ -64,9 +64,10 @@ fn histogram_percentile_math() {
     assert_eq!(s.count, 10);
     assert_eq!(s.sum, 55);
     assert!((s.mean - 5.5).abs() < 1e-12);
-    // Nearest-rank: p50 is the 5th of 10 values, p95 the 10th.
+    // Nearest-rank: p50 is the 5th of 10 values, p95 and p99 the 10th.
     assert_eq!(s.p50, 5);
     assert_eq!(s.p95, 10);
+    assert_eq!(s.p99, 10);
     assert_eq!(s.max, 10);
 
     qwm_obs::reset();
@@ -77,6 +78,22 @@ fn histogram_percentile_math() {
     let s = h.summary();
     assert_eq!(s.p50, 2);
     assert_eq!(s.p95, 2); // rank 95 of 100 still falls in the 2-bucket
+    assert_eq!(s.p99, 2); // rank 99 likewise
+    assert_eq!(s.max, 9);
+
+    // The tail value is only visible from rank 100 up: p99 of 1000
+    // observations (rank 990) must see the slow outliers.
+    qwm_obs::reset();
+    for _ in 0..980 {
+        h.record(2);
+    }
+    for _ in 0..20 {
+        h.record(9);
+    }
+    let s = h.summary();
+    assert_eq!(s.p50, 2);
+    assert_eq!(s.p95, 2);
+    assert_eq!(s.p99, 9);
     assert_eq!(s.max, 9);
 }
 
@@ -86,7 +103,7 @@ fn empty_histogram_summary_is_zeroed() {
     static BOUNDS: &[u64] = &[1, 2];
     let h = histogram!("test.hist.empty", BOUNDS);
     let s = h.summary();
-    assert_eq!((s.count, s.p50, s.p95, s.max), (0, 0, 0, 0));
+    assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0, 0));
     assert_eq!(s.mean, 0.0);
 }
 
@@ -191,7 +208,7 @@ fn json_rendering_golden() {
         lines,
         vec![
             "{\"type\":\"counter\",\"name\":\"test.golden.counter\",\"value\":7}",
-            "{\"type\":\"histogram\",\"name\":\"test.golden.hist\",\"count\":2,\"mean\":6.000,\"p50\":8,\"p95\":8,\"max\":8}",
+            "{\"type\":\"histogram\",\"name\":\"test.golden.hist\",\"count\":2,\"mean\":6.000,\"p50\":8,\"p95\":8,\"p99\":8,\"max\":8}",
             "{\"type\":\"event\",\"level\":\"warn\",\"what\":\"test.golden.event\",\"node\":\"n\\\"1\",\"count\":3}",
         ]
     );

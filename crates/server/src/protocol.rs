@@ -1,0 +1,358 @@
+//! Wire protocol for `qwm-serve`: line-delimited commands with
+//! length-prefixed payloads.
+//!
+//! # Grammar
+//!
+//! Every request is one ASCII line (LF-terminated, whitespace-split
+//! tokens). Commands that carry a body (`load`, `edit`) state the exact
+//! byte count on the command line; the body follows immediately, raw:
+//!
+//! ```text
+//! ping
+//! load <sid> <nbytes> [dir=fall|rise]      then <nbytes> raw deck bytes
+//! edit <sid> <nbytes>                      then <nbytes> raw edit-script bytes
+//! run <sid> [qwm|elmore|spice|fallback] [slew_ps=<f>] [deadline_ms=<n>]
+//! report <sid>
+//! stats <sid>
+//! budget <sid> [retries=<n>] [wall_ms=<n>|off]
+//! metrics
+//! sleep <ms>
+//! close <sid>
+//! shutdown
+//! quit
+//! ```
+//!
+//! Every reply is one status line `<code> <text...>`; when the reply
+//! carries a payload the line's *last* token is `len=<n>` and exactly
+//! `n` raw bytes follow. Status codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 200  | ok |
+//! | 400  | malformed command, deck, or edit script (parse errors carry line/col) |
+//! | 404  | unknown session / no report yet |
+//! | 408  | deadline exceeded (in queue, mid-run via the fallback budget, or post-run) |
+//! | 429  | admission control: too many requests in flight |
+//! | 500  | evaluator or internal error |
+//! | 503  | server is draining |
+
+use std::time::Duration;
+
+/// Largest accepted `load`/`edit` body. Protects the server from a
+/// nonsense length prefix; real decks in this repo are a few KiB.
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Longest accepted session id (charset `[A-Za-z0-9_.-]`).
+pub const MAX_SESSION_ID: usize = 64;
+
+/// Per-stage evaluator selected by `run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalKind {
+    Qwm,
+    Elmore,
+    Spice,
+    Fallback,
+}
+
+impl EvalKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalKind::Qwm => "qwm",
+            EvalKind::Elmore => "elmore",
+            EvalKind::Spice => "spice",
+            EvalKind::Fallback => "fallback",
+        }
+    }
+}
+
+/// One parsed request line. Payload bytes (for `Load`/`Edit`) are read
+/// separately by the connection loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Ping,
+    Load {
+        sid: String,
+        nbytes: usize,
+        rise: bool,
+    },
+    Edit {
+        sid: String,
+        nbytes: usize,
+    },
+    Run {
+        sid: String,
+        eval: EvalKind,
+        slew_ps: Option<f64>,
+        deadline: Option<Duration>,
+    },
+    Report {
+        sid: String,
+    },
+    Stats {
+        sid: String,
+    },
+    Budget {
+        sid: String,
+        retries: Option<usize>,
+        /// `Some(None)` clears the wall, `Some(Some(d))` sets it.
+        wall: Option<Option<Duration>>,
+    },
+    Metrics,
+    Sleep {
+        ms: u64,
+    },
+    Close {
+        sid: String,
+    },
+    Shutdown,
+    Quit,
+}
+
+impl Command {
+    /// Static label used for per-command metrics
+    /// (`server.request_ns.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Load { .. } => "load",
+            Command::Edit { .. } => "edit",
+            Command::Run { .. } => "run",
+            Command::Report { .. } => "report",
+            Command::Stats { .. } => "stats",
+            Command::Budget { .. } => "budget",
+            Command::Metrics => "metrics",
+            Command::Sleep { .. } => "sleep",
+            Command::Close { .. } => "close",
+            Command::Shutdown => "shutdown",
+            Command::Quit => "quit",
+        }
+    }
+
+    /// Commands dispatched through admission control and the pool.
+    pub fn is_heavy(&self) -> bool {
+        matches!(
+            self,
+            Command::Load { .. } | Command::Run { .. } | Command::Sleep { .. }
+        )
+    }
+}
+
+fn session_id(tok: &str) -> Result<String, String> {
+    if tok.is_empty() || tok.len() > MAX_SESSION_ID {
+        return Err(format!(
+            "session id must be 1..={MAX_SESSION_ID} characters"
+        ));
+    }
+    if !tok
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+    {
+        return Err(format!(
+            "session id {tok:?} has characters outside [A-Za-z0-9_.-]"
+        ));
+    }
+    Ok(tok.to_string())
+}
+
+fn payload_len(tok: &str) -> Result<usize, String> {
+    let n: usize = tok.parse().map_err(|_| format!("bad byte count {tok:?}"))?;
+    if n > MAX_PAYLOAD {
+        return Err(format!("payload of {n} bytes exceeds {MAX_PAYLOAD}"));
+    }
+    Ok(n)
+}
+
+/// Parses one request line. Errors are single-line human messages,
+/// returned to the client as `400`.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let verb = *toks.first().ok_or("empty command")?;
+    let need = |n: usize, usage: &str| -> Result<(), String> {
+        if toks.len() < n {
+            Err(format!("usage: {usage}"))
+        } else {
+            Ok(())
+        }
+    };
+    match verb {
+        "ping" => Ok(Command::Ping),
+        "load" => {
+            need(3, "load <sid> <nbytes> [dir=fall|rise]")?;
+            let sid = session_id(toks[1])?;
+            let nbytes = payload_len(toks[2])?;
+            let mut rise = false;
+            for t in &toks[3..] {
+                match *t {
+                    "dir=fall" => rise = false,
+                    "dir=rise" => rise = true,
+                    other => return Err(format!("unknown load option {other:?}")),
+                }
+            }
+            Ok(Command::Load { sid, nbytes, rise })
+        }
+        "edit" => {
+            need(3, "edit <sid> <nbytes>")?;
+            Ok(Command::Edit {
+                sid: session_id(toks[1])?,
+                nbytes: payload_len(toks[2])?,
+            })
+        }
+        "run" => {
+            need(
+                2,
+                "run <sid> [qwm|elmore|spice|fallback] [slew_ps=<f>] [deadline_ms=<n>]",
+            )?;
+            let sid = session_id(toks[1])?;
+            let mut eval = EvalKind::Qwm;
+            let mut slew_ps = None;
+            let mut deadline = None;
+            for t in &toks[2..] {
+                if let Some(v) = t.strip_prefix("slew_ps=") {
+                    let ps: f64 = v.parse().map_err(|_| format!("bad slew_ps {v:?}"))?;
+                    if !ps.is_finite() || ps < 0.0 {
+                        return Err(format!("slew_ps must be finite and >= 0, got {v:?}"));
+                    }
+                    slew_ps = Some(ps);
+                } else if let Some(v) = t.strip_prefix("deadline_ms=") {
+                    let ms: u64 = v.parse().map_err(|_| format!("bad deadline_ms {v:?}"))?;
+                    deadline = Some(Duration::from_millis(ms));
+                } else {
+                    eval = match *t {
+                        "qwm" => EvalKind::Qwm,
+                        "elmore" => EvalKind::Elmore,
+                        "spice" => EvalKind::Spice,
+                        "fallback" => EvalKind::Fallback,
+                        other => return Err(format!("unknown evaluator {other:?}")),
+                    };
+                }
+            }
+            Ok(Command::Run {
+                sid,
+                eval,
+                slew_ps,
+                deadline,
+            })
+        }
+        "report" => {
+            need(2, "report <sid>")?;
+            Ok(Command::Report {
+                sid: session_id(toks[1])?,
+            })
+        }
+        "stats" => {
+            need(2, "stats <sid>")?;
+            Ok(Command::Stats {
+                sid: session_id(toks[1])?,
+            })
+        }
+        "budget" => {
+            need(2, "budget <sid> [retries=<n>] [wall_ms=<n>|off]")?;
+            let sid = session_id(toks[1])?;
+            let mut retries = None;
+            let mut wall = None;
+            for t in &toks[2..] {
+                if let Some(v) = t.strip_prefix("retries=") {
+                    retries = Some(v.parse().map_err(|_| format!("bad retries {v:?}"))?);
+                } else if let Some(v) = t.strip_prefix("wall_ms=") {
+                    wall = Some(if v == "off" {
+                        None
+                    } else {
+                        let ms: u64 = v.parse().map_err(|_| format!("bad wall_ms {v:?}"))?;
+                        Some(Duration::from_millis(ms))
+                    });
+                } else {
+                    return Err(format!("unknown budget option {t:?}"));
+                }
+            }
+            Ok(Command::Budget { sid, retries, wall })
+        }
+        "metrics" => Ok(Command::Metrics),
+        "sleep" => {
+            need(2, "sleep <ms>")?;
+            let ms: u64 = toks[1]
+                .parse()
+                .map_err(|_| format!("bad sleep {:?}", toks[1]))?;
+            if ms > 10_000 {
+                return Err("sleep is capped at 10000 ms".to_string());
+            }
+            Ok(Command::Sleep { ms })
+        }
+        "close" => {
+            need(2, "close <sid>")?;
+            Ok(Command::Close {
+                sid: session_id(toks[1])?,
+            })
+        }
+        "shutdown" => Ok(Command::Shutdown),
+        "quit" => Ok(Command::Quit),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Flattens a message onto one line so it can never corrupt the framing.
+pub fn one_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], "; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(
+            parse_command("load s1 42 dir=rise").unwrap(),
+            Command::Load {
+                sid: "s1".into(),
+                nbytes: 42,
+                rise: true
+            }
+        );
+        assert_eq!(
+            parse_command("run s1 fallback slew_ps=20 deadline_ms=50").unwrap(),
+            Command::Run {
+                sid: "s1".into(),
+                eval: EvalKind::Fallback,
+                slew_ps: Some(20.0),
+                deadline: Some(Duration::from_millis(50)),
+            }
+        );
+        assert_eq!(
+            parse_command("budget s1 retries=2 wall_ms=off").unwrap(),
+            Command::Budget {
+                sid: "s1".into(),
+                retries: Some(2),
+                wall: Some(None),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "frobnicate",
+            "load s1",
+            "load s1 nope",
+            "load bad/sid 4",
+            "run s1 verilog",
+            "run s1 slew_ps=-3",
+            "sleep 999999",
+            "budget s1 wall_ms=fast",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should be rejected");
+        }
+        let long = format!("report {}", "x".repeat(65));
+        assert!(parse_command(&long).is_err());
+    }
+
+    #[test]
+    fn heavy_commands_are_the_pool_dispatched_ones() {
+        assert!(parse_command("load s 1").unwrap().is_heavy());
+        assert!(parse_command("run s").unwrap().is_heavy());
+        assert!(parse_command("sleep 5").unwrap().is_heavy());
+        assert!(!parse_command("report s").unwrap().is_heavy());
+        assert!(!parse_command("metrics").unwrap().is_heavy());
+    }
+}

@@ -1,0 +1,160 @@
+//! Session state: one parsed netlist + persistent [`StaEngine`] per
+//! session id, shared device models, idle-time eviction.
+//!
+//! A session is the unit of isolation. Each owns its own engine (and
+//! therefore its own committed incremental caches and fallback budget);
+//! a panicking or degrading query in one session never touches
+//! another's state. The characterized device tables are immutable and
+//! expensive to build, so all sessions share one process-wide
+//! [`ModelSet`] built on first use.
+
+use qwm_device::{tabular_models, ModelSet, Technology};
+use qwm_sta::evaluator::FallbackBudget;
+use qwm_sta::StaEngine;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Characterized device tables shared by every session, built once per
+/// process. Characterization is the dominant cold-start cost; paying it
+/// once is the point of a persistent server.
+pub fn shared_models() -> Result<&'static ModelSet, String> {
+    static MODELS: OnceLock<Result<ModelSet, String>> = OnceLock::new();
+    MODELS
+        .get_or_init(|| {
+            tabular_models(&Technology::cmosp35()).map_err(|e| format!("characterization: {e}"))
+        })
+        .as_ref()
+        .map_err(Clone::clone)
+}
+
+/// One client-visible timing session.
+pub struct Session {
+    /// Engine with persistent committed caches; `'static` because it
+    /// borrows [`shared_models`].
+    pub engine: StaEngine<'static>,
+    /// Fallback-ladder budget applied to `run <sid> fallback`.
+    pub budget: FallbackBudget,
+    /// Golden report from the most recent successful `run`.
+    pub last_report: Option<String>,
+    /// Successful `run` count.
+    pub runs: u64,
+    /// Last touch, for idle eviction.
+    pub last_used: Instant,
+}
+
+impl Session {
+    pub fn new(engine: StaEngine<'static>) -> Session {
+        Session {
+            engine,
+            budget: FallbackBudget::default(),
+            last_report: None,
+            runs: 0,
+            last_used: Instant::now(),
+        }
+    }
+}
+
+/// Concurrent session map. The store lock is held only for map
+/// operations; per-session work locks the session's own mutex, so slow
+/// queries in one session never block lookups or other sessions.
+#[derive(Default)]
+pub struct SessionStore {
+    map: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl SessionStore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<Session>>>> {
+        // A panic inside a session query poisons only that session's
+        // mutex, never the store; and even a poisoned store lock holds
+        // a structurally valid map.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get(&self, sid: &str) -> Option<Arc<Mutex<Session>>> {
+        self.lock().get(sid).cloned()
+    }
+
+    /// Inserts (or replaces) a session.
+    pub fn insert(&self, sid: String, session: Session) {
+        self.lock().insert(sid, Arc::new(Mutex::new(session)));
+    }
+
+    /// Removes a session; returns whether it existed.
+    pub fn remove(&self, sid: &str) -> bool {
+        self.lock().remove(sid).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Evicts sessions idle longer than `ttl`; returns how many were
+    /// dropped. Sessions busy in a query are never evicted: an in-flight
+    /// query holds the session `Arc`, so the engine is freed only after
+    /// it finishes.
+    pub fn evict_idle(&self, ttl: std::time::Duration) -> usize {
+        let mut map = self.lock();
+        let before = map.len();
+        map.retain(|_, s| match s.try_lock() {
+            Ok(sess) => sess.last_used.elapsed() <= ttl,
+            // Locked (busy or poisoned) sessions count as in use.
+            Err(_) => true,
+        });
+        before - map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_circuit::waveform::TransitionKind;
+    use qwm_sta::graph::inverter_chain;
+    use std::time::Duration;
+
+    fn session() -> Session {
+        let models = shared_models().expect("models");
+        let netlist = inverter_chain(&Technology::cmosp35(), 3, 10e-15);
+        Session::new(StaEngine::new(netlist, models, TransitionKind::Fall).expect("engine"))
+    }
+
+    #[test]
+    fn shared_models_build_once_and_are_stable() {
+        let a = shared_models().expect("models") as *const ModelSet;
+        let b = shared_models().expect("models") as *const ModelSet;
+        assert_eq!(a, b, "one process-wide ModelSet");
+    }
+
+    #[test]
+    fn store_insert_get_remove_roundtrip() {
+        let store = SessionStore::default();
+        assert!(store.is_empty());
+        store.insert("a".into(), session());
+        assert_eq!(store.len(), 1);
+        assert!(store.get("a").is_some());
+        assert!(store.get("b").is_none());
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn eviction_spares_fresh_and_busy_sessions() {
+        let store = SessionStore::default();
+        store.insert("stale".into(), session());
+        store.insert("busy".into(), session());
+        // Backdate the idle session far past any ttl by waiting a tick,
+        // then evict with a zero ttl while holding the busy one's lock.
+        std::thread::sleep(Duration::from_millis(5));
+        let busy = store.get("busy").unwrap();
+        let _held = busy.lock().unwrap();
+        let evicted = store.evict_idle(Duration::from_millis(1));
+        assert_eq!(evicted, 1);
+        assert!(store.get("stale").is_none());
+        assert!(store.get("busy").is_some(), "locked sessions survive");
+    }
+}

@@ -112,6 +112,70 @@ pub enum Edit {
     },
 }
 
+/// Parses a what-if edit script against a netlist: one edit per line,
+/// `#` comments, SI value suffixes (see `qwm_circuit::parser`).
+///
+/// ```text
+/// resize <device-name> <width>   # e.g. resize MN2 1.2u
+/// load <net-name> <cap>          # e.g. load n3 25f
+/// slew <ps>                      # e.g. slew 40
+/// ```
+///
+/// Shared by the `qwm --edits` CLI mode and the serving layer's `edit`
+/// command, so both speak exactly the same grammar.
+///
+/// # Errors
+///
+/// Returns a message carrying the 1-based script line for unknown
+/// verbs/devices/nets, malformed values, or trailing tokens.
+pub fn parse_edit_script(
+    text: &str,
+    netlist: &qwm_circuit::netlist::Netlist,
+) -> std::result::Result<Vec<Edit>, String> {
+    use qwm_circuit::parser::parse_value;
+    let mut edits = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |e: &str| format!("edits line {}: {e}", lineno + 1);
+        let mut tok = line.split_whitespace();
+        let verb = tok.next().expect("non-empty line");
+        let edit = match verb {
+            "resize" => {
+                let name = tok.next().ok_or_else(|| at("resize needs a device name"))?;
+                let w = tok.next().ok_or_else(|| at("resize needs a width"))?;
+                let device = netlist
+                    .find_device(name)
+                    .ok_or_else(|| at(&format!("unknown device {name:?}")))?;
+                let w = parse_value(w).map_err(|e| at(&e.to_string()))?;
+                Edit::ResizeDevice { device, w }
+            }
+            "load" => {
+                let name = tok.next().ok_or_else(|| at("load needs a net name"))?;
+                let cap = tok.next().ok_or_else(|| at("load needs a capacitance"))?;
+                let net = netlist
+                    .find_net(name)
+                    .ok_or_else(|| at(&format!("unknown net {name:?}")))?;
+                let cap = parse_value(cap).map_err(|e| at(&e.to_string()))?;
+                Edit::SetNetLoad { net, cap }
+            }
+            "slew" => {
+                let ps = tok.next().ok_or_else(|| at("slew needs a value in ps"))?;
+                let ps: f64 = ps.parse().map_err(|e| at(&format!("bad slew: {e}")))?;
+                Edit::SetInputSlew { slew: ps * 1e-12 }
+            }
+            other => return Err(at(&format!("unknown edit {other:?}"))),
+        };
+        if tok.next().is_some() {
+            return Err(at("trailing tokens"));
+        }
+        edits.push(edit);
+    }
+    Ok(edits)
+}
+
 fn commit_eq(a: Option<NetCommit>, b: Option<NetCommit>) -> bool {
     match (a, b) {
         (None, None) => true,

@@ -48,7 +48,7 @@ pub mod report;
 pub use engine::{StaEngine, TimingReport};
 pub use evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
 pub use graph::{StageGraph, StageId};
-pub use incremental::{Edit, IncrementalStats};
+pub use incremental::{parse_edit_script, Edit, IncrementalStats};
 pub use liberty::{write_liberty, LibertyArc, LibertyCell};
 pub use nldm::NldmTable;
 pub use report::format_report;

@@ -33,6 +33,33 @@ QWM_FAULTS='seed=1;qwm.region=noconv:0.5' cargo test -q --test fault_injection
 QWM_FAULTS='seed=2;qwm.region=singular:0.5;spice.adaptive=timeout:0.25' \
     cargo test -q --test fault_injection
 
+# Serving gate: boot `qwm serve` on an ephemeral port, drive it with
+# the load generator (seeded edit+run streams over concurrent
+# connections, zero failures tolerated), compare against per-process
+# cold invocations, and verify a clean drain. Emits BENCH_server.json.
+echo "==> server smoke (qwm serve + server_load)"
+cargo build --release -p qwm-bench
+rm -f target/serve_smoke.out
+./target/release/qwm serve --addr 127.0.0.1:0 --max-inflight 8 \
+    > target/serve_smoke.out 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' target/serve_smoke.out)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "server never reported its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/server_load --addr "$ADDR" --connections 8 --requests 25 \
+    --cold ./target/release/qwm --shutdown --out BENCH_server.json
+wait "$SERVE_PID"
+grep -q '"failures": 0,' BENCH_server.json
+grep -q '^drained$' target/serve_smoke.out
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -26,6 +26,12 @@
 //! critical-path table. `--fault-plan <spec>` (or the `QWM_FAULTS`
 //! environment variable) installs a deterministic fault-injection plan,
 //! e.g. `seed=1;qwm.region=noconv:0.5` — see `qwm::fault`.
+//!
+//! `qwm serve` starts the persistent timing-query server instead of a
+//! one-shot analysis (see `qwm::server`): sessions keep parsed
+//! netlists and warm incremental engines across queries, heavy
+//! requests pass through admission control, and `SIGTERM`/`shutdown`
+//! drain gracefully. It prints `listening on <addr>` once bound.
 
 use qwm::circuit::parser::parse_netlist;
 use qwm::circuit::waveform::TransitionKind;
@@ -34,7 +40,6 @@ use qwm::sta::engine::StaEngine;
 use qwm::sta::evaluator::{
     ElmoreEvaluator, FallbackEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator,
 };
-use qwm::sta::incremental::Edit;
 use qwm::sta::report::format_report;
 use std::process::ExitCode;
 
@@ -55,7 +60,87 @@ fn usage() -> &'static str {
     "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice|fallback] [--fallback]\n\
      \u{20}          [--direction fall|rise] [--slew <ps>] [--required <ps>]\n\
      \u{20}          [--stages] [--threads <n>] [--obs [summary|json]]\n\
-     \u{20}          [--fault-plan <spec>] [--edits <file>]"
+     \u{20}          [--fault-plan <spec>] [--edits <file>]\n\
+     \u{20}      qwm serve [--addr <host:port>] [--max-inflight <n>]\n\
+     \u{20}          [--session-ttl <secs>] [--engine-threads <n>] [--obs [summary|json]]"
+}
+
+/// `qwm serve ...`: parse the serve flags and run the server until it
+/// drains (`shutdown` command or SIGTERM).
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = qwm::server::ServerConfig {
+        handle_sigterm: true,
+        ..Default::default()
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg.addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--max-inflight" => {
+                let v: usize = it
+                    .next()
+                    .ok_or("--max-inflight needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight: {e}"))?;
+                if v == 0 {
+                    return Err("--max-inflight must be at least 1".to_string());
+                }
+                cfg.max_inflight = v;
+            }
+            "--session-ttl" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or("--session-ttl needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --session-ttl: {e}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err("--session-ttl must be finite and >= 0".to_string());
+                }
+                cfg.session_ttl = if v == 0.0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs_f64(v))
+                };
+            }
+            "--engine-threads" => {
+                let v: usize = it
+                    .next()
+                    .ok_or("--engine-threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --engine-threads: {e}"))?;
+                if v == 0 {
+                    return Err("--engine-threads must be at least 1".to_string());
+                }
+                cfg.engine_threads = v;
+            }
+            "--obs" => {
+                let mode = match it.peek().map(|s| s.as_str()) {
+                    Some("summary") => {
+                        it.next();
+                        qwm::obs::ObsMode::Summary
+                    }
+                    Some("json") => {
+                        it.next();
+                        qwm::obs::ObsMode::Json
+                    }
+                    _ => qwm::obs::ObsMode::Summary,
+                };
+                qwm::obs::set_mode(mode);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected serve argument {other:?}\n{}", usage())),
+        }
+    }
+    let server = qwm::server::Server::bind(cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    println!("drained");
+    qwm::obs::emit();
+    Ok(())
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -159,58 +244,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     })
 }
 
-/// Parses a what-if edits file: one edit per line, `#` comments.
-///
-/// ```text
-/// resize <device-name> <width>   # e.g. resize MN2 1.2u
-/// load <net-name> <cap>          # e.g. load n3 25f
-/// slew <ps>                      # e.g. slew 40
-/// ```
-fn parse_edits(text: &str, netlist: &qwm::circuit::netlist::Netlist) -> Result<Vec<Edit>, String> {
-    use qwm::circuit::parser::parse_value;
-    let mut edits = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let at = |e: &str| format!("edits line {}: {e}", lineno + 1);
-        let mut tok = line.split_whitespace();
-        let verb = tok.next().expect("non-empty line");
-        let edit = match verb {
-            "resize" => {
-                let name = tok.next().ok_or_else(|| at("resize needs a device name"))?;
-                let w = tok.next().ok_or_else(|| at("resize needs a width"))?;
-                let device = netlist
-                    .find_device(name)
-                    .ok_or_else(|| at(&format!("unknown device {name:?}")))?;
-                let w = parse_value(w).map_err(|e| at(&e.to_string()))?;
-                Edit::ResizeDevice { device, w }
-            }
-            "load" => {
-                let name = tok.next().ok_or_else(|| at("load needs a net name"))?;
-                let cap = tok.next().ok_or_else(|| at("load needs a capacitance"))?;
-                let net = netlist
-                    .find_net(name)
-                    .ok_or_else(|| at(&format!("unknown net {name:?}")))?;
-                let cap = parse_value(cap).map_err(|e| at(&e.to_string()))?;
-                Edit::SetNetLoad { net, cap }
-            }
-            "slew" => {
-                let ps = tok.next().ok_or_else(|| at("slew needs a value in ps"))?;
-                let ps: f64 = ps.parse().map_err(|e| at(&format!("bad slew: {e}")))?;
-                Edit::SetInputSlew { slew: ps * 1e-12 }
-            }
-            other => return Err(at(&format!("unknown edit {other:?}"))),
-        };
-        if tok.next().is_some() {
-            return Err(at("trailing tokens"));
-        }
-        edits.push(edit);
-    }
-    Ok(edits)
-}
-
 fn run(opts: &Options) -> Result<(), String> {
     // `--obs` overrides the QWM_OBS environment variable; either must be
     // in force *before* any instrumented work runs.
@@ -277,7 +310,7 @@ fn run(opts: &Options) -> Result<(), String> {
     // re-time only the dirty fanout cone, report both.
     if let Some(path) = &opts.edits {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let edits = parse_edits(&text, engine.netlist())?;
+        let edits = qwm::sta::parse_edit_script(&text, engine.netlist())?;
         if let Some(s) = opts.slew {
             engine.set_input_slew(s).map_err(|e| e.to_string())?;
         }
@@ -346,6 +379,15 @@ fn run(opts: &Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return match serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse_args(&args) {
         Ok(opts) => match run(&opts) {
             Ok(()) => ExitCode::SUCCESS,

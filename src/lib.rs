@@ -17,6 +17,7 @@
 //! | [`exec`] | zero-dependency parallelism: work-stealing pool, DAG scheduler (`QWM_THREADS`) |
 //! | [`obs`] | zero-dependency telemetry: spans, counters, histograms, events (`QWM_OBS`) |
 //! | [`fault`] | deterministic fault injection at named sites (`QWM_FAULTS`) |
+//! | [`server`] | persistent timing-query server: sessions, admission control (`qwm serve`) |
 //!
 //! # Quickstart
 //!
@@ -62,5 +63,6 @@ pub use qwm_fault as fault;
 pub use qwm_interconnect as interconnect;
 pub use qwm_num as num;
 pub use qwm_obs as obs;
+pub use qwm_server as server;
 pub use qwm_spice as spice;
 pub use qwm_sta as sta;

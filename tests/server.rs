@@ -1,0 +1,357 @@
+//! End-to-end tests for the `qwm-serve` timing-query server.
+//!
+//! Contracts under test:
+//!
+//! * **Determinism** — the same command script over 1, 4 and 8
+//!   simultaneous connections yields byte-identical `run` payloads,
+//!   which also match an in-process cold [`StaEngine`] reference.
+//! * **Warm = cold** — a session surviving 100 sequential `edit` +
+//!   `run` round-trips reports bitwise-identically to a fresh engine
+//!   re-timed from scratch after each edit.
+//! * **Isolation** — a fault-injected session degrades down the
+//!   fallback ladder without perturbing a clean session's reports.
+//! * **Admission control** — heavy requests beyond `max_inflight` get
+//!   `429` and succeed once the server drains its backlog.
+//! * **Lifecycle** — idle sessions are evicted after the ttl; malformed
+//!   decks/commands come back as `4xx` with locations, never a hang.
+//!
+//! The server's fault plan and obs state are process-global, so every
+//! test serializes on one mutex and installs/clears what it needs.
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::fault::{FaultKind, FaultPlan};
+use qwm::server::{shared_models, Client, Server, ServerConfig, ServerHandle};
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::QwmEvaluator;
+use qwm::sta::report::golden_report;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const DECK: &str = include_str!("../testdata/path4.sp");
+
+fn start(cfg: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    Server::spawn(cfg).expect("spawn server")
+}
+
+fn stop(handle: ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    c
+}
+
+/// Golden-report body without the `evaluations`/`waveform_failures`
+/// header: those count work done, which legitimately differs between
+/// incremental and cold runs while the timing body must not.
+fn timing_body(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| !l.starts_with("evaluations ") && !l.starts_with("waveform_failures "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The scripted session every determinism connection replays.
+fn scripted_session(client: &mut Client, sid: &str) -> Vec<String> {
+    let mut payloads = Vec::new();
+    assert!(client.load(sid, DECK).unwrap().ok(), "load");
+    let r = client.send(&format!("run {sid} qwm slew_ps=20")).unwrap();
+    assert!(r.ok(), "first run: {} {}", r.status, r.head);
+    payloads.push(r.body().to_string());
+    let e = client.edit(sid, "resize MN2 1.2u\nload n2 20f\n").unwrap();
+    assert_eq!(e.status, 200, "edit: {}", e.head);
+    let r = client.send(&format!("run {sid} qwm slew_ps=20")).unwrap();
+    assert!(r.ok(), "edited run: {} {}", r.status, r.head);
+    payloads.push(r.body().to_string());
+    payloads
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig {
+        max_inflight: 8,
+        ..ServerConfig::default()
+    });
+
+    // In-process cold references for both script steps.
+    let models = shared_models().expect("models");
+    let netlist = parse_netlist(DECK).expect("deck");
+    let cold_before = {
+        let engine = StaEngine::new(netlist.clone(), models, TransitionKind::Fall).unwrap();
+        let report = engine
+            .run_with_slew(&QwmEvaluator::default(), 20e-12)
+            .unwrap();
+        golden_report(&report, engine.netlist())
+    };
+    let cold_after = {
+        let mut engine = StaEngine::new(netlist, models, TransitionKind::Fall).unwrap();
+        let edits = qwm::sta::parse_edit_script("resize MN2 1.2u\nload n2 20f\n", engine.netlist())
+            .unwrap();
+        engine.apply_edits(&edits).unwrap();
+        let report = engine
+            .run_with_slew(&QwmEvaluator::default(), 20e-12)
+            .unwrap();
+        golden_report(&report, engine.netlist())
+    };
+
+    let mut reference: Option<Vec<String>> = None;
+    for conns in [1usize, 4, 8] {
+        let results: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|i| {
+                    let handle = &handle;
+                    scope.spawn(move || {
+                        let mut client = connect(handle);
+                        scripted_session(&mut client, &format!("det-{conns}-{i}"))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results {
+            match &reference {
+                None => reference = Some(r.clone()),
+                Some(first) => assert_eq!(r, first, "{conns} connections: payloads diverged"),
+            }
+        }
+    }
+
+    let reference = reference.expect("at least one session ran");
+    assert_eq!(
+        timing_body(&reference[0]),
+        timing_body(&cold_before),
+        "server run vs cold engine, pre-edit"
+    );
+    assert_eq!(
+        timing_body(&reference[1]),
+        timing_body(&cold_after),
+        "server run vs cold engine, post-edit"
+    );
+    stop(handle, join);
+}
+
+#[test]
+fn hundred_edit_session_matches_cold_rerun_after_every_edit() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig::default());
+    let mut client = connect(&handle);
+    assert!(client.load("marathon", DECK).unwrap().ok());
+
+    let models = shared_models().expect("models");
+    let base = parse_netlist(DECK).expect("deck");
+    let mut cumulative = Vec::new();
+    for i in 0..100u32 {
+        // Deterministic edit stream cycling over resizes and loads.
+        let script = match i % 4 {
+            0 => format!("resize MN2 {:.4}e-6", 0.5 + 0.01 * f64::from(i)),
+            1 => format!("load n2 {:.4}e-15", 20.0 + f64::from(i)),
+            2 => format!("resize MP3a {:.4}e-6", 1.0 + 0.005 * f64::from(i)),
+            _ => format!("load n3 {:.4}e-15", 5.0 + 0.5 * f64::from(i)),
+        };
+        let e = client.edit("marathon", &script).unwrap();
+        assert_eq!(e.status, 200, "edit {i}: {}", e.head);
+        let r = client.send("run marathon qwm slew_ps=20").unwrap();
+        assert_eq!(r.status, 200, "run {i}: {}", r.head);
+
+        let mut cold = StaEngine::new(base.clone(), models, TransitionKind::Fall).unwrap();
+        cumulative.extend(qwm::sta::parse_edit_script(&script, cold.netlist()).unwrap());
+        cold.apply_edits(&cumulative).unwrap();
+        let cold_report = cold
+            .run_with_slew(&QwmEvaluator::default(), 20e-12)
+            .unwrap();
+        assert_eq!(
+            timing_body(r.body()),
+            timing_body(&golden_report(&cold_report, cold.netlist())),
+            "edit {i}: warm incremental diverged from cold rerun"
+        );
+    }
+    let stats = client.send("stats marathon").unwrap();
+    assert!(stats.ok());
+    assert!(stats.head.contains("runs=100"), "stats: {}", stats.head);
+    stop(handle, join);
+}
+
+#[test]
+fn faulted_session_degrades_without_poisoning_clean_sessions() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig {
+        max_inflight: 2,
+        ..ServerConfig::default()
+    });
+    let mut chaotic = connect(&handle);
+    let mut clean = connect(&handle);
+    assert!(clean.load("clean", DECK).unwrap().ok());
+
+    // Clean elmore baseline before any faults exist.
+    let clean_elmore = clean.send("run clean elmore slew_ps=20").unwrap();
+    assert!(clean_elmore.ok());
+
+    // Chaos: every first QWM attempt fails; the ladder's retry rung
+    // (site `retry/qwm.region`) still works. The chaotic sessions are
+    // loaded *after* the plan lands so their arc caches are cold and
+    // the fault site is actually exercised.
+    qwm::fault::install(FaultPlan::new(42).inject("qwm.region", FaultKind::NoConvergence));
+    assert!(chaotic.load("chaotic", DECK).unwrap().ok());
+    assert!(chaotic.load("chaotic-bare", DECK).unwrap().ok());
+
+    let degraded = chaotic.send("run chaotic fallback slew_ps=20").unwrap();
+    assert_eq!(degraded.status, 200, "fallback absorbs the fault");
+    assert!(
+        degraded.body().contains("degradations"),
+        "degradation provenance is reported:\n{}",
+        degraded.body()
+    );
+    // A plain qwm run in the faulted world fails loudly as a 500...
+    let failed = chaotic.send("run chaotic-bare qwm slew_ps=20").unwrap();
+    assert_eq!(failed.status, 500, "unshielded qwm fails: {}", failed.head);
+
+    // ...but the clean session's elmore runs are byte-identical to the
+    // pre-fault baseline, and the chaotic sessions themselves keep
+    // serving (and recover fully) once the plan is cleared.
+    let still_clean = clean.send("run clean elmore slew_ps=20").unwrap();
+    assert!(still_clean.ok());
+    assert_eq!(
+        timing_body(still_clean.body()),
+        timing_body(clean_elmore.body()),
+        "fault leaked into a clean session"
+    );
+    qwm::fault::clear();
+    let recovered = chaotic.send("run chaotic-bare qwm slew_ps=20").unwrap();
+    assert_eq!(recovered.status, 200, "session survives its own faults");
+    let clean_qwm = clean.send("run clean qwm slew_ps=20").unwrap();
+    assert!(clean_qwm.ok());
+    assert_eq!(
+        timing_body(recovered.body()),
+        timing_body(clean_qwm.body()),
+        "recovered session matches a never-faulted one"
+    );
+    stop(handle, join);
+}
+
+#[test]
+fn admission_control_rejects_excess_and_recovers() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig {
+        max_inflight: 1,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single slot with a slow request on its own connection.
+    let blocker = std::thread::scope(|scope| {
+        let h = &handle;
+        let blocker = scope.spawn(move || {
+            let mut c = connect(h);
+            c.send("sleep 600").unwrap()
+        });
+        // Poll from a second connection until the 429 is observed.
+        let mut c = connect(&handle);
+        let mut saw_429 = None;
+        for _ in 0..200 {
+            let r = c.send("sleep 1").unwrap();
+            match r.status {
+                429 => {
+                    saw_429 = Some(r);
+                    break;
+                }
+                200 => std::thread::sleep(Duration::from_millis(5)),
+                other => panic!("unexpected status {other}: {}", r.head),
+            }
+        }
+        let busy = saw_429.expect("a 429 while the slot is occupied");
+        assert!(
+            busy.head.contains("inflight=1 max=1"),
+            "429 reports load: {}",
+            busy.head
+        );
+        // Light commands are never turned away.
+        assert!(c.send("ping").unwrap().ok());
+        blocker.join().unwrap()
+    });
+    assert!(blocker.ok(), "blocked request completed: {}", blocker.head);
+
+    // Slot free again: heavy requests succeed.
+    let mut c = connect(&handle);
+    assert!(c.send("sleep 1").unwrap().ok());
+    stop(handle, join);
+}
+
+#[test]
+fn idle_sessions_are_evicted_after_the_ttl() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig {
+        session_ttl: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let mut c = connect(&handle);
+    assert!(c.load("ephemeral", DECK).unwrap().ok());
+    assert!(c.send("run ephemeral qwm slew_ps=20").unwrap().ok());
+    assert_eq!(handle.session_count(), 1);
+    std::thread::sleep(Duration::from_millis(400));
+    let r = c.send("report ephemeral").unwrap();
+    assert_eq!(r.status, 404, "evicted session: {}", r.head);
+    assert_eq!(handle.session_count(), 0);
+    stop(handle, join);
+}
+
+#[test]
+fn protocol_and_parse_errors_are_structured() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig::default());
+    let mut c = connect(&handle);
+
+    // Malformed deck: the parser's line/column survives to the wire.
+    let bad_deck = "MN1 out in 0\n.end\n";
+    let r = c.load("bad", bad_deck).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(
+        r.head.contains("line 1") && r.head.contains("col"),
+        "deck errors carry locations: {}",
+        r.head
+    );
+
+    // Unknown commands, bad session ids, missing sessions.
+    assert_eq!(c.send("frobnicate").unwrap().status, 400);
+    assert_eq!(c.send("run nosuch qwm").unwrap().status, 404);
+    assert_eq!(c.send("report nosuch").unwrap().status, 404);
+    assert_eq!(c.send("run bad/sid qwm").unwrap().status, 400);
+
+    // Bad edit scripts name the offending line; the session stays usable.
+    assert!(c.load("ok", DECK).unwrap().ok());
+    let r = c.edit("ok", "resize NOPE 1u").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.head.contains("line 1"), "edit errors: {}", r.head);
+    assert!(c.send("run ok qwm slew_ps=20").unwrap().ok());
+
+    // A report exists only after a run.
+    assert!(c.load("fresh", DECK).unwrap().ok());
+    assert_eq!(c.send("report fresh").unwrap().status, 404);
+
+    // Budget introspection round-trips.
+    let b = c.send("budget ok retries=3 wall_ms=250").unwrap();
+    assert!(b.ok());
+    assert!(
+        b.head.contains("retries=3") && b.head.contains("wall_ms=250"),
+        "budget echo: {}",
+        b.head
+    );
+    stop(handle, join);
+}
