@@ -35,12 +35,15 @@ struct Args {
     out: String,
     cold: Option<String>,
     shutdown: bool,
+    /// Write a line-oriented JSON telemetry dump (server `metrics` plus
+    /// one traced run's span tree) for `qwm obs-report`.
+    obs_dump: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: server_load --addr <host:port> [--connections <n>] [--requests <n>]\n\
      \u{20}       [--seed <u64>] [--deck <file>] [--out <file>]\n\
-     \u{20}       [--cold <qwm-bin>] [--shutdown]"
+     \u{20}       [--cold <qwm-bin>] [--obs-dump <file>] [--shutdown]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_server.json".to_string(),
         cold: None,
         shutdown: false,
+        obs_dump: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -80,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
             "--deck" => args.deck = next("a file")?,
             "--out" => args.out = next("a file")?,
             "--cold" => args.cold = Some(next("the qwm binary")?),
+            "--obs-dump" => args.obs_dump = Some(next("a file")?),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
@@ -106,10 +111,21 @@ fn edit_script(devices: &[String], seed: u64, i: u64) -> String {
 
 struct StreamResult {
     latencies: Vec<Duration>,
+    /// Server-reported queue wait per `run` (the `wait_ns=` head field).
+    waits: Vec<Duration>,
+    /// Server-reported solve time per `run` (the `solve_ns=` head field).
+    solves: Vec<Duration>,
     failures: usize,
     /// `429 busy` responses absorbed by retrying — backpressure, not
     /// failure, but reported so saturation is visible.
     rejections: usize,
+}
+
+/// Extracts an integer `key=<n>` token from a reply head line.
+fn head_field(head: &str, key: &str) -> Option<u64> {
+    head.split_whitespace()
+        .find_map(|t| t.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+        .and_then(|v| v.parse().ok())
 }
 
 /// Sends a closure-built request, retrying `429 busy` with backoff.
@@ -137,6 +153,8 @@ fn with_busy_retry(
 fn warm_stream(args: &Args, deck: &str, devices: &[String], conn: usize) -> StreamResult {
     let mut out = StreamResult {
         latencies: Vec::with_capacity(args.requests),
+        waits: Vec::with_capacity(args.requests),
+        solves: Vec::with_capacity(args.requests),
         failures: 0,
         rejections: 0,
     };
@@ -158,15 +176,24 @@ fn warm_stream(args: &Args, deck: &str, devices: &[String], conn: usize) -> Stre
         let script = edit_script(devices, args.seed.wrapping_add(conn as u64), i as u64);
         let t0 = Instant::now();
         let edited = with_busy_retry(&mut out.rejections, || client.edit(&sid, &script));
-        let ran = edited.is_some()
-            && with_busy_retry(&mut out.rejections, || {
+        let ran = edited.and_then(|_| {
+            with_busy_retry(&mut out.rejections, || {
                 client.send(&format!("run {sid} qwm slew_ps=20"))
             })
-            .is_some();
-        if ran {
-            out.latencies.push(t0.elapsed());
-        } else {
-            out.failures += 1;
+        });
+        match ran {
+            Some(reply) => {
+                out.latencies.push(t0.elapsed());
+                // Server-side split of the same round-trip: time queued
+                // behind admission control vs time actually solving.
+                if let Some(ns) = head_field(&reply.head, "wait_ns") {
+                    out.waits.push(Duration::from_nanos(ns));
+                }
+                if let Some(ns) = head_field(&reply.head, "solve_ns") {
+                    out.solves.push(Duration::from_nanos(ns));
+                }
+            }
+            None => out.failures += 1,
         }
     }
     out
@@ -221,6 +248,40 @@ fn cold_streams(args: &Args, qwm_bin: &str, devices: &[String], rounds: usize) -
             .flat_map(|h| h.join().unwrap())
             .collect()
     })
+}
+
+/// Builds the `--obs-dump` payload: loads a dedicated session, traces
+/// one run, and concatenates the span-tree JSON with the server's
+/// metrics JSON. Any step failing aborts the dump (never the bench).
+fn obs_dump(args: &Args, deck: &str) -> Result<String, String> {
+    fn cmd(
+        client: &mut Client,
+        rejections: &mut usize,
+        line: &str,
+    ) -> Result<qwm::server::Reply, String> {
+        with_busy_retry(rejections, || client.send(line)).ok_or(format!("{line:?} failed"))
+    }
+    let mut rejections = 0usize;
+    let mut client = Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?;
+    let sid = "load-obs";
+    with_busy_retry(&mut rejections, || client.load(sid, deck)).ok_or("load failed".to_string())?;
+    cmd(&mut client, &mut rejections, &format!("trace {sid} on"))?;
+    cmd(
+        &mut client,
+        &mut rejections,
+        &format!("run {sid} qwm slew_ps=20"),
+    )?;
+    let trace = cmd(
+        &mut client,
+        &mut rejections,
+        &format!("trace {sid} last json"),
+    )?;
+    cmd(&mut client, &mut rejections, &format!("trace {sid} off"))?;
+    let metrics = cmd(&mut client, &mut rejections, "metrics")?;
+    let _ = client.send(&format!("close {sid}"));
+    let mut dump = metrics.payload.unwrap_or_default();
+    dump.push_str(&trace.payload.unwrap_or_default());
+    Ok(dump)
 }
 
 /// Exact nearest-rank percentile over the sorted sample, in microseconds.
@@ -280,6 +341,10 @@ fn main() -> std::process::ExitCode {
 
     let mut latencies: Vec<Duration> = results.iter().flat_map(|r| r.latencies.clone()).collect();
     latencies.sort();
+    let mut waits: Vec<Duration> = results.iter().flat_map(|r| r.waits.clone()).collect();
+    waits.sort();
+    let mut solves: Vec<Duration> = results.iter().flat_map(|r| r.solves.clone()).collect();
+    solves.sort();
     let failures: usize = results.iter().map(|r| r.failures).sum();
     let rejections: usize = results.iter().map(|r| r.rejections).sum();
     let total = args.connections * args.requests;
@@ -304,6 +369,19 @@ fn main() -> std::process::ExitCode {
     });
     let cold_median_us = cold.as_ref().map(|t| pct_us(t, 0.50));
     let speedup = cold_median_us.and_then(|c| (p50 > 0.0).then_some(c / p50));
+
+    // Telemetry dump for `qwm obs-report`: one traced run's span tree
+    // plus the server's full metrics registry, as JSON lines.
+    if let Some(dump_path) = &args.obs_dump {
+        match obs_dump(&args, &deck) {
+            Ok(dump) => {
+                if let Err(e) = std::fs::write(dump_path, dump) {
+                    eprintln!("server_load: cannot write {dump_path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("server_load: obs dump: {e}"),
+        }
+    }
 
     if args.shutdown {
         match Client::connect(&args.addr).and_then(|mut c| c.send("shutdown")) {
@@ -331,7 +409,17 @@ fn main() -> std::process::ExitCode {
     ));
     json.push_str(&format!(
         "  \"warm\": {{ \"mean_us\": {mean_us:.1}, \"p50_us\": {p50:.1}, \
-         \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1} }}"
+         \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1} }},\n"
+    ));
+    // Server-side split of each warm run: queue wait (admission to job
+    // start) vs solve time, from the run reply's wait_ns=/solve_ns=.
+    json.push_str(&format!(
+        "  \"warm_breakdown\": {{ \"queue_wait_p50_us\": {:.1}, \"queue_wait_p95_us\": {:.1}, \
+         \"solve_p50_us\": {:.1}, \"solve_p95_us\": {:.1} }}",
+        pct_us(&waits, 0.50),
+        pct_us(&waits, 0.95),
+        pct_us(&solves, 0.50),
+        pct_us(&solves, 0.95),
     ));
     if let (Some(t), Some(med)) = (&cold, cold_median_us) {
         json.push_str(&format!(

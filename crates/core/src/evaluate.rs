@@ -372,7 +372,7 @@ pub fn evaluate(
                 guesses.extend_from_slice(&config.dt_guesses);
                 for (attempt, &dt) in guesses.iter().enumerate() {
                     if attempt > 0 {
-                        qwm_obs::counter!("qwm.region_retries").incr();
+                        qwm_obs::counter!("qwm.region.retries").incr();
                     }
                     match solve_region_counted(
                         &ctx,
@@ -445,7 +445,7 @@ pub fn evaluate(
                 guesses.extend_from_slice(&config.dt_guesses);
                 for (attempt, &dt) in guesses.iter().enumerate() {
                     if attempt > 0 {
-                        qwm_obs::counter!("qwm.region_retries").incr();
+                        qwm_obs::counter!("qwm.region.retries").incr();
                     }
                     match solve_region_counted(
                         &ctx,
@@ -711,10 +711,10 @@ pub fn evaluate(
         }
     }
 
-    qwm_obs::counter!("qwm.nr_iterations").add(iterations as u64);
-    qwm_obs::counter!("qwm.regions").add(regions as u64);
-    qwm_obs::counter!("qwm.critical_points").add(critical_points.len() as u64);
-    qwm_obs::histogram!("qwm.regions_per_eval", qwm_obs::SIZE_BOUNDS).record(regions as u64);
+    qwm_obs::counter!("qwm.solver.nr_iterations").add(iterations as u64);
+    qwm_obs::counter!("qwm.solver.regions").add(regions as u64);
+    qwm_obs::counter!("qwm.solver.critical_points").add(critical_points.len() as u64);
+    qwm_obs::histogram!("qwm.solver.regions_per_eval", qwm_obs::SIZE_BOUNDS).record(regions as u64);
     Ok(QwmResult {
         chain,
         waveforms,

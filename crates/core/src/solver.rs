@@ -481,7 +481,7 @@ pub fn solve_region_counted(
         if f_norm < opts.tol_current && cond_ok {
             let i_next = ctx.node_currents(&v, t)?;
             let alphas: Vec<f64> = (0..n).map(|k| (i_next[k] - state.i[k]) / delta).collect();
-            qwm_obs::histogram!("qwm.region_iterations", qwm_obs::ITER_BOUNDS)
+            qwm_obs::histogram!("qwm.region.iterations", qwm_obs::ITER_BOUNDS)
                 .record(iterations as u64);
             return Ok(RegionSolution {
                 tau_next: t,
@@ -553,7 +553,7 @@ pub fn solve_region_counted(
             LinearSolver::BorderedTridiagonal => {
                 // One Sherman–Morrison-style bordered solve: two Thomas
                 // back-solves replace a dense factorization.
-                qwm_obs::counter!("qwm.sherman_morrison_solves").incr();
+                qwm_obs::counter!("qwm.solver.sherman_morrison_solves").incr();
                 let tri = Tridiagonal::from_bands(sub, diag, sup)?;
                 let y = tri.solve(&f)?;
                 let z = tri.solve(&tcol)?;
@@ -613,7 +613,7 @@ pub fn solve_region_counted(
         }
     }
 
-    qwm_obs::counter!("qwm.region_failures").incr();
+    qwm_obs::counter!("qwm.region.failures").incr();
     Err(NumError::NoConvergence {
         method: "qwm region",
         iterations,

@@ -119,7 +119,7 @@ pub fn solve_region_two_point(
             _ => g_res.abs() < opts.tol_condition_v,
         };
         if f_norm < opts.tol_current && cond_ok {
-            qwm_obs::histogram!("qwm.region_iterations", qwm_obs::ITER_BOUNDS)
+            qwm_obs::histogram!("qwm.region.iterations", qwm_obs::ITER_BOUNDS)
                 .record(iterations as u64);
             // Device-consistent outputs.
             let alphas_first: Vec<f64> = (0..n).map(|k| (im.i[k] - state.i[k]) / h).collect();
@@ -211,7 +211,7 @@ pub fn solve_region_two_point(
             t_end = (t_end - step[2 * n].clamp(-max_dt, max_dt)).max(state.tau + opts.min_delta);
         }
     }
-    qwm_obs::counter!("qwm.region_failures").incr();
+    qwm_obs::counter!("qwm.region.failures").incr();
     Err(NumError::NoConvergence {
         method: "qwm region (r=2)",
         iterations,

@@ -205,7 +205,10 @@ impl TableModel {
     /// normalized voltages `(vg, vs, vd)` with `vd ≥ vs`, bilinearly
     /// blended from the four neighbouring grid fits.
     fn forward(&self, vg: f64, vs: f64, vd: f64) -> (f64, f64, f64, f64) {
-        qwm_obs::counter!("device.table_lookups").incr();
+        qwm_obs::counter!("device.table.lookups").incr();
+        // Attributes this lookup's wall time to the enclosing traced
+        // arc; a single relaxed load when tracing is off.
+        let _t = qwm_obs::trace::time_lookup();
         let n = self.n;
         let clamp = |u: f64| u.clamp(0.0, (n - 1) as f64);
         let locate = |v: f64| {

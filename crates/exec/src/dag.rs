@@ -62,7 +62,7 @@ fn dag_pop<E>(shared: &DagShared<E>, me: usize) -> Option<usize> {
     for offset in 1..n {
         let victim = (me + offset) % n;
         if let Some(node) = shared.locals[victim].lock().expect("dag local").pop_front() {
-            qwm_obs::counter!("exec.dag_steals").incr();
+            qwm_obs::counter!("exec.dag.steals").incr();
             return Some(node);
         }
     }
@@ -75,7 +75,12 @@ fn dag_worker<E: Send, F: Fn(usize, usize) -> Result<(), E> + Sync>(
     f: &F,
     me: usize,
     total: usize,
+    trace_ctx: u64,
 ) {
+    // Re-install the submitting thread's trace parent so spans recorded
+    // by tasks on this worker attach to the caller's tree (no-op unless
+    // tracing is on).
+    let _trace = qwm_obs::trace::adopt(trace_ctx);
     let obs = qwm_obs::enabled();
     let mut busy_ns: u64 = 0;
     loop {
@@ -108,7 +113,7 @@ fn dag_worker<E: Send, F: Fn(usize, usize) -> Result<(), E> + Sync>(
                         }
                     }
                     if obs {
-                        qwm_obs::histogram!("exec.dag_queue_depth", qwm_obs::SIZE_BOUNDS)
+                        qwm_obs::histogram!("exec.dag.queue_depth", qwm_obs::SIZE_BOUNDS)
                             .record(local.len() as u64);
                     }
                 }
@@ -139,7 +144,7 @@ fn dag_worker<E: Send, F: Fn(usize, usize) -> Result<(), E> + Sync>(
         }
     }
     if obs {
-        qwm_obs::histogram!("exec.worker_busy_ns", qwm_obs::NS_BOUNDS).record(busy_ns);
+        qwm_obs::histogram!("exec.dag.worker_busy_ns", qwm_obs::NS_BOUNDS).record(busy_ns);
     }
 }
 
@@ -201,11 +206,14 @@ where
             .expect("dag local")
             .push_back(root);
     }
+    // Capture the trace parent here, on the submitting thread; workers
+    // adopt it so per-stage spans cross the thread boundary intact.
+    let trace_ctx = qwm_obs::trace::current();
     std::thread::scope(|scope| {
         for w in 0..threads {
             let shared = &shared;
             let f = &f;
-            scope.spawn(move || dag_worker(shared, lev, f, w, total));
+            scope.spawn(move || dag_worker(shared, lev, f, w, total, trace_ctx));
         }
     });
     if let Some(payload) = shared.panic.into_inner().expect("dag panic") {
@@ -249,10 +257,12 @@ where
     let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
     let panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let trace_ctx = qwm_obs::trace::current();
     std::thread::scope(|scope| {
         for w in 0..threads {
             let (next, stop, slots, errors, panic, f) = (&next, &stop, &slots, &errors, &panic, &f);
             scope.spawn(move || {
+                let _trace = qwm_obs::trace::adopt(trace_ctx);
                 // Per-worker scratch: results batch up locally and merge
                 // once, so the shared lock is taken O(1) times per worker.
                 let mut mine: Vec<(usize, T)> = Vec::new();

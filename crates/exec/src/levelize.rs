@@ -160,13 +160,13 @@ impl Levelizer {
     }
 
     /// Records the level-width distribution into the observability
-    /// layer (`exec.level_width`). No-op when collection is off.
+    /// layer (`exec.dag.level_width`). No-op when collection is off.
     pub fn record_obs(&self) {
         if !qwm_obs::enabled() {
             return;
         }
         for level in &self.levels {
-            qwm_obs::histogram!("exec.level_width", qwm_obs::SIZE_BOUNDS)
+            qwm_obs::histogram!("exec.dag.level_width", qwm_obs::SIZE_BOUNDS)
                 .record(level.len() as u64);
         }
     }

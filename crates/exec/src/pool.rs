@@ -90,7 +90,7 @@ impl ThreadPool {
         {
             let mut inj = self.shared.injector.lock().expect("pool injector");
             inj.push_back(Box::new(job));
-            qwm_obs::counter!("exec.pool_submitted").incr();
+            qwm_obs::counter!("exec.pool.submitted").incr();
         }
         self.shared.work_cv.notify_one();
     }
@@ -154,7 +154,7 @@ fn pop_job(shared: &PoolShared, me: usize) -> Option<Job> {
                     local.push_back(j);
                 }
             }
-            qwm_obs::histogram!("exec.pool_queue_depth", qwm_obs::SIZE_BOUNDS)
+            qwm_obs::histogram!("exec.pool.queue_depth", qwm_obs::SIZE_BOUNDS)
                 .record(local.len() as u64);
             drop(local);
             if let Some(job) = inj.pop_front() {
@@ -171,7 +171,7 @@ fn pop_job(shared: &PoolShared, me: usize) -> Option<Job> {
             .expect("pool local")
             .pop_front()
         {
-            qwm_obs::counter!("exec.pool_steals").incr();
+            qwm_obs::counter!("exec.pool.steals").incr();
             return Some(job);
         }
     }
@@ -190,7 +190,7 @@ fn worker_loop(shared: &PoolShared, me: usize) {
                     .lock()
                     .expect("pool panics")
                     .push(format!("pool job panicked on worker {me}"));
-                qwm_obs::counter!("exec.pool_panics").incr();
+                qwm_obs::counter!("exec.pool.panics").incr();
             }
             let mut state = shared.state.lock().expect("pool state");
             state.pending -= 1;

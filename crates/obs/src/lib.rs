@@ -28,27 +28,37 @@
 //! qwm_obs::set_mode(qwm_obs::ObsMode::Summary);
 //! {
 //!     let _span = qwm_obs::span!("stage_eval");
-//!     qwm_obs::counter!("qwm.nr_iterations").add(17);
-//!     qwm_obs::histogram!("qwm.region_iterations", qwm_obs::ITER_BOUNDS).record(4);
+//!     qwm_obs::counter!("qwm.solver.nr_iterations").add(17);
+//!     qwm_obs::histogram!("qwm.region.iterations", qwm_obs::ITER_BOUNDS).record(4);
 //! }
 //! let text = qwm_obs::render(qwm_obs::ObsMode::Summary);
-//! assert!(text.contains("qwm.nr_iterations"));
+//! assert!(text.contains("qwm.solver.nr_iterations"));
 //! # qwm_obs::set_mode(qwm_obs::ObsMode::Off);
 //! # qwm_obs::reset();
 //! ```
 //!
 //! The parallel scheduler (`qwm-exec`) reports through the same
-//! registry: counters `exec.pool_submitted`, `exec.pool_steals`,
-//! `exec.pool_panics` and `exec.dag_steals`, plus histograms
-//! `exec.pool_queue_depth`, `exec.dag_queue_depth`, `exec.level_width`
-//! (stage-DAG parallelism profile) and `exec.worker_busy_ns` (per-worker
-//! busy time per `run_dag` invocation).
+//! registry: counters `exec.pool.submitted`, `exec.pool.steals`,
+//! `exec.pool.panics` and `exec.dag.steals`, plus histograms
+//! `exec.pool.queue_depth`, `exec.dag.queue_depth`,
+//! `exec.dag.level_width` (stage-DAG parallelism profile) and
+//! `exec.dag.worker_busy_ns` (per-worker busy time per `run_dag`
+//! invocation). The full metric inventory lives in DESIGN.md §9.
+//!
+//! Beyond the aggregate layer, the [`trace`] module records per-query
+//! hierarchical span trees with hot-arc attribution (off by default,
+//! one relaxed atomic load when off), [`prom`] renders the registry as
+//! Prometheus text exposition, and [`report`] turns dumped JSON
+//! telemetry into a self-contained HTML report.
 
 pub mod env;
 mod event;
 mod metrics;
+pub mod prom;
 mod render;
+pub mod report;
 mod span;
+pub mod trace;
 
 pub use event::{error, warn, Event, EventBuilder, Level};
 pub use metrics::{Counter, Histogram, HistogramSummary, ITER_BOUNDS, NS_BOUNDS, SIZE_BOUNDS};
@@ -142,10 +152,11 @@ pub(crate) fn registry() -> &'static Registry {
     })
 }
 
-/// Zeroes every registered counter, histogram, span aggregate and drops
-/// buffered events. Registration (names, bucket bounds) survives; only
-/// the collected values are cleared. Intended for tests and for bench
-/// binaries that want a per-phase appendix.
+/// Zeroes every registered counter, histogram, span aggregate, drops
+/// buffered events and buffered trace records. Registration (names,
+/// bucket bounds) survives; only the collected values are cleared.
+/// Intended for tests and for bench binaries that want a per-phase
+/// appendix.
 pub fn reset() {
     let reg = registry();
     for c in reg.counters.lock().expect("obs registry").iter() {
@@ -158,6 +169,7 @@ pub fn reset() {
         s.reset();
     }
     reg.events.lock().expect("obs registry").clear();
+    trace::clear();
 }
 
 /// Looks up a counter's current value by name (`None` when never
@@ -172,7 +184,8 @@ pub fn counter_value(name: &str) -> Option<u64> {
         .map(|c| c.value.load(Ordering::Relaxed))
 }
 
-/// Looks up a histogram summary by name.
+/// Looks up a histogram summary by name (`None` when never registered
+/// or when the histogram holds no samples).
 pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
     registry()
         .histograms
@@ -180,7 +193,7 @@ pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
         .expect("obs registry")
         .iter()
         .find(|h| h.name == name)
-        .map(|h| h.summary())
+        .and_then(|h| h.summary())
 }
 
 /// Looks up a span aggregate by path.

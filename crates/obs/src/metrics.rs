@@ -113,19 +113,21 @@ impl HistogramInner {
         self.max.store(0, Ordering::Relaxed);
     }
 
-    pub(crate) fn summary(&self) -> HistogramSummary {
+    pub(crate) fn summary(&self) -> Option<HistogramSummary> {
         let counts: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            // An empty histogram has no percentiles: the caller gets
+            // `None`, never a fabricated all-zero summary.
+            return None;
+        }
         let sum = self.sum.load(Ordering::Relaxed);
         let max = self.max.load(Ordering::Relaxed);
         let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
             // Rank of the q-th value (1-based, nearest-rank).
             let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
@@ -143,19 +145,15 @@ impl HistogramInner {
             }
             max
         };
-        HistogramSummary {
+        Some(HistogramSummary {
             count,
             sum,
-            mean: if count == 0 {
-                0.0
-            } else {
-                sum as f64 / count as f64
-            },
+            mean: sum as f64 / count as f64,
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
             max,
-        }
+        })
     }
 }
 
@@ -208,8 +206,9 @@ impl Histogram {
         self.0.max.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// Current summary (count, mean, p50/p95/p99, max).
-    pub fn summary(self) -> HistogramSummary {
+    /// Current summary (count, mean, p50/p95/p99, max); `None` while
+    /// the histogram holds no samples.
+    pub fn summary(self) -> Option<HistogramSummary> {
         self.0.summary()
     }
 
@@ -230,8 +229,8 @@ macro_rules! histogram {
     }};
 }
 
-/// Point-in-time summary of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Point-in-time summary of a non-empty [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramSummary {
     /// Observations recorded.
     pub count: u64,

@@ -1,0 +1,313 @@
+//! Prometheus-style text exposition of the metric registry.
+//!
+//! [`render_prom`] walks every registered counter and histogram and
+//! emits the classic text format: `# TYPE` headers, cumulative
+//! `_bucket{le="..."}` samples from the explicit bucket bounds, and
+//! `_sum`/`_count` per histogram. Metric names are sanitised to the
+//! Prometheus charset (dots become underscores) and prefixed `qwm_`;
+//! counters additionally get the conventional `_total` suffix. Flat
+//! span aggregates export as `qwm_span_latency_ns` with the path as a
+//! `path` label so one family covers every span.
+//!
+//! [`check_exposition`] is a small line-format validator used by the
+//! test suite (and available to callers) to keep the output inside the
+//! exposition grammar without an external dependency.
+
+use crate::registry;
+use std::sync::atomic::Ordering;
+
+/// Maps a registry metric name onto the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixing `qwm_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("qwm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_histogram(
+    out: &mut String,
+    family: &str,
+    extra_label: Option<(&str, &str)>,
+    bounds: &[u64],
+    buckets: &[u64],
+    sum: u64,
+    count: u64,
+) {
+    let label = |le: &str| -> String {
+        match extra_label {
+            Some((k, v)) => format!("{{{}=\"{}\",le=\"{}\"}}", k, escape_label(v), le),
+            None => format!("{{le=\"{}\"}}", le),
+        }
+    };
+    let plain = match extra_label {
+        Some((k, v)) => format!("{{{}=\"{}\"}}", k, escape_label(v)),
+        None => String::new(),
+    };
+    let mut cum = 0u64;
+    for (i, &b) in bounds.iter().enumerate() {
+        cum += buckets[i];
+        out.push_str(&format!("{family}_bucket{} {cum}\n", label(&b.to_string())));
+    }
+    out.push_str(&format!("{family}_bucket{} {count}\n", label("+Inf")));
+    out.push_str(&format!("{family}_sum{plain} {sum}\n"));
+    out.push_str(&format!("{family}_count{plain} {count}\n"));
+}
+
+/// Renders every registered counter and histogram as Prometheus text
+/// exposition. Deterministic: families are emitted in lexicographic
+/// name order.
+pub fn render_prom() -> String {
+    let reg = registry();
+    let mut out = String::new();
+
+    let mut counters: Vec<(&'static str, u64)> = reg
+        .counters
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|c| (c.name, c.value.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort_by_key(|&(name, _)| name);
+    for (name, value) in counters {
+        let fam = sanitize(name) + "_total";
+        out.push_str(&format!("# TYPE {fam} counter\n{fam} {value}\n"));
+    }
+
+    struct Hist {
+        name: &'static str,
+        bounds: &'static [u64],
+        buckets: Vec<u64>,
+        sum: u64,
+        count: u64,
+    }
+    let hists: Vec<Hist> = reg
+        .histograms
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|h| Hist {
+            name: h.name,
+            bounds: h.bounds,
+            buckets: h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: h.sum.load(Ordering::Relaxed),
+            count: h.count.load(Ordering::Relaxed),
+        })
+        .collect();
+
+    // Flat span aggregates share one family with a `path` label.
+    let mut spans: Vec<&Hist> = hists
+        .iter()
+        .filter(|h| h.name.starts_with("span:"))
+        .collect();
+    spans.sort_by_key(|h| h.name);
+    if !spans.is_empty() {
+        out.push_str("# TYPE qwm_span_latency_ns histogram\n");
+        for h in spans {
+            let path = &h.name["span:".len()..];
+            push_histogram(
+                &mut out,
+                "qwm_span_latency_ns",
+                Some(("path", path)),
+                h.bounds,
+                &h.buckets,
+                h.sum,
+                h.count,
+            );
+        }
+    }
+
+    let mut plain: Vec<&Hist> = hists
+        .iter()
+        .filter(|h| !h.name.starts_with("span:"))
+        .collect();
+    plain.sort_by_key(|h| h.name);
+    for h in plain {
+        let fam = sanitize(h.name);
+        out.push_str(&format!("# TYPE {fam} histogram\n"));
+        push_histogram(&mut out, &fam, None, h.bounds, &h.buckets, h.sum, h.count);
+    }
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits `name{labels}` into the name and the raw label body (without
+/// braces), validating label syntax (`k="v"`, comma-separated).
+fn split_labels(sample: &str) -> Result<&str, String> {
+    let Some(open) = sample.find('{') else {
+        return Ok(sample);
+    };
+    if !sample.ends_with('}') {
+        return Err(format!("unterminated label set in `{sample}`"));
+    }
+    let body = &sample[open + 1..sample.len() - 1];
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{{{body}}}`"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("bad label name `{key}`"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label `{key}` value is not quoted"));
+        }
+        // Scan the quoted value, honouring backslash escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut closed = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    closed = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let Some(end) = closed else {
+            return Err(format!("unterminated value for label `{key}`"));
+        };
+        rest = &after[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("expected `,` between labels in `{{{body}}}`"));
+        }
+    }
+    Ok(&sample[..open])
+}
+
+/// Validates Prometheus text-exposition lines: every `# TYPE`/`# HELP`
+/// comment is well-formed, every sample is `name[{labels}] value`, and
+/// every sample belongs to a family announced by a preceding `# TYPE`.
+///
+/// # Errors
+///
+/// Returns the first offending line with a reason.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    let mut families: Vec<String> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ctx = |why: String| format!("line {}: {why}", ln + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            let kw = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next().unwrap_or("");
+            match kw {
+                "TYPE" => {
+                    if !valid_metric_name(name) {
+                        return Err(ctx(format!("bad TYPE metric name `{name}`")));
+                    }
+                    if !matches!(
+                        tail,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(ctx(format!("bad TYPE kind `{tail}`")));
+                    }
+                    families.push(name.to_string());
+                }
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(ctx(format!("bad HELP metric name `{name}`")));
+                    }
+                }
+                _ => return Err(ctx(format!("unknown comment keyword `{kw}`"))),
+            }
+            continue;
+        }
+        let Some(sp) = line.rfind(' ') else {
+            return Err(ctx("sample line without a value".to_string()));
+        };
+        let (sample, value) = (&line[..sp], &line[sp + 1..]);
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(ctx(format!("bad sample value `{value}`")));
+        }
+        let name = split_labels(sample).map_err(ctx)?;
+        if !valid_metric_name(name) {
+            return Err(ctx(format!("bad sample metric name `{name}`")));
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !families.iter().any(|f| f == family || f == name) {
+            return Err(ctx(format!("sample `{name}` precedes its # TYPE header")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(sanitize("sta.arc.cache_hits"), "qwm_sta_arc_cache_hits");
+    }
+
+    #[test]
+    fn checker_accepts_canonical_exposition() {
+        let text = "# TYPE a_total counter\na_total 3\n\
+                    # TYPE b histogram\nb_bucket{le=\"10\"} 1\nb_bucket{le=\"+Inf\"} 2\nb_sum 11\nb_count 2\n";
+        check_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(check_exposition("no_type_header 1\n").is_err());
+        assert!(check_exposition("# TYPE x counter\nx\n").is_err());
+        assert!(check_exposition("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(check_exposition("# TYPE 9bad counter\n").is_err());
+        assert!(check_exposition("# TYPE x counter\nx{le=\"1} 2\n").is_err());
+        assert!(check_exposition("# BOGUS x counter\n").is_err());
+    }
+}

@@ -84,8 +84,7 @@ fn render_summary() -> String {
         .expect("obs registry")
         .iter()
         .filter(|h| !h.name.starts_with("span:"))
-        .map(|h| (h.name, h.summary()))
-        .filter(|(_, s)| s.count > 0)
+        .filter_map(|h| h.summary().map(|s| (h.name, s)))
         .collect();
     hists.sort_by_key(|&(n, _)| n);
     if !hists.is_empty() {
@@ -172,7 +171,7 @@ fn render_json() -> String {
         .expect("obs registry")
         .iter()
         .filter(|h| !h.name.starts_with("span:"))
-        .map(|h| (h.name, h.summary()))
+        .map(|h| (h.name, h.summary().unwrap_or_default()))
         .collect();
     hists.sort_by_key(|&(n, _)| n);
     for (name, s) in hists {

@@ -35,7 +35,10 @@ impl SpanStatInner {
     }
 
     pub(crate) fn stats(&self) -> SpanStats {
-        let summary = self.hist.summary();
+        // A registered-but-unrecorded span reports zeros here (count 0
+        // already says "no data"); the Option contract lives on the
+        // histogram API.
+        let summary = self.hist.summary().unwrap_or_default();
         SpanStats {
             count: self.count.load(Ordering::Relaxed),
             total_ns: self.total_ns.load(Ordering::Relaxed),

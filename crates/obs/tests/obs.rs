@@ -37,18 +37,18 @@ fn histogram_bucket_boundaries() {
     // A value equal to an upper bound lands in that bucket (bounds are
     // inclusive upper limits), one past it lands in the next.
     h.record(10);
-    let s = h.summary();
+    let s = h.summary().expect("non-empty");
     assert_eq!((s.count, s.p50, s.max), (1, 10, 10));
 
     qwm_obs::reset();
     h.record(11);
-    let s = h.summary();
+    let s = h.summary().expect("non-empty");
     // Resolved to the bucket's upper bound, clamped by the observed max.
     assert_eq!((s.p50, s.max), (11, 11));
 
     qwm_obs::reset();
     h.record(1000); // overflow bucket reports the observed max
-    let s = h.summary();
+    let s = h.summary().expect("non-empty");
     assert_eq!((s.p50, s.p95, s.max), (1000, 1000, 1000));
 }
 
@@ -60,7 +60,7 @@ fn histogram_percentile_math() {
     for v in 1..=10 {
         h.record(v);
     }
-    let s = h.summary();
+    let s = h.summary().expect("non-empty");
     assert_eq!(s.count, 10);
     assert_eq!(s.sum, 55);
     assert!((s.mean - 5.5).abs() < 1e-12);
@@ -75,7 +75,7 @@ fn histogram_percentile_math() {
         h.record(2);
     }
     h.record(9);
-    let s = h.summary();
+    let s = h.summary().expect("non-empty");
     assert_eq!(s.p50, 2);
     assert_eq!(s.p95, 2); // rank 95 of 100 still falls in the 2-bucket
     assert_eq!(s.p99, 2); // rank 99 likewise
@@ -90,7 +90,7 @@ fn histogram_percentile_math() {
     for _ in 0..20 {
         h.record(9);
     }
-    let s = h.summary();
+    let s = h.summary().expect("non-empty");
     assert_eq!(s.p50, 2);
     assert_eq!(s.p95, 2);
     assert_eq!(s.p99, 9);
@@ -98,13 +98,57 @@ fn histogram_percentile_math() {
 }
 
 #[test]
-fn empty_histogram_summary_is_zeroed() {
+fn histogram_percentiles_against_uniform_1_to_1000() {
+    let _g = obs_lock();
+    // 50-wide buckets resolve nearest-rank percentiles of a uniform
+    // 1..=1000 distribution exactly to their true values.
+    static BOUNDS: &[u64] = &[
+        50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600, 650, 700, 750, 800, 850, 900,
+        950, 1000,
+    ];
+    let h = histogram!("test.hist.uniform1000", BOUNDS);
+    for v in 1..=1000 {
+        h.record(v);
+    }
+    let s = h.summary().expect("non-empty");
+    assert_eq!(s.count, 1000);
+    assert_eq!(s.sum, 500_500);
+    assert!((s.mean - 500.5).abs() < 1e-9);
+    assert_eq!(s.p50, 500); // rank 500 → bucket (451..=500]
+    assert_eq!(s.p95, 950); // rank 950 → bucket (901..=950]
+    assert_eq!(s.p99, 1000); // rank 990 → bucket (951..=1000]
+    assert_eq!(s.max, 1000);
+}
+
+#[test]
+fn single_sample_percentiles_collapse_to_the_sample() {
+    let _g = obs_lock();
+    static BOUNDS: &[u64] = &[10, 100];
+    let h = histogram!("test.hist.single", BOUNDS);
+    h.record(7);
+    let s = h.summary().expect("non-empty");
+    assert_eq!(s.count, 1);
+    assert_eq!(s.p50, 7);
+    assert_eq!(s.p95, 7);
+    assert_eq!(s.p99, 7);
+    assert_eq!(s.max, 7);
+}
+
+#[test]
+fn empty_histogram_summary_is_none() {
     let _g = obs_lock();
     static BOUNDS: &[u64] = &[1, 2];
     let h = histogram!("test.hist.empty", BOUNDS);
-    let s = h.summary();
-    assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0, 0));
-    assert_eq!(s.mean, 0.0);
+    assert!(h.summary().is_none());
+    // The by-name lookup agrees: registered-but-empty reads as None.
+    assert!(qwm_obs::histogram_summary("test.hist.empty").is_none());
+    h.record(1);
+    assert!(h.summary().is_some());
+    qwm_obs::reset();
+    assert!(
+        h.summary().is_none(),
+        "reset returns the histogram to empty"
+    );
 }
 
 #[test]
@@ -161,7 +205,7 @@ fn off_mode_is_a_no_op() {
     }
     qwm_obs::warn("test.off.event").field("k", 1).emit();
     assert_eq!(c.value(), 0);
-    assert_eq!(h.summary().count, 0);
+    assert!(h.summary().is_none());
     assert!(qwm_obs::span_stats("test_off_span").is_none());
     assert!(qwm_obs::recent_events().is_empty());
     assert_eq!(qwm_obs::render(ObsMode::Off), "");
@@ -227,6 +271,57 @@ fn summary_rendering_lists_active_metrics() {
     assert!(text.contains("test_render_span"));
     // Zero-valued entries from other tests' registrations are skipped.
     assert!(!text.contains("test.off.counter"));
+}
+
+#[test]
+fn rendering_is_lexicographically_sorted() {
+    let _g = obs_lock();
+    // Register deliberately out of order; both render modes must sort.
+    counter!("test.sorted.zz").incr();
+    counter!("test.sorted.aa").incr();
+    counter!("test.sorted.mm").incr();
+    static BOUNDS: &[u64] = &[1, 2];
+    histogram!("test.sortedh.zz", BOUNDS).record(1);
+    histogram!("test.sortedh.aa", BOUNDS).record(1);
+    for text in [
+        qwm_obs::render(ObsMode::Summary),
+        qwm_obs::render(ObsMode::Json),
+    ] {
+        let positions: Vec<usize> = ["test.sorted.aa", "test.sorted.mm", "test.sorted.zz"]
+            .iter()
+            .map(|n| text.find(n).unwrap_or_else(|| panic!("{n} missing")))
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "counters unsorted"
+        );
+        let ha = text.find("test.sortedh.aa").expect("hist aa");
+        let hz = text.find("test.sortedh.zz").expect("hist zz");
+        assert!(ha < hz, "histograms unsorted");
+    }
+}
+
+#[test]
+fn prom_exposition_renders_and_validates() {
+    let _g = obs_lock();
+    counter!("test.prom.counter").add(5);
+    static BOUNDS: &[u64] = &[10, 100];
+    histogram!("test.prom.hist", BOUNDS).record(42);
+    {
+        let _s = span!("test_prom_span");
+    }
+    let text = qwm_obs::prom::render_prom();
+    qwm_obs::prom::check_exposition(&text).expect("valid exposition");
+    assert!(text.contains("# TYPE qwm_test_prom_counter_total counter"));
+    assert!(text.contains("qwm_test_prom_counter_total 5"));
+    assert!(text.contains("# TYPE qwm_test_prom_hist histogram"));
+    assert!(text.contains("qwm_test_prom_hist_bucket{le=\"10\"} 0"));
+    assert!(text.contains("qwm_test_prom_hist_bucket{le=\"100\"} 1"));
+    assert!(text.contains("qwm_test_prom_hist_bucket{le=\"+Inf\"} 1"));
+    assert!(text.contains("qwm_test_prom_hist_sum 42"));
+    assert!(text.contains("qwm_test_prom_hist_count 1"));
+    // Flat spans export under one family with a path label.
+    assert!(text.contains("qwm_span_latency_ns_bucket{path=\"test_prom_span\",le=\"+Inf\"} 1"));
 }
 
 #[test]

@@ -238,7 +238,7 @@ impl Server {
         while !self.shared.draining() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    counter!("server.accepted").incr();
+                    counter!("server.conn.accepted").incr();
                     let shared = Arc::clone(&self.shared);
                     conns.push(
                         std::thread::Builder::new()
@@ -277,7 +277,7 @@ fn janitor_loop(shared: &Shared, ttl: Duration) {
         std::thread::sleep(tick);
         let evicted = shared.sessions.evict_idle(ttl);
         if evicted > 0 {
-            counter!("server.evicted").add(evicted as u64);
+            counter!("server.session.evicted").add(evicted as u64);
         }
     }
 }
@@ -349,7 +349,7 @@ impl Wire {
 
     fn send_status(&mut self, code: u16, msg: &str) -> io::Result<()> {
         if code >= 400 {
-            counter!("server.errors").incr();
+            counter!("server.request.errors").incr();
         }
         self.stream.write_all(format!("{code} {msg}\n").as_bytes())
     }
@@ -377,7 +377,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             continue;
         }
         let t0 = Instant::now();
-        counter!("server.requests").incr();
+        counter!("server.request.received").incr();
         let cmd = match protocol::parse_command(&line) {
             Ok(c) => c,
             Err(e) => {
@@ -421,12 +421,12 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
 /// per-command series needs its own site with a literal name.
 fn record_request_ns(label: &'static str, ns: u64) {
     match label {
-        "load" => histogram!("server.request_ns.load", NS_BOUNDS).record(ns),
-        "run" => histogram!("server.request_ns.run", NS_BOUNDS).record(ns),
-        "edit" => histogram!("server.request_ns.edit", NS_BOUNDS).record(ns),
-        "report" => histogram!("server.request_ns.report", NS_BOUNDS).record(ns),
-        "sleep" => histogram!("server.request_ns.sleep", NS_BOUNDS).record(ns),
-        _ => histogram!("server.request_ns.other", NS_BOUNDS).record(ns),
+        "load" => histogram!("server.request.latency_ns.load", NS_BOUNDS).record(ns),
+        "run" => histogram!("server.request.latency_ns.run", NS_BOUNDS).record(ns),
+        "edit" => histogram!("server.request.latency_ns.edit", NS_BOUNDS).record(ns),
+        "report" => histogram!("server.request.latency_ns.report", NS_BOUNDS).record(ns),
+        "sleep" => histogram!("server.request.latency_ns.sleep", NS_BOUNDS).record(ns),
+        _ => histogram!("server.request.latency_ns.other", NS_BOUNDS).record(ns),
     }
 }
 
@@ -470,13 +470,13 @@ fn admit(shared: &Arc<Shared>, wire: &mut Wire) -> io::Result<Option<AdmitGuard>
             (n < max).then_some(n + 1)
         }) {
         Ok(prev) => {
-            histogram!("server.inflight", SIZE_BOUNDS).record(prev as u64 + 1);
+            histogram!("server.request.inflight", SIZE_BOUNDS).record(prev as u64 + 1);
             Ok(Some(AdmitGuard {
                 shared: Arc::clone(shared),
             }))
         }
         Err(cur) => {
-            counter!("server.rejected").incr();
+            counter!("server.request.rejected").incr();
             wire.send_status(429, &format!("busy inflight={cur} max={max}"))?;
             Ok(None)
         }
@@ -510,9 +510,53 @@ fn dispatch(
             shared.draining.store(true, Ordering::SeqCst);
             wire.send_status(200, "ok draining").map(|()| Flow::Quit)
         }
-        Command::Metrics => {
-            let text = qwm_obs::render(qwm_obs::ObsMode::Json);
+        Command::Metrics { prom } => {
+            let text = if prom {
+                qwm_obs::prom::render_prom()
+            } else {
+                qwm_obs::render(qwm_obs::ObsMode::Json)
+            };
             wire.send_payload(200, "ok", &text).map(|()| Flow::Continue)
+        }
+        Command::Profile { k } => {
+            let text = qwm_obs::trace::profile_top(k);
+            wire.send_payload(200, "ok", &text).map(|()| Flow::Continue)
+        }
+        Command::Trace { sid, action } => {
+            let reply = match shared.sessions.get(&sid) {
+                None => Err((404, format!("unknown session {sid:?}"))),
+                Some(sess) => {
+                    let mut s = lock_session(&sess);
+                    s.last_used = Instant::now();
+                    match action {
+                        // The recorder is process-wide; the session flag
+                        // picks whose runs capture trees. `off` stops
+                        // recording for everyone — honest and simple.
+                        protocol::TraceAction::On => {
+                            s.trace_on = true;
+                            qwm_obs::trace::set_enabled(true);
+                            Ok(("ok tracing=on".to_string(), None))
+                        }
+                        protocol::TraceAction::Off => {
+                            s.trace_on = false;
+                            qwm_obs::trace::set_enabled(false);
+                            Ok(("ok tracing=off".to_string(), None))
+                        }
+                        protocol::TraceAction::Last { json } => match &s.last_trace {
+                            None => Err((404, format!("session {sid:?} has no trace yet"))),
+                            Some(t) => {
+                                let body = if json {
+                                    t.render_json()
+                                } else {
+                                    t.render_text()
+                                };
+                                Ok((format!("ok records={}", t.records.len()), Some(body)))
+                            }
+                        },
+                    }
+                }
+            };
+            send_outcome(wire, reply).map(|()| Flow::Continue)
         }
         Command::Report { sid } => {
             let reply = match shared.sessions.get(&sid) {
@@ -718,8 +762,12 @@ fn run_session(
     deadline: Option<Duration>,
     enqueued: Instant,
 ) -> Outcome {
+    // Queue wait: enqueue on the connection thread to job start here.
+    // Always measured (two clock reads per run) so the reply can report
+    // the wait/solve split whether or not tracing is on.
+    let wait = enqueued.elapsed();
     if let Some(d) = deadline {
-        if enqueued.elapsed() >= d {
+        if wait >= d {
             return Err((
                 408,
                 format!("deadline_ms={} exceeded while queued", d.as_millis()),
@@ -750,17 +798,39 @@ fn run_session(
             Box::new(f)
         }
     };
-    let report = s
-        .engine
-        .run_incremental(evaluator.as_ref())
-        .map_err(|e| num_outcome("run", &e))?;
+    // Traced runs get a root span; the admission wait is attached as a
+    // manual child (its clock started before this scope existed). The
+    // root guard must drop before the tree is collected.
+    let mut root_id = 0;
+    let solve_t0 = Instant::now();
+    let result = {
+        let root = s
+            .trace_on
+            .then(|| qwm_obs::trace::TraceGuard::enter("server.run"));
+        if let Some(g) = &root {
+            root_id = g.id();
+            qwm_obs::trace::record_manual("server.wait.admission", root_id, enqueued, wait);
+        }
+        s.engine.run_incremental(evaluator.as_ref())
+    };
+    let solve_ns = solve_t0.elapsed().as_nanos() as u64;
+    if root_id != 0 {
+        // Collected immediately (even on error) so ring wrap-around
+        // cannot eat this query's records.
+        s.last_trace = Some(qwm_obs::trace::take_tree(root_id));
+    }
+    let report = result.map_err(|e| num_outcome("run", &e))?;
     let golden = golden_report(&report, s.engine.netlist());
     s.last_report = Some(golden.clone());
     s.runs += 1;
     let stats = s.engine.incremental_stats();
     let head = format!(
-        "ok runs={} evaluated={} reused={}",
-        s.runs, stats.evaluated_stages, stats.reused_arcs
+        "ok runs={} evaluated={} reused={} wait_ns={} solve_ns={}",
+        s.runs,
+        stats.evaluated_stages,
+        stats.reused_arcs,
+        wait.as_nanos(),
+        solve_ns
     );
     drop(s);
     if let Some(d) = deadline {

@@ -15,12 +15,21 @@
 //! report <sid>
 //! stats <sid>
 //! budget <sid> [retries=<n>] [wall_ms=<n>|off]
-//! metrics
+//! trace <sid> on|off|last [json]
+//! profile top [k]
+//! metrics [prom]
 //! sleep <ms>
 //! close <sid>
 //! shutdown
 //! quit
 //! ```
+//!
+//! `trace <sid> on` switches the process-wide trace recorder on and
+//! marks the session so its next `run` captures a per-query span tree;
+//! `trace <sid> last` replays that tree as indented text (`json` for
+//! line-oriented JSON). `profile top [k]` aggregates every arc record
+//! still in the trace window into the hot-arc table. `metrics prom`
+//! renders the registry as Prometheus text exposition instead of JSON.
 //!
 //! Every reply is one status line `<code> <text...>`; when the reply
 //! carries a payload the line's *last* token is `len=<n>` and exactly
@@ -65,6 +74,20 @@ impl EvalKind {
     }
 }
 
+/// What a `trace <sid> ...` request does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceAction {
+    /// Enable the recorder and mark the session for capture.
+    On,
+    /// Disable the process-wide recorder.
+    Off,
+    /// Replay the session's last captured tree.
+    Last {
+        /// Line-oriented JSON instead of indented text.
+        json: bool,
+    },
+}
+
 /// One parsed request line. Payload bytes (for `Load`/`Edit`) are read
 /// separately by the connection loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,7 +120,18 @@ pub enum Command {
         /// `Some(None)` clears the wall, `Some(Some(d))` sets it.
         wall: Option<Option<Duration>>,
     },
-    Metrics,
+    Trace {
+        sid: String,
+        action: TraceAction,
+    },
+    Profile {
+        /// Top-k rows of the hot-arc table.
+        k: usize,
+    },
+    Metrics {
+        /// Prometheus text exposition instead of line-oriented JSON.
+        prom: bool,
+    },
     Sleep {
         ms: u64,
     },
@@ -110,7 +144,7 @@ pub enum Command {
 
 impl Command {
     /// Static label used for per-command metrics
-    /// (`server.request_ns.<label>`).
+    /// (`server.request.latency_ns.<label>`).
     pub fn label(&self) -> &'static str {
         match self {
             Command::Ping => "ping",
@@ -120,7 +154,9 @@ impl Command {
             Command::Report { .. } => "report",
             Command::Stats { .. } => "stats",
             Command::Budget { .. } => "budget",
-            Command::Metrics => "metrics",
+            Command::Trace { .. } => "trace",
+            Command::Profile { .. } => "profile",
+            Command::Metrics { .. } => "metrics",
             Command::Sleep { .. } => "sleep",
             Command::Close { .. } => "close",
             Command::Shutdown => "shutdown",
@@ -266,7 +302,50 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             }
             Ok(Command::Budget { sid, retries, wall })
         }
-        "metrics" => Ok(Command::Metrics),
+        "trace" => {
+            need(3, "trace <sid> on|off|last [json]")?;
+            let sid = session_id(toks[1])?;
+            let action = match toks[2] {
+                "on" => TraceAction::On,
+                "off" => TraceAction::Off,
+                "last" => {
+                    let mut json = false;
+                    for t in &toks[3..] {
+                        match *t {
+                            "json" => json = true,
+                            other => return Err(format!("unknown trace option {other:?}")),
+                        }
+                    }
+                    TraceAction::Last { json }
+                }
+                other => return Err(format!("unknown trace action {other:?}")),
+            };
+            Ok(Command::Trace { sid, action })
+        }
+        "profile" => {
+            need(2, "profile top [k]")?;
+            if toks[1] != "top" {
+                return Err("usage: profile top [k]".to_string());
+            }
+            let k = match toks.get(2) {
+                None => 10,
+                Some(v) => v.parse().map_err(|_| format!("bad top count {v:?}"))?,
+            };
+            if k == 0 || k > 1000 {
+                return Err("profile top count must be 1..=1000".to_string());
+            }
+            Ok(Command::Profile { k })
+        }
+        "metrics" => {
+            let mut prom = false;
+            for t in &toks[1..] {
+                match *t {
+                    "prom" => prom = true,
+                    other => return Err(format!("unknown metrics option {other:?}")),
+                }
+            }
+            Ok(Command::Metrics { prom })
+        }
         "sleep" => {
             need(2, "sleep <ms>")?;
             let ms: u64 = toks[1]
@@ -326,6 +405,36 @@ mod tests {
                 wall: Some(None),
             }
         );
+        assert_eq!(
+            parse_command("trace s1 last json").unwrap(),
+            Command::Trace {
+                sid: "s1".into(),
+                action: TraceAction::Last { json: true },
+            }
+        );
+        assert_eq!(
+            parse_command("trace s1 on").unwrap(),
+            Command::Trace {
+                sid: "s1".into(),
+                action: TraceAction::On,
+            }
+        );
+        assert_eq!(
+            parse_command("profile top").unwrap(),
+            Command::Profile { k: 10 }
+        );
+        assert_eq!(
+            parse_command("profile top 3").unwrap(),
+            Command::Profile { k: 3 }
+        );
+        assert_eq!(
+            parse_command("metrics").unwrap(),
+            Command::Metrics { prom: false }
+        );
+        assert_eq!(
+            parse_command("metrics prom").unwrap(),
+            Command::Metrics { prom: true }
+        );
     }
 
     #[test]
@@ -340,6 +449,13 @@ mod tests {
             "run s1 slew_ps=-3",
             "sleep 999999",
             "budget s1 wall_ms=fast",
+            "trace s1",
+            "trace s1 maybe",
+            "trace s1 last yaml",
+            "profile bottom",
+            "profile top 0",
+            "profile top many",
+            "metrics xml",
         ] {
             assert!(parse_command(bad).is_err(), "{bad:?} should be rejected");
         }

@@ -41,6 +41,11 @@ pub struct Session {
     pub runs: u64,
     /// Last touch, for idle eviction.
     pub last_used: Instant,
+    /// When set (via `trace <sid> on`), each `run` captures a per-query
+    /// span tree into [`Session::last_trace`].
+    pub trace_on: bool,
+    /// Span tree captured by the most recent traced `run`.
+    pub last_trace: Option<qwm_obs::trace::TraceTree>,
 }
 
 impl Session {
@@ -51,6 +56,8 @@ impl Session {
             last_report: None,
             runs: 0,
             last_used: Instant::now(),
+            trace_on: false,
+            last_trace: None,
         }
     }
 }

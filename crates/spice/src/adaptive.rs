@@ -88,6 +88,7 @@ pub fn simulate_adaptive(
     }
     let start = Instant::now();
     let _span = qwm_obs::span!("spice.simulate_adaptive");
+    let _trace = qwm_obs::trace::TraceGuard::enter("spice.simulate_adaptive");
     let vdd = models.tech().vdd;
     let mut t = 0.0;
     let mut h = config.base.step.clamp(config.h_min, config.h_max);
@@ -135,8 +136,8 @@ pub fn simulate_adaptive(
     }
 
     let (iterations, factorizations) = stepper.counters();
-    qwm_obs::counter!("spice.nr_iterations").add(iterations as u64);
-    qwm_obs::counter!("spice.factorizations").add(factorizations as u64);
+    qwm_obs::counter!("spice.adaptive.nr_iterations").add(iterations as u64);
+    qwm_obs::counter!("spice.adaptive.factorizations").add(factorizations as u64);
     Ok(TransientResult {
         times,
         voltages: volts,

@@ -246,6 +246,7 @@ pub fn simulate(
 
     let start = Instant::now();
     let _span = qwm_obs::span!("spice.simulate");
+    let _trace = qwm_obs::trace::TraceGuard::enter("spice.simulate");
     let mut stepper = Stepper::new(stage, models, inputs, config)?;
     let mut node_v: Vec<f64> = initial.to_vec();
     node_v[stage.source().0] = models.tech().vdd;
@@ -281,9 +282,9 @@ pub fn simulate(
     }
 
     let (total_iterations, factorizations) = stepper.counters();
-    qwm_obs::counter!("spice.steps").add(steps as u64);
-    qwm_obs::counter!("spice.nr_iterations").add(total_iterations as u64);
-    qwm_obs::counter!("spice.factorizations").add(factorizations as u64);
+    qwm_obs::counter!("spice.transient.steps").add(steps as u64);
+    qwm_obs::counter!("spice.transient.nr_iterations").add(total_iterations as u64);
+    qwm_obs::counter!("spice.transient.factorizations").add(factorizations as u64);
     Ok(TransientResult {
         times,
         voltages: volts,

@@ -133,6 +133,32 @@ pub struct StaEngine<'m> {
     pub(crate) last_incremental: crate::incremental::IncrementalStats,
 }
 
+/// Stage → level map for per-stage trace records. Built only when
+/// tracing is live (one allocation per run, nothing per record);
+/// `None` keeps the traced-off hot path free of any work.
+pub(crate) fn trace_levels(lev: &Levelizer) -> Option<Vec<u64>> {
+    qwm_obs::trace::enabled().then(|| {
+        let mut level_of = vec![0u64; lev.node_count()];
+        for (l, nodes) in lev.levels().iter().enumerate() {
+            for &n in nodes {
+                level_of[n] = l as u64;
+            }
+        }
+        level_of
+    })
+}
+
+/// Opens a per-stage trace scope inside a `run_dag` worker closure.
+fn trace_stage(level_of: &Option<Vec<u64>>, s: usize) -> Option<qwm_obs::trace::TraceGuard> {
+    level_of.as_ref().map(|lv| {
+        qwm_obs::trace::TraceGuard::enter_stage(
+            "sta.stage",
+            s as u64,
+            lv.get(s).copied().unwrap_or(0),
+        )
+    })
+}
+
 impl<'m> StaEngine<'m> {
     /// Builds the engine over a netlist.
     ///
@@ -278,7 +304,10 @@ impl<'m> StaEngine<'m> {
             slew_bits: 0,
         };
         if let Some(d) = self.delay_cache.get(&key) {
-            qwm_obs::counter!("sta.cache_hits").incr();
+            qwm_obs::counter!("sta.arc.cache_hits").incr();
+            if qwm_obs::trace::enabled() {
+                qwm_obs::trace::record_arc(sid.0 as u64, "cached", std::time::Instant::now(), 0, 0);
+            }
             return Ok(d);
         }
         let part = self.graph.stage(sid);
@@ -290,9 +319,19 @@ impl<'m> StaEngine<'m> {
                 context: "StaEngine::stage_output_delay",
                 detail: format!("output net {output_net:?} missing from stage"),
             })?;
+        let arc_t0 = qwm_obs::trace::enabled().then(|| {
+            let _ = qwm_obs::trace::take_lookup_ns();
+            let _ = qwm_obs::trace::take_rung();
+            std::time::Instant::now()
+        });
         let d = evaluator.delay(&part.stage, self.models, node, self.direction)?;
+        if let Some(t0) = arc_t0 {
+            let lookup_ns = qwm_obs::trace::take_lookup_ns();
+            let (rung, retries) = qwm_obs::trace::take_rung().unwrap_or((evaluator.name(), 0));
+            qwm_obs::trace::record_arc(sid.0 as u64, rung, t0, lookup_ns, retries);
+        }
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        qwm_obs::counter!("sta.evaluations").incr();
+        qwm_obs::counter!("sta.arc.evaluations").incr();
         self.delay_cache.insert(key, d);
         Ok(d)
     }
@@ -377,6 +416,7 @@ impl<'m> StaEngine<'m> {
     /// Propagates evaluator failures.
     pub fn run(&self, evaluator: &dyn StageEvaluator) -> Result<TimingReport> {
         let _span = qwm_obs::span!("sta.run");
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.run");
         let evals_before = self.total_evaluations();
         // Parallel phase: every (stage, output) delay.
         let mut tasks: Vec<(StageId, usize)> = Vec::new();
@@ -463,6 +503,7 @@ impl<'m> StaEngine<'m> {
         evaluator: &dyn StageEvaluator,
         input_slew: f64,
     ) -> Result<Vec<Option<NetCommit>>> {
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.propagate");
         // Per-net commit book: (arrival, slew, committing stage).
         let book: Vec<Mutex<Option<NetCommit>>> = (0..self.netlist.net_count())
             .map(|_| Mutex::new(None))
@@ -470,8 +511,13 @@ impl<'m> StaEngine<'m> {
         for &pi in self.netlist.primary_inputs() {
             *book[pi.0].lock().expect("net book") = Some((0.0, input_slew, NO_PRED));
         }
-        let lev = self.levelizer()?;
+        let lev = {
+            let _t = qwm_obs::trace::TraceGuard::enter("sta.levelize");
+            self.levelizer()?
+        };
+        let level_of = trace_levels(&lev);
         qwm_exec::run_dag(self.threads, &lev, |_w, s| -> Result<()> {
+            let _stage = trace_stage(&level_of, s);
             let sid = StageId(s);
             let part = self.graph.stage(sid);
             let (launch, launch_slew) = part
@@ -562,6 +608,7 @@ impl<'m> StaEngine<'m> {
         input_slew: f64,
     ) -> Result<(TimingReport, TimingReport)> {
         let _span = qwm_obs::span!("sta.run_dual");
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.run_dual");
         let evals_before = self.total_evaluations();
         // (arrival, slew) per net per transition.
         let mk_book = || -> Vec<Mutex<Option<(f64, f64)>>> {
@@ -574,8 +621,13 @@ impl<'m> StaEngine<'m> {
             *fall[pi.0].lock().expect("net book") = Some((0.0, input_slew));
             *rise[pi.0].lock().expect("net book") = Some((0.0, input_slew));
         }
-        let lev = self.levelizer()?;
+        let lev = {
+            let _t = qwm_obs::trace::TraceGuard::enter("sta.levelize");
+            self.levelizer()?
+        };
+        let level_of = trace_levels(&lev);
         qwm_exec::run_dag(self.threads, &lev, |_w, s| -> Result<()> {
+            let _stage = trace_stage(&level_of, s);
             let sid = StageId(s);
             let part = self.graph.stage(sid);
             // Latest input rise drives the output fall, and vice versa.
@@ -701,6 +753,7 @@ impl<'m> StaEngine<'m> {
         use qwm_core::evaluate::evaluate;
 
         let _span = qwm_obs::span!("sta.run_waveform");
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.run_waveform");
         let vdd = self.models.tech().vdd;
         // Per net per transition: (50% crossing time, full waveform).
         let mk_book = || -> Vec<Mutex<Option<(f64, Waveform)>>> {
@@ -716,8 +769,13 @@ impl<'m> StaEngine<'m> {
             *rise[pi.0].lock().expect("net book") =
                 Some((0.5 * ramp, Waveform::ramp(0.0, ramp, 0.0, vdd)));
         }
-        let lev = self.levelizer()?;
+        let lev = {
+            let _t = qwm_obs::trace::TraceGuard::enter("sta.levelize");
+            self.levelizer()?
+        };
+        let level_of = trace_levels(&lev);
         qwm_exec::run_dag(self.threads, &lev, |_w, s| -> Result<()> {
+            let _stage = trace_stage(&level_of, s);
             let sid = StageId(s);
             let part = self.graph.stage(sid);
             for &output_net in &part.output_nets {
@@ -834,6 +892,12 @@ impl<'m> StaEngine<'m> {
                                 error: e.to_string(),
                             });
                         };
+                    // Arc trace: solve time covers the whole ladder;
+                    // stale lookup attribution is discarded up front.
+                    let arc_t0 = qwm_obs::trace::enabled().then(|| {
+                        let _ = qwm_obs::trace::take_lookup_ns();
+                        std::time::Instant::now()
+                    });
                     let landed = 'ladder: {
                         match qwm_attempt(config) {
                             Ok(w) => break 'ladder Some((FallbackRung::Qwm, w)),
@@ -860,7 +924,7 @@ impl<'m> StaEngine<'m> {
                         None
                     };
                     let Some((rung, out_wf)) = landed else {
-                        qwm_obs::counter!("sta.waveform_exhausted").incr();
+                        qwm_obs::counter!("sta.waveform.exhausted").incr();
                         let chain_text: Vec<String> = failures
                             .iter()
                             .map(|f| format!("{}: {}", f.rung.name(), f.error))
@@ -877,10 +941,19 @@ impl<'m> StaEngine<'m> {
                         });
                     };
                     self.evaluations.fetch_add(1, Ordering::Relaxed);
-                    qwm_obs::counter!("sta.evaluations").incr();
+                    qwm_obs::counter!("sta.arc.evaluations").incr();
+                    if let Some(t0) = arc_t0 {
+                        qwm_obs::trace::record_arc(
+                            sid.0 as u64,
+                            rung.name(),
+                            t0,
+                            qwm_obs::trace::take_lookup_ns(),
+                            failures.len() as u64,
+                        );
+                    }
                     if rung != FallbackRung::Qwm {
                         self.waveform_failures.fetch_add(1, Ordering::Relaxed);
-                        qwm_obs::counter!("sta.waveform_failures").incr();
+                        qwm_obs::counter!("sta.waveform.failures").incr();
                         qwm_obs::warn("sta.run_waveform.degraded")
                             .field("stage", sid.0)
                             .field("direction", format!("{direction:?}"))
@@ -952,7 +1025,10 @@ impl<'m> StaEngine<'m> {
             slew_bits: input_slew.to_bits(),
         };
         if let Some(d) = self.slew_cache.get(&key) {
-            qwm_obs::counter!("sta.cache_hits").incr();
+            qwm_obs::counter!("sta.arc.cache_hits").incr();
+            if qwm_obs::trace::enabled() {
+                qwm_obs::trace::record_arc(sid.0 as u64, "cached", std::time::Instant::now(), 0, 0);
+            }
             return Ok(TimingMetrics {
                 delay: d.0,
                 slew: d.1,
@@ -967,9 +1043,22 @@ impl<'m> StaEngine<'m> {
                 context: "StaEngine::stage_output_timing_dir",
                 detail: format!("output net {output_net:?} missing from stage"),
             })?;
+        // Arc trace: discard stale lookup/rung attribution, then bracket
+        // the evaluator call so solve time, lookup time and the landed
+        // rung all land on this arc's record.
+        let arc_t0 = qwm_obs::trace::enabled().then(|| {
+            let _ = qwm_obs::trace::take_lookup_ns();
+            let _ = qwm_obs::trace::take_rung();
+            std::time::Instant::now()
+        });
         let m = evaluator.timing(&part.stage, self.models, node, direction, input_slew)?;
+        if let Some(t0) = arc_t0 {
+            let lookup_ns = qwm_obs::trace::take_lookup_ns();
+            let (rung, retries) = qwm_obs::trace::take_rung().unwrap_or((evaluator.name(), 0));
+            qwm_obs::trace::record_arc(sid.0 as u64, rung, t0, lookup_ns, retries);
+        }
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        qwm_obs::counter!("sta.evaluations").incr();
+        qwm_obs::counter!("sta.arc.evaluations").incr();
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }

@@ -691,7 +691,7 @@ impl FallbackEvaluator {
         if start.elapsed() < wall {
             return false;
         }
-        qwm_obs::counter!("fallback.budget_exhausted").incr();
+        qwm_obs::counter!("fallback.ladder.budget_exhausted").incr();
         Self::note_failure(
             failures,
             rung,
@@ -713,13 +713,16 @@ impl FallbackEvaluator {
         metrics: TimingMetrics,
     ) -> Result<TimingMetrics> {
         match landed {
-            FallbackRung::Qwm => qwm_obs::counter!("fallback.qwm_ok").incr(),
-            FallbackRung::QwmRetry => qwm_obs::counter!("fallback.rung_qwm_retry").incr(),
-            FallbackRung::SpiceAdaptive => qwm_obs::counter!("fallback.rung_spice_adaptive").incr(),
-            FallbackRung::SpiceFixed => qwm_obs::counter!("fallback.rung_spice_fixed").incr(),
-            FallbackRung::ElmoreBound => qwm_obs::counter!("fallback.rung_elmore_bound").incr(),
+            FallbackRung::Qwm => qwm_obs::counter!("fallback.rung.qwm").incr(),
+            FallbackRung::QwmRetry => qwm_obs::counter!("fallback.rung.qwm_retry").incr(),
+            FallbackRung::SpiceAdaptive => qwm_obs::counter!("fallback.rung.spice_adaptive").incr(),
+            FallbackRung::SpiceFixed => qwm_obs::counter!("fallback.rung.spice_fixed").incr(),
+            FallbackRung::ElmoreBound => qwm_obs::counter!("fallback.rung.elmore_bound").incr(),
         }
-        qwm_obs::histogram!("fallback.rungs_tried", qwm_obs::ITER_BOUNDS)
+        // Leave the rung note for the STA engine's arc recorder (same
+        // thread; read right after the evaluator returns).
+        qwm_obs::trace::note_rung(landed.name(), failures.len() as u64);
+        qwm_obs::histogram!("fallback.ladder.rungs_tried", qwm_obs::ITER_BOUNDS)
             .record(failures.len() as u64 + 1);
         if landed != FallbackRung::Qwm {
             let mut book = self.degradations.lock().expect("fallback degradations");
@@ -834,7 +837,7 @@ impl FallbackEvaluator {
             ),
             Err(e) => {
                 Self::note_failure(&mut failures, FallbackRung::ElmoreBound, e, &output_name);
-                qwm_obs::counter!("fallback.exhausted").incr();
+                qwm_obs::counter!("fallback.ladder.exhausted").incr();
                 let chain: Vec<String> = failures
                     .iter()
                     .map(|f| format!("{}: {}", f.rung.name(), f.error))

@@ -306,6 +306,7 @@ impl<'m> StaEngine<'m> {
     /// set are left untouched on error, so the next call retries.
     pub fn run_incremental(&mut self, evaluator: &dyn StageEvaluator) -> Result<TimingReport> {
         let _span = qwm_obs::span!("sta.run_incremental");
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.run_incremental");
         qwm_obs::counter!("sta.incremental.runs").incr();
         let evals_before = self.total_evaluations();
         let needs_full = match &self.committed {
@@ -407,8 +408,18 @@ impl<'m> StaEngine<'m> {
         let evaluated = AtomicUsize::new(0);
         let arcs_requested = AtomicUsize::new(0);
         let early_stops = AtomicUsize::new(0);
+        // Trace stage records carry the *global* stage id; the level map
+        // is indexed by the cone-local id the sub-levelizer assigned.
+        let level_of = crate::engine::trace_levels(&lev);
         qwm_exec::run_dag(self.threads(), &lev, |_w, local| -> Result<()> {
             let gid = cone[local];
+            let _stage = level_of.as_ref().map(|lv| {
+                qwm_obs::trace::TraceGuard::enter_stage(
+                    "sta.stage",
+                    gid as u64,
+                    lv.get(local).copied().unwrap_or(0),
+                )
+            });
             let part = self.graph.stage(StageId(gid));
             let triggered = in_seeds[gid]
                 || part

@@ -33,10 +33,28 @@ QWM_FAULTS='seed=1;qwm.region=noconv:0.5' cargo test -q --test fault_injection
 QWM_FAULTS='seed=2;qwm.region=singular:0.5;spice.adaptive=timeout:0.25' \
     cargo test -q --test fault_injection
 
+# Observability gate, part 1: telemetry must never perturb results.
+# With tracing and obs off, the CLI report is byte-identical to the
+# committed golden.
+echo "==> tracing-off golden identity (path4 CLI)"
+./target/release/qwm testdata/path4.sp --slew 20 --threads 2 \
+    > target/path4.cli.out 2>&1
+diff -u testdata/golden/path4.cli.golden target/path4.cli.out
+
+# Observability gate, part 2: QWM_OBS=json emits one well-formed JSON
+# object per telemetry line, and `qwm obs-report` accepts the stream.
+echo "==> QWM_OBS=json telemetry round-trip (path4 CLI)"
+QWM_OBS=json ./target/release/qwm testdata/path4.sp --slew 20 --threads 2 \
+    2>/dev/null | grep '^{' > target/path4.obs.jsonl
+test -s target/path4.obs.jsonl
+./target/release/qwm obs-report target/path4.obs.jsonl --check-only
+
 # Serving gate: boot `qwm serve` on an ephemeral port, drive it with
 # the load generator (seeded edit+run streams over concurrent
 # connections, zero failures tolerated), compare against per-process
-# cold invocations, and verify a clean drain. Emits BENCH_server.json.
+# cold invocations, and verify a clean drain. Emits BENCH_server.json
+# with queue-wait vs solve-time percentiles, plus a traced-run
+# metrics/trace dump rendered to a self-contained HTML report.
 echo "==> server smoke (qwm serve + server_load)"
 cargo build --release -p qwm-bench
 rm -f target/serve_smoke.out
@@ -55,10 +73,15 @@ if [ -z "$ADDR" ]; then
     exit 1
 fi
 ./target/release/server_load --addr "$ADDR" --connections 8 --requests 25 \
-    --cold ./target/release/qwm --shutdown --out BENCH_server.json
+    --cold ./target/release/qwm --obs-dump target/serve_obs.jsonl \
+    --shutdown --out BENCH_server.json
 wait "$SERVE_PID"
 grep -q '"failures": 0,' BENCH_server.json
+grep -q '"warm_breakdown"' BENCH_server.json
 grep -q '^drained$' target/serve_smoke.out
+./target/release/qwm obs-report target/serve_obs.jsonl \
+    --out target/serve_obs.html --title "server smoke telemetry"
+test -s target/serve_obs.html
 
 echo "==> cargo fmt --check"
 cargo fmt --check

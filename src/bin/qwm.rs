@@ -62,7 +62,53 @@ fn usage() -> &'static str {
      \u{20}          [--stages] [--threads <n>] [--obs [summary|json]]\n\
      \u{20}          [--fault-plan <spec>] [--edits <file>]\n\
      \u{20}      qwm serve [--addr <host:port>] [--max-inflight <n>]\n\
-     \u{20}          [--session-ttl <secs>] [--engine-threads <n>] [--obs [summary|json]]"
+     \u{20}          [--session-ttl <secs>] [--engine-threads <n>] [--obs [summary|json]]\n\
+     \u{20}      qwm obs-report <dump.jsonl> [--out <report.html>] [--title <text>]\n\
+     \u{20}          [--check-only]"
+}
+
+/// `qwm obs-report ...`: turn a line-oriented JSON telemetry dump
+/// (`QWM_OBS=json` output, `metrics` payloads, `trace <sid> last json`
+/// bodies — concatenated freely) into a self-contained HTML report.
+/// `--check-only` just validates that every line parses as JSON.
+fn obs_report(args: &[String]) -> Result<(), String> {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut title = "qwm telemetry".to_string();
+    let mut check_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--title" => title = it.next().ok_or("--title needs text")?.clone(),
+            "--check-only" => check_only = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unexpected obs-report argument {other:?}\n{}",
+                    usage()
+                ));
+            }
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    return Err("obs-report takes exactly one input file".to_string());
+                }
+            }
+        }
+    }
+    let input = input.ok_or_else(|| format!("obs-report needs an input file\n{}", usage()))?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let lines =
+        qwm::obs::report::validate_json_lines(&text).map_err(|e| format!("{input}: {e}"))?;
+    if check_only {
+        println!("{input}: {lines} JSON lines ok");
+        return Ok(());
+    }
+    let html = qwm::obs::report::html_report(&title, &text).map_err(|e| format!("{input}: {e}"))?;
+    let out = out.unwrap_or_else(|| format!("{input}.html"));
+    std::fs::write(&out, html).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out} ({lines} telemetry lines)");
+    Ok(())
 }
 
 /// `qwm serve ...`: parse the serve flags and run the server until it
@@ -381,6 +427,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         return match serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("obs-report") {
+        return match obs_report(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -355,3 +355,107 @@ fn protocol_and_parse_errors_are_structured() {
     );
     stop(handle, join);
 }
+
+#[test]
+fn traced_run_renders_full_span_tree_and_profile() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig::default());
+    let mut c = connect(&handle);
+    assert!(c.load("tr", DECK).unwrap().ok());
+
+    // No trace before any traced run.
+    assert_eq!(c.send("trace tr last").unwrap().status, 404);
+
+    let on = c.send("trace tr on").unwrap();
+    assert!(on.ok() && on.head.contains("tracing=on"), "{}", on.head);
+    let r = c.send("run tr qwm slew_ps=20").unwrap();
+    assert!(r.ok(), "traced run: {} {}", r.status, r.head);
+    assert!(
+        r.head.contains("wait_ns=") && r.head.contains("solve_ns="),
+        "run head exposes the queue-wait/solve split: {}",
+        r.head
+    );
+
+    // Text rendering: the whole tree from the server root down to
+    // per-arc leaves, with stages grouped under level headers.
+    let last = c.send("trace tr last").unwrap();
+    assert!(last.ok(), "{} {}", last.status, last.head);
+    let tree = last.body();
+    for needle in [
+        "server.run",
+        "server.wait.admission",
+        "sta.run_incremental",
+        "level ",
+        "stage ",
+        "rung=",
+    ] {
+        assert!(
+            tree.contains(needle),
+            "trace text missing {needle:?}:\n{tree}"
+        );
+    }
+
+    // JSON rendering: every line is a standalone JSON object.
+    let json = c.send("trace tr last json").unwrap();
+    assert!(json.ok());
+    let lines = qwm::obs::report::validate_json_lines(json.body()).expect("trace json lines");
+    assert!(lines > 3, "expected a real tree, got {lines} lines");
+
+    // The traced run fed the hot-arc profile.
+    let prof = c.send("profile top 5").unwrap();
+    assert!(prof.ok());
+    assert!(
+        prof.body().contains("hot arcs by total solve time"),
+        "profile header:\n{}",
+        prof.body()
+    );
+
+    let off = c.send("trace tr off").unwrap();
+    assert!(off.ok() && off.head.contains("tracing=off"), "{}", off.head);
+    stop(handle, join);
+}
+
+#[test]
+fn metrics_and_stats_surfaces_are_well_formed() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig::default());
+    let mut c = connect(&handle);
+    assert!(c.load("m", DECK).unwrap().ok());
+    assert!(c.send("run m qwm slew_ps=20").unwrap().ok());
+
+    // stats reflects the session's run count.
+    let stats = c.send("stats m").unwrap();
+    assert!(stats.ok());
+    assert!(stats.head.contains("runs=1"), "stats: {}", stats.head);
+
+    // Plain metrics: every payload line is a standalone JSON object
+    // and the renamed request counters are present.
+    let m = c.send("metrics").unwrap();
+    assert!(m.ok());
+    let lines = qwm::obs::report::validate_json_lines(m.body()).expect("metrics json");
+    assert!(lines > 0, "metrics payload is non-empty");
+    assert!(
+        m.body().contains("server.request.received"),
+        "renamed server counters exported:\n{}",
+        m.body()
+    );
+
+    // Prometheus exposition round-trips the format checker.
+    let prom = c.send("metrics prom").unwrap();
+    assert!(prom.ok());
+    let text = prom.body();
+    qwm::obs::prom::check_exposition(text).expect("prom exposition");
+    assert!(
+        text.contains("qwm_server_request_received_total"),
+        "prom counter naming:\n{text}"
+    );
+
+    // Bad arguments are rejected, not silently defaulted.
+    assert_eq!(c.send("metrics xml").unwrap().status, 400);
+    assert_eq!(c.send("profile bottom").unwrap().status, 400);
+    assert_eq!(c.send("trace m maybe").unwrap().status, 400);
+    assert_eq!(c.send("trace nosuch on").unwrap().status, 404);
+    stop(handle, join);
+}
