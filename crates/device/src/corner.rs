@@ -1,0 +1,401 @@
+//! PVT corners and Monte Carlo variation samples as a first-class axis.
+//!
+//! A [`Corner`] is a named perturbation of the base [`Technology`]:
+//! threshold shifts (`dvt_*`, volts, added to `vt0_*`) and
+//! transconductance scale factors (`kp_factor_*`, multiplying `kp_*`) —
+//! exactly the knobs [`Technology::with_variation`] exposes. The three
+//! classic process corners `ss`/`tt`/`ff` (plus the skewed `sf`/`fs`)
+//! are built in; Monte Carlo samples come from the seeded in-repo PRNG
+//! via Box–Muller, with the same sigmas the `variation` bench uses, so
+//! a corner list is a *pure function of its spec string* — the property
+//! the batched STA determinism suite pins.
+//!
+//! The nominal `tt` corner is the identity perturbation: building its
+//! models from the base technology is bitwise-indistinguishable from
+//! not having a corner axis at all (`x + 0.0` and `x * 1.0` are exact),
+//! which is what keeps single-corner `tt` reports byte-identical to the
+//! pre-corner golden snapshots.
+
+use crate::model::ModelSet;
+use crate::tech::Technology;
+use crate::{analytic_models, tabular_models};
+use qwm_num::rng::Rng64;
+use qwm_num::stats::normal_from_uniforms;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// One-sigma threshold-voltage variation \[V\] for Monte Carlo samples
+/// (matches the `variation` bench).
+pub const SIGMA_VT: f64 = 0.030;
+/// One-sigma relative transconductance variation for Monte Carlo
+/// samples (matches the `variation` bench).
+pub const SIGMA_KP: f64 = 0.05;
+/// Largest Monte Carlo expansion a single `mc:<seed>:<n>` item may
+/// request (keeps a typo from exploding a batched run).
+pub const MAX_MC_SAMPLES: usize = 64;
+
+/// A named process corner: a perturbation of the base technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corner {
+    name: String,
+    /// NMOS threshold shift \[V\].
+    pub dvt_n: f64,
+    /// PMOS threshold shift \[V\] (same sign convention as `vt0_p`).
+    pub dvt_p: f64,
+    /// NMOS transconductance scale factor (> 0).
+    pub kp_factor_n: f64,
+    /// PMOS transconductance scale factor (> 0).
+    pub kp_factor_p: f64,
+}
+
+impl Corner {
+    /// The typical/typical (nominal) corner — the identity perturbation.
+    pub fn tt() -> Self {
+        Corner {
+            name: "tt".to_string(),
+            dvt_n: 0.0,
+            dvt_p: 0.0,
+            kp_factor_n: 1.0,
+            kp_factor_p: 1.0,
+        }
+    }
+
+    /// Slow/slow: both polarities at +2σ threshold, −2σ drive.
+    pub fn ss() -> Self {
+        Corner {
+            name: "ss".to_string(),
+            dvt_n: 2.0 * SIGMA_VT,
+            dvt_p: 2.0 * SIGMA_VT,
+            kp_factor_n: 1.0 - 2.0 * SIGMA_KP,
+            kp_factor_p: 1.0 - 2.0 * SIGMA_KP,
+        }
+    }
+
+    /// Fast/fast: both polarities at −2σ threshold, +2σ drive.
+    pub fn ff() -> Self {
+        Corner {
+            name: "ff".to_string(),
+            dvt_n: -2.0 * SIGMA_VT,
+            dvt_p: -2.0 * SIGMA_VT,
+            kp_factor_n: 1.0 + 2.0 * SIGMA_KP,
+            kp_factor_p: 1.0 + 2.0 * SIGMA_KP,
+        }
+    }
+
+    /// Skewed slow-NMOS / fast-PMOS.
+    pub fn sf() -> Self {
+        Corner {
+            name: "sf".to_string(),
+            dvt_n: 2.0 * SIGMA_VT,
+            dvt_p: -2.0 * SIGMA_VT,
+            kp_factor_n: 1.0 - 2.0 * SIGMA_KP,
+            kp_factor_p: 1.0 + 2.0 * SIGMA_KP,
+        }
+    }
+
+    /// Skewed fast-NMOS / slow-PMOS.
+    pub fn fs() -> Self {
+        Corner {
+            name: "fs".to_string(),
+            dvt_n: -2.0 * SIGMA_VT,
+            dvt_p: 2.0 * SIGMA_VT,
+            kp_factor_n: 1.0 + 2.0 * SIGMA_KP,
+            kp_factor_p: 1.0 - 2.0 * SIGMA_KP,
+        }
+    }
+
+    /// `n` seeded Monte Carlo variation samples named `mc<seed>_<i>`.
+    ///
+    /// The draw order per sample is fixed (`dvt_n`, `dvt_p`,
+    /// `kp_factor_n`, `kp_factor_p`, two uniforms each through
+    /// Box–Muller), so a given `(seed, n)` always expands to the same
+    /// corners — anywhere, at any thread count.
+    pub fn mc_samples(seed: u64, n: usize) -> Vec<Corner> {
+        let mut rng = Rng64::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let mut normal = || normal_from_uniforms(rng.unit(), rng.unit());
+                Corner {
+                    name: format!("mc{seed}_{i}"),
+                    dvt_n: SIGMA_VT * normal(),
+                    dvt_p: SIGMA_VT * normal(),
+                    kp_factor_n: (1.0 + SIGMA_KP * normal()).max(0.5),
+                    kp_factor_p: (1.0 + SIGMA_KP * normal()).max(0.5),
+                }
+            })
+            .collect()
+    }
+
+    /// The corner's name (`ss`, `tt`, `ff`, `sf`, `fs`, `mc<seed>_<i>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The corner's name as a `'static` string (interned process-wide),
+    /// usable in cache keys, fault scopes and trace records.
+    pub fn interned_name(&self) -> &'static str {
+        intern(&self.name)
+    }
+
+    /// Whether this is the identity perturbation (the nominal corner).
+    pub fn is_nominal(&self) -> bool {
+        self.dvt_n == 0.0 && self.dvt_p == 0.0 && self.kp_factor_n == 1.0 && self.kp_factor_p == 1.0
+    }
+
+    /// The perturbed technology for this corner. The identity
+    /// perturbation returns bitwise the base technology.
+    pub fn technology(&self, base: &Technology) -> Technology {
+        base.with_variation(self.dvt_n, self.dvt_p, self.kp_factor_n, self.kp_factor_p)
+    }
+}
+
+/// Interns a string, returning a `'static` reference stable for the
+/// process lifetime. Corner name sets are tiny and bounded by the spec
+/// strings a process ever parses, so the leak is deliberate: it is what
+/// lets corner names ride in `Copy` cache keys and fault scopes.
+pub fn intern(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&s) = pool.iter().find(|&&s| s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+/// Parses a comma-separated corner list: named corners (`ss`, `tt`,
+/// `ff`, `sf`, `fs`) and Monte Carlo expansions (`mc:<seed>:<n>`, which
+/// contributes `n` seeded samples). Duplicate names are rejected — a
+/// batched run keys its books by corner name.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the offending item, suitable for a
+/// CLI diagnostic or a structured 4xx protocol error.
+pub fn parse_corner_list(spec: &str) -> Result<Vec<Corner>, String> {
+    let mut corners: Vec<Corner> = Vec::new();
+    let push = |c: Corner, corners: &mut Vec<Corner>| -> Result<(), String> {
+        if corners.iter().any(|e| e.name == c.name) {
+            return Err(format!("duplicate corner {:?}", c.name));
+        }
+        corners.push(c);
+        Ok(())
+    };
+    for item in spec.split(',') {
+        let item = item.trim();
+        match item {
+            "" => return Err("empty corner name in list".to_string()),
+            "tt" => push(Corner::tt(), &mut corners)?,
+            "ss" => push(Corner::ss(), &mut corners)?,
+            "ff" => push(Corner::ff(), &mut corners)?,
+            "sf" => push(Corner::sf(), &mut corners)?,
+            "fs" => push(Corner::fs(), &mut corners)?,
+            mc if mc.starts_with("mc:") => {
+                let mut parts = mc.splitn(3, ':');
+                let _ = parts.next();
+                let seed = parts
+                    .next()
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| format!("malformed Monte Carlo spec {mc:?}: missing seed"))?;
+                let n = parts
+                    .next()
+                    .ok_or_else(|| format!("malformed Monte Carlo spec {mc:?}: missing count"))?;
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|e| format!("malformed Monte Carlo seed in {mc:?}: {e}"))?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|e| format!("malformed Monte Carlo count in {mc:?}: {e}"))?;
+                if n == 0 || n > MAX_MC_SAMPLES {
+                    return Err(format!(
+                        "Monte Carlo count {n} out of range 1..={MAX_MC_SAMPLES} in {mc:?}"
+                    ));
+                }
+                for c in Corner::mc_samples(seed, n) {
+                    push(c, &mut corners)?;
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown corner {other:?} (known: ss, tt, ff, sf, fs, mc:<seed>:<n>)"
+                ))
+            }
+        }
+    }
+    if corners.is_empty() {
+        return Err("empty corner list".to_string());
+    }
+    Ok(corners)
+}
+
+/// A corner list with one characterized [`ModelSet`] per corner — the
+/// per-corner device tables a batched STA run evaluates against.
+pub struct CornerModels {
+    corners: Vec<Corner>,
+    sets: Vec<ModelSet>,
+}
+
+impl CornerModels {
+    /// Builds analytic model sets for each corner.
+    pub fn analytic(base: &Technology, corners: &[Corner]) -> Self {
+        CornerModels {
+            corners: corners.to_vec(),
+            sets: corners
+                .iter()
+                .map(|c| analytic_models(&c.technology(base)))
+                .collect(),
+        }
+    }
+
+    /// Characterizes tabular model sets for each corner (the nominal
+    /// corner characterizes the base technology bit-for-bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn tabular(base: &Technology, corners: &[Corner]) -> qwm_num::Result<Self> {
+        let sets = corners
+            .iter()
+            .map(|c| tabular_models(&c.technology(base)))
+            .collect::<qwm_num::Result<Vec<_>>>()?;
+        Ok(CornerModels {
+            corners: corners.to_vec(),
+            sets,
+        })
+    }
+
+    /// Number of corners.
+    pub fn len(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Whether the list is empty (it never is when built from
+    /// [`parse_corner_list`]).
+    pub fn is_empty(&self) -> bool {
+        self.corners.is_empty()
+    }
+
+    /// The corners, in list order.
+    pub fn corners(&self) -> &[Corner] {
+        &self.corners
+    }
+
+    /// The model set of corner `i`.
+    pub fn set(&self, i: usize) -> &ModelSet {
+        &self.sets[i]
+    }
+
+    /// `(corner, models)` pairs in list order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Corner, &ModelSet)> {
+        self.corners.iter().zip(self.sets.iter())
+    }
+}
+
+/// Process-wide registry of leaked per-corner model sets, for callers
+/// that need `'static` model references (the serving layer's sessions
+/// borrow their engine's models for the process lifetime). Keyed by the
+/// corner's full parameter tuple, so two same-named corners from
+/// different spec grammars could never alias. Nominal corners are
+/// served from `base` untouched.
+///
+/// # Errors
+///
+/// Propagates characterization failures as a message.
+pub fn static_tabular_models(
+    base: &'static ModelSet,
+    base_tech: &Technology,
+    corner: &Corner,
+) -> Result<&'static ModelSet, String> {
+    if corner.is_nominal() {
+        return Ok(base);
+    }
+    type Key = (String, u64, u64, u64, u64);
+    static REG: OnceLock<Mutex<HashMap<Key, &'static ModelSet>>> = OnceLock::new();
+    let key = (
+        corner.name().to_string(),
+        corner.dvt_n.to_bits(),
+        corner.dvt_p.to_bits(),
+        corner.kp_factor_n.to_bits(),
+        corner.kp_factor_p.to_bits(),
+    );
+    let reg = REG.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut reg = reg.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&set) = reg.get(&key) {
+        return Ok(set);
+    }
+    let set = tabular_models(&corner.technology(base_tech)).map_err(|e| e.to_string())?;
+    let leaked: &'static ModelSet = Box::leak(Box::new(set));
+    reg.insert(key, leaked);
+    Ok(leaked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_corners_parse_and_dedup() {
+        let c = parse_corner_list("ss,tt,ff").unwrap();
+        assert_eq!(
+            c.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            ["ss", "tt", "ff"]
+        );
+        assert!(parse_corner_list("ss,ss")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse_corner_list("").unwrap_err().contains("empty"));
+        assert!(parse_corner_list("ss,,ff").unwrap_err().contains("empty"));
+        assert!(parse_corner_list("zz")
+            .unwrap_err()
+            .contains("unknown corner"));
+    }
+
+    #[test]
+    fn mc_expansion_is_deterministic_and_bounded() {
+        let a = parse_corner_list("mc:42:3").unwrap();
+        let b = parse_corner_list("mc:42:3").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].name(), "mc42_0");
+        assert!(a
+            .iter()
+            .all(|c| c.kp_factor_n >= 0.5 && c.kp_factor_p >= 0.5));
+        // A different seed gives different samples.
+        let c = parse_corner_list("mc:43:3").unwrap();
+        assert_ne!(a, c);
+        assert!(parse_corner_list("mc:42:0")
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse_corner_list("mc:42:9999")
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse_corner_list("mc:x:2").unwrap_err().contains("seed"));
+        assert!(parse_corner_list("mc:42").unwrap_err().contains("count"));
+    }
+
+    #[test]
+    fn tt_is_the_identity_perturbation() {
+        let base = Technology::cmosp35();
+        let tt = Corner::tt().technology(&base);
+        assert!(Corner::tt().is_nominal());
+        assert_eq!(tt.vt0_n.to_bits(), base.vt0_n.to_bits());
+        assert_eq!(tt.vt0_p.to_bits(), base.vt0_p.to_bits());
+        assert_eq!(tt.kp_n.to_bits(), base.kp_n.to_bits());
+        assert_eq!(tt.kp_p.to_bits(), base.kp_p.to_bits());
+        // ss really is slower: higher threshold, lower drive.
+        let ss = Corner::ss().technology(&base);
+        assert!(ss.vt0_n > base.vt0_n && ss.kp_n < base.kp_n);
+        let ff = Corner::ff().technology(&base);
+        assert!(ff.vt0_n < base.vt0_n && ff.kp_n > base.kp_n);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("some-corner");
+        let b = intern("some-corner");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(Corner::ss().interned_name(), "ss");
+    }
+}

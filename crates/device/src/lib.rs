@@ -40,12 +40,14 @@
 //! ```
 
 pub mod caps;
+pub mod corner;
 pub mod model;
 pub mod mosfet;
 pub mod table;
 pub mod tech;
 pub mod wire;
 
+pub use corner::{parse_corner_list, Corner, CornerModels};
 pub use model::{DeviceModel, Geometry, IvEval, ModelSet, Polarity, TermVoltage};
 pub use mosfet::Mosfet;
 pub use table::TableModel;

@@ -149,6 +149,9 @@ pub struct TraceRecord {
     pub dur_ns: u64,
     /// Kind-specific payload; see [`TraceKind`].
     pub meta: [u64; 3],
+    /// Corner the record belongs to (batched multi-corner runs);
+    /// empty for single-corner work.
+    pub corner: &'static str,
 }
 
 const EMPTY: TraceRecord = TraceRecord {
@@ -160,6 +163,7 @@ const EMPTY: TraceRecord = TraceRecord {
     start_ns: 0,
     dur_ns: 0,
     meta: [0; 3],
+    corner: "",
 };
 
 struct Ring {
@@ -304,6 +308,7 @@ impl Drop for TraceGuard {
             start_ns: since_epoch(s.start),
             dur_ns: s.start.elapsed().as_nanos() as u64,
             meta: s.meta,
+            corner: "",
         });
     }
 }
@@ -354,6 +359,7 @@ pub fn record_manual(name: &'static str, parent: u64, start: Instant, dur: Durat
         start_ns: since_epoch(start),
         dur_ns: dur.as_nanos() as u64,
         meta: [0; 3],
+        corner: "",
     });
 }
 
@@ -361,6 +367,20 @@ pub fn record_manual(name: &'static str, parent: u64, start: Instant, dur: Durat
 /// landed, solve wall time, table-lookup time attributed via
 /// [`LookupTimer`], and ladder retries.
 pub fn record_arc(stage: u64, rung: &'static str, start: Instant, lookup_ns: u64, retries: u64) {
+    record_corner_arc(stage, "", rung, start, lookup_ns, retries);
+}
+
+/// Like [`record_arc`] but tags the arc with the corner it was evaluated
+/// at; batched multi-corner sweeps use this so the trace tree shows one
+/// record per `(arc, corner)` pair.
+pub fn record_corner_arc(
+    stage: u64,
+    corner: &'static str,
+    rung: &'static str,
+    start: Instant,
+    lookup_ns: u64,
+    retries: u64,
+) {
     if !enabled() {
         return;
     }
@@ -373,6 +393,7 @@ pub fn record_arc(stage: u64, rung: &'static str, start: Instant, lookup_ns: u64
         start_ns: since_epoch(start),
         dur_ns: start.elapsed().as_nanos() as u64,
         meta: [stage, lookup_ns, retries],
+        corner,
     });
 }
 
@@ -529,13 +550,17 @@ impl TraceTree {
             }
             TraceKind::Arc => {
                 out.push_str(&format!(
-                    "{pad}arc stage={} rung={} solve={} lookup={} retries={}\n",
+                    "{pad}arc stage={} rung={} solve={} lookup={} retries={}",
                     rec.meta[0],
                     rec.detail,
                     fmt_us(rec.dur_ns),
                     fmt_us(rec.meta[1]),
                     rec.meta[2]
                 ));
+                if !rec.corner.is_empty() {
+                    out.push_str(&format!(" corner={}", rec.corner));
+                }
+                out.push('\n');
                 return; // arcs are leaves
             }
         }
@@ -578,7 +603,7 @@ impl TraceTree {
         let mut out = String::new();
         for r in &self.records {
             out.push_str(&format!(
-                "{{\"type\":\"trace\",\"id\":{},\"parent\":{},\"kind\":\"{}\",\"name\":\"{}\",\"detail\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"m0\":{},\"m1\":{},\"m2\":{}}}\n",
+                "{{\"type\":\"trace\",\"id\":{},\"parent\":{},\"kind\":\"{}\",\"name\":\"{}\",\"detail\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"m0\":{},\"m1\":{},\"m2\":{}",
                 r.id,
                 r.parent,
                 r.kind.label(),
@@ -590,6 +615,13 @@ impl TraceTree {
                 r.meta[1],
                 r.meta[2]
             ));
+            if !r.corner.is_empty() {
+                out.push_str(&format!(
+                    ",\"corner\":\"{}\"",
+                    crate::render::json_escape(r.corner)
+                ));
+            }
+            out.push_str("}\n");
         }
         out
     }

@@ -40,14 +40,15 @@ pub use session::{shared_models, Session, SessionStore};
 
 use qwm_circuit::parser::parse_netlist;
 use qwm_circuit::waveform::TransitionKind;
+use qwm_device::ModelSet;
 use qwm_exec::ThreadPool;
 use qwm_num::NumError;
 use qwm_obs::{counter, histogram, NS_BOUNDS, SIZE_BOUNDS};
 use qwm_sta::evaluator::{
     ElmoreEvaluator, FallbackEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator,
 };
-use qwm_sta::report::golden_report;
-use qwm_sta::{parse_edit_script, StaEngine};
+use qwm_sta::report::{golden_corner_report, golden_report};
+use qwm_sta::{parse_edit_script, CornerRun, StaEngine};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -673,6 +674,7 @@ fn dispatch(
             eval,
             slew_ps,
             deadline,
+            corners,
         } => {
             if shared.draining() {
                 return wire.send_status(503, "draining").map(|()| Flow::Continue);
@@ -688,7 +690,7 @@ fn dispatch(
             let (tx, rx) = mpsc::channel();
             let enqueued = Instant::now();
             shared.pool.execute(move || {
-                let out = run_session(&sess, eval, slew_ps, deadline, enqueued);
+                let out = run_session(&sess, eval, slew_ps, deadline, &corners, enqueued);
                 drop(guard);
                 let _ = tx.send(out);
             });
@@ -760,6 +762,7 @@ fn run_session(
     eval: EvalKind,
     slew_ps: Option<f64>,
     deadline: Option<Duration>,
+    corners: &[qwm_device::Corner],
     enqueued: Instant,
 ) -> Outcome {
     // Queue wait: enqueue on the connection thread to job start here.
@@ -781,23 +784,39 @@ fn run_session(
             .set_input_slew(ps * 1e-12)
             .map_err(|e| num_outcome("set_input_slew", &e))?;
     }
-    let evaluator: Box<dyn StageEvaluator> = match eval {
-        EvalKind::Qwm => Box::new(QwmEvaluator::default()),
-        EvalKind::Elmore => Box::new(ElmoreEvaluator),
-        EvalKind::Spice => Box::new(SpiceEvaluator::default()),
-        EvalKind::Fallback => {
-            let mut f = FallbackEvaluator::default();
-            f.budget = s.budget.clone();
-            if let Some(d) = deadline {
-                let remaining = d.saturating_sub(enqueued.elapsed());
-                f.budget.stage_wall = Some(match f.budget.stage_wall {
-                    Some(w) => w.min(remaining),
-                    None => remaining,
-                });
+    // One evaluator instance per corner lane (or a single one for the
+    // classic run): degrading evaluators pool provenance per instance,
+    // and each corner's report must drain only its own.
+    let make_evaluator = |s: &Session| -> Box<dyn StageEvaluator> {
+        match eval {
+            EvalKind::Qwm => Box::new(QwmEvaluator::default()),
+            EvalKind::Elmore => Box::new(ElmoreEvaluator),
+            EvalKind::Spice => Box::new(SpiceEvaluator::default()),
+            EvalKind::Fallback => {
+                let mut f = FallbackEvaluator::default();
+                f.budget = s.budget.clone();
+                if let Some(d) = deadline {
+                    let remaining = d.saturating_sub(enqueued.elapsed());
+                    f.budget.stage_wall = Some(match f.budget.stage_wall {
+                        Some(w) => w.min(remaining),
+                        None => remaining,
+                    });
+                }
+                Box::new(f)
             }
-            Box::new(f)
         }
     };
+    // Corner sweeps resolve their model sets up front (characterized
+    // once per process per corner) so a bad corner fails fast as 500
+    // before any engine state is touched.
+    let corner_models: Vec<&'static ModelSet> = corners
+        .iter()
+        .map(session::corner_static_models)
+        .collect::<Result<_, _>>()
+        .map_err(|e| (500, e))?;
+    let evaluators: Vec<Box<dyn StageEvaluator>> = (0..corners.len().max(1))
+        .map(|_| make_evaluator(&s))
+        .collect();
     // Traced runs get a root span; the admission wait is attached as a
     // manual child (its clock started before this scope existed). The
     // root guard must drop before the tree is collected.
@@ -811,7 +830,21 @@ fn run_session(
             root_id = g.id();
             qwm_obs::trace::record_manual("server.wait.admission", root_id, enqueued, wait);
         }
-        s.engine.run_incremental(evaluator.as_ref())
+        if corners.is_empty() {
+            s.engine.run_incremental(evaluators[0].as_ref()).map(Ok)
+        } else {
+            let runs: Vec<CornerRun> = corners
+                .iter()
+                .zip(&corner_models)
+                .zip(&evaluators)
+                .map(|((c, models), ev)| CornerRun {
+                    name: c.interned_name(),
+                    models,
+                    evaluator: ev.as_ref(),
+                })
+                .collect();
+            s.engine.run_incremental_corners(&runs).map(Err)
+        }
     };
     let solve_ns = solve_t0.elapsed().as_nanos() as u64;
     if root_id != 0 {
@@ -819,13 +852,25 @@ fn run_session(
         // cannot eat this query's records.
         s.last_trace = Some(qwm_obs::trace::take_tree(root_id));
     }
-    let report = result.map_err(|e| num_outcome("run", &e))?;
-    let golden = golden_report(&report, s.engine.netlist());
+    let outcome = result.map_err(|e| num_outcome("run", &e))?;
+    let stats = s.engine.incremental_stats();
+    let (golden, corner_head) = match outcome {
+        Ok(report) => (golden_report(&report, s.engine.netlist()), String::new()),
+        Err(cr) => {
+            let worst_corner = match cr.worst {
+                Some((c, _, _)) => cr.corners[c],
+                None => "-",
+            };
+            (
+                golden_corner_report(&cr, s.engine.netlist()),
+                format!(" corners={} worst_corner={worst_corner}", cr.corners.len()),
+            )
+        }
+    };
     s.last_report = Some(golden.clone());
     s.runs += 1;
-    let stats = s.engine.incremental_stats();
     let head = format!(
-        "ok runs={} evaluated={} reused={} wait_ns={} solve_ns={}",
+        "ok runs={} evaluated={} reused={} wait_ns={} solve_ns={}{corner_head}",
         s.runs,
         stats.evaluated_stages,
         stats.reused_arcs,

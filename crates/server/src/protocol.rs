@@ -11,7 +11,7 @@
 //! ping
 //! load <sid> <nbytes> [dir=fall|rise]      then <nbytes> raw deck bytes
 //! edit <sid> <nbytes>                      then <nbytes> raw edit-script bytes
-//! run <sid> [qwm|elmore|spice|fallback] [slew_ps=<f>] [deadline_ms=<n>]
+//! run <sid> [qwm|elmore|spice|fallback] [slew_ps=<f>] [deadline_ms=<n>] [corners=<list>]
 //! report <sid>
 //! stats <sid>
 //! budget <sid> [retries=<n>] [wall_ms=<n>|off]
@@ -23,6 +23,13 @@
 //! shutdown
 //! quit
 //! ```
+//!
+//! `run ... corners=ss,tt,ff` evaluates the session's circuit at every
+//! named corner in one batched sweep (PVT names `ss|tt|ff|sf|fs` plus
+//! `mc:<seed>:<n>` Monte Carlo expansion — see
+//! `qwm_device::parse_corner_list`); the reply names the worst corner
+//! and `report` returns the multi-corner golden snapshot with per-net
+//! corner provenance.
 //!
 //! `trace <sid> on` switches the process-wide trace recorder on and
 //! marks the session so its next `run` captures a per-query span tree;
@@ -107,6 +114,9 @@ pub enum Command {
         eval: EvalKind,
         slew_ps: Option<f64>,
         deadline: Option<Duration>,
+        /// Batched corner sweep (`corners=ss,tt,ff`); empty means the
+        /// classic single-corner run at the session's base models.
+        corners: Vec<qwm_device::Corner>,
     },
     Report {
         sid: String,
@@ -236,12 +246,14 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "run" => {
             need(
                 2,
-                "run <sid> [qwm|elmore|spice|fallback] [slew_ps=<f>] [deadline_ms=<n>]",
+                "run <sid> [qwm|elmore|spice|fallback] [slew_ps=<f>] [deadline_ms=<n>] \
+                 [corners=<list>]",
             )?;
             let sid = session_id(toks[1])?;
             let mut eval = EvalKind::Qwm;
             let mut slew_ps = None;
             let mut deadline = None;
+            let mut corners = Vec::new();
             for t in &toks[2..] {
                 if let Some(v) = t.strip_prefix("slew_ps=") {
                     let ps: f64 = v.parse().map_err(|_| format!("bad slew_ps {v:?}"))?;
@@ -252,6 +264,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 } else if let Some(v) = t.strip_prefix("deadline_ms=") {
                     let ms: u64 = v.parse().map_err(|_| format!("bad deadline_ms {v:?}"))?;
                     deadline = Some(Duration::from_millis(ms));
+                } else if let Some(v) = t.strip_prefix("corners=") {
+                    corners = qwm_device::parse_corner_list(v)
+                        .map_err(|e| format!("bad corners {v:?}: {e}"))?;
                 } else {
                     eval = match *t {
                         "qwm" => EvalKind::Qwm,
@@ -267,6 +282,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 eval,
                 slew_ps,
                 deadline,
+                corners,
             })
         }
         "report" => {
@@ -395,8 +411,24 @@ mod tests {
                 eval: EvalKind::Fallback,
                 slew_ps: Some(20.0),
                 deadline: Some(Duration::from_millis(50)),
+                corners: vec![],
             }
         );
+        let Command::Run { corners, eval, .. } =
+            parse_command("run s1 qwm corners=ss,tt,ff slew_ps=30").unwrap()
+        else {
+            panic!("run should parse")
+        };
+        assert_eq!(eval, EvalKind::Qwm);
+        assert_eq!(
+            corners.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            ["ss", "tt", "ff"]
+        );
+        let Command::Run { corners, .. } = parse_command("run s1 corners=mc:7:3").unwrap() else {
+            panic!("run should parse")
+        };
+        assert_eq!(corners.len(), 3);
+        assert!(corners[0].name().starts_with("mc7_"));
         assert_eq!(
             parse_command("budget s1 retries=2 wall_ms=off").unwrap(),
             Command::Budget {
@@ -447,6 +479,12 @@ mod tests {
             "load bad/sid 4",
             "run s1 verilog",
             "run s1 slew_ps=-3",
+            "run s1 corners=",
+            "run s1 corners=tt,weird",
+            "run s1 corners=tt,tt",
+            "run s1 corners=mc:7:0",
+            "run s1 corners=mc:7:65",
+            "run s1 corners=mc:x:3",
             "sleep 999999",
             "budget s1 wall_ms=fast",
             "trace s1",

@@ -28,6 +28,15 @@ pub fn shared_models() -> Result<&'static ModelSet, String> {
         .map_err(Clone::clone)
 }
 
+/// Characterized device tables for one corner, leaked process-wide so
+/// sessions can evaluate batched sweeps against `'static` model
+/// references. The nominal corner is served from [`shared_models`]
+/// untouched (so a single-corner `tt` sweep is bitwise the classic
+/// run); every other corner characterizes once per process.
+pub fn corner_static_models(corner: &qwm_device::Corner) -> Result<&'static ModelSet, String> {
+    qwm_device::corner::static_tabular_models(shared_models()?, &Technology::cmosp35(), corner)
+}
+
 /// One client-visible timing session.
 pub struct Session {
     /// Engine with persistent committed caches; `'static` because it

@@ -1,0 +1,643 @@
+//! Batched multi-corner evaluation: PVT corners and Monte Carlo
+//! variation samples as first-class workloads.
+//!
+//! A corner sweep answers "does this circuit (or this edit) hurt at
+//! *any* corner". Running N independent engines answers it N times as
+//! slowly: the stage graph is partitioned, fanout-loaded and levelized
+//! once per engine, and every sweep repeats that fixed cost. The
+//! batched flow here traverses the levelized stage DAG **once** per
+//! sweep and evaluates all corners per stage:
+//!
+//! * [`CornerRun`] names one corner and carries its model set and
+//!   evaluator instance (per-corner instances, so degradation
+//!   provenance pools per corner);
+//! * [`StaEngine::run_corners`] is the cold batched sweep — per-corner
+//!   commit books, one levelizer, one DAG traversal;
+//! * [`StaEngine::run_incremental_corners`] re-times only the dirty
+//!   fanout cone across all corners over persistent per-corner books
+//!   ([`CommittedCorners`]) — the warm what-if loop;
+//! * [`CornerReport`] carries one full [`TimingReport`] per corner plus
+//!   the worst corner across the sweep.
+//!
+//! # Correctness contract
+//!
+//! Each corner's report is **bitwise-identical** to an independent
+//! single-corner run on a fresh engine built with that corner's models
+//! — including the exact `evaluations` count — at any worker count
+//! (pinned by `tests/corners.rs`). The per-corner state is fully
+//! disjoint: separate commit books, separate evaluator instances,
+//! per-corner evaluation counters, and cache entries keyed by the
+//! interned corner name (a structural [`crate::engine::CacheKey`]
+//! member), so corners can never alias each other's arcs even at
+//! identical slews.
+//!
+//! Per-corner evaluation runs inside a [`qwm_fault::scope`] named after
+//! the corner, so fault plans can target one corner of a batched sweep
+//! (site `"ss/qwm.region"`) and the blast radius is provably that
+//! corner alone.
+
+use crate::engine::{NetCommit, StaEngine, TimingReport, NO_PRED};
+use crate::evaluator::StageEvaluator;
+use crate::graph::StageId;
+use crate::incremental::{commit_eq, IncrementalStats};
+use qwm_circuit::netlist::NetId;
+use qwm_device::model::ModelSet;
+use qwm_exec::Levelizer;
+use qwm_num::{NumError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One corner of a batched sweep: its name (interned — also the fault
+/// scope and the cache-key qualifier), its characterized model set and
+/// its evaluator instance.
+///
+/// Evaluator instances must be per-corner when the evaluator records
+/// degradation provenance (e.g. `FallbackEvaluator`): the engine drains
+/// each instance into its corner's report after the sweep.
+pub struct CornerRun<'a> {
+    /// Interned corner name (see `qwm_device::corner::intern`); must be
+    /// unique within one sweep.
+    pub name: &'static str,
+    /// The corner's characterized model set.
+    pub models: &'a ModelSet,
+    /// The corner's evaluator instance.
+    pub evaluator: &'a dyn StageEvaluator,
+}
+
+/// The result of a batched corner sweep: one report per corner, in the
+/// sweep's corner order, plus the worst corner across the sweep.
+#[derive(Debug, Clone)]
+pub struct CornerReport {
+    /// Corner names, in sweep order.
+    pub corners: Vec<&'static str>,
+    /// One full per-corner timing report (same order as `corners`).
+    pub reports: Vec<TimingReport>,
+    /// `(corner index, net, arrival)` of the globally worst endpoint;
+    /// ties keep the earliest corner in sweep order (deterministic).
+    pub worst: Option<(usize, NetId, f64)>,
+}
+
+impl CornerReport {
+    /// The report of the named corner, if it was part of the sweep.
+    pub fn report_for(&self, name: &str) -> Option<&TimingReport> {
+        self.corners
+            .iter()
+            .position(|&c| c == name)
+            .map(|i| &self.reports[i])
+    }
+
+    /// For each net: the corner index with the worst arrival (ties keep
+    /// the earliest corner in sweep order). Sorted by net index.
+    pub fn per_net_worst_corner(&self) -> Vec<(NetId, usize, f64)> {
+        let mut worst: std::collections::BTreeMap<usize, (usize, f64)> =
+            std::collections::BTreeMap::new();
+        for (c, r) in self.reports.iter().enumerate() {
+            for (&n, &a) in &r.arrivals {
+                match worst.get(&n.0) {
+                    Some(&(_, wa)) if a.total_cmp(&wa) != std::cmp::Ordering::Greater => {}
+                    _ => {
+                        worst.insert(n.0, (c, a));
+                    }
+                }
+            }
+        }
+        worst
+            .into_iter()
+            .map(|(n, (c, a))| (NetId(n), c, a))
+            .collect()
+    }
+
+    fn from_reports(corners: Vec<&'static str>, reports: Vec<TimingReport>) -> CornerReport {
+        let mut worst: Option<(usize, NetId, f64)> = None;
+        for (c, r) in reports.iter().enumerate() {
+            if let Some((n, a)) = r.worst {
+                let better = match worst {
+                    None => true,
+                    Some((_, _, wa)) => a.total_cmp(&wa) == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    worst = Some((c, n, a));
+                }
+            }
+        }
+        CornerReport {
+            corners,
+            reports,
+            worst,
+        }
+    }
+}
+
+/// Persistent per-corner commit books of the last
+/// [`StaEngine::run_incremental_corners`] sweep.
+/// One per-net commit book per corner, in sweep order.
+type CornerBooks = Vec<Vec<Option<NetCommit>>>;
+
+#[derive(Debug, Clone)]
+pub(crate) struct CommittedCorners {
+    /// Corner names the books were computed for, in sweep order. A
+    /// different corner list forces a full re-run.
+    pub(crate) corners: Vec<&'static str>,
+    /// Evaluator names, per corner; a switch forces a full re-run.
+    pub(crate) evaluators: Vec<&'static str>,
+    /// Seed slew the books were computed at.
+    pub(crate) input_slew: f64,
+    /// One per-net commit book per corner (same order as `corners`).
+    pub(crate) books: CornerBooks,
+}
+
+fn validate_runs(context: &'static str, runs: &[CornerRun]) -> Result<()> {
+    if runs.is_empty() {
+        return Err(NumError::InvalidInput {
+            context,
+            detail: "empty corner list".to_string(),
+        });
+    }
+    for (i, r) in runs.iter().enumerate() {
+        if runs[..i].iter().any(|p| p.name == r.name) {
+            return Err(NumError::InvalidInput {
+                context,
+                detail: format!(
+                    "duplicate corner {:?} — corner names key the arc caches and must be \
+                     unique within a sweep",
+                    r.name
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+impl<'m> StaEngine<'m> {
+    /// Cold batched corner sweep: one levelized DAG traversal evaluates
+    /// every corner at every stage. Each corner's report is
+    /// bitwise-identical to an independent single-corner
+    /// [`StaEngine::run_with_slew`] on an engine built with that
+    /// corner's models, including the exact `evaluations` count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty sweep or duplicate corner names; propagates
+    /// evaluator failures (tagged with the corner's fault scope).
+    pub fn run_corners(&self, runs: &[CornerRun], input_slew: f64) -> Result<CornerReport> {
+        let _span = qwm_obs::span!("sta.run_corners");
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.run_corners");
+        validate_runs("StaEngine::run_corners", runs)?;
+        qwm_obs::counter!("sta.corner.runs").incr();
+        qwm_obs::counter!("sta.corner.batched").add(runs.len() as u64);
+        let (books, evals) = self.propagate_corner_books(runs, input_slew)?;
+        let names: Vec<&'static str> = runs.iter().map(|r| r.name).collect();
+        let reports = books
+            .iter()
+            .zip(runs)
+            .zip(&evals)
+            .map(|((book, run), &n)| {
+                self.book_to_report(book, n, Self::drained_degradations(run.evaluator))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(CornerReport::from_reports(names, reports))
+    }
+
+    /// Full batched propagation: per-corner commit books over one
+    /// levelizer and one DAG traversal. Returns the committed books and
+    /// the per-corner evaluator-call counts.
+    fn propagate_corner_books(
+        &self,
+        runs: &[CornerRun],
+        input_slew: f64,
+    ) -> Result<(CornerBooks, Vec<usize>)> {
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.propagate_corners");
+        let nets = self.netlist.net_count();
+        let books: Vec<Vec<Mutex<Option<NetCommit>>>> = (0..runs.len())
+            .map(|_| (0..nets).map(|_| Mutex::new(None)).collect())
+            .collect();
+        for book in &books {
+            for &pi in self.netlist.primary_inputs() {
+                *book[pi.0].lock().expect("net book") = Some((0.0, input_slew, NO_PRED));
+            }
+        }
+        let corner_evals: Vec<AtomicUsize> = (0..runs.len()).map(|_| AtomicUsize::new(0)).collect();
+        let lev = {
+            let _t = qwm_obs::trace::TraceGuard::enter("sta.levelize");
+            self.levelizer()?
+        };
+        let level_of = crate::engine::trace_levels(&lev);
+        qwm_exec::run_dag(self.threads(), &lev, |_w, s| -> Result<()> {
+            let _stage = crate::engine::trace_stage(&level_of, s);
+            let sid = StageId(s);
+            let part = self.graph.stage(sid);
+            for (c, run) in runs.iter().enumerate() {
+                // Corner-scoped fault sites: a plan targeting
+                // "ss/qwm.region" degrades the ss lane alone.
+                let _scope = qwm_fault::scope(run.name);
+                let book = &books[c];
+                let (launch, launch_slew) = part
+                    .input_nets
+                    .iter()
+                    .map(|n| match *book[n.0].lock().expect("net book") {
+                        Some((a, sl, _)) => (a, sl),
+                        None => (0.0, input_slew),
+                    })
+                    .fold(
+                        (0.0_f64, input_slew),
+                        |acc, (a, s)| {
+                            if a > acc.0 {
+                                (a, s)
+                            } else {
+                                acc
+                            }
+                        },
+                    );
+                for (pos, &net) in part.output_nets.iter().enumerate() {
+                    let m = self.arc_timing(
+                        run.evaluator,
+                        sid,
+                        pos,
+                        launch_slew,
+                        self.direction,
+                        run.models,
+                        run.name,
+                        Some(&corner_evals[c]),
+                    )?;
+                    let arr = launch + m.delay;
+                    let mut slot = book[net.0].lock().expect("net book");
+                    if slot.is_none_or(|(a, _, _)| arr > a) {
+                        *slot = Some((arr, m.slew, s));
+                    }
+                }
+            }
+            Ok(())
+        })
+        .map_err(|(_, e)| e)?;
+        let books = books
+            .into_iter()
+            .map(|book| {
+                book.into_iter()
+                    .map(|slot| slot.into_inner().expect("net book"))
+                    .collect()
+            })
+            .collect();
+        let evals = corner_evals.into_iter().map(|c| c.into_inner()).collect();
+        Ok((books, evals))
+    }
+
+    /// Incremental batched corner sweep: re-times only the fanout cone
+    /// of the stages dirtied since the last corner commit, across all
+    /// corners, over the persistent per-corner books. Every corner's
+    /// report stays bitwise-identical to a cold single-corner run on
+    /// the identically edited circuit (pinned by `tests/corners.rs`).
+    ///
+    /// The first call — or a call with a different corner list,
+    /// evaluator set, or after the single-corner and corner flows
+    /// disagree — performs a full batched propagation and seeds the
+    /// books. The corner flow consumes its own edit log
+    /// (`dirty_corners`), so interleaving [`StaEngine::run_incremental`]
+    /// and this entry point on one engine never loses an edit.
+    ///
+    /// Aggregate statistics land in [`StaEngine::incremental_stats`]
+    /// (`evaluated_stages` counts `(stage, corner)` pairs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures; the committed books and the dirty
+    /// set are left untouched on error, so the next call retries.
+    pub fn run_incremental_corners(&mut self, runs: &[CornerRun]) -> Result<CornerReport> {
+        let _span = qwm_obs::span!("sta.run_incremental_corners");
+        let _trace = qwm_obs::trace::TraceGuard::enter("sta.run_incremental_corners");
+        validate_runs("StaEngine::run_incremental_corners", runs)?;
+        qwm_obs::counter!("sta.corner.incremental_runs").incr();
+        let names: Vec<&'static str> = runs.iter().map(|r| r.name).collect();
+        let eval_names: Vec<&'static str> = runs.iter().map(|r| r.evaluator.name()).collect();
+        let seed_slew = self.input_slew;
+        let needs_full = match &self.committed_corners {
+            None => true,
+            Some(c) => c.corners != names || c.evaluators != eval_names,
+        };
+        if needs_full {
+            let (books, evals) = self.propagate_corner_books(runs, seed_slew)?;
+            let reports = books
+                .iter()
+                .zip(runs)
+                .zip(&evals)
+                .map(|((book, run), &n)| {
+                    self.book_to_report(book, n, Self::drained_degradations(run.evaluator))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            self.last_incremental = IncrementalStats {
+                full_run: true,
+                dirty_stages: self.graph.len(),
+                evaluated_stages: self.graph.len() * runs.len(),
+                reused_arcs: 0,
+                early_stop_nets: 0,
+                evaluations: evals.iter().sum(),
+            };
+            self.committed_corners = Some(CommittedCorners {
+                corners: names.clone(),
+                evaluators: eval_names,
+                input_slew: seed_slew,
+                books,
+            });
+            self.dirty_corners.clear();
+            qwm_obs::counter!("sta.corner.full_runs").incr();
+            return Ok(CornerReport::from_reports(names, reports));
+        }
+        let committed = self.committed_corners.as_ref().expect("committed corners");
+        let slew_changed = committed.input_slew.to_bits() != seed_slew.to_bits();
+
+        // Per-corner seed sets: the shared edit log, plus — when the
+        // seed slew changed — every stage whose launch point in *that
+        // corner's* old book had no positive-arrival fanin (exactly the
+        // single-corner rule, applied per book).
+        let mut seeds: Vec<std::collections::BTreeSet<usize>> =
+            vec![self.dirty_corners.clone(); runs.len()];
+        if slew_changed {
+            for (c, seed) in seeds.iter_mut().enumerate() {
+                let old_book = &committed.books[c];
+                for (i, p) in self.graph.partitions().iter().enumerate() {
+                    let max_arr = p
+                        .input_nets
+                        .iter()
+                        .map(|n| old_book[n.0].map_or(0.0, |(a, _, _)| a))
+                        .fold(0.0_f64, f64::max);
+                    if max_arr <= 0.0 {
+                        seed.insert(i);
+                    }
+                }
+            }
+        }
+        // One cone over the union of per-corner seeds: a stage in the
+        // cone but outside corner c's own cone can never trigger for c
+        // (no ancestor in c's seeds changed its fanins), so the union
+        // cone preserves per-corner bitwise identity while letting all
+        // corners share one sub-levelizer.
+        let union: std::collections::BTreeSet<usize> =
+            seeds.iter().flat_map(|s| s.iter().copied()).collect();
+        let cone = self.graph.fanout_cone(union.iter().copied());
+        if cone.is_empty() && !slew_changed {
+            let reports = committed
+                .books
+                .clone()
+                .iter()
+                .zip(runs)
+                .map(|(book, run)| {
+                    self.book_to_report(book, 0, Self::drained_degradations(run.evaluator))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            self.last_incremental = IncrementalStats {
+                full_run: false,
+                ..IncrementalStats::default()
+            };
+            self.dirty_corners.clear();
+            return Ok(CornerReport::from_reports(names, reports));
+        }
+
+        let nets = self.netlist.net_count();
+        let new_books: Vec<Vec<Mutex<Option<NetCommit>>>> = committed
+            .books
+            .iter()
+            .map(|old| old.iter().map(|&s| Mutex::new(s)).collect())
+            .collect();
+        let changed: Vec<Vec<AtomicBool>> = (0..runs.len())
+            .map(|_| (0..nets).map(|_| AtomicBool::new(false)).collect())
+            .collect();
+        let mut is_pi = vec![false; nets];
+        for &pi in self.netlist.primary_inputs() {
+            is_pi[pi.0] = true;
+            let seeded = Some((0.0, seed_slew, NO_PRED));
+            for (c, book) in new_books.iter().enumerate() {
+                let mut slot = book[pi.0].lock().expect("net book");
+                if slot.is_none_or(|(_, _, p)| p == NO_PRED) && !commit_eq(*slot, seeded) {
+                    *slot = seeded;
+                    changed[c][pi.0].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let in_seeds: Vec<Vec<bool>> = seeds
+            .iter()
+            .map(|s| {
+                let mut v = vec![false; self.graph.len()];
+                for &i in s {
+                    v[i] = true;
+                }
+                v
+            })
+            .collect();
+        let succs = self.graph.stage_dependencies();
+        let lev = Levelizer::from_subgraph(&succs, &cone).map_err(|e| NumError::InvalidInput {
+            context: "StaEngine::run_incremental_corners",
+            detail: e.to_string(),
+        })?;
+        let corner_evals: Vec<AtomicUsize> = (0..runs.len()).map(|_| AtomicUsize::new(0)).collect();
+        let evaluated = AtomicUsize::new(0);
+        let arcs_requested = AtomicUsize::new(0);
+        let early_stops = AtomicUsize::new(0);
+        let level_of = crate::engine::trace_levels(&lev);
+        qwm_exec::run_dag(self.threads(), &lev, |_w, local| -> Result<()> {
+            let gid = cone[local];
+            let _stage = level_of.as_ref().map(|lv| {
+                qwm_obs::trace::TraceGuard::enter_stage(
+                    "sta.stage",
+                    gid as u64,
+                    lv.get(local).copied().unwrap_or(0),
+                )
+            });
+            let part = self.graph.stage(StageId(gid));
+            for (c, run) in runs.iter().enumerate() {
+                let _scope = qwm_fault::scope(run.name);
+                let triggered = in_seeds[c][gid]
+                    || part
+                        .input_nets
+                        .iter()
+                        .any(|n| changed[c][n.0].load(Ordering::Relaxed));
+                if !triggered {
+                    early_stops.fetch_add(part.output_nets.len(), Ordering::Relaxed);
+                    continue;
+                }
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                let book = &new_books[c];
+                let (launch, launch_slew) = part
+                    .input_nets
+                    .iter()
+                    .map(|n| match *book[n.0].lock().expect("net book") {
+                        Some((a, sl, _)) => (a, sl),
+                        None => (0.0, seed_slew),
+                    })
+                    .fold(
+                        (0.0_f64, seed_slew),
+                        |acc, (a, s)| {
+                            if a > acc.0 {
+                                (a, s)
+                            } else {
+                                acc
+                            }
+                        },
+                    );
+                arcs_requested.fetch_add(part.output_nets.len(), Ordering::Relaxed);
+                for (pos, &net) in part.output_nets.iter().enumerate() {
+                    let m = self.arc_timing(
+                        run.evaluator,
+                        StageId(gid),
+                        pos,
+                        launch_slew,
+                        self.direction,
+                        run.models,
+                        run.name,
+                        Some(&corner_evals[c]),
+                    )?;
+                    let arr = launch + m.delay;
+                    let candidate = if is_pi[net.0] && arr <= 0.0 {
+                        Some((0.0, seed_slew, NO_PRED))
+                    } else {
+                        Some((arr, m.slew, gid))
+                    };
+                    let mut slot = book[net.0].lock().expect("net book");
+                    if commit_eq(*slot, candidate) {
+                        early_stops.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        *slot = candidate;
+                        changed[c][net.0].store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(())
+        })
+        .map_err(|(_, e)| e)?;
+
+        let books: CornerBooks = new_books
+            .into_iter()
+            .map(|book| {
+                book.into_iter()
+                    .map(|slot| slot.into_inner().expect("net book"))
+                    .collect()
+            })
+            .collect();
+        let evals: Vec<usize> = corner_evals.into_iter().map(|c| c.into_inner()).collect();
+        let reports = books
+            .iter()
+            .zip(runs)
+            .zip(&evals)
+            .map(|((book, run), &n)| {
+                self.book_to_report(book, n, Self::drained_degradations(run.evaluator))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let total_evals: usize = evals.iter().sum();
+        let stats = IncrementalStats {
+            full_run: false,
+            dirty_stages: cone.len(),
+            evaluated_stages: evaluated.load(Ordering::Relaxed),
+            reused_arcs: arcs_requested.load(Ordering::Relaxed) - total_evals,
+            early_stop_nets: early_stops.load(Ordering::Relaxed),
+            evaluations: total_evals,
+        };
+        self.last_incremental = stats;
+        qwm_obs::counter!("sta.corner.dirty_stages").add(stats.dirty_stages as u64);
+        qwm_obs::counter!("sta.corner.evaluated_stages").add(stats.evaluated_stages as u64);
+        qwm_obs::counter!("sta.corner.reused_arcs").add(stats.reused_arcs as u64);
+        qwm_obs::counter!("sta.corner.early_stop_nets").add(stats.early_stop_nets as u64);
+        self.committed_corners = Some(CommittedCorners {
+            corners: names.clone(),
+            evaluators: eval_names,
+            input_slew: seed_slew,
+            books,
+        });
+        self.dirty_corners.clear();
+        Ok(CornerReport::from_reports(names, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::QwmEvaluator;
+    use crate::graph::inverter_chain;
+    use qwm_circuit::waveform::TransitionKind;
+    use qwm_device::{analytic_models, Corner, Technology};
+
+    fn corner_models(tech: &Technology) -> Vec<(&'static str, ModelSet)> {
+        [Corner::ss(), Corner::tt(), Corner::ff()]
+            .into_iter()
+            .map(|c| (c.interned_name(), analytic_models(&c.technology(tech))))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_duplicate_sweeps_are_rejected() {
+        let tech = Technology::cmosp35();
+        let models = analytic_models(&tech);
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let engine = StaEngine::new(nl, &models, TransitionKind::Fall).unwrap();
+        let ev = QwmEvaluator::default();
+        assert!(engine.run_corners(&[], 30e-12).is_err());
+        let dup = [
+            CornerRun {
+                name: "tt",
+                models: &models,
+                evaluator: &ev,
+            },
+            CornerRun {
+                name: "tt",
+                models: &models,
+                evaluator: &ev,
+            },
+        ];
+        let err = engine.run_corners(&dup, 30e-12).unwrap_err();
+        assert!(err.to_string().contains("duplicate corner"));
+    }
+
+    #[test]
+    fn worst_corner_is_the_slow_one_and_ties_keep_sweep_order() {
+        let tech = Technology::cmosp35();
+        let sets = corner_models(&tech);
+        let nl = inverter_chain(&tech, 4, 10e-15);
+        let base = analytic_models(&tech);
+        let engine = StaEngine::new(nl, &base, TransitionKind::Fall).unwrap();
+        let evs: Vec<QwmEvaluator> = (0..sets.len()).map(|_| QwmEvaluator::default()).collect();
+        let runs: Vec<CornerRun> = sets
+            .iter()
+            .zip(&evs)
+            .map(|((name, models), ev)| CornerRun {
+                name,
+                models,
+                evaluator: ev,
+            })
+            .collect();
+        let cr = engine.run_corners(&runs, 30e-12).unwrap();
+        assert_eq!(cr.corners, vec!["ss", "tt", "ff"]);
+        let (ci, _, worst_arr) = cr.worst.expect("worst corner");
+        assert_eq!(cr.corners[ci], "ss", "slow corner should dominate");
+        for r in &cr.reports {
+            assert!(r.worst.unwrap().1 <= worst_arr);
+        }
+        assert!(cr.report_for("tt").is_some());
+        assert!(cr.report_for("nope").is_none());
+        // Per-net provenance covers every committed net and names ss.
+        for (_, c, _) in cr.per_net_worst_corner() {
+            assert_eq!(cr.corners[c], "ss");
+        }
+    }
+
+    #[test]
+    fn corner_list_change_forces_full_run() {
+        let tech = Technology::cmosp35();
+        let sets = corner_models(&tech);
+        let nl = inverter_chain(&tech, 3, 10e-15);
+        let base = analytic_models(&tech);
+        let mut engine = StaEngine::new(nl, &base, TransitionKind::Fall).unwrap();
+        let ev = QwmEvaluator::default();
+        let all: Vec<CornerRun> = sets
+            .iter()
+            .map(|(name, models)| CornerRun {
+                name,
+                models,
+                evaluator: &ev,
+            })
+            .collect();
+        let _ = engine.run_incremental_corners(&all).unwrap();
+        assert!(engine.incremental_stats().full_run);
+        let _ = engine.run_incremental_corners(&all).unwrap();
+        assert!(!engine.incremental_stats().full_run);
+        // Dropping a corner invalidates the committed books.
+        let _ = engine.run_incremental_corners(&all[..2]).unwrap();
+        assert!(engine.incremental_stats().full_run);
+    }
+}

@@ -87,6 +87,13 @@ pub(crate) struct CacheKey {
     /// Exact requested input slew, `f64::to_bits`. Zero for the
     /// step-input delay flow (which carries no slew at all).
     slew_bits: u64,
+    /// Corner name for batched multi-corner runs; `""` for the
+    /// single-model flows. Without this field the batched flow would be
+    /// corner-blind: two corners evaluate the same `(evaluator, stage,
+    /// out_pos, direction, slew)` tuple against *different* model sets,
+    /// and the second corner would be served the first corner's cached
+    /// arc — the latent aliasing `tests/corners.rs` pins against.
+    corner: &'static str,
 }
 
 /// Sentinel for "no predecessor stage" in the per-net commit books.
@@ -131,6 +138,14 @@ pub struct StaEngine<'m> {
     pub(crate) committed: Option<crate::incremental::CommittedBook>,
     /// Statistics of the last incremental run.
     pub(crate) last_incremental: crate::incremental::IncrementalStats,
+    /// Stages edited since the last *batched corner* commit (the corner
+    /// flow consumes edits independently of the single-corner flow, so
+    /// interleaving `run_incremental` and `run_incremental_corners` on
+    /// one engine never loses an edit).
+    pub(crate) dirty_corners: std::collections::BTreeSet<usize>,
+    /// Per-corner books committed by the last
+    /// [`Self::run_incremental_corners`].
+    pub(crate) committed_corners: Option<crate::corners::CommittedCorners>,
 }
 
 /// Stage → level map for per-stage trace records. Built only when
@@ -149,7 +164,10 @@ pub(crate) fn trace_levels(lev: &Levelizer) -> Option<Vec<u64>> {
 }
 
 /// Opens a per-stage trace scope inside a `run_dag` worker closure.
-fn trace_stage(level_of: &Option<Vec<u64>>, s: usize) -> Option<qwm_obs::trace::TraceGuard> {
+pub(crate) fn trace_stage(
+    level_of: &Option<Vec<u64>>,
+    s: usize,
+) -> Option<qwm_obs::trace::TraceGuard> {
     level_of.as_ref().map(|lv| {
         qwm_obs::trace::TraceGuard::enter_stage(
             "sta.stage",
@@ -214,6 +232,8 @@ impl<'m> StaEngine<'m> {
             dirty: std::collections::BTreeSet::new(),
             committed: None,
             last_incremental: crate::incremental::IncrementalStats::default(),
+            dirty_corners: std::collections::BTreeSet::new(),
+            committed_corners: None,
         })
     }
 
@@ -272,14 +292,14 @@ impl<'m> StaEngine<'m> {
     }
 
     /// Drains and sorts the evaluator's degradation book for a report.
-    fn drained_degradations(evaluator: &dyn StageEvaluator) -> Vec<Degradation> {
+    pub(crate) fn drained_degradations(evaluator: &dyn StageEvaluator) -> Vec<Degradation> {
         let mut d = evaluator.take_degradations();
         d.sort_by_key(|a| a.sort_key());
         d
     }
 
     /// The stage dependency DAG, levelized for the parallel runners.
-    fn levelizer(&self) -> Result<Levelizer> {
+    pub(crate) fn levelizer(&self) -> Result<Levelizer> {
         Levelizer::from_succs(self.graph.stage_dependencies()).map_err(|e| {
             // StageGraph::build already rejected cycles, so this only
             // fires on internal bookkeeping bugs.
@@ -302,6 +322,7 @@ impl<'m> StaEngine<'m> {
             out_pos,
             direction: self.direction,
             slew_bits: 0,
+            corner: "",
         };
         if let Some(d) = self.delay_cache.get(&key) {
             qwm_obs::counter!("sta.arc.cache_hits").incr();
@@ -561,7 +582,23 @@ impl<'m> StaEngine<'m> {
         evals_before: usize,
         evaluator: &dyn StageEvaluator,
     ) -> Result<TimingReport> {
-        // Deterministic extraction, keyed by net index.
+        self.book_to_report(
+            book,
+            self.total_evaluations() - evals_before,
+            Self::drained_degradations(evaluator),
+        )
+    }
+
+    /// Report-body extraction shared by the single-model and batched
+    /// corner flows: deterministic, keyed by net index; `evaluations`
+    /// and `degradations` are supplied by the caller (the corner flow
+    /// attributes both per corner).
+    pub(crate) fn book_to_report(
+        &self,
+        book: &[Option<NetCommit>],
+        evaluations: usize,
+        degradations: Vec<Degradation>,
+    ) -> Result<TimingReport> {
         let mut arrivals: HashMap<NetId, f64> = HashMap::new();
         let mut slews: HashMap<NetId, f64> = HashMap::new();
         let mut pred: HashMap<NetId, StageId> = HashMap::new();
@@ -580,9 +617,9 @@ impl<'m> StaEngine<'m> {
             slews,
             worst,
             critical_path,
-            evaluations: self.total_evaluations() - evals_before,
+            evaluations,
             waveform_failures: 0,
-            degradations: Self::drained_degradations(evaluator),
+            degradations,
         })
     }
 
@@ -1017,17 +1054,56 @@ impl<'m> StaEngine<'m> {
         input_slew: f64,
         direction: TransitionKind,
     ) -> Result<TimingMetrics> {
+        self.arc_timing(
+            evaluator,
+            sid,
+            out_pos,
+            input_slew,
+            direction,
+            self.models,
+            "",
+            None,
+        )
+    }
+
+    /// The shared slew-aware timing-arc core: cache probe, evaluate,
+    /// commit — against an explicit model set and corner. The
+    /// single-model flows pass the engine's own models with corner `""`;
+    /// the batched corner flow passes per-corner models, the interned
+    /// corner name (a structural cache-key member) and a per-corner
+    /// evaluation counter so every corner's report carries its own exact
+    /// count.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn arc_timing(
+        &self,
+        evaluator: &dyn StageEvaluator,
+        sid: StageId,
+        out_pos: usize,
+        input_slew: f64,
+        direction: TransitionKind,
+        models: &ModelSet,
+        corner: &'static str,
+        corner_evals: Option<&AtomicUsize>,
+    ) -> Result<TimingMetrics> {
         let key = CacheKey {
             evaluator: evaluator.name(),
             stage: sid.0,
             out_pos,
             direction,
             slew_bits: input_slew.to_bits(),
+            corner,
         };
         if let Some(d) = self.slew_cache.get(&key) {
             qwm_obs::counter!("sta.arc.cache_hits").incr();
             if qwm_obs::trace::enabled() {
-                qwm_obs::trace::record_arc(sid.0 as u64, "cached", std::time::Instant::now(), 0, 0);
+                qwm_obs::trace::record_corner_arc(
+                    sid.0 as u64,
+                    corner,
+                    "cached",
+                    std::time::Instant::now(),
+                    0,
+                    0,
+                );
             }
             return Ok(TimingMetrics {
                 delay: d.0,
@@ -1051,14 +1127,18 @@ impl<'m> StaEngine<'m> {
             let _ = qwm_obs::trace::take_rung();
             std::time::Instant::now()
         });
-        let m = evaluator.timing(&part.stage, self.models, node, direction, input_slew)?;
+        let m = evaluator.timing(&part.stage, models, node, direction, input_slew)?;
         if let Some(t0) = arc_t0 {
             let lookup_ns = qwm_obs::trace::take_lookup_ns();
             let (rung, retries) = qwm_obs::trace::take_rung().unwrap_or((evaluator.name(), 0));
-            qwm_obs::trace::record_arc(sid.0 as u64, rung, t0, lookup_ns, retries);
+            qwm_obs::trace::record_corner_arc(sid.0 as u64, corner, rung, t0, lookup_ns, retries);
         }
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         qwm_obs::counter!("sta.arc.evaluations").incr();
+        if let Some(ce) = corner_evals {
+            ce.fetch_add(1, Ordering::Relaxed);
+            qwm_obs::counter!("sta.corner.evaluations").incr();
+        }
         self.slew_cache.insert(key, (m.delay, m.slew));
         Ok(m)
     }
@@ -1117,6 +1197,7 @@ impl<'m> StaEngine<'m> {
         self.delay_cache.retain(|k| k.stage != sid.0);
         self.slew_cache.retain(|k| k.stage != sid.0);
         self.dirty.insert(sid.0);
+        self.dirty_corners.insert(sid.0);
 
         // The resized gate's capacitance loads whichever stage drives
         // its gate net: update that stage's baked fanout load and drop
@@ -1146,6 +1227,7 @@ impl<'m> StaEngine<'m> {
                 self.delay_cache.retain(|k| k.stage != driver.0);
                 self.slew_cache.retain(|k| k.stage != driver.0);
                 self.dirty.insert(driver.0);
+                self.dirty_corners.insert(driver.0);
             }
         }
         Ok(())

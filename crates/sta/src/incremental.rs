@@ -176,7 +176,7 @@ pub fn parse_edit_script(
     Ok(edits)
 }
 
-fn commit_eq(a: Option<NetCommit>, b: Option<NetCommit>) -> bool {
+pub(crate) fn commit_eq(a: Option<NetCommit>, b: Option<NetCommit>) -> bool {
     match (a, b) {
         (None, None) => true,
         (Some((aa, asl, ap)), Some((ba, bsl, bp))) => {
@@ -267,6 +267,7 @@ impl<'m> StaEngine<'m> {
             self.delay_cache.retain(|k| k.stage != driver.0);
             self.slew_cache.retain(|k| k.stage != driver.0);
             self.dirty.insert(driver.0);
+            self.dirty_corners.insert(driver.0);
         }
         Ok(())
     }

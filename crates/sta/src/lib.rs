@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod corners;
 pub mod engine;
 pub mod evaluator;
 pub mod graph;
@@ -45,10 +46,11 @@ pub mod liberty;
 pub mod nldm;
 pub mod report;
 
+pub use corners::{CornerReport, CornerRun};
 pub use engine::{StaEngine, TimingReport};
 pub use evaluator::{ElmoreEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator};
 pub use graph::{StageGraph, StageId};
 pub use incremental::{parse_edit_script, Edit, IncrementalStats};
 pub use liberty::{write_liberty, LibertyArc, LibertyCell};
 pub use nldm::NldmTable;
-pub use report::format_report;
+pub use report::{format_report, golden_corner_report};

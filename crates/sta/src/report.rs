@@ -164,6 +164,49 @@ pub fn golden_report(report: &TimingReport, netlist: &Netlist) -> String {
     out
 }
 
+/// Renders a [`crate::corners::CornerReport`] as a canonical,
+/// machine-diffable snapshot for golden-file regression tests.
+///
+/// Layout: the sweep's corner list, the worst corner, one per-net
+/// provenance line (`net_worst <net> <corner> <arrival>` — the corner
+/// that dominates that net, ties keeping sweep order), then each
+/// corner's full [`golden_report`] body under a `corner <name>` header.
+/// The per-corner bodies are the *exact* bytes a single-corner golden
+/// render produces, so a one-corner sweep can be diffed against the
+/// single-corner snapshot directly.
+pub fn golden_corner_report(cr: &crate::corners::CornerReport, netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "corners {}", cr.corners.join(","));
+    match cr.worst {
+        Some((c, net, arr)) => {
+            let _ = writeln!(
+                out,
+                "worst_corner {} {} {arr:?}",
+                cr.corners[c],
+                netlist.net_name(net)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "worst_corner -");
+        }
+    }
+    let mut per_net = cr.per_net_worst_corner();
+    per_net.sort_by_key(|&(n, _, _)| netlist.net_name(n));
+    for (net, c, arr) in per_net {
+        let _ = writeln!(
+            out,
+            "net_worst {} {} {arr:?}",
+            netlist.net_name(net),
+            cr.corners[c]
+        );
+    }
+    for (name, report) in cr.corners.iter().zip(&cr.reports) {
+        let _ = writeln!(out, "corner {name}");
+        out.push_str(&golden_report(report, netlist));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

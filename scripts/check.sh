@@ -25,6 +25,21 @@ RUST_TEST_THREADS=1 cargo test -q
 echo "==> QWM_THREADS=4 cargo test -q --test incremental"
 QWM_THREADS=4 cargo test -q --test incremental
 
+# Corner gate: the batched multi-corner determinism matrix must hold
+# when the engines are forced wide (batched-vs-independent bitwise
+# identity is asserted per worker count inside the suite), and the
+# corners_sweep bench must meet its speedup target over sequential
+# single-corner runs (byte-identical reports asserted before any
+# number is reported).
+echo "==> QWM_THREADS=4 cargo test -q --test corners"
+QWM_THREADS=4 cargo test -q --test corners
+
+echo "==> corners_sweep bench (BENCH_corners.json)"
+cargo build --release -p qwm-bench
+./target/release/corners_sweep BENCH_corners.json
+grep -q '"meets_target": true' BENCH_corners.json
+grep -q '"bitwise_identical": true' BENCH_corners.json
+
 # Failure-path gate: the fault-injection suite must also hold when the
 # whole binary runs under an ambient probabilistic chaos plan (two
 # fixed seeds so the streams differ but stay reproducible).

@@ -27,6 +27,14 @@
 //! environment variable) installs a deterministic fault-injection plan,
 //! e.g. `seed=1;qwm.region=noconv:0.5` — see `qwm::fault`.
 //!
+//! `--corners <list>` runs a batched multi-corner sweep (e.g.
+//! `--corners ss,tt,ff` or `--corners tt,mc:7:8` for seeded Monte
+//! Carlo samples): one levelized pass times every corner's device
+//! models per arc, then prints a per-corner worst-arrival summary, the
+//! dominating corner, and the worst corner's critical-path report.
+//! Combined with `--edits` the what-if re-times only the dirty fanout
+//! cone *across all corners* and prints per-corner deltas.
+//!
 //! `qwm serve` starts the persistent timing-query server instead of a
 //! one-shot analysis (see `qwm::server`): sessions keep parsed
 //! netlists and warm incremental engines across queries, heavy
@@ -54,13 +62,14 @@ struct Options {
     threads: Option<usize>,
     fault_plan: Option<String>,
     edits: Option<String>,
+    corners: Vec<qwm::device::Corner>,
 }
 
 fn usage() -> &'static str {
     "usage: qwm <deck.sp> [--evaluator qwm|elmore|spice|fallback] [--fallback]\n\
      \u{20}          [--direction fall|rise] [--slew <ps>] [--required <ps>]\n\
      \u{20}          [--stages] [--threads <n>] [--obs [summary|json]]\n\
-     \u{20}          [--fault-plan <spec>] [--edits <file>]\n\
+     \u{20}          [--fault-plan <spec>] [--edits <file>] [--corners <list>]\n\
      \u{20}      qwm serve [--addr <host:port>] [--max-inflight <n>]\n\
      \u{20}          [--session-ttl <secs>] [--engine-threads <n>] [--obs [summary|json]]\n\
      \u{20}      qwm obs-report <dump.jsonl> [--out <report.html>] [--title <text>]\n\
@@ -200,6 +209,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut threads = None;
     let mut fault_plan = None;
     let mut edits = None;
+    let mut corners = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -242,6 +252,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--edits" => {
                 edits = Some(it.next().ok_or("--edits needs a file")?.clone());
+            }
+            "--corners" => {
+                let spec = it.next().ok_or("--corners needs a comma-separated list")?;
+                corners = qwm::device::parse_corner_list(spec)
+                    .map_err(|e| format!("bad --corners: {e}"))?;
             }
             "--stages" => show_stages = true,
             "--threads" => {
@@ -287,7 +302,42 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads,
         fault_plan,
         edits,
+        corners,
     })
+}
+
+/// Prints a per-corner worst-arrival summary, names the dominating
+/// corner, then renders the dominating corner's critical-path report.
+fn print_corner_summary(
+    cr: &qwm::sta::CornerReport,
+    graph: &qwm::sta::StageGraph,
+    netlist: &qwm::circuit::netlist::Netlist,
+    required: Option<f64>,
+) {
+    for (name, rep) in cr.corners.iter().zip(&cr.reports) {
+        match rep.worst {
+            Some((net, arr)) => println!(
+                "corner {name:<10} worst {:>9.2} ps at {:<14} ({} evaluations)",
+                arr * 1e12,
+                netlist.net_name(net),
+                rep.evaluations
+            ),
+            None => println!("corner {name:<10} worst -"),
+        }
+    }
+    if let Some((c, net, arr)) = cr.worst {
+        println!(
+            "worst corner {} ({:.2} ps at {})",
+            cr.corners[c],
+            arr * 1e12,
+            netlist.net_name(net)
+        );
+        println!();
+        print!(
+            "{}",
+            format_report(&cr.reports[c], graph, netlist, required)
+        );
+    }
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -346,12 +396,90 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     }
 
-    let evaluator: Box<dyn StageEvaluator> = match opts.evaluator.as_str() {
-        "elmore" => Box::new(ElmoreEvaluator),
-        "spice" => Box::new(SpiceEvaluator::default()),
-        "fallback" => Box::new(FallbackEvaluator::default()),
-        _ => Box::new(QwmEvaluator::default()),
+    let make_evaluator = || -> Box<dyn StageEvaluator> {
+        match opts.evaluator.as_str() {
+            "elmore" => Box::new(ElmoreEvaluator),
+            "spice" => Box::new(SpiceEvaluator::default()),
+            "fallback" => Box::new(FallbackEvaluator::default()),
+            _ => Box::new(QwmEvaluator::default()),
+        }
     };
+    // Batched multi-corner sweep: every corner's device models are
+    // timed in one levelized pass over the stage DAG. Each corner gets
+    // its own evaluator instance so fallback degradations pool per
+    // corner, exactly as N independent runs would.
+    if !opts.corners.is_empty() {
+        let corner_models = if opts.evaluator == "qwm" || opts.evaluator == "fallback" {
+            qwm::device::CornerModels::tabular(&tech, &opts.corners).map_err(|e| e.to_string())?
+        } else {
+            qwm::device::CornerModels::analytic(&tech, &opts.corners)
+        };
+        let evaluators: Vec<Box<dyn StageEvaluator>> =
+            (0..corner_models.len()).map(|_| make_evaluator()).collect();
+        let runs: Vec<qwm::sta::CornerRun> = corner_models
+            .corners()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| qwm::sta::CornerRun {
+                name: c.interned_name(),
+                models: corner_models.set(i),
+                evaluator: evaluators[i].as_ref(),
+            })
+            .collect();
+        // What-if mode across corners: baseline sweep, apply edits,
+        // re-time only the dirty fanout cone in every corner.
+        if let Some(path) = &opts.edits {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let edits = qwm::sta::parse_edit_script(&text, engine.netlist())?;
+            if let Some(s) = opts.slew {
+                engine.set_input_slew(s).map_err(|e| e.to_string())?;
+            }
+            let baseline = engine
+                .run_incremental_corners(&runs)
+                .map_err(|e| e.to_string())?;
+            println!();
+            println!("=== baseline ===");
+            print_corner_summary(&baseline, engine.graph(), engine.netlist(), opts.required);
+            engine.apply_edits(&edits).map_err(|e| e.to_string())?;
+            let t0 = std::time::Instant::now();
+            let whatif = engine
+                .run_incremental_corners(&runs)
+                .map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            let stats = engine.incremental_stats();
+            println!();
+            println!("=== what-if ({} edits) ===", edits.len());
+            print_corner_summary(&whatif, engine.graph(), engine.netlist(), opts.required);
+            for (i, name) in whatif.corners.iter().enumerate() {
+                if let (Some((_, b)), Some((_, w))) =
+                    (baseline.reports[i].worst, whatif.reports[i].worst)
+                {
+                    println!("delta {name} {:+.2} ps", (w - b) * 1e12);
+                }
+            }
+            println!(
+                "incremental: {} dirty / {} evaluated stage-corners, {} arcs reused, \
+                 {} early-stop nets, {:.1} ms",
+                stats.dirty_stages,
+                stats.evaluated_stages,
+                stats.reused_arcs,
+                stats.early_stop_nets,
+                elapsed.as_secs_f64() * 1e3
+            );
+            qwm::obs::emit();
+            return Ok(());
+        }
+        let cr = engine
+            .run_corners(&runs, opts.slew.unwrap_or(0.0))
+            .map_err(|e| e.to_string())?;
+        println!();
+        print_corner_summary(&cr, engine.graph(), engine.netlist(), opts.required);
+        qwm::obs::emit();
+        return Ok(());
+    }
+
+    let evaluator: Box<dyn StageEvaluator> = make_evaluator();
     // What-if mode: baseline incremental run, apply the edits file,
     // re-time only the dirty fanout cone, report both.
     if let Some(path) = &opts.edits {

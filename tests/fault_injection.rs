@@ -13,12 +13,15 @@
 use qwm::circuit::netlist::Netlist;
 use qwm::circuit::waveform::TransitionKind;
 use qwm::core::evaluate::QwmConfig;
-use qwm::device::{analytic_models, tabular_models, ModelSet, Technology};
+use qwm::device::{
+    analytic_models, parse_corner_list, tabular_models, CornerModels, ModelSet, Technology,
+};
 use qwm::fault::{FaultKind, FaultPlan};
 use qwm::sta::engine::{StaEngine, TimingReport};
 use qwm::sta::evaluator::{FallbackEvaluator, FallbackRung, SpiceEvaluator};
 use qwm::sta::graph::{inverter_chain, random_dag_netlist};
 use qwm::sta::report::golden_report;
+use qwm::sta::CornerRun;
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -354,6 +357,98 @@ fn degraded_delays_agree_with_direct_spice() {
                 "seed {seed:#x} net {net:?}: degraded {t:.3e} vs spice {ts:.3e}"
             );
         }
+    }
+}
+
+/// Corner-scoped fault plans: batched sweeps evaluate each corner
+/// inside a `scope(<corner>)` qualifier, so a plan targeting
+/// `ss/qwm.region` degrades *only* the ss corner's arcs — the other
+/// corners of the same batched run stay byte-identical to a clean
+/// sweep, and the ss provenance names the corner via the effective
+/// (scope-qualified) site.
+#[test]
+fn corner_scoped_faults_degrade_only_that_corner() {
+    let _g = locked();
+    let tech = Technology::cmosp35();
+    let corners = parse_corner_list("ss,tt,ff").expect("corners");
+    let models = CornerModels::analytic(&tech, &corners);
+    let nl = chain3(&tech);
+    // One evaluator instance per corner, so degradations pool per
+    // corner exactly as N independent runs would.
+    let batched_sweep = || {
+        let evs: Vec<FallbackEvaluator> = (0..corners.len())
+            .map(|_| FallbackEvaluator::default())
+            .collect();
+        let engine =
+            StaEngine::new(nl.clone(), models.set(0), TransitionKind::Fall).expect("engine");
+        let runs: Vec<CornerRun> = corners
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CornerRun {
+                name: c.interned_name(),
+                models: models.set(i),
+                evaluator: &evs[i],
+            })
+            .collect();
+        let cr = engine.run_corners(&runs, 30e-12).expect("batched sweep");
+        let renders: Vec<String> = cr
+            .reports
+            .iter()
+            .map(|r| golden_report(r, engine.netlist()))
+            .collect();
+        (cr, renders)
+    };
+
+    qwm::fault::clear();
+    let (clean, clean_renders) = batched_sweep();
+    assert!(
+        clean.reports.iter().all(|r| r.degradations.is_empty()),
+        "clean sweep degrades nothing"
+    );
+
+    // Fault every QWM and adaptive attempt — but only inside the ss
+    // corner's scope. OutOfGrid errors carry the effective site, so the
+    // provenance lines name the corner.
+    qwm::fault::install(
+        FaultPlan::new(1)
+            .inject("ss/qwm.region", FaultKind::OutOfGrid)
+            .inject("ss/retry/qwm.region", FaultKind::OutOfGrid)
+            .inject("ss/spice.adaptive", FaultKind::OutOfGrid),
+    );
+    let (faulted, faulted_renders) = batched_sweep();
+    qwm::fault::clear();
+
+    let ss = &faulted.reports[0];
+    assert!(!ss.degradations.is_empty(), "ss arcs degrade");
+    for d in &ss.degradations {
+        assert_eq!(d.landed, FallbackRung::SpiceFixed, "arc {}", d.output);
+        assert!(
+            d.failures
+                .iter()
+                .any(|f| f.error.contains("ss/spice.adaptive")),
+            "provenance names the corner-scoped site: {:?}",
+            d.failures
+        );
+    }
+    assert!(
+        faulted_renders[0].contains("ss/spice.adaptive"),
+        "golden render carries the corner-qualified provenance:\n{}",
+        faulted_renders[0]
+    );
+    // The un-faulted corners of the very same batched run are
+    // byte-identical to the clean sweep — the blast radius of a
+    // corner-scoped plan is exactly that corner.
+    for i in [1usize, 2] {
+        assert!(
+            faulted.reports[i].degradations.is_empty(),
+            "corner {} must not degrade",
+            faulted.corners[i]
+        );
+        assert_eq!(
+            faulted_renders[i], clean_renders[i],
+            "corner {} drifted under an ss-scoped plan",
+            faulted.corners[i]
+        );
     }
 }
 

@@ -12,11 +12,12 @@
 
 use qwm::circuit::parser::parse_netlist;
 use qwm::circuit::waveform::TransitionKind;
-use qwm::device::{analytic_models, Technology};
+use qwm::device::{analytic_models, parse_corner_list, CornerModels, Technology};
 use qwm::fault::{FaultKind, FaultPlan};
 use qwm::sta::engine::StaEngine;
 use qwm::sta::evaluator::{FallbackEvaluator, QwmEvaluator};
-use qwm::sta::report::golden_report;
+use qwm::sta::report::{golden_corner_report, golden_report};
+use qwm::sta::CornerRun;
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -24,6 +25,10 @@ const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/golden/path4
 const GOLDEN_DEGRADED: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/testdata/golden/path4_degraded.report"
+);
+const GOLDEN_CORNERS: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/testdata/golden/path4_corners.report"
 );
 
 /// The degraded snapshot installs a process-global fault plan, so every
@@ -94,11 +99,93 @@ fn assert_matches_golden(rendered: &str, path: &str) {
     );
 }
 
+/// Renders the batched ss/tt/ff sweep of path4 at `threads` workers:
+/// worst-corner header, per-net corner provenance, then each corner's
+/// full single-corner golden body.
+fn render_path4_corners_report(threads: usize) -> String {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let nl = parse_netlist(&text).expect("parse path4.sp");
+    let tech = Technology::cmosp35();
+    let corners = parse_corner_list("ss,tt,ff").expect("corners");
+    let models = CornerModels::analytic(&tech, &corners);
+    let engine = StaEngine::new(nl, models.set(0), TransitionKind::Fall)
+        .expect("engine")
+        .with_threads(threads);
+    let ev = QwmEvaluator::default();
+    let runs: Vec<CornerRun> = corners
+        .iter()
+        .enumerate()
+        .map(|(i, c)| CornerRun {
+            name: c.interned_name(),
+            models: models.set(i),
+            evaluator: &ev,
+        })
+        .collect();
+    let cr = engine.run_corners(&runs, 30e-12).expect("batched sweep");
+    golden_corner_report(&cr, engine.netlist())
+}
+
 #[test]
 fn path4_report_matches_golden_snapshot() {
     let _g = locked();
     let rendered = render_path4_report();
     assert_matches_golden(&rendered, GOLDEN);
+}
+
+#[test]
+fn path4_corners_report_matches_golden_snapshot() {
+    let _g = locked();
+    let rendered = render_path4_corners_report(1);
+    assert!(rendered.starts_with("corners ss,tt,ff\nworst_corner ss "));
+    assert_matches_golden(&rendered, GOLDEN_CORNERS);
+    // The snapshot must not depend on the worker count.
+    for threads in [3usize, 8] {
+        assert_eq!(
+            render_path4_corners_report(threads),
+            rendered,
+            "corner snapshot differs at {threads} workers"
+        );
+    }
+}
+
+/// Compatibility pin: the `tt` body inside the corner snapshot — and a
+/// single-corner `tt` sweep — are byte-identical to the pre-corner
+/// `path4.report` snapshot. The corner axis must cost existing users
+/// nothing, not even a bit.
+#[test]
+fn nominal_corner_body_is_byte_identical_to_the_classic_snapshot() {
+    let _g = locked();
+    let classic = render_path4_report();
+    let sweep = render_path4_corners_report(1);
+    let tt_body: String = sweep
+        .lines()
+        .skip_while(|l| *l != "corner tt")
+        .skip(1)
+        .take_while(|l| !l.starts_with("corner "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(tt_body, classic, "tt body inside the sweep drifted");
+
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/path4.sp"))
+        .expect("read path4.sp");
+    let nl = parse_netlist(&text).expect("parse path4.sp");
+    let tech = Technology::cmosp35();
+    let corners = parse_corner_list("tt").expect("corners");
+    let models = CornerModels::analytic(&tech, &corners);
+    let engine = StaEngine::new(nl, models.set(0), TransitionKind::Fall).expect("engine");
+    let ev = QwmEvaluator::default();
+    let runs = [CornerRun {
+        name: corners[0].interned_name(),
+        models: models.set(0),
+        evaluator: &ev,
+    }];
+    let cr = engine.run_corners(&runs, 30e-12).expect("tt sweep");
+    assert_eq!(
+        golden_report(&cr.reports[0], engine.netlist()),
+        classic,
+        "a single-corner tt sweep must render the classic bytes"
+    );
 }
 
 #[test]

@@ -416,6 +416,157 @@ fn traced_run_renders_full_span_tree_and_profile() {
     stop(handle, join);
 }
 
+/// The `corner <name>` body inside a corner-report payload.
+fn corner_section(body: &str, name: &str) -> String {
+    let header = format!("corner {name}");
+    body.lines()
+        .skip_while(|l| *l != header)
+        .skip(1)
+        .take_while(|l| !l.starts_with("corner "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Acceptance matrix for `run ... corners=`: a batched sweep over a
+/// warm session is byte-identical, corner by corner, to independent
+/// single-corner sessions replaying the same load + edit script — at
+/// 1, 4 and 8 engine threads — and the reply head names the worst
+/// corner.
+#[test]
+fn batched_corner_runs_match_single_corner_sessions() {
+    let _g = locked();
+    qwm::fault::clear();
+    for threads in [1usize, 4, 8] {
+        let (handle, join) = start(ServerConfig {
+            engine_threads: threads,
+            ..ServerConfig::default()
+        });
+        let mut c = connect(&handle);
+        let corners = ["ss", "tt", "ff"];
+        assert!(c.load("multi", DECK).unwrap().ok());
+        for name in corners {
+            assert!(c.load(&format!("solo-{name}"), DECK).unwrap().ok());
+        }
+        let script = "resize MN2 1.2u\nload n2 20f\n";
+        for round in 0..2 {
+            if round == 1 {
+                assert_eq!(c.edit("multi", script).unwrap().status, 200);
+                for name in corners {
+                    assert_eq!(c.edit(&format!("solo-{name}"), script).unwrap().status, 200);
+                }
+            }
+            let multi = c.send("run multi qwm corners=ss,tt,ff slew_ps=20").unwrap();
+            assert!(multi.ok(), "batched run: {} {}", multi.status, multi.head);
+            assert!(
+                multi.head.contains("corners=3 worst_corner=ss"),
+                "head names the sweep and worst corner: {}",
+                multi.head
+            );
+            assert!(
+                multi
+                    .body()
+                    .starts_with("corners ss,tt,ff\nworst_corner ss "),
+                "payload leads with provenance:\n{}",
+                multi.body()
+            );
+            assert!(
+                multi.body().contains("net_worst n4 ss "),
+                "per-net worst-corner provenance:\n{}",
+                multi.body()
+            );
+            for name in corners {
+                let solo = c
+                    .send(&format!("run solo-{name} qwm corners={name} slew_ps=20"))
+                    .unwrap();
+                assert!(solo.ok(), "solo {name}: {} {}", solo.status, solo.head);
+                assert_eq!(
+                    corner_section(multi.body(), name),
+                    corner_section(solo.body(), name),
+                    "@{threads} threads round {round}: batched {name} differs \
+                     from its single-corner session"
+                );
+            }
+        }
+        // Corner and classic runs interleave on one warm session.
+        let classic = c.send("run multi qwm slew_ps=20").unwrap();
+        assert!(classic.ok(), "classic after corners: {}", classic.head);
+        assert!(!classic.head.contains("corners="));
+        stop(handle, join);
+    }
+}
+
+/// Malformed corner lists come back as structured 400s naming the
+/// offending item; traced corner runs expose per-corner arc records;
+/// `metrics prom` exports the `sta.corner.*` counter family.
+#[test]
+fn corner_protocol_errors_traces_and_metrics() {
+    let _g = locked();
+    qwm::fault::clear();
+    let (handle, join) = start(ServerConfig::default());
+    let mut c = connect(&handle);
+    assert!(c.load("cm", DECK).unwrap().ok());
+
+    for (bad, needle) in [
+        ("run cm corners=", "empty corner name"),
+        ("run cm corners=tt,weird", "unknown corner"),
+        ("run cm corners=tt,tt", "duplicate corner"),
+        ("run cm corners=mc:7:0", "out of range"),
+        ("run cm corners=mc:x:3", "Monte Carlo seed"),
+    ] {
+        let r = c.send(bad).unwrap();
+        assert_eq!(r.status, 400, "{bad:?}: {}", r.head);
+        assert!(
+            r.head.contains(needle),
+            "{bad:?} names the offence: {}",
+            r.head
+        );
+    }
+    // The session is untouched by the rejects.
+    assert!(c.send("run cm qwm corners=ss,tt slew_ps=20").unwrap().ok());
+
+    // Traced corner runs tag every arc record with its corner. Dirty
+    // the warm session first so the sweep actually touches arcs (a
+    // no-op incremental run records no arc work).
+    assert!(c.send("trace cm on").unwrap().ok());
+    assert_eq!(c.edit("cm", "resize MN2 1.3u").unwrap().status, 200);
+    let r = c.send("run cm qwm corners=ss,tt slew_ps=20").unwrap();
+    assert!(r.ok(), "traced corner run: {}", r.head);
+    let tree = c.send("trace cm last").unwrap();
+    assert!(tree.ok());
+    for needle in ["sta.run_incremental_corners", " corner=ss", " corner=tt"] {
+        assert!(
+            tree.body().contains(needle),
+            "trace missing {needle:?}:\n{}",
+            tree.body()
+        );
+    }
+    let json = c.send("trace cm last json").unwrap();
+    assert!(json.ok());
+    qwm::obs::report::validate_json_lines(json.body()).expect("trace json");
+    assert!(
+        json.body().contains("\"corner\":\"ss\""),
+        "json arc records carry the corner:\n{}",
+        json.body()
+    );
+
+    // The corner counter family reaches the Prometheus exposition.
+    let prom = c.send("metrics prom").unwrap();
+    assert!(prom.ok());
+    qwm::obs::prom::check_exposition(prom.body()).expect("prom exposition");
+    for needle in [
+        "qwm_sta_corner_incremental_runs_total",
+        "qwm_sta_corner_full_runs_total",
+        "qwm_sta_corner_evaluations_total",
+    ] {
+        assert!(
+            prom.body().contains(needle),
+            "prom missing {needle}:\n{}",
+            prom.body()
+        );
+    }
+    stop(handle, join);
+}
+
 #[test]
 fn metrics_and_stats_surfaces_are_well_formed() {
     let _g = locked();
