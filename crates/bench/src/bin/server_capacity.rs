@@ -1,0 +1,281 @@
+//! Capacity-discovery driver for `qwm serve`: ramps offered load from
+//! workload decks until a stop threshold trips, binary-searches the
+//! maximum sustainable rps, and writes `BENCH_capacity_server.json` —
+//! the artifact `compare` turns into a cross-PR regression gate.
+//!
+//! ```text
+//! server_capacity --addr 127.0.0.1:7117 --workload testdata/workloads/heavy_run.deck
+//!                 [--workload ...] [--seed <u64>] [--connections <n>]
+//!                 [--out BENCH_capacity_server.json]
+//!                 [--initial-rps <n>] [--increment-rps <n>] [--max-rps <n>]
+//!                 [--round-ms <n>] [--sessions <n>] [--shutdown]
+//!
+//! server_capacity plan --workload <deck> --rps <n> [--seed <u64>]
+//!
+//! server_capacity compare <old.json> <new.json> [--max-regression-pct <f>]
+//! ```
+//!
+//! `plan` prints the deterministic op log a round would execute without
+//! touching any server (the replay-pinning artifact). `compare` exits
+//! non-zero when any workload's discovered max rps regressed by more
+//! than the allowed percentage. The `--initial-rps`-family flags
+//! override every loaded deck — how the check.sh smoke shrinks the
+//! stock decks to a bounded run on an ephemeral port.
+
+use qwm_bench::capacity::{
+    compare_reports, discover_capacity, parse_workload, plan_round, render_op_log, results_json,
+    ExperimentResult, WorkloadSpec,
+};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: server_capacity --addr <host:port> --workload <deck> [--workload <deck>]...\n\
+     \u{20}       [--seed <u64>] [--connections <n>] [--out <file>]\n\
+     \u{20}       [--initial-rps <n>] [--increment-rps <n>] [--max-rps <n>]\n\
+     \u{20}       [--round-ms <n>] [--sessions <n>] [--shutdown]\n\
+     \u{20}  or:  server_capacity plan --workload <deck> --rps <n> [--seed <u64>]\n\
+     \u{20}  or:  server_capacity compare <old.json> <new.json> [--max-regression-pct <f>]"
+}
+
+struct Overrides {
+    initial_rps: Option<u32>,
+    increment_rps: Option<u32>,
+    max_rps: Option<u32>,
+    round_ms: Option<u64>,
+    sessions: Option<usize>,
+}
+
+impl Overrides {
+    fn apply(&self, spec: &mut WorkloadSpec) {
+        if let Some(v) = self.initial_rps {
+            spec.initial_rps = v;
+        }
+        if let Some(v) = self.increment_rps {
+            spec.increment_rps = v;
+        }
+        if let Some(v) = self.max_rps {
+            spec.max_rps = v;
+        }
+        if let Some(v) = self.round_ms {
+            spec.round_ms = v;
+        }
+        if let Some(v) = self.sessions {
+            spec.sessions = v;
+        }
+    }
+}
+
+fn load_workload(path: &str) -> Result<WorkloadSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_workload(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main_compare(argv: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut max_regression_pct = 10.0;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regression-pct" => {
+                max_regression_pct = it
+                    .next()
+                    .ok_or("--max-regression-pct needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression-pct: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return Err(format!("compare needs exactly two files\n{}", usage()));
+    };
+    let old = std::fs::read_to_string(old_path).map_err(|e| format!("read {old_path}: {e}"))?;
+    let new = std::fs::read_to_string(new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+    let summary = compare_reports(&old, &new, max_regression_pct)
+        .map_err(|e| format!("capacity regression vs {old_path}:\n{e}"))?;
+    println!("{summary}");
+    println!("server_capacity: compare ok ({max_regression_pct:.1}% regression allowed)");
+    Ok(())
+}
+
+fn main_plan(argv: &[String]) -> Result<(), String> {
+    let mut workload = None;
+    let mut rps: Option<u32> = None;
+    let mut seed = 0x0BAD_5EED_u64;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--workload" => workload = Some(next("a deck file")?.clone()),
+            "--rps" => {
+                rps = Some(
+                    next("a rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --rps: {e}"))?,
+                );
+            }
+            "--seed" => {
+                seed = next("a u64")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    let workload = workload.ok_or(format!("plan needs --workload\n{}", usage()))?;
+    let rps = rps.ok_or(format!("plan needs --rps\n{}", usage()))?;
+    let spec = load_workload(&workload)?;
+    // The op log must not depend on live server state, so the device
+    // list comes straight from the SPICE deck.
+    let deck = std::fs::read_to_string(&spec.deck).map_err(|e| format!("{}: {e}", spec.deck))?;
+    let netlist =
+        qwm::circuit::parser::parse_netlist(&deck).map_err(|e| format!("{}: {e}", spec.deck))?;
+    let devices: Vec<String> = netlist
+        .devices()
+        .iter()
+        .filter(|d| d.gate.is_some())
+        .map(|d| d.name.clone())
+        .collect();
+    print!("{}", render_op_log(&plan_round(&spec, &devices, seed, rps)));
+    Ok(())
+}
+
+fn main_ramp(argv: &[String]) -> Result<(), String> {
+    let mut addr = String::new();
+    let mut workloads = Vec::new();
+    let mut seed = 0x0BAD_5EED_u64;
+    let mut connections = 4usize;
+    let mut out_path = "BENCH_capacity_server.json".to_string();
+    let mut shutdown = false;
+    let mut ov = Overrides {
+        initial_rps: None,
+        increment_rps: None,
+        max_rps: None,
+        round_ms: None,
+        sessions: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--addr" => addr = next("host:port")?.clone(),
+            "--workload" => workloads.push(next("a deck file")?.clone()),
+            "--seed" => {
+                seed = next("a u64")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--connections" => {
+                connections = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+            }
+            "--out" => out_path = next("a file")?.clone(),
+            "--initial-rps" => {
+                ov.initial_rps = Some(
+                    next("a rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --initial-rps: {e}"))?,
+                );
+            }
+            "--increment-rps" => {
+                ov.increment_rps = Some(
+                    next("a rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --increment-rps: {e}"))?,
+                );
+            }
+            "--max-rps" => {
+                ov.max_rps = Some(
+                    next("a rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-rps: {e}"))?,
+                );
+            }
+            "--round-ms" => {
+                ov.round_ms = Some(
+                    next("a duration")?
+                        .parse()
+                        .map_err(|e| format!("bad --round-ms: {e}"))?,
+                );
+            }
+            "--sessions" => {
+                ov.sessions = Some(
+                    next("a count")?
+                        .parse()
+                        .map_err(|e| format!("bad --sessions: {e}"))?,
+                );
+            }
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    if addr.is_empty() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    if workloads.is_empty() {
+        return Err(format!("at least one --workload is required\n{}", usage()));
+    }
+    if connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    for path in &workloads {
+        let mut spec = load_workload(path)?;
+        ov.apply(&mut spec);
+        let r = discover_capacity(&addr, &spec, seed, connections)?;
+        println!(
+            "server_capacity: {} max sustainable {} rps over {} rounds{}",
+            r.spec.name,
+            r.max_sustainable_rps,
+            r.rounds.len(),
+            if r.saturated {
+                ""
+            } else {
+                " (never saturated; raise max_rps)"
+            }
+        );
+        results.push(r);
+    }
+
+    if shutdown {
+        match qwm::server::Client::connect(&addr).and_then(|mut c| c.send("shutdown")) {
+            Ok(r) if r.ok() => {}
+            Ok(r) => eprintln!("server_capacity: shutdown: {} {}", r.status, r.head),
+            Err(e) => eprintln!("server_capacity: shutdown: {e}"),
+        }
+    }
+
+    let json = results_json(seed, &results);
+    std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("server_capacity: wrote {out_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("compare") => main_compare(&argv[1..]),
+        Some("plan") => main_plan(&argv[1..]),
+        _ => main_ramp(&argv),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

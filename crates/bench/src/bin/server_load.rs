@@ -21,8 +21,8 @@
 //! Exits non-zero if any request fails, so CI can gate on it.
 
 use qwm::circuit::parser::parse_netlist;
-use qwm::num::rng::Rng64;
 use qwm::server::Client;
+use qwm_bench::load::edit_script;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -99,16 +99,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// The seeded edit for round `i` of stream `seed`: resize a random
-/// transistor within [0.5u, 2u]. Deterministic per (seed, i), so warm
-/// and cold replays see identical work.
-fn edit_script(devices: &[String], seed: u64, i: u64) -> String {
-    let mut rng = Rng64::seed_from_u64(seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-    let dev = &devices[rng.range_usize(0, devices.len())];
-    let w = rng.range(0.5e-6, 2.0e-6);
-    format!("resize {dev} {w:.6e}\n")
-}
-
 struct StreamResult {
     latencies: Vec<Duration>,
     /// Server-reported queue wait per `run` (the `wait_ns=` head field).
@@ -173,7 +163,9 @@ fn warm_stream(args: &Args, deck: &str, devices: &[String], conn: usize) -> Stre
         return out;
     }
     for i in 0..args.requests {
-        let script = edit_script(devices, args.seed.wrapping_add(conn as u64), i as u64);
+        // Lane-mixed (seed, connection, round) stream: no aliasing
+        // between adjacent seeds or connections (see qwm_bench::load).
+        let script = edit_script(devices, args.seed, conn as u64, i as u64);
         let t0 = Instant::now();
         let edited = with_busy_retry(&mut out.rejections, || client.edit(&sid, &script));
         let ran = edited.and_then(|_| {
@@ -216,8 +208,7 @@ fn cold_streams(args: &Args, qwm_bin: &str, devices: &[String], rounds: usize) -
                         std::process::id()
                     ));
                     for i in 0..rounds {
-                        let script =
-                            edit_script(devices, args.seed.wrapping_add(conn as u64), i as u64);
+                        let script = edit_script(devices, args.seed, conn as u64, i as u64);
                         if let Err(e) = std::fs::write(&edits_path, &script) {
                             eprintln!("server_load: cold: write {}: {e}", edits_path.display());
                             break;

@@ -5,7 +5,9 @@
 //! comparison rows, deterministic workloads, wall-clock measurement and
 //! gnuplot-ready data dumps under `target/experiments/`.
 
+pub mod capacity;
 pub mod harness;
+pub mod load;
 
 use qwm::circuit::cells;
 use qwm::circuit::stage::{LogicStage, NodeId};

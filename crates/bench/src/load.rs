@@ -1,0 +1,74 @@
+//! Deterministic request-stream generation shared by the fixed-burst
+//! load generator (`server_load`) and its reproducibility tests.
+//!
+//! Every connection's stream is keyed by [`Rng64::stream`] with lanes
+//! `[connection, round]` off one master seed. The earlier scheme —
+//! `seed + connection` feeding a per-round xor — aliased streams
+//! (`master + 1` at connection 0 replayed `master` at connection 1), so
+//! two runs with adjacent seeds shared most of their work and warm/cold
+//! medians drifted with thread interleaving. Lane-mixed seeding makes
+//! the full request stream a pure function of
+//! `(master, connection, round)`: [`request_log`] renders it, and the
+//! two-run byte-identity test pins it.
+
+use qwm::num::rng::Rng64;
+
+/// The seeded what-if edit for `round` of `conn`'s stream: resize one
+/// random transistor within `[0.5u, 2u]`. A pure function of
+/// `(devices, master, conn, round)` — warm replays, cold replays and
+/// repeat invocations all see identical work.
+pub fn edit_script(devices: &[String], master: u64, conn: u64, round: u64) -> String {
+    let mut rng = Rng64::stream(master, &[conn, round]);
+    let dev = &devices[rng.range_usize(0, devices.len())];
+    let w = rng.range(0.5e-6, 2.0e-6);
+    format!("resize {dev} {w:.6e}\n")
+}
+
+/// Renders the complete request stream `server_load` offers for
+/// `(master, connections, requests)` as one line per round-trip, in
+/// deterministic `(connection, round)` order regardless of how threads
+/// interleave at execution time. This is the byte-comparable artifact
+/// the reproducibility test pins.
+pub fn request_log(devices: &[String], master: u64, connections: usize, requests: usize) -> String {
+    let mut out = String::new();
+    for conn in 0..connections {
+        for round in 0..requests {
+            let script = edit_script(devices, master, conn as u64, round as u64);
+            out.push_str(&format!(
+                "c{conn:03}#{round:05} edit load-{conn} | {} ; run load-{conn} qwm slew_ps=20\n",
+                script.trim_end_matches('\n')
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices() -> Vec<String> {
+        (0..7).map(|i| format!("M{i}")).collect()
+    }
+
+    #[test]
+    fn edit_script_is_pure_in_its_key() {
+        let d = devices();
+        assert_eq!(edit_script(&d, 42, 3, 9), edit_script(&d, 42, 3, 9));
+        assert_ne!(edit_script(&d, 42, 3, 9), edit_script(&d, 42, 3, 10));
+        assert_ne!(edit_script(&d, 42, 3, 9), edit_script(&d, 42, 4, 9));
+        // The additive-seed alias: master 43 conn 0 must NOT replay
+        // master 42 conn 1.
+        assert_ne!(edit_script(&d, 43, 0, 5), edit_script(&d, 42, 1, 5));
+    }
+
+    #[test]
+    fn request_log_is_byte_identical_across_runs() {
+        let d = devices();
+        let a = request_log(&d, 0x0BAD_5EED, 8, 25);
+        let b = request_log(&d, 0x0BAD_5EED, 8, 25);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 8 * 25);
+        assert_ne!(a, request_log(&d, 0x0BAD_5EED + 1, 8, 25));
+    }
+}

@@ -1,0 +1,361 @@
+//! Tests for the capacity-discovery subsystem (ISSUE 8): deck parsing,
+//! deterministic replay across connection counts, the
+//! `BENCH_capacity_server.json` schema round-trip, the `compare`
+//! regression gate, and a live bounded ramp against an in-process
+//! server for both stock workload decks.
+
+use qwm::obs::report::{capacity_html, parse_json, Json};
+use qwm::server::{Server, ServerConfig, ServerHandle};
+use qwm_bench::capacity::{
+    assign_lanes, compare_reports, discover_capacity, parse_workload, plan_round, render_op_log,
+    results_json, OpKind, Slew, SCHEMA,
+};
+use std::sync::Mutex;
+
+/// Server obs/fault state is process-global; serialize the live tests.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Repo-relative path fixup: bench tests run with the crate as cwd.
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn stock_deck(name: &str) -> String {
+    std::fs::read_to_string(repo_root().join("testdata/workloads").join(name)).expect(name)
+}
+
+fn devices() -> Vec<String> {
+    (0..8).map(|i| format!("M{i}")).collect()
+}
+
+// ---------------------------------------------------------------- parsing
+
+#[test]
+fn stock_decks_parse_and_describe_the_advertised_mixes() {
+    let heavy = parse_workload(&stock_deck("heavy_run.deck")).expect("heavy_run");
+    assert_eq!(heavy.name, "heavy_run");
+    assert_eq!(heavy.ops.len(), 1);
+    assert_eq!(heavy.ops[0].kind, OpKind::Run);
+    assert!(matches!(heavy.ops[0].slew, Slew::Jitter(lo, hi) if lo < hi));
+
+    let mixed = parse_workload(&stock_deck("mixed.deck")).expect("mixed");
+    assert_eq!(mixed.name, "mixed");
+    assert_eq!(mixed.ops.len(), 4);
+    let corner = mixed.ops.iter().find(|o| o.name == "corner_sweep").unwrap();
+    assert_eq!(corner.kind, OpKind::Run);
+    assert_eq!(corner.corners, "ss,tt,ff");
+    assert!(mixed.ops.iter().any(|o| o.kind == OpKind::Edit));
+    assert!(mixed.ops.iter().any(|o| o.kind == OpKind::Report));
+}
+
+#[test]
+fn deck_parser_rejects_malformed_input_with_line_numbers() {
+    let cases: &[(&str, &str)] = &[
+        ("name = x\nbogus_key = 1", "line 2"),
+        ("name = x\n[op run]\nweight = 0", "line 3"),
+        ("name = x\n[op run]\ncorners = warp9", "line 3"),
+        ("name = x\n[op run]\nslew_ps = jitter:9:3", "line 3"),
+        ("name = x\n[op run]\nkind = dance", "line 3"),
+        ("name = x\n[section", "line 2"),
+        ("name = has spaces", "line 1"),
+        ("name = x\n[op run]\n[op run]", "duplicate op"),
+    ];
+    for (text, want) in cases {
+        let err = parse_workload(text).expect_err(text);
+        assert!(err.contains(want), "{text:?}: {err}");
+    }
+    // Structural validations run after the line scan.
+    assert!(parse_workload("name = x").unwrap_err().contains("ramp"));
+    assert!(
+        parse_workload("name = x\ninitial_rps = 5\nincrement_rps = 5\nmax_rps = 50")
+            .unwrap_err()
+            .contains("[op")
+    );
+}
+
+// ------------------------------------------------------- replay determinism
+
+#[test]
+fn planned_op_log_is_byte_identical_across_1_4_8_connections() {
+    let spec = parse_workload(&stock_deck("mixed.deck")).expect("mixed");
+    let devices = devices();
+    let reference = render_op_log(&plan_round(&spec, &devices, 7, 40));
+    assert!(!reference.is_empty());
+    for connections in [1usize, 4, 8] {
+        // The op log is computed before lane assignment, so replanning
+        // under any connection count must reproduce it byte-for-byte…
+        let plan = plan_round(&spec, &devices, 7, 40);
+        assert_eq!(render_op_log(&plan), reference, "{connections} connections");
+        // …and lane assignment must partition the plan without losing,
+        // duplicating, or reordering any session's ops.
+        let lanes = assign_lanes(&plan, connections);
+        assert_eq!(lanes.len(), connections);
+        assert_eq!(lanes.iter().map(Vec::len).sum::<usize>(), plan.len());
+        let mut merged: Vec<_> = lanes.into_iter().flatten().collect();
+        merged.sort_by_key(|a| (a.at, a.session, a.seq));
+        assert_eq!(render_op_log(&merged), reference);
+    }
+    // Different seed or rate ⇒ different schedule.
+    assert_ne!(
+        render_op_log(&plan_round(&spec, &devices, 8, 40)),
+        reference
+    );
+    assert_ne!(
+        render_op_log(&plan_round(&spec, &devices, 7, 41)),
+        reference
+    );
+}
+
+#[test]
+fn plan_spreads_ops_across_all_sessions_at_the_requested_rate() {
+    let spec = parse_workload(&stock_deck("heavy_run.deck")).expect("heavy_run");
+    let plan = plan_round(&spec, &devices(), 3, 100);
+    // round_ms = 1000 ⇒ 100 rps plans 100 ops.
+    assert_eq!(plan.len(), 100);
+    for s in 0..spec.sessions {
+        let n = plan.iter().filter(|op| op.session == s).count();
+        assert!(n >= 100 / spec.sessions, "session {s} got {n} ops");
+    }
+    let round = std::time::Duration::from_millis(spec.round_ms);
+    assert!(plan.iter().all(|op| op.at < round));
+    assert!(
+        plan.windows(2).all(|w| w[0].at <= w[1].at),
+        "sorted by time"
+    );
+}
+
+// ------------------------------------------- schema round-trip and compare
+
+/// A synthetic two-workload artifact without touching any server.
+fn synthetic_artifact(max_a: u32, max_b: u32) -> String {
+    let spec = parse_workload(&stock_deck("heavy_run.deck")).expect("heavy_run");
+    let devices = devices();
+    let mk = |name: &str, max: u32| {
+        let mut spec = spec.clone();
+        spec.name = name.to_string();
+        let plan = plan_round(&spec, &devices, 5, 10);
+        let sample = qwm_bench::capacity::RoundSample {
+            planned: plan.len(),
+            ok: plan.len().saturating_sub(1),
+            failures: 1,
+            rejected: 0,
+            latencies_us: vec![100.0, 200.0, 300.0],
+            service_us: vec![90.0, 180.0, 270.0],
+            waits_us: vec![5.0, 10.0],
+            solves_us: vec![80.0, 160.0],
+            wall: std::time::Duration::from_millis(spec.round_ms),
+        };
+        let record = qwm_bench::capacity::evaluate_round("ramp", 10, &sample, &spec.thresholds);
+        qwm_bench::capacity::ExperimentResult {
+            spec,
+            connections: 2,
+            seed: 5,
+            rounds: vec![record],
+            max_sustainable_rps: max,
+            saturated: true,
+        }
+    };
+    results_json(5, &[mk("alpha", max_a), mk("beta", max_b)])
+}
+
+#[test]
+fn results_json_round_trips_through_the_in_repo_reader() {
+    let text = synthetic_artifact(120, 80);
+    let doc = parse_json(&text).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(5.0));
+    let Some(Json::Arr(workloads)) = doc.get("workloads") else {
+        panic!("workloads array");
+    };
+    assert_eq!(workloads.len(), 2);
+    let alpha = &workloads[0];
+    assert_eq!(alpha.get("name").and_then(Json::as_str), Some("alpha"));
+    assert_eq!(
+        alpha.get("max_sustainable_rps").and_then(Json::as_f64),
+        Some(120.0)
+    );
+    let Some(Json::Arr(rounds)) = alpha.get("rounds") else {
+        panic!("rounds array");
+    };
+    // Per-round percentiles and the wait/solve split survive the trip.
+    let round = &rounds[0];
+    for key in [
+        "target_rps",
+        "achieved_rps",
+        "fail_rate",
+        "p50_us",
+        "p95_us",
+        "wait_p50_us",
+        "wait_p95_us",
+        "solve_p50_us",
+        "solve_p95_us",
+    ] {
+        assert!(
+            round.get(key).and_then(Json::as_f64).is_some(),
+            "round field {key}"
+        );
+    }
+    assert_eq!(round.get("p50_us").and_then(Json::as_f64), Some(200.0));
+    assert_eq!(round.get("wait_p95_us").and_then(Json::as_f64), Some(10.0));
+}
+
+#[test]
+fn compare_passes_on_identical_artifacts() {
+    let text = synthetic_artifact(120, 80);
+    let summary = compare_reports(&text, &text, 10.0).expect("identical artifacts compare clean");
+    assert!(summary.contains("\"alpha\""), "{summary}");
+    assert!(summary.contains("\"beta\""), "{summary}");
+}
+
+#[test]
+fn compare_fails_precisely_on_an_injected_max_rps_drop() {
+    let old = synthetic_artifact(120, 80);
+    let new = synthetic_artifact(120, 60); // beta: −25% > 10% allowed
+    let err = compare_reports(&old, &new, 10.0).expect_err("regression must fail");
+    assert!(err.contains("\"beta\""), "{err}");
+    assert!(err.contains("80 -> 60"), "{err}");
+    assert!(err.contains("25.0% drop"), "{err}");
+    assert!(!err.contains("\"alpha\""), "alpha did not regress: {err}");
+    // Within tolerance passes.
+    assert!(compare_reports(&old, &synthetic_artifact(115, 75), 10.0).is_ok());
+    // A workload vanishing from the new artifact is a regression too.
+    let gone = synthetic_artifact(120, 80).replace("\"beta\"", "\"gamma\"");
+    let err = compare_reports(&old, &gone, 10.0).expect_err("missing workload must fail");
+    assert!(err.contains("missing from new"), "{err}");
+}
+
+#[test]
+fn compare_tolerates_unknown_fields_and_rejects_wrong_schema() {
+    let old = synthetic_artifact(120, 80);
+    // Future schema revisions may add fields anywhere.
+    let extended = old
+        .replace(
+            "\"schema\": \"qwm.capacity.v1\",",
+            "\"schema\": \"qwm.capacity.v2\",\n  \"host\": \"ci-runner\",",
+        )
+        .replace("\"sessions\":", "\"annotation\": \"extra\", \"sessions\":");
+    compare_reports(&old, &extended, 10.0).expect("unknown fields must be tolerated");
+    // But a non-capacity document is refused with a pointed message.
+    let err = compare_reports(&old, "{\"schema\": \"qwm.trace.v1\"}", 10.0).unwrap_err();
+    assert!(err.contains("unexpected schema"), "{err}");
+    let err = compare_reports("not json", &old, 10.0).unwrap_err();
+    assert!(err.contains("old artifact"), "{err}");
+}
+
+#[test]
+fn capacity_html_renders_self_contained_from_the_artifact() {
+    let html = capacity_html("capacity test", &synthetic_artifact(120, 80)).expect("render");
+    assert!(html.contains("<h2>workload alpha</h2>"), "workload section");
+    assert!(html.contains("max sustainable: 120 rps"), "max rps line");
+    assert!(html.contains("<table>"), "rounds table");
+    for banned in ["http://", "https://", "<script", "src=", "@import"] {
+        assert!(!html.contains(banned), "external reference {banned:?}");
+    }
+    // Non-capacity input is a structured error, not a panic.
+    assert!(capacity_html("t", "{\"schema\": \"qwm.obs.v1\"}").is_err());
+    assert!(capacity_html("t", "[1, 2]").is_err());
+}
+
+// ----------------------------------------------------------- live ramps
+
+fn start_server() -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    Server::spawn(ServerConfig {
+        max_inflight: 4,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+/// Both stock decks, shrunk to a bounded ramp, must converge on a live
+/// server: discover a max sustainable rps, record per-round data, and
+/// produce an artifact that round-trips through JSON, HTML, and a
+/// self-compare.
+#[test]
+fn bounded_ramp_discovers_capacity_on_both_stock_decks() {
+    let _guard = locked();
+    let root = repo_root();
+    let (handle, join) = start_server();
+    let addr = handle.addr().to_string();
+    let mut results = Vec::new();
+    for deck in ["heavy_run.deck", "mixed.deck"] {
+        let mut spec = parse_workload(&stock_deck(deck)).expect(deck);
+        spec.deck = root.join(&spec.deck).to_string_lossy().into_owned();
+        spec.sessions = 2;
+        spec.initial_rps = 4;
+        spec.increment_rps = 4;
+        spec.max_rps = 12;
+        spec.round_ms = 300;
+        let r = discover_capacity(&addr, &spec, 11, 2).expect(deck);
+        assert!(!r.rounds.is_empty(), "{deck}: no rounds");
+        assert!(
+            (spec.initial_rps..=spec.max_rps).contains(&r.max_sustainable_rps)
+                || r.max_sustainable_rps == 0,
+            "{deck}: max {} outside ramp",
+            r.max_sustainable_rps
+        );
+        assert!(r.rounds.iter().all(|round| round.planned > 0));
+        results.push(r);
+    }
+    let json = results_json(11, &results);
+    let doc = parse_json(&json).expect("artifact parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    capacity_html("live ramp", &json).expect("HTML renders");
+    compare_reports(&json, &json, 5.0).expect("self-compare passes");
+    stop_server(handle, join);
+}
+
+/// An unreachable median ceiling must trip a stop threshold and drive
+/// the binary search to convergence: `max(1, increment/4)` window,
+/// search rounds present, `saturated` set.
+#[test]
+fn unreachable_median_ceiling_forces_saturation_and_binary_search() {
+    let _guard = locked();
+    let root = repo_root();
+    let (handle, join) = start_server();
+    let addr = handle.addr().to_string();
+    let mut spec = parse_workload(&stock_deck("heavy_run.deck")).expect("heavy_run");
+    spec.deck = root.join(&spec.deck).to_string_lossy().into_owned();
+    spec.sessions = 2;
+    spec.initial_rps = 8;
+    spec.increment_rps = 8;
+    spec.max_rps = 64;
+    spec.round_ms = 250;
+    // No real server clears a 1 µs median: the first ramp round trips,
+    // exercising the first-round-bad edge (last_good = 0) and search.
+    spec.thresholds.median_ms = 0.001;
+    let r = discover_capacity(&addr, &spec, 13, 2).expect("ramp");
+    assert!(r.saturated, "threshold must trip");
+    assert!(
+        r.rounds.iter().any(|round| !round.good),
+        "a bad round must be recorded"
+    );
+    assert!(
+        r.rounds
+            .iter()
+            .filter(|round| !round.good)
+            .all(|round| round.stop.contains("median")),
+        "stop reason names the tripped threshold"
+    );
+    // Convergence rule: the returned max is below the first bad rps by
+    // construction, and the search narrowed to ≤ max(1, increment/4).
+    let first_bad = r
+        .rounds
+        .iter()
+        .find(|round| !round.good)
+        .map(|round| round.target_rps)
+        .unwrap();
+    assert!(r.max_sustainable_rps < first_bad);
+    stop_server(handle, join);
+}
+
+fn stop_server(handle: ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+}

@@ -372,7 +372,19 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     loop {
         let line = match wire.read_line(shared) {
             Ok(Some(l)) => l,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            Err(e) => {
+                // An oversized request line is a client bug, not a
+                // transport failure: answer with a structured 400
+                // before closing so the sender sees a diagnosis
+                // instead of a bare hangup. The connection still
+                // closes — there is no way to resynchronize inside an
+                // unbounded garbage line.
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let _ = wire.send_status(400, "request line too long");
+                }
+                return;
+            }
         };
         if line.trim().is_empty() {
             continue;

@@ -1,0 +1,303 @@
+//! Protocol robustness fuzzing for `qwm-serve`.
+//!
+//! A seeded generator throws hostile input at a live server — malformed
+//! command lines, truncated length-prefixed bodies, oversized payload
+//! declarations, overlong request lines, binary garbage, and garbage
+//! interleaved with valid commands on one connection. The contract
+//! under test (ISSUE 8 satellite 1): every input yields a structured
+//! `4xx`/`5xx` status line or a clean connection close — never a panic,
+//! a hang, or a wedged server — and a follow-up `ping` on a fresh
+//! connection always comes back `200`.
+//!
+//! Everything runs through raw [`TcpStream`]s (not [`qwm::server::Client`])
+//! so the test can violate the protocol in ways the client cannot.
+
+use qwm::num::rng::Rng64;
+use qwm::server::{Client, Server, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Server obs/fault state is process-global; serialize with the other
+/// server suites.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Generous bound: any reply must arrive well inside this, and hitting
+/// it fails the test (that is the "never a hang" clause).
+const REPLY_DEADLINE: Duration = Duration::from_secs(20);
+
+fn start() -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    Server::spawn(ServerConfig {
+        max_inflight: 2,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+fn stop(handle: ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+}
+
+/// The liveness probe: a fresh connection's `ping` must answer `200`.
+fn assert_ping_ok(handle: &ServerHandle, context: &str) {
+    let mut c = Client::connect(handle.addr()).expect("connect for ping");
+    c.set_timeout(Some(REPLY_DEADLINE)).expect("timeout");
+    let r = c.send("ping").expect("ping round-trip");
+    assert_eq!(
+        r.status, 200,
+        "ping after {context}: {} {}",
+        r.status, r.head
+    );
+}
+
+/// One raw exchange: write `bytes`, optionally half-close the write
+/// side, then read one status line. Returns `None` on clean EOF.
+/// Panics (fails the test) if the server neither replies nor closes
+/// within the deadline — the definition of a hang/wedge here.
+fn raw_exchange(
+    handle: &ServerHandle,
+    bytes: &[u8],
+    half_close: bool,
+    context: &str,
+) -> Option<String> {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(REPLY_DEADLINE))
+        .expect("read timeout");
+    stream
+        .set_write_timeout(Some(REPLY_DEADLINE))
+        .expect("write timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    // The server may have already replied and closed mid-write (e.g.
+    // overlong lines); a broken pipe here is a legal server response,
+    // not a test failure.
+    let _ = writer.write_all(bytes);
+    let _ = writer.flush();
+    if half_close {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    let mut line = String::new();
+    match BufReader::new(&stream).read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim_end().to_string()),
+        Err(e) => panic!("{context}: no reply and no close within deadline: {e}"),
+    }
+}
+
+/// Asserts the reply (if any) is a structured non-2xx status line.
+fn assert_structured_error(reply: &Option<String>, context: &str) {
+    if let Some(line) = reply {
+        let code: u16 = line
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("{context}: unstructured reply {line:?}"));
+        assert!(
+            (400..600).contains(&code),
+            "{context}: expected 4xx/5xx, got {line:?}"
+        );
+    }
+    // None = clean close: acceptable for inputs that die mid-frame.
+}
+
+/// Seeded garbage line: printable tokens, control bytes, or raw binary.
+fn garbage_line(rng: &mut Rng64) -> Vec<u8> {
+    let len = rng.range_usize(1, 200);
+    let mut out = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let b = match rng.range_usize(0, 4) {
+            0 => b' ' + (rng.next_u64() % 94) as u8, // printable
+            1 => (rng.next_u64() % 32) as u8,        // control chars
+            _ => (rng.next_u64() % 256) as u8,       // raw binary
+        };
+        // Keep the line a line: the newline terminator comes last.
+        out.push(if b == b'\n' { b'\r' } else { b });
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Malformed-but-plausible command lines the parser must reject.
+fn malformed_command(rng: &mut Rng64) -> String {
+    const TEMPLATES: &[&str] = &[
+        "load",
+        "load sid",
+        "load sid notanumber\n",
+        "load bad/sid 10\n0123456789",
+        "load sid -5\n",
+        "run\n",
+        "run sid warp\n",
+        "run sid qwm slew_ps=NaN\n",
+        "run sid qwm slew_ps=-3\n",
+        "run sid qwm deadline_ms=oops\n",
+        "run sid qwm corners=xx\n",
+        "run sid qwm corners=mc:7:0\n",
+        "report\n",
+        "report a b c\n",
+        "stats\n",
+        "budget sid retries=-1\n",
+        "trace sid maybe\n",
+        "profile bottom\n",
+        "metrics prom xml\n",
+        "sleep forever\n",
+        "close\n",
+        "frobnicate sid 12\n",
+        "\u{1}\u{2}\u{3} run\n",
+        "run sid qwm extra=fields everywhere\n",
+    ];
+    let mut line = TEMPLATES[rng.range_usize(0, TEMPLATES.len())].to_string();
+    if !line.ends_with('\n') {
+        line.push('\n');
+    }
+    line
+}
+
+#[test]
+fn fuzz_garbage_and_malformed_commands_get_structured_errors() {
+    let _guard = locked();
+    let (handle, join) = start();
+    let mut rng = Rng64::stream(0xF0CC_ED11, &[1]);
+    for i in 0..60 {
+        let (bytes, context) = if i % 2 == 0 {
+            (garbage_line(&mut rng), format!("garbage #{i}"))
+        } else {
+            (
+                malformed_command(&mut rng).into_bytes(),
+                format!("malformed #{i}"),
+            )
+        };
+        let reply = raw_exchange(&handle, &bytes, true, &context);
+        assert_structured_error(&reply, &context);
+    }
+    assert_ping_ok(&handle, "garbage/malformed sweep");
+    stop(handle, join);
+}
+
+#[test]
+fn fuzz_truncated_bodies_close_cleanly_and_server_survives() {
+    let _guard = locked();
+    let (handle, join) = start();
+    let mut rng = Rng64::stream(0xBAD_B0D1E5, &[2]);
+    for i in 0..25 {
+        let declared = rng.range_usize(1, 4096);
+        let sent = rng.range_usize(0, declared);
+        let verb = if rng.flip() { "load" } else { "edit" };
+        let mut bytes = format!("{verb} trunc-{i} {declared}\n").into_bytes();
+        bytes.extend(std::iter::repeat_n(b'x', sent));
+        // Half-close after underfeeding the declared length: the server
+        // is entitled to wait for the rest until EOF, then must drop
+        // the connection without wedging.
+        let reply = raw_exchange(&handle, &bytes, true, &format!("truncated body #{i}"));
+        assert_structured_error(&reply, &format!("truncated body #{i}"));
+    }
+    assert_ping_ok(&handle, "truncated-body sweep");
+    stop(handle, join);
+}
+
+#[test]
+fn fuzz_oversized_payload_declarations_get_400() {
+    let _guard = locked();
+    let (handle, join) = start();
+    let mut rng = Rng64::stream(0x0BE5E, &[3]);
+    for i in 0..10 {
+        // Strictly above MAX_PAYLOAD (16 MiB), up to u64 nonsense.
+        let n = 16 * 1024 * 1024 + 1 + rng.next_u64() % (u64::MAX / 2);
+        let verb = if rng.flip() { "load" } else { "edit" };
+        let context = format!("oversized declaration #{i} ({n})");
+        let reply = raw_exchange(
+            &handle,
+            format!("{verb} big {n}\n").as_bytes(),
+            true,
+            &context,
+        );
+        let line = reply.unwrap_or_else(|| panic!("{context}: expected a 400, got close"));
+        assert!(line.starts_with("400 "), "{context}: {line:?}");
+    }
+    assert_ping_ok(&handle, "oversized-declaration sweep");
+    stop(handle, join);
+}
+
+#[test]
+fn fuzz_overlong_request_line_gets_400_not_silent_drop() {
+    let _guard = locked();
+    let (handle, join) = start();
+    // 80 KiB with no newline: over MAX_LINE (64 KiB), never parseable.
+    let mut bytes = vec![b'a'; 80 * 1024];
+    let reply = raw_exchange(&handle, &bytes, true, "overlong line");
+    let line = reply.expect("overlong line: expected a structured 400 before close");
+    assert!(
+        line.starts_with("400 "),
+        "overlong line: expected 400, got {line:?}"
+    );
+    // Same, but binary heavy — the reply must still be structured.
+    for b in bytes.iter_mut() {
+        *b = 0xEE;
+    }
+    let reply = raw_exchange(&handle, &bytes, true, "overlong binary line");
+    let line = reply.expect("overlong binary line: expected a structured 400");
+    assert!(line.starts_with("400 "), "overlong binary: {line:?}");
+    assert_ping_ok(&handle, "overlong-line sweep");
+    stop(handle, join);
+}
+
+#[test]
+fn fuzz_garbage_interleaved_with_valid_commands_does_not_wedge_connection() {
+    let _guard = locked();
+    let (handle, join) = start();
+    let mut rng = Rng64::stream(0x1_7EA5ED, &[4]);
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(REPLY_DEADLINE))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(&stream);
+    let mut read_reply = |context: &str| -> String {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {
+                // Drain any payload so the next read starts at a status line.
+                if let Some(len) = line
+                    .split_whitespace()
+                    .last()
+                    .and_then(|t| t.strip_prefix("len="))
+                    .and_then(|v| v.parse::<usize>().ok())
+                {
+                    let mut payload = vec![0u8; len];
+                    reader.read_exact(&mut payload).expect(context);
+                }
+                line.trim_end().to_string()
+            }
+            other => panic!("{context}: reply missing: {other:?}"),
+        }
+    };
+    for i in 0..20 {
+        // Newline-terminated garbage (never a body-carrying verb, which
+        // would legitimately eat the following bytes as payload).
+        let mut junk = garbage_line(&mut rng);
+        if junk.starts_with(b"load ") || junk.starts_with(b"edit ") {
+            junk[0] = b'#';
+        }
+        writer.write_all(&junk).expect("write junk");
+        let reply = read_reply(&format!("junk #{i}"));
+        let code: u16 = reply
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("junk #{i}: unstructured reply {reply:?}"));
+        assert!((400..600).contains(&code), "junk #{i}: {reply:?}");
+        // The same connection must still serve valid traffic.
+        writer.write_all(b"ping\n").expect("write ping");
+        let reply = read_reply(&format!("ping after junk #{i}"));
+        assert!(reply.starts_with("200 "), "ping after junk #{i}: {reply:?}");
+    }
+    drop(reader);
+    drop(writer);
+    assert_ping_ok(&handle, "interleaved-garbage sweep");
+    stop(handle, join);
+}
