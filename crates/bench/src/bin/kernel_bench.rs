@@ -1,0 +1,367 @@
+//! Kernel hot-path cost: per-arc solve time and steady-state allocation
+//! accounting, emitting `BENCH_kernel.json`.
+//!
+//! Three measurements over the QWM kernel (the per-region Newton solve
+//! the paper's speedup rests on):
+//!
+//! * **cold ns/arc** — a fresh engine timing a `sta_parallel`-style
+//!   random DAG end to end (characterization excluded), wall time
+//!   divided by arcs evaluated;
+//! * **warm ns/arc** — repeated re-evaluation of a fixed set of
+//!   representative stages after a warmup pass: every cache, table and
+//!   per-worker scratch buffer is hot, so this is the steady-state
+//!   kernel cost a warm server pays per arc;
+//! * **allocs/solve** — allocations per warm region solve, measured by
+//!   the counting global allocator below across repeated identical
+//!   `solve_region_into` calls. The workspace-reuse contract says this
+//!   is **zero** once scratch is warm; the gate fails on any regression.
+//!
+//! The `before_*` fields are the same measurements taken on the tree
+//! immediately before the workspace/batching rework (same machine, same
+//! workload) and are kept as the honest record of what the change
+//! bought. `meets_target` gates only on machine-independent facts plus
+//! the in-process speedup ratio: zero steady-state allocations and a
+//! warm per-arc cost at least `TARGET_SPEEDUP`× better than the
+//! recorded baseline.
+//!
+//! All timed figures are **min-of-windows**: the measurement loop is
+//! split into several equal windows and the fastest window is reported.
+//! On a shared single-core host the slow windows measure neighbour
+//! steal time, not this code; the minimum is the reproducible estimate
+//! of what the kernel itself costs. The recorded `before_*` baselines
+//! were taken with the same estimator.
+//!
+//! `--smoke` shrinks iteration counts for the CI gate and gates only on
+//! the allocation facts (which are exact at any iteration count); the
+//! timing figures are still reported but a short contended window must
+//! not fail the build.
+
+use qwm::circuit::cells;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::core::chain::Chain;
+use qwm::core::evaluate::{evaluate, QwmConfig};
+use qwm::core::solver::{
+    solve_region_into, ChainContext, EndCondition, RegionOptions, RegionSolution, RegionState,
+    SolveScratch,
+};
+use qwm::sta::engine::StaEngine;
+use qwm::sta::evaluator::{sensitized_setup_with_slew, QwmEvaluator};
+use qwm::sta::graph::random_dag_netlist;
+use qwm_bench::Bench;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const STAGES: usize = 240;
+const SEED: u64 = 0x5aa5_1234;
+const INPUT_SLEW: f64 = 30e-12;
+/// Required warm-path improvement over the recorded pre-rework baseline
+/// (full mode only — see `--smoke` below).
+const TARGET_SPEEDUP: f64 = 2.0;
+/// Ceiling on warm allocations per evaluation (vs 606 before the
+/// rework). Allocation counts are deterministic, so this is the
+/// regression signal that survives a contended host: under `--smoke`
+/// the gate checks only the allocation facts, because short timing
+/// windows on a shared box measure neighbour steal time, not this
+/// code. The timing bar is enforced by the full-mode run recorded in
+/// `BENCH_kernel.json`.
+const ALLOCS_PER_EVAL_MAX: f64 = 64.0;
+/// Warm ns/arc on the tree immediately before the workspace/batching
+/// rework (this machine, this workload, min-of-windows, best of
+/// repeated process runs — the estimator most favourable to the
+/// baseline).
+const BEFORE_WARM_NS_PER_ARC: f64 = 35_152.0;
+/// Cold ns/arc on the pre-rework tree (same methodology).
+const BEFORE_COLD_NS_PER_ARC: f64 = 28_754.0;
+/// ns per warm region solve on the pre-rework tree (same methodology).
+const BEFORE_NS_PER_SOLVE: f64 = 3_176.0;
+/// Allocations per warm region solve on the pre-rework tree (exact —
+/// allocation counts are deterministic).
+const BEFORE_ALLOCS_PER_SOLVE: f64 = 66.0;
+/// Allocations per warm evaluation on the pre-rework tree (exact).
+const BEFORE_ALLOCS_PER_EVAL: f64 = 606.0;
+
+/// Counting allocator: every heap allocation in the process bumps a
+/// relaxed counter. Deallocations are not counted — the steady-state
+/// assertion is about *acquiring* memory on the hot path.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn main() -> std::process::ExitCode {
+    let mut out_path = "BENCH_kernel.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (windows, warm_reps, solve_reps, cold_runs) = if smoke {
+        (4, 12, 400, 1)
+    } else {
+        (10, 60, 2000, 3)
+    };
+
+    let bench = Bench::new();
+    let tech = &bench.tech;
+    let models = &bench.qwm_models;
+    let ev = QwmEvaluator::default();
+
+    // --- Cold: fresh engine over the random DAG, end to end. ---
+    // Min over a few fresh engines: each run is cold for the engine
+    // (levelization, per-arc state) even though process-wide tables
+    // stay warm after the first.
+    let mut cold_ns_per_arc = f64::INFINITY;
+    let mut cold_arcs = 1usize;
+    for _ in 0..cold_runs {
+        let nl = random_dag_netlist(tech, STAGES, SEED);
+        let engine = StaEngine::new(nl, models, TransitionKind::Fall).expect("engine");
+        let t0 = Instant::now();
+        let report = engine.run_with_slew(&ev, INPUT_SLEW).expect("cold run");
+        let cold = t0.elapsed();
+        cold_arcs = report.evaluations.max(1);
+        cold_ns_per_arc = cold_ns_per_arc.min(cold.as_secs_f64() * 1e9 / cold_arcs as f64);
+    }
+
+    // --- Warm: repeated evaluation of representative stages. ---
+    // The mix mirrors the random-DAG cell population: inverters, NAND2/3
+    // fall arcs and a 4-high stack, each driven by the slew-derived ramp
+    // stimulus the STA engine uses.
+    let stages = vec![
+        cells::inverter(tech, cells::DEFAULT_LOAD).expect("inv"),
+        cells::nand(tech, 2, cells::DEFAULT_LOAD).expect("nand2"),
+        cells::nand(tech, 3, cells::DEFAULT_LOAD).expect("nand3"),
+        cells::nmos_stack(tech, &[1.5e-6; 4], cells::DEFAULT_LOAD).expect("stack4"),
+    ];
+    let config = QwmConfig::default();
+    let mut setups = Vec::new();
+    for stage in &stages {
+        let out = stage.node_by_name("out").expect("out");
+        let (inputs, init, _t_ref) =
+            sensitized_setup_with_slew(stage, models, out, TransitionKind::Fall, INPUT_SLEW)
+                .expect("setup");
+        setups.push((stage, out, inputs, init));
+    }
+    // Warmup: fills thread-local scratch, table caches, obs registries.
+    for (stage, out, inputs, init) in &setups {
+        evaluate(
+            stage,
+            models,
+            inputs,
+            init,
+            *out,
+            TransitionKind::Fall,
+            &config,
+        )
+        .expect("warmup eval");
+    }
+    let (a0, _) = allocs_now();
+    let mut warm_ns_per_arc = f64::INFINITY;
+    for _ in 0..windows {
+        let t0 = Instant::now();
+        for _ in 0..warm_reps {
+            for (stage, out, inputs, init) in &setups {
+                evaluate(
+                    stage,
+                    models,
+                    inputs,
+                    init,
+                    *out,
+                    TransitionKind::Fall,
+                    &config,
+                )
+                .expect("warm eval");
+            }
+        }
+        let warm = t0.elapsed();
+        warm_ns_per_arc =
+            warm_ns_per_arc.min(warm.as_secs_f64() * 1e9 / (warm_reps * setups.len()) as f64);
+    }
+    let (a1, _) = allocs_now();
+    let warm_arcs = (windows * warm_reps * setups.len()) as f64;
+    let allocs_per_eval = (a1 - a0) as f64 / warm_arcs;
+
+    // --- Allocations per warm region solve. ---
+    // One representative mid-discharge region on a 3-high stack, solved
+    // repeatedly through the caller-scratch entry point. After warmup
+    // the solve must not touch the allocator at all.
+    let stage = cells::nmos_stack(tech, &[1.5e-6, 2.0e-6, 1.0e-6], 20e-15).expect("stack3");
+    let out = stage.node_by_name("out").expect("out");
+    let chain = Chain::extract(&stage, out, TransitionKind::Fall).expect("chain");
+    let inputs: Vec<qwm::circuit::waveform::Waveform> = (0..3)
+        .map(|_| qwm::circuit::waveform::Waveform::constant(tech.vdd))
+        .collect();
+    let ctx = ChainContext {
+        stage: &stage,
+        chain: &chain,
+        models,
+        inputs: &inputs,
+        rail_v: 0.0,
+    };
+    let v0 = vec![1.0, 2.5, 3.1];
+    let caps = ctx.node_caps(&v0);
+    let i0 = ctx.node_currents(&v0, 0.0).expect("currents");
+    let state = RegionState {
+        tau: 0.0,
+        v: v0,
+        i: i0,
+        caps,
+    };
+    let cond = EndCondition::Crossing {
+        node: 3,
+        level: 2.0,
+    };
+    let opts = RegionOptions::default();
+    let mut scratch = SolveScratch::default();
+    let mut sol = RegionSolution::default();
+    let mut spent = 0usize;
+    // Warmup fills the scratch and the solution buffers.
+    for _ in 0..8 {
+        solve_region_into(
+            &ctx,
+            &state,
+            cond,
+            5e-12,
+            &opts,
+            &mut spent,
+            &mut scratch,
+            &mut sol,
+        )
+        .expect("warmup solve");
+    }
+    let (s0, b0) = allocs_now();
+    let mut ns_per_solve = f64::INFINITY;
+    for _ in 0..windows {
+        let t0 = Instant::now();
+        for _ in 0..solve_reps {
+            solve_region_into(
+                &ctx,
+                &state,
+                cond,
+                5e-12,
+                &opts,
+                &mut spent,
+                &mut scratch,
+                &mut sol,
+            )
+            .expect("warm solve");
+        }
+        let solve_time = t0.elapsed();
+        ns_per_solve = ns_per_solve.min(solve_time.as_secs_f64() * 1e9 / solve_reps as f64);
+    }
+    let (s1, b1) = allocs_now();
+    let total_solves = (windows * solve_reps) as f64;
+    let allocs_per_solve = (s1 - s0) as f64 / total_solves;
+    let bytes_per_solve = (b1 - b0) as f64 / total_solves;
+
+    let warm_speedup = BEFORE_WARM_NS_PER_ARC / warm_ns_per_arc.max(1e-9);
+    let cold_speedup = BEFORE_COLD_NS_PER_ARC / cold_ns_per_arc.max(1e-9);
+    let allocs_ok = allocs_per_solve == 0.0 && allocs_per_eval <= ALLOCS_PER_EVAL_MAX;
+    let meets_target = allocs_ok && (smoke || warm_speedup >= TARGET_SPEEDUP);
+
+    println!(
+        "cold:  {cold_ns_per_arc:>10.0} ns/arc  ({cold_arcs} arcs, {cold_speedup:.2}x vs before)"
+    );
+    println!("warm:  {warm_ns_per_arc:>10.0} ns/arc  ({warm_speedup:.2}x vs before, {allocs_per_eval:.1} allocs/eval)");
+    println!("solve: {ns_per_solve:>10.0} ns/solve ({allocs_per_solve} allocs, {bytes_per_solve} bytes steady-state)");
+    println!(
+        "target {}: {}",
+        if smoke {
+            "zero allocs/solve + bounded allocs/eval (smoke)".to_string()
+        } else {
+            format!("{TARGET_SPEEDUP}x warm + zero allocs/solve")
+        },
+        if meets_target { "MET" } else { "MISSED" }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"qwm.kernel.v1\",\n");
+    json.push_str(&format!("  \"stages\": {STAGES},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"input_slew_ps\": {:.1},\n", INPUT_SLEW * 1e12));
+    json.push_str(&format!("  \"cold_ns_per_arc\": {cold_ns_per_arc:.0},\n"));
+    json.push_str(&format!("  \"warm_ns_per_arc\": {warm_ns_per_arc:.0},\n"));
+    json.push_str(&format!("  \"ns_per_solve\": {ns_per_solve:.0},\n"));
+    json.push_str(&format!("  \"allocs_per_eval\": {allocs_per_eval:.1},\n"));
+    json.push_str(&format!(
+        "  \"allocs_per_solve_steady\": {allocs_per_solve},\n"
+    ));
+    json.push_str(&format!(
+        "  \"bytes_per_solve_steady\": {bytes_per_solve},\n"
+    ));
+    json.push_str(&format!(
+        "  \"before_cold_ns_per_arc\": {BEFORE_COLD_NS_PER_ARC},\n"
+    ));
+    json.push_str(&format!(
+        "  \"before_warm_ns_per_arc\": {BEFORE_WARM_NS_PER_ARC},\n"
+    ));
+    json.push_str(&format!(
+        "  \"before_ns_per_solve\": {BEFORE_NS_PER_SOLVE},\n"
+    ));
+    json.push_str(&format!(
+        "  \"before_allocs_per_solve\": {BEFORE_ALLOCS_PER_SOLVE},\n"
+    ));
+    json.push_str(&format!(
+        "  \"before_allocs_per_eval\": {BEFORE_ALLOCS_PER_EVAL},\n"
+    ));
+    json.push_str(&format!("  \"warm_speedup\": {warm_speedup:.2},\n"));
+    json.push_str(&format!("  \"cold_speedup\": {cold_speedup:.2},\n"));
+    json.push_str(&format!("  \"target_speedup\": {TARGET_SPEEDUP},\n"));
+    json.push_str(&format!(
+        "  \"allocs_per_eval_max\": {ALLOCS_PER_EVAL_MAX},\n"
+    ));
+    json.push_str(&format!("  \"meets_target\": {meets_target}\n"));
+    json.push_str("}\n");
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("kernel_bench: cannot write {out_path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    if meets_target {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

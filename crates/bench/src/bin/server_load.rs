@@ -275,13 +275,15 @@ fn obs_dump(args: &Args, deck: &str) -> Result<String, String> {
     Ok(dump)
 }
 
-/// Exact nearest-rank percentile over the sorted sample, in microseconds.
+/// Exact nearest-rank percentile over the sorted sample, in
+/// microseconds — the NaN-safe [`qwm::num::stats::percentile_nearest`]
+/// with empty samples mapped to `0.0` so report rows stay total.
 fn pct_us(sorted: &[Duration], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1].as_secs_f64() * 1e6
+    let us: Vec<f64> = sorted.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    qwm::num::stats::percentile_nearest(&us, q).expect("finite latency samples")
 }
 
 fn main() -> std::process::ExitCode {

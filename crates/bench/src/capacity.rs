@@ -695,12 +695,16 @@ fn execute_lane(addr: &str, lane: &[PlannedOp], start: Instant) -> RoundSample {
 }
 
 /// Exact nearest-rank percentile over a sorted sample, `0.0` if empty.
+///
+/// Thin shim over the NaN-safe [`qwm::num::stats::percentile_nearest`]:
+/// empty samples map to `0.0` so report rows stay total, while a
+/// non-finite latency sample fails loudly with the offending index
+/// instead of silently skewing the figure.
 pub fn pct(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    qwm::num::stats::percentile_nearest(sorted, q).expect("finite latency samples")
 }
 
 /// One evaluated round of an experiment (ramp or binary-search phase).

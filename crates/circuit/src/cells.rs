@@ -519,7 +519,7 @@ mod tests {
         let mut at = g.node_by_name("out").unwrap();
         let mut steps = 0;
         'walk: while at != g.sink() {
-            for (e, other) in g.incident(at) {
+            for &(e, other) in g.incident(at) {
                 if g.edge(e).kind == DeviceKind::Nmos && other != at && other.0 != at.0 {
                     // Move strictly "down" (toward smaller names / gnd).
                     if other == g.sink() || g.node(other).name.starts_with('n') {

@@ -117,6 +117,15 @@ pub struct LogicStage {
     sink: NodeId,
     node_names: HashMap<String, NodeId>,
     input_names: HashMap<String, InputId>,
+    /// Per-node incident adjacency `(edge, neighbour)` — outgoing then
+    /// incoming — frozen at [`StageBuilder::build`]. Topology is
+    /// immutable after build (only geometry and loads may change), so
+    /// the hot paths borrow these slices instead of re-deriving
+    /// adjacency per query.
+    incident: Vec<Vec<(EdgeId, NodeId)>>,
+    /// Per-node edges whose *gate* is tied to the node, in edge order —
+    /// node-gated loading without an O(edges) scan per `node_cap` call.
+    gate_loads: Vec<Vec<EdgeId>>,
 }
 
 impl LogicStage {
@@ -206,17 +215,11 @@ impl LogicStage {
             .collect()
     }
 
-    /// Edges incident to `id` (either direction), with the neighbour node.
-    pub fn incident(&self, id: NodeId) -> Vec<(EdgeId, NodeId)> {
-        let n = &self.nodes[id.0];
-        let mut out = Vec::with_capacity(n.incoming.len() + n.outgoing.len());
-        for &e in &n.outgoing {
-            out.push((e, self.edges[e.0].snk));
-        }
-        for &e in &n.incoming {
-            out.push((e, self.edges[e.0].src));
-        }
-        out
+    /// Edges incident to `id` (either direction), with the neighbour
+    /// node — outgoing then incoming. A borrow of the adjacency frozen
+    /// at build time, not a fresh allocation.
+    pub fn incident(&self, id: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.incident[id.0]
     }
 
     /// Total capacitance to ground at a node (paper Eq. (1)): the sum of
@@ -224,12 +227,12 @@ impl LogicStage {
     /// plus the external load.
     pub fn node_cap(&self, id: NodeId, models: &ModelSet, v: f64) -> f64 {
         let mut c = self.nodes[id.0].load_cap;
-        // Gate loading from node-gated transistors.
-        for edge in &self.edges {
-            if edge.gate_node == Some(id) {
-                if let Some(p) = edge.kind.polarity() {
-                    c += models.for_polarity(p).input_cap(&edge.geom);
-                }
+        // Gate loading from node-gated transistors (precomputed list,
+        // same edge order as a full scan).
+        for &e in &self.gate_loads[id.0] {
+            let edge = &self.edges[e.0];
+            if let Some(p) = edge.kind.polarity() {
+                c += models.for_polarity(p).input_cap(&edge.geom);
             }
         }
         for &(e, _) in self.incident(id).iter() {
@@ -501,6 +504,33 @@ impl StageBuilder {
                 });
             }
         }
+        // Freeze the adjacency caches: topology cannot change after
+        // build (only geometry and loads), so the per-node incident and
+        // node-gated lists are derived once here.
+        let incident: Vec<Vec<(EdgeId, NodeId)>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut out = Vec::with_capacity(n.incoming.len() + n.outgoing.len());
+                for &e in &n.outgoing {
+                    out.push((e, self.edges[e.0].snk));
+                }
+                for &e in &n.incoming {
+                    out.push((e, self.edges[e.0].src));
+                }
+                out
+            })
+            .collect();
+        let gate_loads: Vec<Vec<EdgeId>> = (0..self.nodes.len())
+            .map(|i| {
+                self.edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.gate_node == Some(NodeId(i)))
+                    .map(|(j, _)| EdgeId(j))
+                    .collect()
+            })
+            .collect();
         Ok(LogicStage {
             name: self.name,
             nodes: self.nodes,
@@ -511,6 +541,8 @@ impl StageBuilder {
             sink: NodeId(1),
             node_names: self.node_names,
             input_names: self.input_names,
+            incident,
+            gate_loads,
         })
     }
 }

@@ -9,12 +9,34 @@
 //! so every experiment measures them identically.
 
 use qwm_num::{NumError, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interned ramp cache capacity per thread. STA runs see a handful of
+/// distinct `(t0, rise, v0, v1)` combinations (one per input slew ×
+/// rail pair), so this is generous; a full cache is cleared rather than
+/// evicted — it only holds cheap `Arc` handles.
+const INTERN_CAP: usize = 4096;
+
+thread_local! {
+    /// Per-thread intern table for [`Waveform::ramp_interned`] /
+    /// [`Waveform::constant_interned`], keyed by a shape tag plus the
+    /// `to_bits` of the constructor arguments.
+    static RAMP_INTERN: RefCell<HashMap<(u8, [u64; 4]), Waveform>> = RefCell::new(HashMap::new());
+}
 
 /// A piecewise-linear waveform: time-sorted `(t, v)` samples, held flat
 /// before the first and after the last sample.
+///
+/// Samples are held behind an [`Arc`], so cloning a waveform — which the
+/// STA evaluators do once per arc per input — is a reference-count bump,
+/// and interned ramps share one allocation across every identical-slew
+/// arc. Waveforms are immutable after construction, which is what makes
+/// the sharing sound.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Waveform {
-    points: Vec<(f64, f64)>,
+    points: Arc<[(f64, f64)]>,
 }
 
 impl Waveform {
@@ -26,7 +48,7 @@ impl Waveform {
     /// ```
     pub fn constant(v: f64) -> Self {
         Waveform {
-            points: vec![(0.0, v)],
+            points: Arc::from(vec![(0.0, v)]),
         }
     }
 
@@ -41,8 +63,49 @@ impl Waveform {
     pub fn ramp(t0: f64, rise: f64, v0: f64, v1: f64) -> Self {
         let rise = rise.max(1e-15);
         Waveform {
-            points: vec![(t0, v0), (t0 + rise, v1)],
+            points: Arc::from(vec![(t0, v0), (t0 + rise, v1)]),
         }
+    }
+
+    /// [`Waveform::ramp`], interned: identical argument quadruples
+    /// (compared by `to_bits`, so `-0.0` and `0.0` intern separately and
+    /// NaN never matches a cache entry) share one sample allocation per
+    /// thread. The returned waveform is value-identical to the
+    /// un-interned constructor — interning changes where the samples
+    /// live, never what they are.
+    pub fn ramp_interned(t0: f64, rise: f64, v0: f64, v1: f64) -> Self {
+        let key = (
+            0u8,
+            [t0.to_bits(), rise.to_bits(), v0.to_bits(), v1.to_bits()],
+        );
+        RAMP_INTERN.with(|cell| {
+            let mut map = cell.borrow_mut();
+            if map.len() >= INTERN_CAP {
+                map.clear();
+            }
+            map.entry(key)
+                .or_insert_with(|| Self::ramp(t0, rise, v0, v1))
+                .clone()
+        })
+    }
+
+    /// [`Waveform::step`], interned (see [`Waveform::ramp_interned`]).
+    pub fn step_interned(t0: f64, v0: f64, v1: f64) -> Self {
+        Self::ramp_interned(t0, 1e-12, v0, v1)
+    }
+
+    /// [`Waveform::constant`], interned (see
+    /// [`Waveform::ramp_interned`]). Constants share the ramp table
+    /// under a distinct shape tag so no ramp key can collide.
+    pub fn constant_interned(v: f64) -> Self {
+        let key = (1u8, [v.to_bits(), 0, 0, 0]);
+        RAMP_INTERN.with(|cell| {
+            let mut map = cell.borrow_mut();
+            if map.len() >= INTERN_CAP {
+                map.clear();
+            }
+            map.entry(key).or_insert_with(|| Self::constant(v)).clone()
+        })
     }
 
     /// Builds a waveform from arbitrary samples.
@@ -72,15 +135,19 @@ impl Waveform {
                 detail: "non-finite sample".to_string(),
             });
         }
-        Ok(Waveform { points })
+        Ok(Waveform {
+            points: Arc::from(points),
+        })
     }
 
     /// The underlying samples.
+    #[inline]
     pub fn samples(&self) -> &[(f64, f64)] {
         &self.points
     }
 
     /// Value at time `t` (linear interpolation, flat extension).
+    #[inline]
     pub fn value(&self, t: f64) -> f64 {
         let pts = &self.points;
         if t <= pts[0].0 {
@@ -98,6 +165,7 @@ impl Waveform {
 
     /// Time derivative at `t` (the slope of the containing segment; zero
     /// outside the sampled span).
+    #[inline]
     pub fn slope(&self, t: f64) -> f64 {
         let pts = &self.points;
         if t < pts[0].0 || t >= pts[pts.len() - 1].0 || pts.len() < 2 {
@@ -110,11 +178,13 @@ impl Waveform {
     }
 
     /// Final (settled) value.
+    #[inline]
     pub fn final_value(&self) -> f64 {
         self.points[self.points.len() - 1].1
     }
 
     /// Initial value.
+    #[inline]
     pub fn initial_value(&self) -> f64 {
         self.points[0].1
     }
@@ -146,6 +216,12 @@ impl Waveform {
         Waveform {
             points: self.points.iter().map(|&(t, v)| (t + dt, v)).collect(),
         }
+    }
+
+    /// Adds an interning test hook: number of entries currently interned
+    /// on this thread (test/diagnostic use).
+    pub fn interned_count() -> usize {
+        RAMP_INTERN.with(|cell| cell.borrow().len())
     }
 
     /// Resamples onto a uniform grid of `n ≥ 2` points spanning
@@ -297,6 +373,25 @@ mod tests {
         let t = f.crossing(1.65, false).unwrap();
         assert!((t - 0.5e-9).abs() < 1e-15);
         assert!(f.crossing(5.0, true).is_none());
+    }
+
+    #[test]
+    fn interned_constructors_share_storage_and_match_plain() {
+        let a = Waveform::ramp_interned(0.0, 30e-12, 3.3, 0.0);
+        let b = Waveform::ramp_interned(0.0, 30e-12, 3.3, 0.0);
+        assert!(Arc::ptr_eq(&a.points, &b.points), "same allocation");
+        assert_eq!(a, Waveform::ramp(0.0, 30e-12, 3.3, 0.0));
+        let c = Waveform::constant_interned(3.3);
+        let d = Waveform::constant_interned(3.3);
+        assert!(Arc::ptr_eq(&c.points, &d.points));
+        assert_eq!(c, Waveform::constant(3.3));
+        // Distinct arguments intern separately.
+        let e = Waveform::ramp_interned(0.0, 31e-12, 3.3, 0.0);
+        assert!(!Arc::ptr_eq(&a.points, &e.points));
+        assert!(Waveform::interned_count() >= 3);
+        // Steps reuse the ramp key space (1 ps rise).
+        let s = Waveform::step_interned(0.0, 0.0, 3.3);
+        assert_eq!(s, Waveform::step(0.0, 0.0, 3.3));
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl Chain {
         let mut visited = vec![output];
         loop {
             let mut next: Option<(EdgeId, NodeId)> = None;
-            for (e, neighbor) in stage.incident(at) {
+            for &(e, neighbor) in stage.incident(at) {
                 let edge = stage.edge(e);
                 if edge.kind != conduction && edge.kind != DeviceKind::Wire {
                     continue;
@@ -214,7 +214,7 @@ impl Chain {
                 visited: &mut Vec<NodeId>,
                 path: &mut Vec<(EdgeId, NodeId)>,
             ) {
-                for (e, neighbor) in self.stage.incident(at) {
+                for &(e, neighbor) in self.stage.incident(at) {
                     let edge = self.stage.edge(e);
                     if edge.kind != self.conduction && edge.kind != DeviceKind::Wire {
                         continue;

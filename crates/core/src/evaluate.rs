@@ -23,14 +23,49 @@
 use crate::chain::Chain;
 use crate::piecewise::{PiecewiseQuadratic, QuadraticPiece};
 use crate::solver::{
-    solve_region_counted, ChainContext, EndCondition, RegionOptions, RegionSolution, RegionState,
+    solve_region_counted, solve_region_into, ChainContext, EndCondition, RegionOptions,
+    RegionSolution, RegionState, SolveScratch,
 };
 use crate::solver2::solve_region_two_point;
 use qwm_circuit::stage::{DeviceKind, LogicStage, NodeId};
 use qwm_circuit::waveform::{TransitionKind, Waveform};
 use qwm_device::model::ModelSet;
 use qwm_num::{NumError, Result};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
+
+/// Per-worker evaluation workspace: the region-solve scratch plus the
+/// candidate/winner solution double buffer and the retry-guess ladder.
+/// Kept in a thread local so consecutive arcs evaluated on one worker —
+/// a `qwm-exec` DAG worker or server pool thread — reuse the same
+/// buffers; steady-state arc evaluation then allocates only its result
+/// vectors (DESIGN.md §16).
+#[derive(Debug, Default)]
+struct EvalScratch {
+    solve: SolveScratch,
+    cand: RegionSolution,
+    best: RegionSolution,
+    guesses: Vec<f64>,
+}
+
+thread_local! {
+    static EVAL_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+/// Pre-touches this thread's evaluation workspace (sizing it for chains
+/// of up to `chain_len` elements), so a worker's first arc is as
+/// allocation-free as its steady state. Wired into worker start-up via
+/// `ThreadPool::new_with_init`; calling it is never required for
+/// correctness.
+pub fn warm_worker(chain_len: usize) {
+    EVAL_SCRATCH.with(|cell| {
+        if let Ok(mut ws) = cell.try_borrow_mut() {
+            ws.solve.reserve(chain_len);
+            ws.cand.reserve(chain_len);
+            ws.best.reserve(chain_len);
+        }
+    });
+}
 
 /// Why a region ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,6 +260,37 @@ pub fn evaluate(
     direction: TransitionKind,
     config: &QwmConfig,
 ) -> Result<QwmResult> {
+    EVAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => evaluate_with(
+            stage, models, inputs, initial, output, direction, config, &mut ws,
+        ),
+        // Re-entrant call on this thread (the workspace is already in
+        // use further up the stack): fall back to a fresh workspace
+        // rather than panicking on the borrow.
+        Err(_) => evaluate_with(
+            stage,
+            models,
+            inputs,
+            initial,
+            output,
+            direction,
+            config,
+            &mut EvalScratch::default(),
+        ),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_with(
+    stage: &LogicStage,
+    models: &ModelSet,
+    inputs: &[Waveform],
+    initial: &[f64],
+    output: NodeId,
+    direction: TransitionKind,
+    config: &QwmConfig,
+    ws: &mut EvalScratch,
+) -> Result<QwmResult> {
     if inputs.len() != stage.inputs().len() {
         return Err(NumError::InvalidInput {
             context: "qwm::evaluate",
@@ -262,15 +328,30 @@ pub fn evaluate(
     };
     let n = chain.len();
 
+    // One workspace for every region solve and capacitance merge of
+    // this evaluation — the buffers live in the worker's thread-local
+    // `EvalScratch`, so they grow to the chain length once and are
+    // reused across every arc this worker evaluates (DESIGN.md §16).
+    let EvalScratch {
+        solve: scratch,
+        cand,
+        best,
+        guesses,
+    } = ws;
+
     // Initial chain state.
     let v0: Vec<f64> = (1..=n).map(|k| initial[chain.nodes[k].0]).collect();
-    let caps0 = ctx.node_caps(&v0);
+    let mut caps0 = Vec::new();
+    ctx.node_caps_into(&v0, scratch, &mut caps0);
     let i0 = ctx.node_currents(&v0, 0.0)?;
+    // Region-start caps are only re-cloned per region under the
+    // `freeze_caps` ablation; the default path copies in place.
+    let frozen_caps: Option<Vec<f64>> = config.freeze_caps.then(|| caps0.clone());
     let mut state = RegionState {
         tau: 0.0,
         v: v0,
         i: i0,
-        caps: caps0.clone(),
+        caps: caps0,
     };
 
     // Conduction bookkeeping: which transistor elements are on.
@@ -306,7 +387,11 @@ pub fn evaluate(
     let mut iterations = 0usize;
     let mut regions = 0usize;
     let mut last_span = 0.0_f64;
-
+    // Candidate/winner double buffer (`cand`/`best` from the worker's
+    // workspace): each candidate solve writes into `cand`; a winning
+    // candidate is swapped into `best` (a vector swap, no allocation).
+    // `best_kind` doubles as the "have a winner" flag, so stale contents
+    // from a previous arc are never read.
     while !targets.is_empty() {
         if regions >= config.max_regions {
             return Err(NumError::NoConvergence {
@@ -316,18 +401,21 @@ pub fn evaluate(
             });
         }
         // Gather candidates.
-        let mut best: Option<(RegionSolution, CriticalPointKind)> = None;
-        let consider =
-            |sol: RegionSolution,
-             kind: CriticalPointKind,
-             best: &mut Option<(RegionSolution, CriticalPointKind)>| {
-                if sol.tau_next > state.tau
-                    && sol.tau_next <= config.t_max
-                    && best.as_ref().is_none_or(|(b, _)| sol.tau_next < b.tau_next)
-                {
-                    *best = Some((sol, kind));
-                }
-            };
+        let mut best_kind: Option<CriticalPointKind> = None;
+        let tau0 = state.tau;
+        let t_max = config.t_max;
+        let consider = |cand: &mut RegionSolution,
+                        best: &mut RegionSolution,
+                        best_kind: &mut Option<CriticalPointKind>,
+                        kind: CriticalPointKind| {
+            if cand.tau_next > tau0
+                && cand.tau_next <= t_max
+                && (best_kind.is_none() || cand.tau_next < best.tau_next)
+            {
+                std::mem::swap(best, cand);
+                *best_kind = Some(kind);
+            }
+        };
 
         // The cascade is driven by the conduction front: only the
         // lowest-indexed off transistor can be turned on by *node*
@@ -348,15 +436,24 @@ pub fn evaluate(
             };
             let mut solved = false;
             if let Some(t_on) = frozen {
-                if let Ok(sol) = solve_region_counted(
+                if solve_region_into(
                     &ctx,
                     &state,
                     EndCondition::FixedTime { t: t_on },
                     0.0,
                     &config.region,
                     &mut iterations,
-                ) {
-                    consider(sol, CriticalPointKind::TimedTurnOn(k), &mut best);
+                    scratch,
+                    cand,
+                )
+                .is_ok()
+                {
+                    consider(
+                        cand,
+                        best,
+                        &mut best_kind,
+                        CriticalPointKind::TimedTurnOn(k),
+                    );
                     solved = true;
                 }
             }
@@ -365,7 +462,7 @@ pub fn evaluate(
                 // previous region's span (cascade events are roughly
                 // evenly spaced) before the generic ladder.
                 let cond = EndCondition::TurnOn { element: k };
-                let mut guesses = Vec::with_capacity(config.dt_guesses.len() + 1);
+                guesses.clear();
                 if last_span > 0.0 {
                     guesses.push(last_span);
                 }
@@ -374,16 +471,18 @@ pub fn evaluate(
                     if attempt > 0 {
                         qwm_obs::counter!("qwm.region.retries").incr();
                     }
-                    match solve_region_counted(
+                    match solve_region_into(
                         &ctx,
                         &state,
                         cond,
                         dt,
                         &config.region,
                         &mut iterations,
+                        scratch,
+                        cand,
                     ) {
-                        Ok(sol) => {
-                            consider(sol, CriticalPointKind::TurnOn(k), &mut best);
+                        Ok(()) => {
+                            consider(cand, best, &mut best_kind, CriticalPointKind::TurnOn(k));
                             break;
                         }
                         Err(_) => continue,
@@ -405,18 +504,26 @@ pub fn evaluate(
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
         if let Some((k, t_on)) = gate_driven {
-            let beats_best = best.as_ref().is_none_or(|(b, _)| t_on < b.tau_next);
-            if beats_best {
-                if let Ok(sol) = solve_region_counted(
+            let beats_best = best_kind.is_none() || t_on < best.tau_next;
+            if beats_best
+                && solve_region_into(
                     &ctx,
                     &state,
                     EndCondition::FixedTime { t: t_on },
                     0.0,
                     &config.region,
                     &mut iterations,
-                ) {
-                    consider(sol, CriticalPointKind::TimedTurnOn(k), &mut best);
-                }
+                    scratch,
+                    cand,
+                )
+                .is_ok()
+            {
+                consider(
+                    cand,
+                    best,
+                    &mut best_kind,
+                    CriticalPointKind::TimedTurnOn(k),
+                );
             }
         }
 
@@ -430,7 +537,7 @@ pub fn evaluate(
                 let cond = EndCondition::Crossing { node: n, level };
                 // Linear-extrapolation seed Δt ≈ C (level − V)/I, with
                 // the previous region span as a sanity backstop.
-                let mut guesses = Vec::with_capacity(config.dt_guesses.len() + 2);
+                guesses.clear();
                 let i_out = state.i[n - 1];
                 if i_out.abs() > 1e-12 {
                     let est = state.caps[n - 1] * (level - state.v[n - 1]) / i_out;
@@ -447,16 +554,23 @@ pub fn evaluate(
                     if attempt > 0 {
                         qwm_obs::counter!("qwm.region.retries").incr();
                     }
-                    match solve_region_counted(
+                    match solve_region_into(
                         &ctx,
                         &state,
                         cond,
                         dt,
                         &config.region,
                         &mut iterations,
+                        scratch,
+                        cand,
                     ) {
-                        Ok(sol) => {
-                            consider(sol, CriticalPointKind::OutputCrossing(level), &mut best);
+                        Ok(()) => {
+                            consider(
+                                cand,
+                                best,
+                                &mut best_kind,
+                                CriticalPointKind::OutputCrossing(level),
+                            );
                             break;
                         }
                         Err(_) => continue,
@@ -476,27 +590,33 @@ pub fn evaluate(
             .filter(|&t| t > state.tau + config.region.min_delta.max(config.min_breakpoint_span))
             .fold(f64::INFINITY, f64::min);
         if next_break.is_finite()
-            && best
-                .as_ref()
-                .is_none_or(|(b, _)| next_break < b.tau_next - config.region.min_delta)
-        {
-            if let Ok(sol) = solve_region_counted(
+            && (best_kind.is_none() || next_break < best.tau_next - config.region.min_delta)
+            && solve_region_into(
                 &ctx,
                 &state,
                 EndCondition::FixedTime { t: next_break },
                 0.0,
                 &config.region,
                 &mut iterations,
-            ) {
-                consider(sol, CriticalPointKind::InputBreakpoint, &mut best);
-            }
+                scratch,
+                cand,
+            )
+            .is_ok()
+        {
+            consider(
+                cand,
+                best,
+                &mut best_kind,
+                CriticalPointKind::InputBreakpoint,
+            );
         }
 
-        let (sol, kind) = best.ok_or(NumError::NoConvergence {
+        let kind = best_kind.ok_or(NumError::NoConvergence {
             method: "qwm::evaluate (no candidate converged)",
             iterations: regions,
             residual: state.tau,
         })?;
+        let sol = &mut *best;
 
         // Adaptive refinement: if the winning region is an output
         // crossing whose linear-current model disagrees with the device
@@ -504,8 +624,12 @@ pub fn evaluate(
         // level instead of committing.
         if let CriticalPointKind::OutputCrossing(level) = kind {
             let out_v = state.v[n - 1];
+            // The default tolerance is infinite, so gate the midpoint
+            // probe (a full device-model sweep) on a finite tolerance —
+            // otherwise the comparison can never fire.
             if (out_v - level).abs() > config.min_split
-                && midpoint_mismatch(&ctx, &state, &sol)? > config.midpoint_tolerance
+                && config.midpoint_tolerance.is_finite()
+                && midpoint_mismatch(&ctx, &state, sol)? > config.midpoint_tolerance
                 && regions + targets.len() + 2 < config.max_regions
             {
                 targets.insert(0, 0.5 * (out_v + level));
@@ -604,16 +728,16 @@ pub fn evaluate(
                         targets.remove(0);
                     }
                 }
-                state = RegionState {
-                    tau: tp.end.tau_next,
-                    caps: if config.freeze_caps {
-                        caps0.clone()
-                    } else {
-                        ctx.node_caps(&tp.end.v_next)
-                    },
-                    v: tp.end.v_next,
-                    i: tp.end.i_next,
-                };
+                state.tau = tp.end.tau_next;
+                match &frozen_caps {
+                    Some(c) => {
+                        state.caps.clear();
+                        state.caps.extend_from_slice(c);
+                    }
+                    None => ctx.node_caps_into(&tp.end.v_next, scratch, &mut state.caps),
+                }
+                state.v = tp.end.v_next;
+                state.i = tp.end.i_next;
                 for k in 1..=n {
                     if !on[k - 1] && ctx.excess(k, &state.v, state.tau) >= 0.0 {
                         on[k - 1] = true;
@@ -626,9 +750,11 @@ pub fn evaluate(
         // Second pass with midpoint capacitances: junction caps grow as
         // nodes discharge, so region-start caps bias long regions fast.
         // Re-solving with caps at the mean of the endpoint voltages is a
-        // one-extra-solve correction (skipped under freeze_caps).
-        let (used_caps, sol) = if !config.midpoint_caps || config.freeze_caps {
-            (state.caps.clone(), sol)
+        // one-extra-solve correction (skipped under freeze_caps). The
+        // default path commits with the region-start caps borrowed in
+        // place — no per-region clone.
+        let mid_caps: Option<Vec<f64>> = if !config.midpoint_caps || config.freeze_caps {
+            None
         } else {
             let v_mid: Vec<f64> = state
                 .v
@@ -657,13 +783,17 @@ pub fn evaluate(
                     &config.region,
                     &mut iterations,
                 ) {
-                    Ok(sol2) => (mid_caps, sol2),
-                    Err(_) => (state.caps.clone(), sol),
+                    Ok(sol2) => {
+                        *sol = sol2;
+                        Some(mid_caps)
+                    }
+                    Err(_) => None,
                 }
             } else {
-                (state.caps.clone(), sol)
+                None
             }
         };
+        let used_caps: &[f64] = mid_caps.as_deref().unwrap_or(&state.caps);
 
         // Commit the region: one quadratic piece per node.
         for k in 0..n {
@@ -693,17 +823,19 @@ pub fn evaluate(
             }
         }
         // Opportunistically mark anything else that crossed its turn-on
-        // during this region (simultaneous switching).
-        state = RegionState {
-            tau: sol.tau_next,
-            caps: if config.freeze_caps {
-                caps0.clone()
-            } else {
-                ctx.node_caps(&sol.v_next)
-            },
-            v: sol.v_next,
-            i: sol.i_next,
-        };
+        // during this region (simultaneous switching). The winner's
+        // buffers are swapped into the running state (and its spent
+        // vectors recycled as the next region's winner buffers).
+        state.tau = sol.tau_next;
+        std::mem::swap(&mut state.v, &mut sol.v_next);
+        std::mem::swap(&mut state.i, &mut sol.i_next);
+        match &frozen_caps {
+            Some(c) => {
+                state.caps.clear();
+                state.caps.extend_from_slice(c);
+            }
+            None => ctx.node_caps_into(&state.v, scratch, &mut state.caps),
+        }
         for k in 1..=n {
             if !on[k - 1] && ctx.excess(k, &state.v, state.tau) >= 0.0 {
                 on[k - 1] = true;

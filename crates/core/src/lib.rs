@@ -54,6 +54,10 @@
 //! # }
 //! ```
 
+// The hot path must not clone what a borrow can serve (DESIGN.md Â§16);
+// redundant_clone is allow-by-default upstream, denied here.
+#![deny(clippy::redundant_clone)]
+
 pub mod chain;
 pub mod evaluate;
 pub mod piecewise;

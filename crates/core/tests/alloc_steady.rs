@@ -1,0 +1,125 @@
+//! Steady-state allocation contract for the region solve (DESIGN.md
+//! §16): once a `SolveScratch`/`RegionSolution` pair has been warmed on
+//! a chain, repeated `solve_region_into` calls must allocate **zero**
+//! times — not "few", zero. A counting global allocator makes the
+//! assertion exact; any future `Vec`, `Box`, or format sneaking into
+//! the hot path fails this test by name.
+//!
+//! This file intentionally holds a single test: the allocation counter
+//! is process-global, so a sibling test running concurrently would
+//! pollute the measurement window.
+
+use qwm_circuit::cells;
+use qwm_circuit::waveform::{TransitionKind, Waveform};
+use qwm_core::chain::Chain;
+use qwm_core::solver::{
+    solve_region_into, ChainContext, EndCondition, RegionOptions, RegionSolution, RegionState,
+    SolveScratch,
+};
+use qwm_device::{analytic_models, Technology};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts every allocation (alloc / alloc_zeroed / realloc) while
+/// delegating the actual work to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_region_solve_allocates_zero() {
+    // A 3-stack with a mid-discharge state whose 50 %-level crossing
+    // converges from a short dt seed (the kernel-bench micro-setup).
+    let tech = Technology::cmosp35();
+    let models = analytic_models(&tech);
+    let stage = cells::nmos_stack(&tech, &[1.5e-6, 2.0e-6, 1.0e-6], 20e-15).unwrap();
+    let out = stage.node_by_name("out").unwrap();
+    let chain = Chain::extract(&stage, out, TransitionKind::Fall).unwrap();
+    let inputs: Vec<Waveform> = (0..3).map(|_| Waveform::constant(tech.vdd)).collect();
+    let ctx = ChainContext {
+        stage: &stage,
+        chain: &chain,
+        models: &models,
+        inputs: &inputs,
+        rail_v: 0.0,
+    };
+    let v0 = vec![1.0, 2.5, 3.1];
+    let caps = ctx.node_caps(&v0);
+    let i0 = ctx.node_currents(&v0, 0.0).unwrap();
+    let state = RegionState {
+        tau: 0.0,
+        v: v0,
+        i: i0,
+        caps,
+    };
+    let cond = EndCondition::Crossing {
+        node: 3,
+        level: 2.0,
+    };
+    let opts = RegionOptions::default();
+
+    let mut scratch = SolveScratch::new();
+    let mut sol = RegionSolution::default();
+    let mut spent = 0usize;
+    // Warm-up: grows every workspace buffer to the chain size and
+    // registers the observability counters/histograms.
+    for _ in 0..4 {
+        solve_region_into(
+            &ctx,
+            &state,
+            cond,
+            5e-12,
+            &opts,
+            &mut spent,
+            &mut scratch,
+            &mut sol,
+        )
+        .unwrap();
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..32 {
+        solve_region_into(
+            &ctx,
+            &state,
+            cond,
+            5e-12,
+            &opts,
+            &mut spent,
+            &mut scratch,
+            &mut sol,
+        )
+        .unwrap();
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm solve_region_into allocated {} times over 32 solves",
+        after - before
+    );
+}

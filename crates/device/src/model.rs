@@ -138,6 +138,25 @@ pub trait DeviceModel: Send + Sync {
     /// Same contract as [`DeviceModel::iv`].
     fn iv_eval(&self, geom: &Geometry, tv: TermVoltage) -> Result<IvEval>;
 
+    /// Evaluates N independent lanes in one call, writing
+    /// `out[k] = iv_eval(lanes[k])` for the first `min(lanes, out)`
+    /// lanes. The default loops the scalar path; batch-aware models
+    /// (the tabular model's SoA kernel) override it to amortize
+    /// bookkeeping and evaluate lanes branch-free. Implementations must
+    /// be lane-order-preserving and bitwise-identical to the scalar
+    /// path, including the order of fault-injection checks.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DeviceModel::iv_eval`]; the first failing lane
+    /// aborts the batch.
+    fn iv_eval_batch(&self, lanes: &[(Geometry, TermVoltage)], out: &mut [IvEval]) -> Result<()> {
+        for (lane, o) in lanes.iter().zip(out.iter_mut()) {
+            *o = self.iv_eval(&lane.0, lane.1)?;
+        }
+        Ok(())
+    }
+
     /// Effective threshold voltage, including body effect, referenced to
     /// the conduction source terminal implied by `tv` (`threshold` in
     /// Definition 2).

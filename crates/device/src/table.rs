@@ -64,6 +64,26 @@ impl FitPoint {
             (self.s1 * vds + self.s0, self.s1)
         }
     }
+
+    /// Branch-free form of [`FitPoint::eval`]: both region polynomials
+    /// are computed and the result selected by comparison, which lets
+    /// the batched lookup kernel autovectorize across lanes. Relies on
+    /// the characterization invariant that a cutoff point (`vdsat ≤ 0`)
+    /// stores all-zero fit coefficients, so the saturation arm already
+    /// yields the scalar path's `(0.0, 0.0)` — each arm's arithmetic is
+    /// unchanged, making the select bitwise-identical to `eval`.
+    #[inline]
+    fn eval_select(&self, vds: f64) -> (f64, f64) {
+        let tri_i = (self.t2 * vds + self.t1) * vds + self.t0;
+        let tri_d = 2.0 * self.t2 * vds + self.t1;
+        let sat_i = self.s1 * vds + self.s0;
+        let sat_d = self.s1;
+        let triode = vds < self.vdsat;
+        (
+            if triode { tri_i } else { sat_i },
+            if triode { tri_d } else { sat_d },
+        )
+    }
 }
 
 /// Samples, fit curves and residuals for one characterized grid point —
@@ -201,33 +221,35 @@ impl TableModel {
         })
     }
 
+    /// Clamped cell index and in-cell fraction along one grid axis.
+    /// `min(n − 2)` replaces the historical `if i >= n − 1` branch with
+    /// an identical-result select.
+    #[inline]
+    fn locate(&self, v: f64) -> (usize, f64) {
+        let n = self.n;
+        let u = (v / self.step).clamp(0.0, (n - 1) as f64);
+        let i = (u.floor() as usize).min(n - 2);
+        (i, u - i as f64)
+    }
+
     /// Forward-frame query: current per unit W/L and partials for
     /// normalized voltages `(vg, vs, vd)` with `vd ≥ vs`, bilinearly
-    /// blended from the four neighbouring grid fits.
-    fn forward(&self, vg: f64, vs: f64, vd: f64) -> (f64, f64, f64, f64) {
-        qwm_obs::counter!("device.table.lookups").incr();
-        // Attributes this lookup's wall time to the enclosing traced
-        // arc; a single relaxed load when tracing is off.
-        let _t = qwm_obs::trace::time_lookup();
+    /// blended from the four neighbouring grid fits. Shared by the
+    /// scalar and batched entry points so both produce bitwise-identical
+    /// results; bookkeeping (lookup counter, trace attribution) lives in
+    /// the callers.
+    #[inline]
+    fn forward_core(&self, vg: f64, vs: f64, vd: f64) -> (f64, f64, f64, f64) {
         let n = self.n;
-        let clamp = |u: f64| u.clamp(0.0, (n - 1) as f64);
-        let locate = |v: f64| {
-            let u = clamp(v / self.step);
-            let mut i = u.floor() as usize;
-            if i >= n - 1 {
-                i = n - 2;
-            }
-            (i, u - i as f64)
-        };
-        let (is, ts) = locate(vs);
-        let (ig, tg) = locate(vg);
+        let (is, ts) = self.locate(vs);
+        let (ig, tg) = self.locate(vg);
         let vds = (vd - vs).max(0.0);
 
         // Corner fits evaluated at the *query's* local vds.
-        let p00 = self.points[is * n + ig].eval(vds);
-        let p10 = self.points[(is + 1) * n + ig].eval(vds);
-        let p01 = self.points[is * n + ig + 1].eval(vds);
-        let p11 = self.points[(is + 1) * n + ig + 1].eval(vds);
+        let p00 = self.points[is * n + ig].eval_select(vds);
+        let p10 = self.points[(is + 1) * n + ig].eval_select(vds);
+        let p01 = self.points[is * n + ig + 1].eval_select(vds);
+        let p11 = self.points[(is + 1) * n + ig + 1].eval_select(vds);
 
         let w00 = (1.0 - ts) * (1.0 - tg);
         let w10 = ts * (1.0 - tg);
@@ -242,10 +264,35 @@ impl TableModel {
         (i, d_vg_axis, d_vs_axis, d_vds)
     }
 
+    /// Batched SoA forward queries: `out[k]` receives the forward-frame
+    /// result `(i, ∂i/∂vg, ∂i/∂vs_axis, ∂i/∂vds)` for lane `k`'s
+    /// normalized `(vg, vs, vd)`. Lanes are independent and evaluated
+    /// branch-free (select-based region pick, clamped cell index), so
+    /// the loop autovectorizes when neighbouring lanes land in the same
+    /// `(is, ig)` cell — the corner-sweep case where N corners query the
+    /// same transistor back-to-back. The lookup counter and trace
+    /// attribution are amortized to one update per batch; results are
+    /// bitwise-identical to N scalar forward queries.
+    ///
+    /// Only the first `min(queries.len(), out.len())` lanes are written.
+    pub fn forward_batch(&self, queries: &[(f64, f64, f64)], out: &mut [(f64, f64, f64, f64)]) {
+        let n = queries.len().min(out.len());
+        if n == 0 {
+            return;
+        }
+        qwm_obs::counter!("device.table.lookups").add(n as u64);
+        let _t = qwm_obs::trace::time_lookup();
+        for (q, o) in queries[..n].iter().zip(&mut out[..n]) {
+            *o = self.forward_core(q.0, q.1, q.2);
+        }
+    }
+
     /// Node-level evaluation in the normalized (NMOS-shaped) frame.
+    /// Bookkeeping-free: callers account for the lookup (scalar
+    /// `iv_eval` per call, `iv_eval_batch` once per batch).
     fn eval_normalized(&self, tv: TermVoltage, wl: f64) -> IvEval {
         if tv.src >= tv.snk {
-            let (i, d_vg, d_vs_ax, d_vds) = self.forward(tv.input, tv.snk, tv.src);
+            let (i, d_vg, d_vs_ax, d_vds) = self.forward_core(tv.input, tv.snk, tv.src);
             IvEval {
                 i: wl * i,
                 d_input: wl * d_vg,
@@ -253,7 +300,7 @@ impl TableModel {
                 d_snk: wl * (d_vs_ax - d_vds),
             }
         } else {
-            let (i, d_vg, d_vs_ax, d_vds) = self.forward(tv.input, tv.src, tv.snk);
+            let (i, d_vg, d_vs_ax, d_vds) = self.forward_core(tv.input, tv.src, tv.snk);
             IvEval {
                 i: -wl * i,
                 d_input: -wl * d_vg,
@@ -336,6 +383,10 @@ impl DeviceModel for TableModel {
         if let Some(e) = qwm_fault::check("device.table") {
             return Err(e);
         }
+        qwm_obs::counter!("device.table.lookups").incr();
+        // Attributes this lookup's wall time to the enclosing traced
+        // arc; a single relaxed load when tracing is off.
+        let _t = qwm_obs::trace::time_lookup();
         let wl = geom.w / geom.l;
         match self.polarity {
             Polarity::Nmos => Ok(self.eval_normalized(tv, wl)),
@@ -351,6 +402,43 @@ impl DeviceModel for TableModel {
                 })
             }
         }
+    }
+
+    /// SoA batch evaluation. Fault-injection checks run first, one per
+    /// lane in lane order — the same count and stream order as N scalar
+    /// `iv_eval` calls — then all lanes evaluate through the shared
+    /// branch-free core. Bitwise-identical to the scalar path.
+    fn iv_eval_batch(&self, lanes: &[(Geometry, TermVoltage)], out: &mut [IvEval]) -> Result<()> {
+        let n = lanes.len().min(out.len());
+        if n == 0 {
+            return Ok(());
+        }
+        for _ in 0..n {
+            if let Some(e) = qwm_fault::check("device.table") {
+                return Err(e);
+            }
+        }
+        qwm_obs::counter!("device.table.lookups").add(n as u64);
+        let _t = qwm_obs::trace::time_lookup();
+        let vdd = self.tech.vdd;
+        for (lane, o) in lanes[..n].iter().zip(&mut out[..n]) {
+            let (geom, tv) = (&lane.0, lane.1);
+            let wl = geom.w / geom.l;
+            *o = match self.polarity {
+                Polarity::Nmos => self.eval_normalized(tv, wl),
+                Polarity::Pmos => {
+                    let m = TermVoltage::new(vdd - tv.input, vdd - tv.src, vdd - tv.snk);
+                    let e = self.eval_normalized(m, wl);
+                    IvEval {
+                        i: -e.i,
+                        d_input: e.d_input,
+                        d_src: e.d_src,
+                        d_snk: e.d_snk,
+                    }
+                }
+            };
+        }
+        Ok(())
     }
 
     fn threshold(&self, tv: TermVoltage) -> f64 {
@@ -547,6 +635,79 @@ mod tests {
         let want = tech.vt_body(tech.vt0_n, 1.05);
         assert!((t.threshold(tv1) - want).abs() < 0.01);
         assert!(t.turn_on_excess(tv1) > 0.0);
+    }
+
+    /// Property test: the batched SoA kernel is bitwise-identical to N
+    /// scalar evaluations, across both polarities, both terminal
+    /// orderings, cutoff/triode/saturation regions and off-grid points.
+    #[test]
+    fn forward_batch_bitwise_matches_scalar() {
+        use qwm_num::rng::Rng64;
+        let vdd = Technology::cmosp35().vdd;
+        let mut rng = Rng64::seed_from_u64(0x0bad_cafe_f00d_0001);
+        for polarity in [Polarity::Nmos, Polarity::Pmos] {
+            let t = table(polarity);
+            // Raw normalized-frame queries against forward_batch.
+            let queries: Vec<(f64, f64, f64)> = (0..257)
+                .map(|_| {
+                    let vg = rng.unit() * (vdd + 0.4) - 0.2;
+                    let vs = rng.unit() * (vdd + 0.4) - 0.2;
+                    let vd = vs + rng.unit() * (vdd - vs.min(vdd));
+                    (vg, vs, vd)
+                })
+                .collect();
+            let mut out = vec![(0.0, 0.0, 0.0, 0.0); queries.len()];
+            t.forward_batch(&queries, &mut out);
+            for (q, o) in queries.iter().zip(&out) {
+                let want = t.forward_core(q.0, q.1, q.2);
+                assert_eq!(o.0.to_bits(), want.0.to_bits(), "i at {q:?}");
+                assert_eq!(o.1.to_bits(), want.1.to_bits(), "d_vg at {q:?}");
+                assert_eq!(o.2.to_bits(), want.2.to_bits(), "d_vs at {q:?}");
+                assert_eq!(o.3.to_bits(), want.3.to_bits(), "d_vds at {q:?}");
+            }
+
+            // Device-level lanes against the scalar trait path.
+            let lanes: Vec<(Geometry, TermVoltage)> = (0..129)
+                .map(|k| {
+                    let g = Geometry::new(0.4e-6 + rng.unit() * 3e-6, 0.35e-6);
+                    let a = rng.unit() * (vdd + 0.4) - 0.2;
+                    let b = rng.unit() * (vdd + 0.4) - 0.2;
+                    let vg = rng.unit() * (vdd + 0.4) - 0.2;
+                    // Exercise both src >= snk and src < snk orderings.
+                    let tv = if k % 2 == 0 {
+                        TermVoltage::new(vg, a.max(b), a.min(b))
+                    } else {
+                        TermVoltage::new(vg, a.min(b), a.max(b))
+                    };
+                    (g, tv)
+                })
+                .collect();
+            let mut batch = vec![IvEval::default(); lanes.len()];
+            t.iv_eval_batch(&lanes, &mut batch).unwrap();
+            for (lane, got) in lanes.iter().zip(&batch) {
+                let want = t.iv_eval(&lane.0, lane.1).unwrap();
+                assert_eq!(got.i.to_bits(), want.i.to_bits());
+                assert_eq!(got.d_input.to_bits(), want.d_input.to_bits());
+                assert_eq!(got.d_src.to_bits(), want.d_src.to_bits());
+                assert_eq!(got.d_snk.to_bits(), want.d_snk.to_bits());
+            }
+        }
+    }
+
+    /// The branch-free select form agrees bitwise with the branched
+    /// piecewise eval on every stored grid fit, including cutoff points.
+    #[test]
+    fn eval_select_bitwise_matches_eval() {
+        let t = table(Polarity::Nmos);
+        for p in &t.points {
+            for k in 0..=12 {
+                let vds = 3.3 * k as f64 / 12.0;
+                let (a, b) = p.eval(vds);
+                let (c, d) = p.eval_select(vds);
+                assert_eq!(a.to_bits(), c.to_bits());
+                assert_eq!(b.to_bits(), d.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -52,7 +52,17 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Spawns `threads` workers (clamped to at least one).
     pub fn new(threads: usize) -> Self {
+        Self::new_with_init(threads, |_| {})
+    }
+
+    /// Spawns `threads` workers (clamped to at least one), running
+    /// `init(worker_index)` on each worker thread before it starts
+    /// taking jobs. Used to pre-warm per-thread state (e.g. the QWM
+    /// evaluation workspace) so a worker's first job pays no one-time
+    /// setup cost.
+    pub fn new_with_init(threads: usize, init: impl Fn(usize) + Send + Sync + 'static) -> Self {
         let threads = threads.max(1);
+        let init = Arc::new(init);
         let shared = Arc::new(PoolShared {
             injector: Mutex::new(VecDeque::new()),
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -67,9 +77,14 @@ impl ThreadPool {
         let workers = (0..threads)
             .map(|w| {
                 let shared = Arc::clone(&shared);
+                let init = Arc::clone(&init);
                 std::thread::Builder::new()
                     .name(format!("qwm-exec-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
+                    .spawn(move || {
+                        init(w);
+                        drop(init);
+                        worker_loop(&shared, w)
+                    })
                     .expect("spawn pool worker")
             })
             .collect();
@@ -231,6 +246,37 @@ mod tests {
         pool.wait().unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 64);
         assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_before_jobs() {
+        let inits = Arc::new(Mutex::new(Vec::new()));
+        let i = Arc::clone(&inits);
+        let pool = ThreadPool::new_with_init(3, move |w| {
+            i.lock().unwrap().push(w);
+        });
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        pool.execute(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        // Workers run `init` at thread start-up, which races this
+        // check for workers that never received a job — poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut seen = inits.lock().unwrap().clone();
+            seen.sort_unstable();
+            if seen == vec![0, 1, 2] {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "init calls never completed: {seen:?}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     #[test]

@@ -44,9 +44,12 @@ impl UniformGrid1 {
         self.values.len()
     }
 
-    /// Always false by construction (≥ 2 samples).
+    /// Whether the grid holds no samples. The constructor requires at
+    /// least two, so this is false for any grid built through [`new`]
+    /// (`UniformGrid1::new`) — but the `len()/is_empty()` pair must stay
+    /// honest rather than hardcoding that invariant.
     pub fn is_empty(&self) -> bool {
-        false
+        self.values.is_empty()
     }
 
     /// Last grid abscissa.

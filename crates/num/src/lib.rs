@@ -49,6 +49,10 @@
 //! # }
 //! ```
 
+// The kernel crates must not regress into clone-per-iteration patterns;
+// redundant_clone is allow-by-default upstream, denied here.
+#![deny(clippy::redundant_clone)]
+
 pub mod integrate;
 pub mod interp;
 pub mod matrix;

@@ -15,6 +15,7 @@
 //! tridiagonal-plus-column system.
 
 use crate::{NumError, Result};
+use std::cell::RefCell;
 
 /// A nonlinear system `F(x) = 0` together with a way to solve its
 /// linearization.
@@ -30,18 +31,67 @@ pub trait NonlinearSystem {
     /// model queried outside its table).
     fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<()>;
 
-    /// Solves `J(x) · delta = f` for the Newton update `delta`.
+    /// Solves `J(x) · delta = f` for the Newton update, writing it into
+    /// the caller-provided `delta` (length [`Self::dim`]). The driver
+    /// owns the buffer (see [`NewtonWorkspace`]) so per-iteration heap
+    /// traffic stays out of the hot path.
     ///
     /// # Errors
     ///
     /// Implementations should surface singular Jacobians as
     /// [`NumError::Singular`].
-    fn solve_jacobian(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>>;
+    fn solve_jacobian(&self, x: &[f64], f: &[f64], delta: &mut [f64]) -> Result<()>;
 
     /// Clamps or projects an iterate back into the valid domain
     /// (e.g. node voltages into `[−0.5, Vdd + 0.5]`). The default is the
     /// identity.
     fn project(&self, _x: &mut [f64]) {}
+}
+
+/// Reusable buffers for [`newton_solve_with`]: residual, update, trial
+/// point, trial residual, and the best-candidate pair kept by the damped
+/// line search. Owning one per driver (or per worker thread) makes a
+/// warm Newton solve allocation-free apart from the returned
+/// [`NewtonOutcome`].
+#[derive(Debug, Default, Clone)]
+pub struct NewtonWorkspace {
+    f: Vec<f64>,
+    delta: Vec<f64>,
+    xt: Vec<f64>,
+    ft: Vec<f64>,
+    best_x: Vec<f64>,
+    best_f: Vec<f64>,
+}
+
+impl NewtonWorkspace {
+    /// A workspace pre-sized for `n`-dimensional systems.
+    pub fn new(n: usize) -> Self {
+        let mut ws = NewtonWorkspace::default();
+        ws.ensure_dim(n);
+        ws
+    }
+
+    /// Grows (or shrinks) every buffer to length `n`. Amortized free
+    /// once the workspace has seen the largest system it will serve.
+    pub fn ensure_dim(&mut self, n: usize) {
+        for buf in [
+            &mut self.f,
+            &mut self.delta,
+            &mut self.xt,
+            &mut self.ft,
+            &mut self.best_x,
+            &mut self.best_f,
+        ] {
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread fallback workspace for the legacy [`newton_solve`]
+    /// entry point, so callers that never thread a workspace through
+    /// still reuse buffers across solves on the same worker.
+    static NEWTON_WS: RefCell<NewtonWorkspace> = RefCell::new(NewtonWorkspace::default());
 }
 
 /// Convergence and damping controls for [`newton_solve`].
@@ -108,8 +158,9 @@ fn inf_norm(v: &[f64]) -> f64 {
 ///         out[0] = x[0] * x[0] - 2.0;
 ///         Ok(())
 ///     }
-///     fn solve_jacobian(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>> {
-///         Ok(vec![f[0] / (2.0 * x[0])])
+///     fn solve_jacobian(&self, x: &[f64], f: &[f64], delta: &mut [f64]) -> Result<()> {
+///         delta[0] = f[0] / (2.0 * x[0]);
+///         Ok(())
 ///     }
 /// }
 ///
@@ -124,6 +175,30 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
     x0: &[f64],
     opts: &NewtonOptions,
 ) -> Result<NewtonOutcome> {
+    NEWTON_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => newton_solve_with(system, x0, opts, &mut ws),
+        // Re-entrant call (a residual that itself runs Newton): fall
+        // back to a fresh workspace rather than panicking the borrow.
+        Err(_) => newton_solve_with(system, x0, opts, &mut NewtonWorkspace::default()),
+    })
+}
+
+/// [`newton_solve`] with an explicit, caller-owned [`NewtonWorkspace`].
+///
+/// All scratch lives in `ws`; a warm call allocates only the returned
+/// `NewtonOutcome::x`. Results are bitwise-identical to
+/// [`newton_solve`] — the workspace changes where intermediates live,
+/// never the arithmetic.
+///
+/// # Errors
+///
+/// Same contract as [`newton_solve`].
+pub fn newton_solve_with<S: NonlinearSystem + ?Sized>(
+    system: &S,
+    x0: &[f64],
+    opts: &NewtonOptions,
+    ws: &mut NewtonWorkspace,
+) -> Result<NewtonOutcome> {
     let n = system.dim();
     if x0.len() != n {
         return Err(NumError::Dimension {
@@ -131,11 +206,21 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
             detail: format!("x0.len()={} dim={n}", x0.len()),
         });
     }
+    ws.ensure_dim(n);
+    // Split borrows so the trial-point fill can read `delta` while
+    // writing `xt`.
+    let NewtonWorkspace {
+        f,
+        delta,
+        xt,
+        ft,
+        best_x,
+        best_f,
+    } = ws;
     let mut x = x0.to_vec();
     system.project(&mut x);
-    let mut f = vec![0.0; n];
-    system.residual(&x, &mut f)?;
-    let mut fnorm = inf_norm(&f);
+    system.residual(&x, f)?;
+    let mut fnorm = inf_norm(f);
 
     for iter in 0..opts.max_iterations {
         if fnorm <= opts.tol_residual {
@@ -145,7 +230,7 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
                 residual_norm: fnorm,
             });
         }
-        let delta = system.solve_jacobian(&x, &f)?;
+        system.solve_jacobian(&x, f, delta)?;
         if !delta.iter().all(|d| d.is_finite()) {
             return Err(NumError::NoConvergence {
                 method: "newton (non-finite update)",
@@ -154,22 +239,24 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
             });
         }
 
-        // Damped line search on the residual norm.
+        // Damped line search on the residual norm. The best candidate
+        // (lowest finite norm) is kept in best_x/best_f.
         let mut lambda = 1.0;
-        let mut best: Option<(Vec<f64>, Vec<f64>, f64)> = None;
+        let mut best_norm = f64::INFINITY;
+        let mut have_best = false;
         for _ in 0..=opts.max_backtracks {
-            let mut xt: Vec<f64> = x
-                .iter()
-                .zip(&delta)
-                .map(|(xi, di)| xi - lambda * di)
-                .collect();
-            system.project(&mut xt);
-            let mut ft = vec![0.0; n];
-            match system.residual(&xt, &mut ft) {
+            for ((t, xi), di) in xt.iter_mut().zip(&x).zip(delta.iter()) {
+                *t = xi - lambda * di;
+            }
+            system.project(xt);
+            match system.residual(xt, ft) {
                 Ok(()) => {
-                    let norm = inf_norm(&ft);
-                    if norm.is_finite() && (best.is_none() || norm < best.as_ref().unwrap().2) {
-                        best = Some((xt, ft, norm));
+                    let norm = inf_norm(ft);
+                    if norm.is_finite() && (!have_best || norm < best_norm) {
+                        best_x.copy_from_slice(xt);
+                        best_f.copy_from_slice(ft);
+                        best_norm = norm;
+                        have_best = true;
                     }
                     if norm < fnorm {
                         break;
@@ -182,19 +269,21 @@ pub fn newton_solve<S: NonlinearSystem + ?Sized>(
             }
             lambda *= 0.5;
         }
-        let (xt, ft, norm) = best.ok_or(NumError::NoConvergence {
-            method: "newton (all damped steps out of domain)",
-            iterations: iter,
-            residual: fnorm,
-        })?;
+        if !have_best {
+            return Err(NumError::NoConvergence {
+                method: "newton (all damped steps out of domain)",
+                iterations: iter,
+                residual: fnorm,
+            });
+        }
 
         let update_norm: f64 = x
             .iter()
-            .zip(&xt)
+            .zip(best_x.iter())
             .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
-        x = xt;
-        f = ft;
-        fnorm = norm;
+        x.copy_from_slice(best_x);
+        f.copy_from_slice(best_f);
+        fnorm = best_norm;
         if update_norm <= opts.tol_update {
             return Ok(NewtonOutcome {
                 x,
@@ -233,9 +322,10 @@ mod tests {
             out[1] = x[0] - x[1];
             Ok(())
         }
-        fn solve_jacobian(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>> {
+        fn solve_jacobian(&self, x: &[f64], f: &[f64], delta: &mut [f64]) -> Result<()> {
             let j = Matrix::from_rows(&[&[2.0 * x[0], 2.0 * x[1]], &[1.0, -1.0]])?;
-            j.solve(f)
+            delta.copy_from_slice(&j.solve(f)?);
+            Ok(())
         }
     }
 
@@ -263,8 +353,9 @@ mod tests {
             out[0] = x[0].atan();
             Ok(())
         }
-        fn solve_jacobian(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>> {
-            Ok(vec![f[0] * (1.0 + x[0] * x[0])])
+        fn solve_jacobian(&self, x: &[f64], f: &[f64], delta: &mut [f64]) -> Result<()> {
+            delta[0] = f[0] * (1.0 + x[0] * x[0]);
+            Ok(())
         }
     }
 
@@ -304,8 +395,9 @@ mod tests {
                 out[0] = x[0].sqrt() - 2.0;
                 Ok(())
             }
-            fn solve_jacobian(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>> {
-                Ok(vec![f[0] * 2.0 * x[0].max(1e-12).sqrt()])
+            fn solve_jacobian(&self, x: &[f64], f: &[f64], delta: &mut [f64]) -> Result<()> {
+                delta[0] = f[0] * 2.0 * x[0].max(1e-12).sqrt();
+                Ok(())
             }
             fn project(&self, x: &mut [f64]) {
                 if x[0] < 0.0 {
@@ -320,5 +412,24 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         assert!(newton_solve(&TwoD, &[1.0], &NewtonOptions::default()).is_err());
+    }
+
+    /// A workspace reused across solves (including dimension changes)
+    /// yields bitwise-identical iterates to the thread-local path.
+    #[test]
+    fn reused_workspace_is_bitwise_identical() {
+        let mut ws = NewtonWorkspace::new(1);
+        let opts = NewtonOptions::default();
+        for _ in 0..3 {
+            let a = newton_solve(&TwoD, &[3.0, 0.5], &opts).unwrap();
+            let b = newton_solve_with(&TwoD, &[3.0, 0.5], &opts, &mut ws).unwrap();
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.residual_norm.to_bits(), b.residual_norm.to_bits());
+            for (p, q) in a.x.iter().zip(&b.x) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+            let s = newton_solve_with(&Steep, &[5.0], &opts, &mut ws).unwrap();
+            assert!(s.x[0].abs() < 1e-8);
+        }
     }
 }

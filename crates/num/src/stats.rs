@@ -6,11 +6,25 @@
 
 use crate::{NumError, Result};
 
+/// Rejects non-finite samples with an error naming the first offending
+/// index, so callers (and their logs) can locate the poisoned element
+/// instead of panicking inside a sort comparator or silently averaging a
+/// NaN into every downstream figure.
+fn ensure_finite(context: &'static str, xs: &[f64]) -> Result<()> {
+    if let Some(i) = xs.iter().position(|x| !x.is_finite()) {
+        return Err(NumError::InvalidInput {
+            context,
+            detail: format!("non-finite sample {} at index {i}", xs[i]),
+        });
+    }
+    Ok(())
+}
+
 /// Arithmetic mean.
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] on empty input.
+/// Returns [`NumError::InvalidInput`] on empty or non-finite input.
 pub fn mean(xs: &[f64]) -> Result<f64> {
     if xs.is_empty() {
         return Err(NumError::InvalidInput {
@@ -18,6 +32,7 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
             detail: "empty input".to_string(),
         });
     }
+    ensure_finite("mean", xs)?;
     Ok(xs.iter().sum::<f64>() / xs.len() as f64)
 }
 
@@ -25,7 +40,7 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] on empty input.
+/// Returns [`NumError::InvalidInput`] on empty or non-finite input.
 pub fn rms(xs: &[f64]) -> Result<f64> {
     if xs.is_empty() {
         return Err(NumError::InvalidInput {
@@ -33,6 +48,7 @@ pub fn rms(xs: &[f64]) -> Result<f64> {
             detail: "empty input".to_string(),
         });
     }
+    ensure_finite("rms", xs)?;
     Ok((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
 }
 
@@ -41,8 +57,8 @@ pub fn rms(xs: &[f64]) -> Result<f64> {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] on empty input or `q` outside
-/// `[0, 1]`.
+/// Returns [`NumError::InvalidInput`] on empty or non-finite input, or
+/// `q` outside `[0, 1]`.
 pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
     if xs.is_empty() || !(0.0..=1.0).contains(&q) {
         return Err(NumError::InvalidInput {
@@ -50,8 +66,9 @@ pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
             detail: format!("len={} q={q}", xs.len()),
         });
     }
+    ensure_finite("percentile", xs)?;
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let i = pos.floor() as usize;
     let t = pos - i as f64;
@@ -62,11 +79,34 @@ pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
     }
 }
 
+/// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank convention:
+/// `sorted[⌈q·n⌉ − 1]`, always an actual sample. Load harnesses use this
+/// flavor so a reported p99 latency is a latency that really occurred.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] on empty or non-finite input, or
+/// `q` outside `[0, 1]`.
+pub fn percentile_nearest(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return Err(NumError::InvalidInput {
+            context: "percentile_nearest",
+            detail: format!("len={} q={q}", xs.len()),
+        });
+    }
+    ensure_finite("percentile_nearest", xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Ok(sorted[rank - 1])
+}
+
 /// Sample standard deviation (n−1 denominator).
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] for fewer than two samples.
+/// Returns [`NumError::InvalidInput`] for fewer than two samples or
+/// non-finite input (via [`mean`]).
 pub fn std_dev(xs: &[f64]) -> Result<f64> {
     if xs.len() < 2 {
         return Err(NumError::InvalidInput {
@@ -90,12 +130,19 @@ pub fn normal_from_uniforms(u1: f64, u2: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] when `want == 0`.
+/// Returns [`NumError::InvalidInput`] when `want == 0` or either value
+/// is non-finite.
 pub fn relative_error_pct(got: f64, want: f64) -> Result<f64> {
     if want == 0.0 {
         return Err(NumError::InvalidInput {
             context: "relative_error_pct",
             detail: "reference value is zero".to_string(),
+        });
+    }
+    if !got.is_finite() || !want.is_finite() {
+        return Err(NumError::InvalidInput {
+            context: "relative_error_pct",
+            detail: format!("non-finite value (got={got} want={want})"),
         });
     }
     Ok(100.0 * (got - want).abs() / want.abs())
@@ -120,8 +167,9 @@ pub struct ErrorSummary {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] on empty or mismatched inputs, or
-/// when *every* reference element falls below `floor`.
+/// Returns [`NumError::InvalidInput`] on empty, mismatched, or
+/// non-finite inputs, or when *every* reference element falls below
+/// `floor`.
 pub fn compare_series(got: &[f64], want: &[f64], floor: f64) -> Result<ErrorSummary> {
     if got.is_empty() || got.len() != want.len() {
         return Err(NumError::InvalidInput {
@@ -129,6 +177,8 @@ pub fn compare_series(got: &[f64], want: &[f64], floor: f64) -> Result<ErrorSumm
             detail: format!("got.len()={} want.len()={}", got.len(), want.len()),
         });
     }
+    ensure_finite("compare_series", got)?;
+    ensure_finite("compare_series", want)?;
     let mut sum_pct = 0.0;
     let mut max_pct: f64 = 0.0;
     let mut count = 0usize;
@@ -214,6 +264,46 @@ mod tests {
         assert!((s.mean_pct - 1.0).abs() < 1e-9);
         assert!((s.max_pct - 1.0).abs() < 1e-9);
         assert!(s.rms_abs > 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentile() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile_nearest(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile_nearest(&xs, 0.5).unwrap(), 3.0);
+        assert_eq!(percentile_nearest(&xs, 0.95).unwrap(), 5.0);
+        assert_eq!(percentile_nearest(&xs, 1.0).unwrap(), 5.0);
+        // Always an actual sample, never an interpolated value.
+        assert_eq!(percentile_nearest(&xs, 0.25).unwrap(), 2.0);
+        assert!(percentile_nearest(&[], 0.5).is_err());
+        assert!(percentile_nearest(&xs, -0.1).is_err());
+    }
+
+    /// Every fallible entry point rejects non-finite samples with a
+    /// structured error naming the offending index — no panic path.
+    #[test]
+    fn non_finite_inputs_are_structured_errors() {
+        let bad = [1.0, 2.0, f64::NAN, 4.0];
+        let detail_of = |r: Result<f64>| match r {
+            Err(NumError::InvalidInput { detail, .. }) => detail,
+            other => panic!("expected InvalidInput, got {other:?}"),
+        };
+        assert!(detail_of(mean(&bad)).contains("index 2"));
+        assert!(detail_of(rms(&bad)).contains("index 2"));
+        assert!(detail_of(percentile(&bad, 0.5)).contains("index 2"));
+        assert!(detail_of(percentile_nearest(&bad, 0.5)).contains("index 2"));
+        assert!(std_dev(&bad).is_err());
+        assert!(mean(&[f64::INFINITY]).is_err());
+        assert!(rms(&[f64::NEG_INFINITY]).is_err());
+        assert!(percentile(&[0.0, f64::INFINITY], 1.0).is_err());
+        assert!(relative_error_pct(f64::NAN, 1.0).is_err());
+        assert!(relative_error_pct(1.0, f64::NAN).is_err());
+        assert!(compare_series(&bad, &[1.0; 4], 0.0).is_err());
+        assert!(compare_series(&[1.0; 4], &bad, 0.0).is_err());
+        // The infallible Box–Muller helper propagates NaN rather than
+        // panicking — pinned so a future clamp change can't regress it
+        // into a panic.
+        assert!(normal_from_uniforms(f64::NAN, 0.5).is_nan());
     }
 
     #[test]

@@ -153,38 +153,22 @@ impl Tridiagonal {
     /// [`NumError::Singular`] on pivot breakdown.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
-        if b.len() != n {
-            return Err(NumError::Dimension {
-                context: "Tridiagonal::solve",
-                detail: format!("b.len()={} n={n}", b.len()),
-            });
-        }
-        let mut c = vec![0.0; n]; // modified superdiagonal
-        let mut d = vec![0.0; n]; // modified rhs
-        let mut pivot = self.diag[0];
-        if pivot == 0.0 || !pivot.is_finite() {
-            return Err(NumError::Singular { index: 0, pivot });
-        }
-        if n > 1 {
-            c[0] = self.sup[0] / pivot;
-        }
-        d[0] = b[0] / pivot;
-        for i in 1..n {
-            pivot = self.diag[i] - self.sub[i - 1] * c[i - 1];
-            if pivot == 0.0 || !pivot.is_finite() {
-                return Err(NumError::Singular { index: i, pivot });
-            }
-            if i + 1 < n {
-                c[i] = self.sup[i] / pivot;
-            }
-            d[i] = (b[i] - self.sub[i - 1] * d[i - 1]) / pivot;
-        }
-        let mut x = d;
-        for i in (0..n - 1).rev() {
-            let next = x[i + 1];
-            x[i] -= c[i] * next;
-        }
+        let mut c = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        thomas_solve_into(&self.sub, &self.diag, &self.sup, b, &mut c, &mut x)?;
         Ok(x)
+    }
+
+    /// Borrowed-band Thomas solve writing into `x`; see
+    /// [`thomas_solve_into`]. `c_scratch` is overwritten scratch of
+    /// length `dim()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Dimension`] on size mismatch and
+    /// [`NumError::Singular`] on pivot breakdown.
+    pub fn solve_into(&self, b: &[f64], c_scratch: &mut [f64], x: &mut [f64]) -> Result<()> {
+        thomas_solve_into(&self.sub, &self.diag, &self.sup, b, c_scratch, x)
     }
 
     /// Converts to a dense [`crate::matrix::Matrix`] (tests/ablation).
@@ -198,6 +182,76 @@ impl Tridiagonal {
         }
         m
     }
+}
+
+/// Allocation-free Thomas solve over borrowed bands: `x` receives the
+/// solution of the tridiagonal system, `c_scratch` holds the modified
+/// superdiagonal during elimination. Both must have `diag.len()`
+/// elements; `sub`/`sup` carry `diag.len() - 1`. The hot QWM region
+/// solver stamps its bands into a reusable `SolveScratch` and calls
+/// this directly, so a Newton iteration performs zero allocations — the
+/// boxed [`Tridiagonal::solve`] delegates here with fresh buffers.
+///
+/// The operation order is identical to the historical boxed solve
+/// (forward elimination into `x`, then in-place back-substitution), so
+/// results are bitwise-identical to `Tridiagonal::solve`.
+///
+/// # Errors
+///
+/// Returns [`NumError::Dimension`] on any length mismatch and
+/// [`NumError::Singular`] on pivot breakdown.
+pub fn thomas_solve_into(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    b: &[f64],
+    c_scratch: &mut [f64],
+    x: &mut [f64],
+) -> Result<()> {
+    let n = diag.len();
+    if n == 0
+        || sub.len() != n - 1
+        || sup.len() != n - 1
+        || b.len() != n
+        || c_scratch.len() != n
+        || x.len() != n
+    {
+        return Err(NumError::Dimension {
+            context: "thomas_solve_into",
+            detail: format!(
+                "sub={} diag={n} sup={} b={} c={} x={}",
+                sub.len(),
+                sup.len(),
+                b.len(),
+                c_scratch.len(),
+                x.len()
+            ),
+        });
+    }
+    let c = c_scratch;
+    let mut pivot = diag[0];
+    if pivot == 0.0 || !pivot.is_finite() {
+        return Err(NumError::Singular { index: 0, pivot });
+    }
+    if n > 1 {
+        c[0] = sup[0] / pivot;
+    }
+    x[0] = b[0] / pivot;
+    for i in 1..n {
+        pivot = diag[i] - sub[i - 1] * c[i - 1];
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(NumError::Singular { index: i, pivot });
+        }
+        if i + 1 < n {
+            c[i] = sup[i] / pivot;
+        }
+        x[i] = (b[i] - sub[i - 1] * x[i - 1]) / pivot;
+    }
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c[i] * next;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -255,6 +309,28 @@ mod tests {
     fn set_off_band_panics() {
         let mut t = Tridiagonal::zeros(3).unwrap();
         t.set(2, 0, 1.0);
+    }
+
+    #[test]
+    fn borrowed_solve_bitwise_matches_boxed() {
+        let t = Tridiagonal::from_bands(
+            vec![-1.0, -2.0, 0.5, 1.0],
+            vec![4.0, 5.0, 6.0, 5.0, 4.0],
+            vec![1.0, -1.5, 2.0, -0.5],
+        )
+        .unwrap();
+        let b = [1.0, -2.0, 3.0, -4.0, 5.0];
+        let boxed = t.solve(&b).unwrap();
+        let mut c = [0.0; 5];
+        let mut x = [0.0; 5];
+        t.solve_into(&b, &mut c, &mut x).unwrap();
+        for (a, e) in x.iter().zip(&boxed) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+        // Dimension checks on every slice argument.
+        assert!(thomas_solve_into(&[], &[], &[], &[], &mut [], &mut []).is_err());
+        assert!(t.solve_into(&b, &mut c[..4], &mut x).is_err());
+        assert!(t.solve_into(&b[..3], &mut c, &mut x).is_err());
     }
 
     #[test]

@@ -182,7 +182,13 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
-        let pool = ThreadPool::new(cfg.max_inflight.max(1));
+        // Pool workers are long-lived and each query evaluates many
+        // arcs: pre-size every worker's thread-local QWM workspace so
+        // even a worker's first arc allocates nothing (DESIGN.md §16).
+        // 8 covers the deepest stacks in the supported cell set.
+        let pool = ThreadPool::new_with_init(cfg.max_inflight.max(1), |_w| {
+            qwm_sta::warm_worker(8);
+        });
         Ok(Server {
             listener,
             shared: Arc::new(Shared {

@@ -74,7 +74,7 @@ impl NonlinearSystem for DcSystem<'_> {
         Ok(())
     }
 
-    fn solve_jacobian(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>> {
+    fn solve_jacobian(&self, x: &[f64], f: &[f64], delta: &mut [f64]) -> Result<()> {
         let n = self.dim();
         let v = self.full_voltages(x);
         let mut jac = Matrix::zeros(n, n)?;
@@ -130,7 +130,8 @@ impl NonlinearSystem for DcSystem<'_> {
         for i in 0..n {
             jac.add(i, i, self.gmin);
         }
-        jac.solve(f)
+        delta.copy_from_slice(&jac.solve(f)?);
+        Ok(())
     }
 
     fn project(&self, x: &mut [f64]) {

@@ -535,7 +535,7 @@ fn coupling_injection(
 ) -> f64 {
     let id = internal[i];
     let mut inj = 0.0;
-    for (e, _) in stage.incident(id) {
+    for &(e, _) in stage.incident(id) {
         let edge = stage.edge(e);
         if let (Some(input), Some(_)) = (edge.input, edge.kind.polarity()) {
             let slope = input_slope[input.0];

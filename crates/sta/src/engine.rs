@@ -802,9 +802,9 @@ impl<'m> StaEngine<'m> {
         let ramp = (input_slew / 0.8).max(1e-12);
         for &pi in self.netlist.primary_inputs() {
             *fall[pi.0].lock().expect("net book") =
-                Some((0.5 * ramp, Waveform::ramp(0.0, ramp, vdd, 0.0)));
+                Some((0.5 * ramp, Waveform::ramp_interned(0.0, ramp, vdd, 0.0)));
             *rise[pi.0].lock().expect("net book") =
-                Some((0.5 * ramp, Waveform::ramp(0.0, ramp, 0.0, vdd)));
+                Some((0.5 * ramp, Waveform::ramp_interned(0.0, ramp, 0.0, vdd)));
         }
         let lev = {
             let _t = qwm_obs::trace::TraceGuard::enter("sta.levelize");
@@ -855,7 +855,7 @@ impl<'m> StaEngine<'m> {
                             if gating.contains(&qwm_circuit::InputId(i)) {
                                 wf.clone()
                             } else {
-                                Waveform::constant(inactive)
+                                Waveform::constant_interned(inactive)
                             }
                         })
                         .collect();

@@ -105,12 +105,15 @@ pub fn sensitized_setup_with_slew(
     };
     // 10–90 % covers 80 % of the swing: full ramp = slew / 0.8.
     let ramp = (input_slew / 0.8).max(1e-12);
+    // Interned constructors: identical-slew arcs across the netlist
+    // share one parsed piecewise input instead of re-allocating it
+    // per arc (DESIGN.md §16).
     let inputs: Vec<Waveform> = (0..stage.inputs().len())
         .map(|i| {
             if gating.contains(&qwm_circuit::InputId(i)) {
-                Waveform::ramp(0.0, ramp, g0, g1)
+                Waveform::ramp_interned(0.0, ramp, g0, g1)
             } else {
-                Waveform::constant(g0)
+                Waveform::constant_interned(g0)
             }
         })
         .collect();
@@ -137,7 +140,7 @@ pub fn worst_case_setup(
         TransitionKind::Fall => (0.0, vdd, vdd),
         TransitionKind::Rise => (vdd, 0.0, 0.0),
     };
-    let inputs = vec![Waveform::step(0.0, g0, g1); stage.inputs().len()];
+    let inputs = vec![Waveform::step_interned(0.0, g0, g1); stage.inputs().len()];
     let init: Vec<f64> = (0..stage.node_count())
         .map(|i| match stage.node(NodeId(i)).kind {
             NodeKind::Supply => vdd,
@@ -173,9 +176,9 @@ pub fn sensitized_setup(
     let inputs: Vec<Waveform> = (0..stage.inputs().len())
         .map(|i| {
             if gating.contains(&qwm_circuit::InputId(i)) {
-                Waveform::step(0.0, g0, g1)
+                Waveform::step_interned(0.0, g0, g1)
             } else {
-                Waveform::constant(g0)
+                Waveform::constant_interned(g0)
             }
         })
         .collect();

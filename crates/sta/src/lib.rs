@@ -54,3 +54,9 @@ pub use incremental::{parse_edit_script, Edit, IncrementalStats};
 pub use liberty::{write_liberty, LibertyArc, LibertyCell};
 pub use nldm::NldmTable;
 pub use report::{format_report, golden_corner_report};
+
+/// Re-export of [`qwm_core::evaluate::warm_worker`] for embedders that
+/// run STA queries on long-lived worker threads (e.g. the `qwm-server`
+/// pool): call it from each worker's start-up hook to pre-size the
+/// thread-local QWM evaluation workspace (DESIGN.md §16).
+pub use qwm_core::evaluate::warm_worker;

@@ -46,6 +46,16 @@ cargo build --release -p qwm-bench
 grep -q '"meets_target": true' BENCH_corners.json
 grep -q '"bitwise_identical": true' BENCH_corners.json
 
+# Kernel gate: the warm hot path must not touch the allocator —
+# allocs_per_solve_steady is exactly 0 and allocs_per_eval stays
+# bounded. Allocation counts are deterministic, so this gate cannot
+# flake; the timing bar (2x warm vs the pre-rework baseline) is
+# enforced by the full-mode run recorded in BENCH_kernel.json.
+echo "==> kernel_bench smoke gate (target/BENCH_kernel.smoke.json)"
+./target/release/kernel_bench --smoke target/BENCH_kernel.smoke.json
+grep -q '"meets_target": true' target/BENCH_kernel.smoke.json
+grep -q '"allocs_per_solve_steady": 0,' target/BENCH_kernel.smoke.json
+
 # Failure-path gate: the fault-injection suite must also hold when the
 # whole binary runs under an ambient probabilistic chaos plan (two
 # fixed seeds so the streams differ but stay reproducible).
