@@ -1,0 +1,222 @@
+//! server_restart — kill/restart smoke driver for `qwm serve --store`.
+//!
+//! ```text
+//! server_restart --qwm <path/to/qwm> [--deck <deck.sp>] [--store <dir>]
+//!                [--out <BENCH_restart.json>]
+//! ```
+//!
+//! Boots a stored server, commits a session (`load`, `run`, `edit`,
+//! `run`, `edit`), SIGKILLs it mid-session, restarts it against the
+//! same store, and verifies the durability contract end to end:
+//!
+//! * `report` after restart is byte-identical to the last committed
+//!   report before the kill;
+//! * the first `run` after restart is byte-identical to a
+//!   never-restarted reference server's and goes through the
+//!   incremental path (`full_run=false`);
+//! * `store status` reports the restore and zero device
+//!   re-characterizations in the revived process.
+//!
+//! Exits nonzero on any violation; with `--out`, writes a small JSON
+//! artifact so CI logs capture what was measured.
+
+use qwm::server::Client;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Args {
+    qwm: String,
+    deck: String,
+    store: Option<PathBuf>,
+    out: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: server_restart --qwm <path/to/qwm> [--deck <deck.sp>] [--store <dir>]\n\
+     \u{20}                     [--out <BENCH_restart.json>]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut qwm = None;
+    let mut deck = "testdata/path4.sp".to_string();
+    let mut store = None;
+    let mut out = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--qwm" => qwm = Some(it.next().ok_or("--qwm needs a path")?.clone()),
+            "--deck" => deck = it.next().ok_or("--deck needs a path")?.clone(),
+            "--store" => store = Some(PathBuf::from(it.next().ok_or("--store needs a dir")?)),
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        qwm: qwm.ok_or_else(|| format!("--qwm is required\n{}", usage()))?,
+        deck,
+        store,
+        out,
+    })
+}
+
+struct Serve {
+    child: Child,
+    addr: String,
+}
+
+fn start(qwm: &str, store: &Path) -> Result<Serve, String> {
+    let mut child = Command::new(qwm)
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .arg("--store")
+        .arg(store)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {qwm}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let first = BufReader::new(stdout)
+        .lines()
+        .next()
+        .ok_or("server exited before printing its address")?
+        .map_err(|e| format!("read banner: {e}"))?;
+    let addr = first
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected banner {first:?}"))?
+        .to_string();
+    Ok(Serve { child, addr })
+}
+
+fn connect(serve: &Serve) -> Result<Client, String> {
+    let mut c = Client::connect(&serve.addr).map_err(|e| format!("connect: {e}"))?;
+    c.set_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    Ok(c)
+}
+
+fn kill(mut serve: Serve) -> Result<(), String> {
+    serve.child.kill().map_err(|e| format!("kill: {e}"))?;
+    serve.child.wait().map_err(|e| format!("wait: {e}"))?;
+    Ok(())
+}
+
+fn send_ok(c: &mut Client, line: &str) -> Result<(String, String), String> {
+    let r = c.send(line).map_err(|e| format!("{line:?}: {e}"))?;
+    if !r.ok() {
+        return Err(format!("{line:?}: {} {}", r.status, r.head));
+    }
+    Ok((r.head.clone(), r.body().to_string()))
+}
+
+/// The committed script: two runs with an edit between them, plus one
+/// more edit left pending when the kill lands.
+fn drive(c: &mut Client, sid: &str, deck: &str) -> Result<String, String> {
+    let r = c.load(sid, deck).map_err(|e| format!("load: {e}"))?;
+    if !r.ok() {
+        return Err(format!("load: {} {}", r.status, r.head));
+    }
+    send_ok(c, &format!("run {sid} qwm slew_ps=20"))?;
+    let e = c
+        .edit(sid, "resize MN2 1.2u\nload n2 20f\n")
+        .map_err(|e| format!("edit: {e}"))?;
+    if !e.ok() {
+        return Err(format!("edit: {} {}", e.status, e.head));
+    }
+    let (_, second) = send_ok(c, &format!("run {sid} qwm slew_ps=20"))?;
+    let e = c
+        .edit(sid, "resize MN4 1.5u\n")
+        .map_err(|e| format!("edit: {e}"))?;
+    if !e.ok() {
+        return Err(format!("edit 2: {} {}", e.status, e.head));
+    }
+    Ok(second)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let deck = std::fs::read_to_string(&args.deck).map_err(|e| format!("{}: {e}", args.deck))?;
+    let store = match &args.store {
+        Some(d) => d.clone(),
+        None => std::env::temp_dir().join(format!("qwm-restart-smoke-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&store);
+    let ref_store = store.with_extension("ref");
+    let _ = std::fs::remove_dir_all(&ref_store);
+
+    // Reference: never killed, runs the whole script in one life.
+    let reference = start(&args.qwm, &ref_store)?;
+    let mut rc = connect(&reference)?;
+    drive(&mut rc, "d", &deck)?;
+    let (_, ref_third) = send_ok(&mut rc, "run d qwm slew_ps=20")?;
+    kill(reference)?;
+
+    // Victim: same script, SIGKILLed before the pending edit is run.
+    let victim = start(&args.qwm, &store)?;
+    let mut vc = connect(&victim)?;
+    let committed = drive(&mut vc, "d", &deck)?;
+    kill(victim)?;
+
+    // Revival: the session must come back warm and bitwise.
+    let revived = start(&args.qwm, &store)?;
+    let mut c = connect(&revived)?;
+    let (_, report) = send_ok(&mut c, "report d")?;
+    if report != committed {
+        return Err("restored report differs from the last committed report".to_string());
+    }
+    let (status, _) = send_ok(&mut c, "store status")?;
+    if !status.contains("restores=1") {
+        return Err(format!("expected restores=1 in {status:?}"));
+    }
+    if !status.contains("characterizations=0") {
+        return Err(format!("expected characterizations=0 in {status:?}"));
+    }
+    let (_, third) = send_ok(&mut c, "run d qwm slew_ps=20")?;
+    if third != ref_third {
+        return Err("restored first run differs from never-restarted reference".to_string());
+    }
+    let (stats, _) = send_ok(&mut c, "stats d")?;
+    if !stats.contains("full_run=false") {
+        return Err(format!(
+            "first restored query was not incremental: {stats:?}"
+        ));
+    }
+    kill(revived)?;
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&ref_store);
+
+    Ok(format!(
+        "{{\n  \"schema\": \"qwm.restart.v1\",\n  \"deck\": {:?},\n  \
+         \"bitwise_identical\": true,\n  \"incremental_first_query\": true,\n  \
+         \"restores\": 1,\n  \"recharacterizations\": 0\n}}\n",
+        args.deck
+    ))
+}
+
+fn main() -> std::process::ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(json) => {
+            if let Some(out) = &args.out {
+                if let Err(e) = std::fs::write(out, &json) {
+                    eprintln!("write {out}: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+                println!("wrote {out}");
+            }
+            println!("restart smoke: bitwise warm restart verified");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("restart smoke failed: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

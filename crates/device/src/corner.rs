@@ -18,7 +18,7 @@
 
 use crate::model::ModelSet;
 use crate::tech::Technology;
-use crate::{analytic_models, tabular_models};
+use crate::{analytic_models, tabular_models, tabular_models_cached};
 use qwm_num::rng::Rng64;
 use qwm_num::stats::normal_from_uniforms;
 use std::collections::HashMap;
@@ -325,7 +325,7 @@ pub fn static_tabular_models(
     if let Some(&set) = reg.get(&key) {
         return Ok(set);
     }
-    let set = tabular_models(&corner.technology(base_tech)).map_err(|e| e.to_string())?;
+    let set = tabular_models_cached(&corner.technology(base_tech)).map_err(|e| e.to_string())?;
     let leaked: &'static ModelSet = Box::leak(Box::new(set));
     reg.insert(key, leaked);
     Ok(leaked)

@@ -50,7 +50,7 @@ pub mod wire;
 pub use corner::{parse_corner_list, Corner, CornerModels};
 pub use model::{DeviceModel, Geometry, IvEval, ModelSet, Polarity, TermVoltage};
 pub use mosfet::Mosfet;
-pub use table::TableModel;
+pub use table::{cached_table, cached_tables, install_table, TableModel};
 pub use tech::Technology;
 pub use wire::WireModel;
 
@@ -73,6 +73,30 @@ pub fn tabular_models(tech: &Technology) -> qwm_num::Result<ModelSet> {
     Ok(ModelSet::new(
         Box::new(TableModel::with_defaults(tech.clone(), Polarity::Nmos)?),
         Box::new(TableModel::with_defaults(tech.clone(), Polarity::Pmos)?),
+    ))
+}
+
+/// Like [`tabular_models`], but consults the process-wide table cache
+/// (see [`table::cached_table`]) before sweeping and installs any fresh
+/// characterization into it. A table restored from a `qwm-store` record
+/// via [`install_table`] short-circuits the sweep entirely — this is
+/// what makes a store-backed server boot without re-characterizing.
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn tabular_models_cached(tech: &Technology) -> qwm_num::Result<ModelSet> {
+    let build = |polarity: Polarity| -> qwm_num::Result<TableModel> {
+        if let Some(t) = table::cached_table(tech, polarity, 0.1) {
+            return Ok(t);
+        }
+        let t = TableModel::with_defaults(tech.clone(), polarity)?;
+        table::install_table(t.clone());
+        Ok(t)
+    };
+    Ok(ModelSet::new(
+        Box::new(build(Polarity::Nmos)?),
+        Box::new(build(Polarity::Pmos)?),
     ))
 }
 

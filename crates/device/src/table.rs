@@ -25,6 +25,65 @@ use crate::mosfet::ids_core;
 use crate::tech::Technology;
 use qwm_num::polyfit::polyfit;
 use qwm_num::{NumError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide count of full grid characterizations (see
+/// [`TableModel::characterization_count`]). Always-on (plain atomic,
+/// not a `qwm-obs` counter) so warm-restart tests can assert "zero
+/// re-characterizations" regardless of whether `QWM_OBS` is set.
+static CHARACTERIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cache of characterized tables, keyed by the full
+/// `(technology, polarity, step)` identity. [`crate::tabular_models_cached`]
+/// consults it before sweeping, and a store-backed server installs
+/// restored tables here on boot so characterization never re-runs for a
+/// technology it already paid for.
+fn table_registry() -> &'static Mutex<Vec<TableModel>> {
+    static REG: OnceLock<Mutex<Vec<TableModel>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn table_matches(t: &TableModel, tech: &Technology, polarity: Polarity, step: f64) -> bool {
+    t.polarity == polarity && t.step.to_bits() == step.to_bits() && t.tech == *tech
+}
+
+/// Installs a table into the process-wide cache, replacing any entry
+/// with the same technology, polarity and grid pitch. The cache is
+/// append-mostly and tiny (one entry per characterized corner ×
+/// polarity), so lookup is a linear scan.
+pub fn install_table(t: TableModel) {
+    let mut reg = table_registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) = reg
+        .iter_mut()
+        .find(|c| table_matches(c, &t.tech, t.polarity, t.step))
+    {
+        *slot = t;
+    } else {
+        reg.push(t);
+    }
+}
+
+/// Looks up a cached table for exactly this technology, polarity and
+/// grid pitch (`step` compares bitwise — the cache never substitutes a
+/// "close" table).
+pub fn cached_table(tech: &Technology, polarity: Polarity, step: f64) -> Option<TableModel> {
+    table_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .find(|t| table_matches(t, tech, polarity, step))
+        .cloned()
+}
+
+/// Every cached table, in installation order — what a store-backed
+/// server persists after a commit.
+pub fn cached_tables() -> Vec<TableModel> {
+    table_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
 
 /// The 7 stored parameters at one (Vs, Vg) grid point.
 ///
@@ -130,6 +189,8 @@ impl TableModel {
                 detail: format!("grid step {step}"),
             });
         }
+        CHARACTERIZATIONS.fetch_add(1, Ordering::Relaxed);
+        qwm_obs::counter!("device.table.characterizations").incr();
         let n = (tech.vdd / step).round() as usize + 1;
         let (kp, vt0) = match polarity {
             Polarity::Nmos => (tech.kp_n, tech.vt0_n),
@@ -159,6 +220,66 @@ impl TableModel {
     /// See [`TableModel::characterize`].
     pub fn with_defaults(tech: Technology, polarity: Polarity) -> Result<Self> {
         Self::characterize(tech, polarity, 0.1)
+    }
+
+    /// Rebuilds a table from previously characterized parts (e.g. a
+    /// `qwm-store` device-table record) **without** re-running the
+    /// grid sweeps — the whole point of persisting tables. The fits
+    /// are taken as-is, so a table restored from the same technology,
+    /// polarity and step is bitwise-identical to the one that was
+    /// stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a bad pitch (as in
+    /// [`TableModel::characterize`]) or a point count that does not
+    /// match the grid implied by `step`.
+    pub fn from_parts(
+        tech: Technology,
+        polarity: Polarity,
+        step: f64,
+        points: Vec<FitPoint>,
+    ) -> Result<Self> {
+        if step <= 0.0 || step > tech.vdd {
+            return Err(NumError::InvalidInput {
+                context: "TableModel::from_parts",
+                detail: format!("grid step {step}"),
+            });
+        }
+        let n = (tech.vdd / step).round() as usize + 1;
+        if points.len() != n * n {
+            return Err(NumError::InvalidInput {
+                context: "TableModel::from_parts",
+                detail: format!("{} fit points for a {n}×{n} grid", points.len()),
+            });
+        }
+        Ok(TableModel {
+            tech,
+            polarity,
+            step,
+            n,
+            points,
+        })
+    }
+
+    /// Process-wide count of full grid characterizations performed by
+    /// [`TableModel::characterize`] since process start. Restoring via
+    /// [`TableModel::from_parts`] does not count — which is exactly
+    /// what lets a warm-restart test assert that a store-backed boot
+    /// re-characterized nothing.
+    pub fn characterization_count() -> u64 {
+        CHARACTERIZATIONS.load(Ordering::Relaxed)
+    }
+
+    /// The characterized technology.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The stored per-grid-point fits, row-major (`vs` index × n +
+    /// `vg` index).
+    pub fn points(&self) -> &[FitPoint] {
+        &self.points
     }
 
     /// Number of (Vs, Vg) grid points.

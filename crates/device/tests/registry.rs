@@ -1,0 +1,75 @@
+//! Process-wide table cache: `tabular_models_cached` characterizes a
+//! technology exactly once, and an installed (restored) table
+//! short-circuits the sweep entirely.
+//!
+//! Kept as its own integration binary so [`TableModel::characterization_count`]
+//! deltas are not raced by unrelated tests characterizing in parallel.
+
+use qwm_device::model::Polarity;
+use qwm_device::{cached_table, cached_tables, install_table, TableModel, Technology};
+
+#[test]
+fn cache_characterizes_once_and_serves_installed_tables() {
+    let tech = Technology::cmosp35();
+
+    let c0 = TableModel::characterization_count();
+    let first = qwm_device::tabular_models_cached(&tech).expect("models");
+    let c1 = TableModel::characterization_count();
+    assert_eq!(c1 - c0, 2, "one sweep per polarity on a cold cache");
+
+    let second = qwm_device::tabular_models_cached(&tech).expect("models");
+    assert_eq!(
+        TableModel::characterization_count(),
+        c1,
+        "second build must come from the cache"
+    );
+
+    // Cached builds are bitwise-identical to the originals.
+    let g = qwm_device::Geometry::new(1e-6, 0.35e-6);
+    let tv = qwm_device::TermVoltage::new(3.3, 3.3, 0.0);
+    for p in [Polarity::Nmos, Polarity::Pmos] {
+        let a = first.for_polarity(p).iv(&g, tv).unwrap();
+        let b = second.for_polarity(p).iv(&g, tv).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // A restored table (from_parts — no sweep) installed into the cache
+    // is served as-is: building models for its technology performs zero
+    // characterizations.
+    let mut shifted = tech.clone();
+    shifted.vt0_n += 0.01;
+    let donor_n = cached_table(&tech, Polarity::Nmos, 0.1).expect("cached nmos");
+    let donor_p = cached_table(&tech, Polarity::Pmos, 0.1).expect("cached pmos");
+    let restored_n = TableModel::from_parts(
+        shifted.clone(),
+        Polarity::Nmos,
+        0.1,
+        donor_n.points().to_vec(),
+    )
+    .expect("rebuild");
+    let restored_p = TableModel::from_parts(
+        shifted.clone(),
+        Polarity::Pmos,
+        0.1,
+        donor_p.points().to_vec(),
+    )
+    .expect("rebuild");
+    install_table(restored_n);
+    install_table(restored_p);
+    let c2 = TableModel::characterization_count();
+    let restored = qwm_device::tabular_models_cached(&shifted).expect("models");
+    assert_eq!(
+        TableModel::characterization_count(),
+        c2,
+        "installed tables must suppress the sweep"
+    );
+    // The served table is the installed one (donor fits, shifted tech).
+    let served = cached_table(&shifted, Polarity::Nmos, 0.1).expect("cached");
+    assert_eq!(served.points(), donor_n.points());
+    assert!(restored.for_polarity(Polarity::Nmos).iv(&g, tv).is_ok());
+
+    // install replaces (same identity), never duplicates.
+    let n_before = cached_tables().len();
+    install_table(cached_table(&shifted, Polarity::Nmos, 0.1).unwrap());
+    assert_eq!(cached_tables().len(), n_before);
+}

@@ -61,7 +61,9 @@ mod span;
 pub mod trace;
 
 pub use event::{error, warn, Event, EventBuilder, Level};
-pub use metrics::{Counter, Histogram, HistogramSummary, ITER_BOUNDS, NS_BOUNDS, SIZE_BOUNDS};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, ITER_BOUNDS, NS_BOUNDS, SIZE_BOUNDS,
+};
 pub use render::{emit, render};
 pub use span::{SpanGuard, SpanStats};
 
@@ -137,6 +139,7 @@ pub fn enabled() -> bool {
 /// The process-global registry behind every metric handle.
 pub(crate) struct Registry {
     pub(crate) counters: Mutex<Vec<&'static metrics::CounterInner>>,
+    pub(crate) gauges: Mutex<Vec<&'static metrics::GaugeInner>>,
     pub(crate) histograms: Mutex<Vec<&'static metrics::HistogramInner>>,
     pub(crate) spans: Mutex<Vec<&'static span::SpanStatInner>>,
     pub(crate) events: Mutex<std::collections::VecDeque<Event>>,
@@ -146,6 +149,7 @@ pub(crate) fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
         spans: Mutex::new(Vec::new()),
         events: Mutex::new(std::collections::VecDeque::new()),
@@ -161,6 +165,9 @@ pub fn reset() {
     let reg = registry();
     for c in reg.counters.lock().expect("obs registry").iter() {
         c.value.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.lock().expect("obs registry").iter() {
+        g.value.store(0, Ordering::Relaxed);
     }
     for h in reg.histograms.lock().expect("obs registry").iter() {
         h.reset();
@@ -182,6 +189,18 @@ pub fn counter_value(name: &str) -> Option<u64> {
         .iter()
         .find(|c| c.name == name)
         .map(|c| c.value.load(Ordering::Relaxed))
+}
+
+/// Looks up a gauge's current value by name (`None` when never
+/// registered). Intended for tests and report plumbing.
+pub fn gauge_value(name: &str) -> Option<u64> {
+    registry()
+        .gauges
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .find(|g| g.name == name)
+        .map(|g| g.value.load(Ordering::Relaxed))
 }
 
 /// Looks up a histogram summary by name (`None` when never registered

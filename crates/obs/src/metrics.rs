@@ -93,6 +93,61 @@ macro_rules! counter {
     }};
 }
 
+pub(crate) struct GaugeInner {
+    pub(crate) name: &'static str,
+    pub(crate) value: AtomicU64,
+}
+
+/// A named point-in-time gauge (last-write-wins, unlike the monotonic
+/// [`Counter`]): log sizes, resident memory, live session counts.
+#[derive(Clone, Copy)]
+pub struct Gauge(&'static GaugeInner);
+
+impl Gauge {
+    /// Registers (or finds) the gauge `name`. Call sites should cache
+    /// the handle via the [`gauge!`] macro rather than re-registering
+    /// per use.
+    pub fn register(name: &'static str) -> Gauge {
+        let mut gauges = registry().gauges.lock().expect("obs registry");
+        if let Some(g) = gauges.iter().find(|g| g.name == name) {
+            return Gauge(g);
+        }
+        let inner: &'static GaugeInner = Box::leak(Box::new(GaugeInner {
+            name,
+            value: AtomicU64::new(0),
+        }));
+        gauges.push(inner);
+        Gauge(inner)
+    }
+
+    /// Sets the current value (no-op while disabled).
+    #[inline]
+    pub fn set(self, v: u64) {
+        if enabled() {
+            self.0.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Gauge name.
+    pub fn name(self) -> &'static str {
+        self.0.name
+    }
+}
+
+/// Registers and returns a cached [`Gauge`] handle for this call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __QWM_OBS_GAUGE: std::sync::OnceLock<$crate::Gauge> = std::sync::OnceLock::new();
+        *__QWM_OBS_GAUGE.get_or_init(|| $crate::Gauge::register($name))
+    }};
+}
+
 pub(crate) struct HistogramInner {
     pub(crate) name: &'static str,
     pub(crate) bounds: &'static [u64],

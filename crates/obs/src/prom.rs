@@ -93,6 +93,19 @@ pub fn render_prom() -> String {
         out.push_str(&format!("# TYPE {fam} counter\n{fam} {value}\n"));
     }
 
+    let mut gauges: Vec<(&'static str, u64)> = reg
+        .gauges
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|g| (g.name, g.value.load(Ordering::Relaxed)))
+        .collect();
+    gauges.sort_by_key(|&(name, _)| name);
+    for (name, value) in gauges {
+        let fam = sanitize(name);
+        out.push_str(&format!("# TYPE {fam} gauge\n{fam} {value}\n"));
+    }
+
     struct Hist {
         name: &'static str,
         bounds: &'static [u64],

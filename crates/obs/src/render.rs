@@ -78,6 +78,22 @@ fn render_summary() -> String {
         }
     }
 
+    let mut gauges: Vec<(&'static str, u64)> = reg
+        .gauges
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|g| (g.name, g.value.load(Ordering::Relaxed)))
+        .filter(|&(_, v)| v > 0)
+        .collect();
+    gauges.sort_by_key(|&(n, _)| n);
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in gauges {
+            let _ = writeln!(out, "  {name:<48} {v:>12}");
+        }
+    }
+
     let mut hists: Vec<_> = reg
         .histograms
         .lock()
@@ -162,6 +178,21 @@ fn render_json() -> String {
         let _ = writeln!(
             out,
             "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        );
+    }
+    let mut gauges: Vec<(&'static str, u64)> = reg
+        .gauges
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|g| (g.name, g.value.load(Ordering::Relaxed)))
+        .collect();
+    gauges.sort_by_key(|&(n, _)| n);
+    for (name, v) in gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}",
             json_escape(name)
         );
     }

@@ -325,6 +325,34 @@ fn prom_exposition_renders_and_validates() {
 }
 
 #[test]
+fn gauges_render_in_every_mode() {
+    let _g = obs_lock();
+    let g = qwm_obs::gauge!("test.gauge.bytes");
+    g.set(1234);
+    g.set(4096); // last write wins
+    assert_eq!(qwm_obs::gauge_value("test.gauge.bytes"), Some(4096));
+
+    let summary = qwm_obs::render(ObsMode::Summary);
+    assert!(summary.contains("gauges:"));
+    assert!(summary.contains("test.gauge.bytes"));
+
+    let json = qwm_obs::render(ObsMode::Json);
+    assert!(json.contains("{\"type\":\"gauge\",\"name\":\"test.gauge.bytes\",\"value\":4096}"));
+
+    let prom = qwm_obs::prom::render_prom();
+    qwm_obs::prom::check_exposition(&prom).expect("valid exposition");
+    assert!(prom.contains("# TYPE qwm_test_gauge_bytes gauge"));
+    assert!(prom.contains("qwm_test_gauge_bytes 4096"));
+
+    // Off mode: set() is a no-op, reset() zeroes the stored value.
+    qwm_obs::reset();
+    qwm_obs::set_mode(ObsMode::Off);
+    g.set(77);
+    assert_eq!(g.value(), 0);
+    qwm_obs::set_mode(ObsMode::Summary);
+}
+
+#[test]
 fn reset_clears_values_but_keeps_registration() {
     let _g = obs_lock();
     let c = counter!("test.reset.counter");

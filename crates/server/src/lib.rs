@@ -43,14 +43,16 @@ use qwm_circuit::waveform::TransitionKind;
 use qwm_device::ModelSet;
 use qwm_exec::ThreadPool;
 use qwm_num::NumError;
-use qwm_obs::{counter, histogram, NS_BOUNDS, SIZE_BOUNDS};
+use qwm_obs::{counter, gauge, histogram, NS_BOUNDS, SIZE_BOUNDS};
 use qwm_sta::evaluator::{
     ElmoreEvaluator, FallbackEvaluator, QwmEvaluator, SpiceEvaluator, StageEvaluator,
 };
 use qwm_sta::report::{golden_corner_report, golden_report};
 use qwm_sta::{parse_edit_script, CornerRun, StaEngine};
+use qwm_store::{DesignStore, RecoveredSession, SessionSnapshot, StoreError};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -78,6 +80,19 @@ pub struct ServerConfig {
     /// Treat SIGTERM like a `shutdown` command (Unix only; opt-in so
     /// embedding processes keep their own handlers).
     pub handle_sigterm: bool,
+    /// Durable design store directory (`--store <dir>`). `None` runs
+    /// fully in-memory, exactly as before the store existed. With a
+    /// store, every committed run may snapshot (see
+    /// [`ServerConfig::snapshot_every`]), every applied edit script is
+    /// logged, and [`Server::bind`] restores all stored sessions so a
+    /// killed-and-restarted server answers its first query through the
+    /// incremental path with bitwise-identical reports.
+    pub store_dir: Option<PathBuf>,
+    /// Snapshot cadence in edit batches: a committed run snapshots when
+    /// at least this many edit scripts were applied since the last
+    /// snapshot (a session's first commit always snapshots). 1 —
+    /// the default — snapshots every post-edit commit.
+    pub snapshot_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +103,8 @@ impl Default for ServerConfig {
             session_ttl: None,
             engine_threads: 1,
             handle_sigterm: false,
+            store_dir: None,
+            snapshot_every: 1,
         }
     }
 }
@@ -137,6 +154,9 @@ struct Shared {
     pool: ThreadPool,
     inflight: AtomicUsize,
     draining: AtomicBool,
+    /// The durable design store, when configured. Locked only for
+    /// appends and status reads — never across an evaluation.
+    store: Option<Mutex<DesignStore>>,
 }
 
 impl Shared {
@@ -189,14 +209,41 @@ impl Server {
         let pool = ThreadPool::new_with_init(cfg.max_inflight.max(1), |_w| {
             qwm_sta::warm_worker(8);
         });
+        let sessions = SessionStore::default();
+        // Restore-on-boot happens before the listener serves anything,
+        // so the first client query already sees warm sessions. A store
+        // that fails structural recovery (not a torn tail — those are
+        // truncated silently) refuses to bind rather than silently
+        // dropping committed work.
+        let store = match &cfg.store_dir {
+            None => None,
+            Some(dir) => {
+                let (mut store, recovered) = DesignStore::open(dir).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("store open: {e}"))
+                })?;
+                for table in recovered.device_tables {
+                    qwm_device::install_table(table);
+                }
+                let restored = recovered.sessions.len() as u64;
+                for rs in recovered.sessions {
+                    let (sid, session) = restore_session(&cfg, rs).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("store restore: {e}"))
+                    })?;
+                    sessions.insert(sid, session);
+                }
+                store.note_restored(restored);
+                Some(Mutex::new(store))
+            }
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 cfg,
-                sessions: SessionStore::default(),
+                sessions,
                 pool,
                 inflight: AtomicUsize::new(0),
                 draining: AtomicBool::new(false),
+                store,
             }),
         })
     }
@@ -530,6 +577,7 @@ fn dispatch(
             wire.send_status(200, "ok draining").map(|()| Flow::Quit)
         }
         Command::Metrics { prom } => {
+            publish_gauges(shared);
             let text = if prom {
                 qwm_obs::prom::render_prom()
             } else {
@@ -642,6 +690,9 @@ fn dispatch(
         }
         Command::Close { sid } => {
             let existed = shared.sessions.remove(&sid);
+            if existed {
+                append_close(shared, &sid);
+            }
             wire.send_status(200, &format!("ok existed={existed}"))
                 .map(|()| Flow::Continue)
         }
@@ -655,10 +706,51 @@ fn dispatch(
                     match parse_edit_script(&text, s.engine.netlist()) {
                         Err(e) => Err((400, e)),
                         Ok(edits) => match s.engine.apply_edits(&edits) {
-                            Ok(()) => Ok((format!("ok edits={}", edits.len()), None)),
+                            Ok(()) => {
+                                // Durable only once a snapshot anchors the
+                                // replay; pre-snapshot edits are covered by
+                                // the full netlist the first commit writes.
+                                if s.has_snapshot {
+                                    if let Some(store) = &shared.store {
+                                        if let Err(e) = lock_store(store).append_edits(&sid, &text)
+                                        {
+                                            store_failure("append_edits", &e);
+                                        }
+                                    }
+                                }
+                                s.edits_since_snapshot += 1;
+                                Ok((format!("ok edits={}", edits.len()), None))
+                            }
                             Err(e) => Err(num_outcome("apply_edits", &e)),
                         },
                     }
+                }
+            };
+            send_outcome(wire, reply).map(|()| Flow::Continue)
+        }
+        Command::Store => {
+            let reply = match &shared.store {
+                None => Err((
+                    404,
+                    "no store configured (serve with --store <dir>)".to_string(),
+                )),
+                Some(store) => {
+                    let st = lock_store(store).status();
+                    Ok((
+                        format!(
+                            "ok dir={} bytes={} records={} snapshots={} restores={} \
+                             truncated_tails={} device_tables={} characterizations={}",
+                            st.dir.display(),
+                            st.bytes,
+                            st.records,
+                            st.snapshots,
+                            st.restores,
+                            st.truncated_tails,
+                            st.device_tables,
+                            qwm_device::TableModel::characterization_count(),
+                        ),
+                        None,
+                    ))
                 }
             };
             send_outcome(wire, reply).map(|()| Flow::Continue)
@@ -707,8 +799,18 @@ fn dispatch(
             };
             let (tx, rx) = mpsc::channel();
             let enqueued = Instant::now();
+            let shared_jobs = Arc::clone(shared);
             shared.pool.execute(move || {
-                let out = run_session(&sess, eval, slew_ps, deadline, &corners, enqueued);
+                let out = run_session(
+                    &shared_jobs,
+                    &sid,
+                    &sess,
+                    eval,
+                    slew_ps,
+                    deadline,
+                    &corners,
+                    enqueued,
+                );
                 drop(guard);
                 let _ = tx.send(out);
             });
@@ -760,6 +862,12 @@ fn load_session(shared: &Shared, sid: &str, deck: &str, direction: TransitionKin
         engine.netlist().devices().len(),
         engine.graph().len()
     );
+    // Replacing a session orphans its stored history: tombstone the sid
+    // first so a crash between this load and the fresh session's first
+    // commit recovers to "no session" rather than the stale design.
+    if shared.sessions.get(sid).is_some() {
+        append_close(shared, sid);
+    }
     shared
         .sessions
         .insert(sid.to_string(), Session::new(engine));
@@ -775,7 +883,10 @@ fn load_session(shared: &Shared, sid: &str, deck: &str, direction: TransitionKin
 /// [`NumError::Timeout`] (also `408`); and a run that completes past
 /// its deadline still commits (the report stays retrievable via
 /// `report`) but replies `408`.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
+    shared: &Shared,
+    sid: &str,
     sess: &Mutex<Session>,
     eval: EvalKind,
     slew_ps: Option<f64>,
@@ -887,6 +998,7 @@ fn run_session(
     };
     s.last_report = Some(golden.clone());
     s.runs += 1;
+    persist_after_commit(shared, sid, &mut s);
     let head = format!(
         "ok runs={} evaluated={} reused={} wait_ns={} solve_ns={}{corner_head}",
         s.runs,
@@ -909,4 +1021,153 @@ fn run_session(
         }
     }
     Ok((head, Some(golden)))
+}
+
+/// Locks the store; a poisoned lock still holds a structurally valid
+/// store (appends are atomic at the record layer).
+fn lock_store(store: &Mutex<DesignStore>) -> std::sync::MutexGuard<'_, DesignStore> {
+    store.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A store write failed. Durability degrades but the in-memory commit
+/// already happened, so the client still gets its 200; the failure is
+/// visible in metrics and the event log.
+fn store_failure(op: &'static str, e: &StoreError) {
+    counter!("store.write_failed").incr();
+    qwm_obs::warn("store.write_failed")
+        .field("op", op)
+        .field("error", format!("{e}"))
+        .emit();
+}
+
+/// Appends a close tombstone for `sid`, if a store is configured.
+fn append_close(shared: &Shared, sid: &str) {
+    if let Some(store) = &shared.store {
+        if let Err(e) = lock_store(store).append_close(sid) {
+            store_failure("append_close", &e);
+        }
+    }
+}
+
+/// Captures a [`SessionSnapshot`] of a live session. Called under the
+/// session lock at a commit point, so the engine, books and report are
+/// mutually consistent.
+fn session_snapshot(sid: &str, s: &Session) -> SessionSnapshot {
+    SessionSnapshot {
+        sid: sid.to_string(),
+        direction: s.engine.direction(),
+        input_slew: s.engine.input_slew(),
+        runs: s.runs,
+        qwm_retries: s.budget.qwm_retries as u64,
+        stage_wall_ns: s.budget.stage_wall.map(|d| d.as_nanos() as u64),
+        last_report: s.last_report.clone(),
+        netlist: s.engine.netlist().clone(),
+        committed: s.engine.export_committed(),
+        committed_corners: s.engine.export_committed_corners(),
+    }
+}
+
+/// Snapshot-on-commit: runs with the session lock held, right after a
+/// successful run committed its book. A session's first commit always
+/// snapshots (that is the moment it becomes durable); later commits
+/// snapshot once `snapshot_every` edit batches have accumulated.
+/// Device tables are synced first so a restore never needs to
+/// re-characterize.
+fn persist_after_commit(shared: &Shared, sid: &str, s: &mut Session) {
+    let Some(store) = &shared.store else { return };
+    if s.has_snapshot && s.edits_since_snapshot < shared.cfg.snapshot_every {
+        return;
+    }
+    let snap = session_snapshot(sid, s);
+    let mut store = lock_store(store);
+    if let Err(e) = store.sync_tables(&qwm_device::cached_tables()) {
+        store_failure("sync_tables", &e);
+        return;
+    }
+    match store.append_snapshot(&snap) {
+        Ok(()) => {
+            s.has_snapshot = true;
+            s.edits_since_snapshot = 0;
+            counter!("server.store.snapshot").incr();
+        }
+        Err(e) => store_failure("append_snapshot", &e),
+    }
+}
+
+/// Rebuilds one live session from its recovered snapshot + edit tail.
+/// The snapshot's committed books are imported verbatim (bitwise) and
+/// the edits are replayed to re-mark the dirty cone, so the restored
+/// session's first query runs the same incremental path — and produces
+/// the same bytes — as a never-restarted server's would.
+fn restore_session(cfg: &ServerConfig, rs: RecoveredSession) -> Result<(String, Session), String> {
+    let snap = rs.snapshot;
+    let models = shared_models()?;
+    let mut engine = StaEngine::new(snap.netlist, models, snap.direction)
+        .map_err(|e| format!("session {:?}: StaEngine::new: {e}", snap.sid))?;
+    engine.set_threads(cfg.engine_threads);
+    engine
+        .set_input_slew(snap.input_slew)
+        .map_err(|e| format!("session {:?}: set_input_slew: {e}", snap.sid))?;
+    if let Some(c) = snap.committed {
+        engine
+            .import_committed(c)
+            .map_err(|e| format!("session {:?}: import_committed: {e}", snap.sid))?;
+    }
+    if let Some(c) = snap.committed_corners {
+        engine
+            .import_committed_corners(c)
+            .map_err(|e| format!("session {:?}: import_committed_corners: {e}", snap.sid))?;
+    }
+    for script in &rs.edits {
+        let edits = parse_edit_script(script, engine.netlist())
+            .map_err(|e| format!("session {:?}: replay parse: {e}", snap.sid))?;
+        engine
+            .apply_edits(&edits)
+            .map_err(|e| format!("session {:?}: replay apply: {e}", snap.sid))?;
+    }
+    let mut session = Session::new(engine);
+    session.runs = snap.runs;
+    session.last_report = snap.last_report;
+    session.budget.qwm_retries = snap.qwm_retries as usize;
+    session.budget.stage_wall = snap.stage_wall_ns.map(Duration::from_nanos);
+    session.edits_since_snapshot = rs.edits.len();
+    session.has_snapshot = true;
+    Ok((snap.sid, session))
+}
+
+/// Refreshes the process/store gauges served by `metrics`.
+fn publish_gauges(shared: &Shared) {
+    let rss = rss_bytes();
+    gauge!("server.mem.rss_bytes").set(rss);
+    let sessions = shared.sessions.len() as u64;
+    gauge!("server.sessions.live").set(sessions);
+    gauge!("server.mem.bytes_per_session").set(rss / sessions.max(1));
+    if let Some(store) = &shared.store {
+        let st = lock_store(store).status();
+        gauge!("store.bytes").set(st.bytes);
+        gauge!("store.records").set(st.records);
+        gauge!("store.snapshots").set(st.snapshots);
+        gauge!("store.restores").set(st.restores);
+        gauge!("store.truncated_tails").set(st.truncated_tails);
+        gauge!("store.device_tables").set(st.device_tables);
+    }
+}
+
+/// Resident set size from `/proc/self/status` (0 where unavailable —
+/// the gauge is best-effort monitoring, not accounting).
+fn rss_bytes() -> u64 {
+    if let Ok(text) = std::fs::read_to_string("/proc/self/status") {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("VmRSS:") {
+                if let Some(kb) = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
 }

@@ -18,6 +18,7 @@
 //! trace <sid> on|off|last [json]
 //! profile top [k]
 //! metrics [prom]
+//! store status
 //! sleep <ms>
 //! close <sid>
 //! shutdown
@@ -30,6 +31,11 @@
 //! `qwm_device::parse_corner_list`); the reply names the worst corner
 //! and `report` returns the multi-corner golden snapshot with per-net
 //! corner provenance.
+//!
+//! `store status` reports the durable design store's counters (log
+//! size, records, snapshots, restores, torn tails truncated at boot)
+//! when the server runs with `--store <dir>`; without a store it
+//! answers `404`.
 //!
 //! `trace <sid> on` switches the process-wide trace recorder on and
 //! marks the session so its next `run` captures a per-query span tree;
@@ -142,6 +148,8 @@ pub enum Command {
         /// Prometheus text exposition instead of line-oriented JSON.
         prom: bool,
     },
+    /// `store status`: durable-store counters (404 without a store).
+    Store,
     Sleep {
         ms: u64,
     },
@@ -167,6 +175,7 @@ impl Command {
             Command::Trace { .. } => "trace",
             Command::Profile { .. } => "profile",
             Command::Metrics { .. } => "metrics",
+            Command::Store => "store",
             Command::Sleep { .. } => "sleep",
             Command::Close { .. } => "close",
             Command::Shutdown => "shutdown",
@@ -362,6 +371,13 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             }
             Ok(Command::Metrics { prom })
         }
+        "store" => {
+            need(2, "store status")?;
+            if toks[1] != "status" || toks.len() > 2 {
+                return Err("usage: store status".to_string());
+            }
+            Ok(Command::Store)
+        }
         "sleep" => {
             need(2, "sleep <ms>")?;
             let ms: u64 = toks[1]
@@ -467,6 +483,7 @@ mod tests {
             parse_command("metrics prom").unwrap(),
             Command::Metrics { prom: true }
         );
+        assert_eq!(parse_command("store status").unwrap(), Command::Store);
     }
 
     #[test]
@@ -494,6 +511,9 @@ mod tests {
             "profile top 0",
             "profile top many",
             "metrics xml",
+            "store",
+            "store compact",
+            "store status extra",
         ] {
             assert!(parse_command(bad).is_err(), "{bad:?} should be rejected");
         }

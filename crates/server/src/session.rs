@@ -8,7 +8,7 @@
 //! expensive to build, so all sessions share one process-wide
 //! [`ModelSet`] built on first use.
 
-use qwm_device::{tabular_models, ModelSet, Technology};
+use qwm_device::{tabular_models_cached, ModelSet, Technology};
 use qwm_sta::evaluator::FallbackBudget;
 use qwm_sta::StaEngine;
 use std::collections::HashMap;
@@ -22,7 +22,8 @@ pub fn shared_models() -> Result<&'static ModelSet, String> {
     static MODELS: OnceLock<Result<ModelSet, String>> = OnceLock::new();
     MODELS
         .get_or_init(|| {
-            tabular_models(&Technology::cmosp35()).map_err(|e| format!("characterization: {e}"))
+            tabular_models_cached(&Technology::cmosp35())
+                .map_err(|e| format!("characterization: {e}"))
         })
         .as_ref()
         .map_err(Clone::clone)
@@ -55,6 +56,13 @@ pub struct Session {
     pub trace_on: bool,
     /// Span tree captured by the most recent traced `run`.
     pub last_trace: Option<qwm_obs::trace::TraceTree>,
+    /// Edit scripts appended to the store since the last snapshot;
+    /// drives the `--snapshot-every` cadence. Meaningless without a
+    /// configured store.
+    pub edits_since_snapshot: usize,
+    /// Whether the store holds a snapshot of this session (a session
+    /// becomes durable at its first committed run).
+    pub has_snapshot: bool,
 }
 
 impl Session {
@@ -67,6 +75,8 @@ impl Session {
             last_used: Instant::now(),
             trace_on: false,
             last_trace: None,
+            edits_since_snapshot: 0,
+            has_snapshot: false,
         }
     }
 }

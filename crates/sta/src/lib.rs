@@ -45,6 +45,7 @@ pub mod incremental;
 pub mod liberty;
 pub mod nldm;
 pub mod report;
+pub mod snapshot;
 
 pub use corners::{CornerReport, CornerRun};
 pub use engine::{StaEngine, TimingReport};
@@ -54,6 +55,7 @@ pub use incremental::{parse_edit_script, Edit, IncrementalStats};
 pub use liberty::{write_liberty, LibertyArc, LibertyCell};
 pub use nldm::NldmTable;
 pub use report::{format_report, golden_corner_report};
+pub use snapshot::{CommitSnapshot, CornerCommitSnapshot};
 
 /// Re-export of [`qwm_core::evaluate::warm_worker`] for embedders that
 /// run STA queries on long-lived worker threads (e.g. the `qwm-server`

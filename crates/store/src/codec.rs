@@ -1,0 +1,927 @@
+//! The versioned binary codec for domain records.
+//!
+//! Everything is little-endian; every `f64` travels as its exact
+//! [`f64::to_bits`] pattern, so a decode → re-encode round trip is
+//! byte-identical and restored timing state reproduces the original
+//! bitwise — the property the warm-restart contract stands on.
+//! Strings are `u32` length + UTF-8; `Option` is a one-byte tag.
+//!
+//! Decoders validate everything they read (lengths, enum tags, net
+//! and stage references, finiteness where the engine requires it)
+//! and fail with [`StoreError::Codec`] — a CRC-valid record whose
+//! payload is semantically impossible is corruption too.
+
+use crate::{Result, StoreError};
+use qwm_circuit::netlist::{NetId, Netlist};
+use qwm_circuit::stage::DeviceKind;
+use qwm_circuit::waveform::TransitionKind;
+use qwm_device::model::{Geometry, Polarity};
+use qwm_device::table::{FitPoint, TableModel};
+use qwm_device::tech::Technology;
+use qwm_sta::snapshot::{CommitSnapshot, CornerCommitSnapshot};
+
+/// Record kind tags (`payload[0]` in the log).
+pub(crate) const KIND_DEVICE_TABLE: u8 = 1;
+pub(crate) const KIND_SNAPSHOT: u8 = 2;
+pub(crate) const KIND_EDITS: u8 = 3;
+pub(crate) const KIND_CLOSE: u8 = 4;
+
+fn bad(context: &'static str, detail: impl Into<String>) -> StoreError {
+    StoreError::Codec {
+        context,
+        detail: detail.into(),
+    }
+}
+
+/// The [`Technology`] fields in canonical codec order. Adding a field
+/// to `Technology` without extending this list is a compile error.
+fn tech_fields(t: &Technology) -> [f64; 21] {
+    let Technology {
+        vdd,
+        kp_n,
+        kp_p,
+        vt0_n,
+        vt0_p,
+        gamma,
+        phi,
+        lambda,
+        cox,
+        c_overlap,
+        cj,
+        cjsw,
+        pb,
+        mj,
+        mjsw,
+        l_min,
+        w_min,
+        l_diff,
+        wire_r_sq,
+        wire_c_area,
+        wire_c_fringe,
+    } = *t;
+    [
+        vdd,
+        kp_n,
+        kp_p,
+        vt0_n,
+        vt0_p,
+        gamma,
+        phi,
+        lambda,
+        cox,
+        c_overlap,
+        cj,
+        cjsw,
+        pb,
+        mj,
+        mjsw,
+        l_min,
+        w_min,
+        l_diff,
+        wire_r_sq,
+        wire_c_area,
+        wire_c_fringe,
+    ]
+}
+
+fn tech_from_fields(f: &[f64; 21]) -> Technology {
+    Technology {
+        vdd: f[0],
+        kp_n: f[1],
+        kp_p: f[2],
+        vt0_n: f[3],
+        vt0_p: f[4],
+        gamma: f[5],
+        phi: f[6],
+        lambda: f[7],
+        cox: f[8],
+        c_overlap: f[9],
+        cj: f[10],
+        cjsw: f[11],
+        pb: f[12],
+        mj: f[13],
+        mjsw: f[14],
+        l_min: f[15],
+        w_min: f[16],
+        l_diff: f[17],
+        wire_r_sq: f[18],
+        wire_c_area: f[19],
+        wire_c_fringe: f[20],
+    }
+}
+
+/// Identity of one characterized table: FNV-1a over the exact bit
+/// patterns of every [`Technology`] field, the polarity, and the grid
+/// step. Tables are pure functions of these inputs, so fingerprint
+/// equality means the stored fits reproduce a fresh characterization
+/// bit for bit.
+pub fn tech_fingerprint(tech: &Technology, polarity: Polarity, step: f64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for v in tech_fields(tech) {
+        mix(v.to_bits());
+    }
+    mix(match polarity {
+        Polarity::Nmos => 0,
+        Polarity::Pmos => 1,
+    });
+    mix(step.to_bits());
+    h
+}
+
+// ---------------------------------------------------------------
+// Primitive cursor encoders/decoders.
+// ---------------------------------------------------------------
+
+/// Append-only byte sink for record payloads.
+#[derive(Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
+
+    pub fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+}
+
+/// Bounds-checked read cursor over a record payload.
+pub(crate) struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(data: &'a [u8], context: &'static str) -> Self {
+        Dec {
+            data,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() - self.pos < n {
+            return Err(bad(
+                self.context,
+                format!(
+                    "truncated payload: wanted {n} bytes at {}, have {}",
+                    self.pos,
+                    self.data.len() - self.pos
+                ),
+            ));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn done(&self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(bad(
+                self.context,
+                format!("{} trailing bytes after payload", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| bad(self.context, format!("invalid utf-8 string: {e}")))
+    }
+
+    fn tag(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(bad(self.context, format!("invalid option tag {t}"))),
+        }
+    }
+
+    pub fn opt_u64(&mut self) -> Result<Option<u64>> {
+        Ok(if self.tag()? { Some(self.u64()?) } else { None })
+    }
+
+    pub fn opt_f64(&mut self) -> Result<Option<f64>> {
+        Ok(if self.tag()? { Some(self.f64()?) } else { None })
+    }
+
+    pub fn opt_str(&mut self) -> Result<Option<String>> {
+        Ok(if self.tag()? { Some(self.str()?) } else { None })
+    }
+
+    /// A declared element count, sanity-bounded by the bytes left
+    /// (`min_elem_bytes` per element) so a corrupt length can never
+    /// drive a huge allocation.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        let cap = self.remaining() / min_elem_bytes.max(1);
+        if n > cap {
+            return Err(bad(
+                self.context,
+                format!("element count {n} exceeds payload capacity {cap}"),
+            ));
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------
+// Device tables.
+// ---------------------------------------------------------------
+
+/// One characterized device table plus its identity fingerprint.
+#[derive(Debug, Clone)]
+pub struct DeviceTableRecord {
+    /// [`tech_fingerprint`] of (technology, polarity, step).
+    pub fingerprint: u64,
+    /// The characterized table.
+    pub model: TableModel,
+}
+
+impl DeviceTableRecord {
+    /// Builds the record for a table, fingerprinting its inputs.
+    pub fn of(model: &TableModel) -> DeviceTableRecord {
+        DeviceTableRecord {
+            fingerprint: tech_fingerprint(model.tech(), model.polarity(), model.step()),
+            model: model.clone(),
+        }
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.u64(self.fingerprint);
+        for v in tech_fields(self.model.tech()) {
+            e.f64(v);
+        }
+        e.u8(match self.model.polarity() {
+            Polarity::Nmos => 0,
+            Polarity::Pmos => 1,
+        });
+        e.f64(self.model.step());
+        let points = self.model.points();
+        e.u32(points.len() as u32);
+        for p in points {
+            for v in [p.t0, p.t1, p.t2, p.s0, p.s1, p.vth, p.vdsat] {
+                e.f64(v);
+            }
+        }
+        e.finish()
+    }
+
+    pub(crate) fn decode(body: &[u8]) -> Result<DeviceTableRecord> {
+        const CTX: &str = "device table";
+        let mut d = Dec::new(body, CTX);
+        let fingerprint = d.u64()?;
+        let mut fields = [0.0f64; 21];
+        for f in &mut fields {
+            *f = d.f64()?;
+        }
+        let tech = tech_from_fields(&fields);
+        let polarity = match d.u8()? {
+            0 => Polarity::Nmos,
+            1 => Polarity::Pmos,
+            t => return Err(bad(CTX, format!("invalid polarity tag {t}"))),
+        };
+        let step = d.f64()?;
+        let n = d.count(56)?;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push(FitPoint {
+                t0: d.f64()?,
+                t1: d.f64()?,
+                t2: d.f64()?,
+                s0: d.f64()?,
+                s1: d.f64()?,
+                vth: d.f64()?,
+                vdsat: d.f64()?,
+            });
+        }
+        d.done()?;
+        let model = TableModel::from_parts(tech, polarity, step, points)
+            .map_err(|e| bad(CTX, e.to_string()))?;
+        let want = tech_fingerprint(model.tech(), model.polarity(), model.step());
+        if want != fingerprint {
+            return Err(bad(
+                CTX,
+                format!("fingerprint mismatch: stored {fingerprint:#x}, computed {want:#x}"),
+            ));
+        }
+        Ok(DeviceTableRecord { fingerprint, model })
+    }
+}
+
+// ---------------------------------------------------------------
+// Netlists.
+// ---------------------------------------------------------------
+
+pub(crate) fn encode_netlist(e: &mut Enc, nl: &Netlist) {
+    e.u32(nl.net_count() as u32);
+    for i in 0..nl.net_count() {
+        e.str(nl.net_name(NetId(i)));
+    }
+    let devices = nl.devices();
+    e.u32(devices.len() as u32);
+    for d in devices {
+        e.str(&d.name);
+        e.u8(match d.kind {
+            DeviceKind::Nmos => 0,
+            DeviceKind::Pmos => 1,
+            DeviceKind::Wire => 2,
+        });
+        e.opt_u64(d.gate.map(|g| g.0 as u64));
+        e.u64(d.src.0 as u64);
+        e.u64(d.snk.0 as u64);
+        encode_geometry(e, &d.geom);
+    }
+    let caps: Vec<(usize, f64)> = (0..nl.net_count())
+        .filter_map(|i| {
+            let c = nl.cap(NetId(i));
+            (c != 0.0).then_some((i, c))
+        })
+        .collect();
+    e.u32(caps.len() as u32);
+    for (net, cap) in caps {
+        e.u64(net as u64);
+        e.f64(cap);
+    }
+    e.u32(nl.primary_inputs().len() as u32);
+    for pi in nl.primary_inputs() {
+        e.u64(pi.0 as u64);
+    }
+    e.u32(nl.primary_outputs().len() as u32);
+    for po in nl.primary_outputs() {
+        e.u64(po.0 as u64);
+    }
+}
+
+fn encode_geometry(e: &mut Enc, g: &Geometry) {
+    e.f64(g.w);
+    e.f64(g.l);
+    e.opt_f64(g.area_src);
+    e.opt_f64(g.perim_src);
+    e.opt_f64(g.area_snk);
+    e.opt_f64(g.perim_snk);
+}
+
+fn decode_geometry(d: &mut Dec<'_>) -> Result<Geometry> {
+    let w = d.f64()?;
+    let l = d.f64()?;
+    let mut g = Geometry::new(w, l);
+    g.area_src = d.opt_f64()?;
+    g.perim_src = d.opt_f64()?;
+    g.area_snk = d.opt_f64()?;
+    g.perim_snk = d.opt_f64()?;
+    Ok(g)
+}
+
+pub(crate) fn decode_netlist(d: &mut Dec<'_>) -> Result<Netlist> {
+    const CTX: &str = "netlist";
+    let net_count = d.count(5)?;
+    if net_count < 2 {
+        return Err(bad(
+            CTX,
+            format!("net count {net_count} < 2 (rails missing)"),
+        ));
+    }
+    let mut names = Vec::with_capacity(net_count);
+    for _ in 0..net_count {
+        names.push(d.str()?);
+    }
+    if names[0] != "vdd" || names[1] != "gnd" {
+        return Err(bad(
+            CTX,
+            format!(
+                "rails out of place: net 0 {:?}, net 1 {:?}",
+                names[0], names[1]
+            ),
+        ));
+    }
+    let mut nl = Netlist::new();
+    for (i, name) in names.iter().enumerate().skip(2) {
+        let id = nl.net(name);
+        if id.0 != i {
+            return Err(bad(
+                CTX,
+                format!("net {name:?} decoded to id {} instead of {i}", id.0),
+            ));
+        }
+    }
+    let net = |d: &mut Dec<'_>| -> Result<NetId> {
+        let i = d.u64()? as usize;
+        if i >= net_count {
+            return Err(bad(CTX, format!("net id {i} out of range {net_count}")));
+        }
+        Ok(NetId(i))
+    };
+    let n_dev = d.count(30)?;
+    for _ in 0..n_dev {
+        let name = d.str()?;
+        let kind = match d.u8()? {
+            0 => DeviceKind::Nmos,
+            1 => DeviceKind::Pmos,
+            2 => DeviceKind::Wire,
+            t => return Err(bad(CTX, format!("invalid device kind tag {t}"))),
+        };
+        let gate = match d.opt_u64()? {
+            None => None,
+            Some(g) => {
+                let g = g as usize;
+                if g >= net_count {
+                    return Err(bad(CTX, format!("gate net {g} out of range {net_count}")));
+                }
+                Some(NetId(g))
+            }
+        };
+        let src = net(d)?;
+        let snk = net(d)?;
+        let geom = decode_geometry(d)?;
+        match kind {
+            DeviceKind::Wire => {
+                nl.add_wire(name, src, snk, geom.w, geom.l);
+            }
+            _ => {
+                let gate = gate.ok_or_else(|| bad(CTX, "transistor without a gate net"))?;
+                nl.add_transistor(name, kind, gate, src, snk, geom);
+            }
+        }
+    }
+    let n_caps = d.count(16)?;
+    for _ in 0..n_caps {
+        let n = net(d)?;
+        let cap = d.f64()?;
+        nl.set_cap(n, cap).map_err(|e| bad(CTX, e.to_string()))?;
+    }
+    let n_pi = d.count(8)?;
+    for _ in 0..n_pi {
+        let n = net(d)?;
+        nl.add_primary_input(n);
+    }
+    let n_po = d.count(8)?;
+    for _ in 0..n_po {
+        let n = net(d)?;
+        nl.add_primary_output(n);
+    }
+    Ok(nl)
+}
+
+// ---------------------------------------------------------------
+// Commit snapshots.
+// ---------------------------------------------------------------
+
+/// One committed slot per net: `(arrival, slew, predecessor)`.
+type BookSlot = Option<(f64, f64, Option<usize>)>;
+
+fn encode_book(e: &mut Enc, book: &[BookSlot]) {
+    e.u32(book.len() as u32);
+    for slot in book {
+        match slot {
+            None => e.u8(0),
+            Some((arr, slew, pred)) => {
+                e.u8(1);
+                e.f64(*arr);
+                e.f64(*slew);
+                e.opt_u64(pred.map(|p| p as u64));
+            }
+        }
+    }
+}
+
+fn decode_book(d: &mut Dec<'_>) -> Result<Vec<BookSlot>> {
+    let n = d.count(1)?;
+    let mut book = Vec::with_capacity(n);
+    for _ in 0..n {
+        book.push(match d.u8()? {
+            0 => None,
+            1 => {
+                let arr = d.f64()?;
+                let slew = d.f64()?;
+                let pred = d.opt_u64()?.map(|p| p as usize);
+                Some((arr, slew, pred))
+            }
+            t => return Err(bad("commit book", format!("invalid commit slot tag {t}"))),
+        });
+    }
+    Ok(book)
+}
+
+fn encode_commit(e: &mut Enc, s: &CommitSnapshot) {
+    e.str(&s.evaluator);
+    e.f64(s.input_slew);
+    encode_book(e, &s.book);
+}
+
+fn decode_commit(d: &mut Dec<'_>) -> Result<CommitSnapshot> {
+    Ok(CommitSnapshot {
+        evaluator: d.str()?,
+        input_slew: d.f64()?,
+        book: decode_book(d)?,
+    })
+}
+
+fn encode_corner_commit(e: &mut Enc, s: &CornerCommitSnapshot) {
+    e.u32(s.corners.len() as u32);
+    for c in &s.corners {
+        e.str(c);
+    }
+    e.u32(s.evaluators.len() as u32);
+    for ev in &s.evaluators {
+        e.str(ev);
+    }
+    e.f64(s.input_slew);
+    e.u32(s.books.len() as u32);
+    for b in &s.books {
+        encode_book(e, b);
+    }
+}
+
+fn decode_corner_commit(d: &mut Dec<'_>) -> Result<CornerCommitSnapshot> {
+    let nc = d.count(5)?;
+    let mut corners = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        corners.push(d.str()?);
+    }
+    let ne = d.count(5)?;
+    let mut evaluators = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        evaluators.push(d.str()?);
+    }
+    let input_slew = d.f64()?;
+    let nb = d.count(5)?;
+    let mut books = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        books.push(decode_book(d)?);
+    }
+    Ok(CornerCommitSnapshot {
+        corners,
+        evaluators,
+        input_slew,
+        books,
+    })
+}
+
+// ---------------------------------------------------------------
+// Sessions.
+// ---------------------------------------------------------------
+
+/// Everything needed to rebuild one warm session: the parsed design,
+/// the committed incremental state (single-corner and per-corner),
+/// and the session metadata the protocol exposes.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// Session id.
+    pub sid: String,
+    /// Analyzed transition the engine was built for.
+    pub direction: TransitionKind,
+    /// The engine's seed input slew \[s\].
+    pub input_slew: f64,
+    /// Completed run count at snapshot time.
+    pub runs: u64,
+    /// Fallback budget: QWM retry count.
+    pub qwm_retries: u64,
+    /// Fallback budget: per-stage wall clock, nanoseconds.
+    pub stage_wall_ns: Option<u64>,
+    /// Last formatted report served (byte-exact).
+    pub last_report: Option<String>,
+    /// The parsed design.
+    pub netlist: Netlist,
+    /// Committed single-corner book, if any run committed one.
+    pub committed: Option<CommitSnapshot>,
+    /// Committed per-corner books, if a corner run committed them.
+    pub committed_corners: Option<CornerCommitSnapshot>,
+}
+
+impl SessionSnapshot {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.str(&self.sid);
+        e.u8(match self.direction {
+            TransitionKind::Fall => 0,
+            TransitionKind::Rise => 1,
+        });
+        e.f64(self.input_slew);
+        e.u64(self.runs);
+        e.u64(self.qwm_retries);
+        e.opt_u64(self.stage_wall_ns);
+        e.opt_str(self.last_report.as_deref());
+        encode_netlist(&mut e, &self.netlist);
+        match &self.committed {
+            None => e.u8(0),
+            Some(c) => {
+                e.u8(1);
+                encode_commit(&mut e, c);
+            }
+        }
+        match &self.committed_corners {
+            None => e.u8(0),
+            Some(c) => {
+                e.u8(1);
+                encode_corner_commit(&mut e, c);
+            }
+        }
+        e.finish()
+    }
+
+    pub(crate) fn decode(body: &[u8]) -> Result<SessionSnapshot> {
+        const CTX: &str = "session snapshot";
+        let mut d = Dec::new(body, CTX);
+        let sid = d.str()?;
+        let direction = match d.u8()? {
+            0 => TransitionKind::Fall,
+            1 => TransitionKind::Rise,
+            t => return Err(bad(CTX, format!("invalid direction tag {t}"))),
+        };
+        let input_slew = d.f64()?;
+        if !input_slew.is_finite() || input_slew < 0.0 {
+            return Err(bad(CTX, format!("invalid input slew {input_slew}")));
+        }
+        let runs = d.u64()?;
+        let qwm_retries = d.u64()?;
+        let stage_wall_ns = d.opt_u64()?;
+        let last_report = d.opt_str()?;
+        let netlist = decode_netlist(&mut d)?;
+        let committed = match d.u8()? {
+            0 => None,
+            1 => Some(decode_commit(&mut d)?),
+            t => return Err(bad(CTX, format!("invalid committed tag {t}"))),
+        };
+        let committed_corners = match d.u8()? {
+            0 => None,
+            1 => Some(decode_corner_commit(&mut d)?),
+            t => return Err(bad(CTX, format!("invalid corner tag {t}"))),
+        };
+        d.done()?;
+        Ok(SessionSnapshot {
+            sid,
+            direction,
+            input_slew,
+            runs,
+            qwm_retries,
+            stage_wall_ns,
+            last_report,
+            netlist,
+            committed,
+            committed_corners,
+        })
+    }
+}
+
+pub(crate) fn encode_sid_text(sid: &str, text: &str) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.str(sid);
+    e.str(text);
+    e.finish()
+}
+
+pub(crate) fn decode_sid_text(body: &[u8], context: &'static str) -> Result<(String, String)> {
+    let mut d = Dec::new(body, context);
+    let sid = d.str()?;
+    let text = d.str()?;
+    d.done()?;
+    Ok((sid, text))
+}
+
+pub(crate) fn encode_sid(sid: &str) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.str(sid);
+    e.finish()
+}
+
+pub(crate) fn decode_sid(body: &[u8], context: &'static str) -> Result<String> {
+    let mut d = Dec::new(body, context);
+    let sid = d.str()?;
+    d.done()?;
+    Ok(sid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_tech_polarity_step() {
+        let t35 = Technology::cmosp35();
+        let t18 = Technology::cmos018();
+        let base = tech_fingerprint(&t35, Polarity::Nmos, 0.1);
+        assert_ne!(base, tech_fingerprint(&t18, Polarity::Nmos, 0.1));
+        assert_ne!(base, tech_fingerprint(&t35, Polarity::Pmos, 0.1));
+        assert_ne!(base, tech_fingerprint(&t35, Polarity::Nmos, 0.2));
+        let varied = t35.with_variation(0.03, 0.0, 1.0, 1.0);
+        assert_ne!(base, tech_fingerprint(&varied, Polarity::Nmos, 0.1));
+        assert_eq!(
+            base,
+            tech_fingerprint(&Technology::cmosp35(), Polarity::Nmos, 0.1)
+        );
+    }
+
+    #[test]
+    fn device_table_roundtrips_bitwise() {
+        let model = TableModel::characterize(Technology::cmosp35(), Polarity::Pmos, 0.55).unwrap();
+        let rec = DeviceTableRecord::of(&model);
+        let bytes = rec.encode();
+        let back = DeviceTableRecord::decode(&bytes).unwrap();
+        assert_eq!(back.fingerprint, rec.fingerprint);
+        assert_eq!(back.model.grid_points(), model.grid_points());
+        for (a, b) in model.points().iter().zip(back.model.points()) {
+            assert_eq!(a.t0.to_bits(), b.t0.to_bits());
+            assert_eq!(a.vdsat.to_bits(), b.vdsat.to_bits());
+        }
+        // Re-encoding the decoded record is byte-identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn corrupt_table_payload_is_a_codec_error() {
+        let model = TableModel::characterize(Technology::cmosp35(), Polarity::Nmos, 0.55).unwrap();
+        let mut bytes = DeviceTableRecord::of(&model).encode();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            DeviceTableRecord::decode(&bytes),
+            Err(StoreError::Codec { .. })
+        ));
+    }
+
+    fn sample_netlist() -> Netlist {
+        use qwm_device::Technology;
+        let tech = Technology::cmosp35();
+        let mut nl = qwm_sta::graph::inverter_chain(&tech, 3, 12e-15);
+        let out = nl.find_net("n3").unwrap();
+        nl.add_cap(out, 3.25e-15);
+        nl
+    }
+
+    #[test]
+    fn netlist_roundtrips_exactly() {
+        let nl = sample_netlist();
+        let mut e = Enc::default();
+        encode_netlist(&mut e, &nl);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes, "netlist");
+        let back = decode_netlist(&mut d).unwrap();
+        d.done().unwrap();
+        assert_eq!(back.net_count(), nl.net_count());
+        for i in 0..nl.net_count() {
+            assert_eq!(back.net_name(NetId(i)), nl.net_name(NetId(i)));
+            assert_eq!(back.cap(NetId(i)).to_bits(), nl.cap(NetId(i)).to_bits());
+        }
+        assert_eq!(back.devices().len(), nl.devices().len());
+        for (a, b) in nl.devices().iter().zip(back.devices()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.gate, b.gate);
+            assert_eq!(a.geom.w.to_bits(), b.geom.w.to_bits());
+        }
+        assert_eq!(back.primary_inputs(), nl.primary_inputs());
+        assert_eq!(back.primary_outputs(), nl.primary_outputs());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn session_snapshot_roundtrips() {
+        let snap = SessionSnapshot {
+            sid: "s1".into(),
+            direction: TransitionKind::Fall,
+            input_slew: 20e-12,
+            runs: 3,
+            qwm_retries: 1,
+            stage_wall_ns: Some(5_000_000),
+            last_report: Some("worst arrival 1.23e-10\n".into()),
+            netlist: sample_netlist(),
+            committed: Some(CommitSnapshot {
+                evaluator: "qwm".into(),
+                input_slew: 20e-12,
+                book: vec![
+                    None,
+                    Some((1.5e-10, 2.0e-11, Some(2))),
+                    Some((0.0, 2.0e-11, None)),
+                ],
+            }),
+            committed_corners: Some(CornerCommitSnapshot {
+                corners: vec!["tt".into(), "ss".into()],
+                evaluators: vec!["qwm".into(), "qwm".into()],
+                input_slew: 20e-12,
+                books: vec![vec![None; 3], vec![Some((1.0e-10, 1.0e-11, None)); 3]],
+            }),
+        };
+        let bytes = snap.encode();
+        let back = SessionSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back.sid, snap.sid);
+        assert_eq!(back.runs, 3);
+        assert_eq!(back.stage_wall_ns, Some(5_000_000));
+        assert_eq!(back.last_report, snap.last_report);
+        let c = back.committed.as_ref().unwrap();
+        assert_eq!(c.evaluator, "qwm");
+        assert_eq!(c.book[1], Some((1.5e-10, 2.0e-11, Some(2))));
+        let cc = back.committed_corners.as_ref().unwrap();
+        assert_eq!(cc.corners, vec!["tt", "ss"]);
+        assert_eq!(cc.books.len(), 2);
+        // Byte-stable re-encode.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_codec_error() {
+        let snap = SessionSnapshot {
+            sid: "s1".into(),
+            direction: TransitionKind::Rise,
+            input_slew: 0.0,
+            runs: 0,
+            qwm_retries: 1,
+            stage_wall_ns: None,
+            last_report: None,
+            netlist: sample_netlist(),
+            committed: None,
+            committed_corners: None,
+        };
+        let bytes = snap.encode();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    SessionSnapshot::decode(&bytes[..cut]),
+                    Err(StoreError::Codec { .. })
+                ),
+                "cut at {cut} must be a structured error"
+            );
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The high-level design store the server drives.
+//!
+//! One [`DesignStore`] owns one record log (`qwm.store` inside the
+//! configured directory) and interprets its records:
+//!
+//! | kind | record | semantics |
+//! |---|---|---|
+//! | 1 | device table | latest per fingerprint wins |
+//! | 2 | session snapshot | replaces the session's prior snapshot and voids its logged edits |
+//! | 3 | session edits | an edit script applied *after* the session's latest snapshot |
+//! | 4 | session close | tombstone: the session is gone |
+//!
+//! Restore-on-boot is therefore: latest snapshot per live session,
+//! plus the edit scripts logged after it (replayed to re-mark the
+//! dirty cone). A session becomes durable at its first committed
+//! run — edits before any snapshot have nothing to attach to and
+//! are dropped on recovery, exactly like a never-run session.
+
+use crate::codec::{
+    decode_sid, decode_sid_text, encode_sid, encode_sid_text, DeviceTableRecord, SessionSnapshot,
+    KIND_CLOSE, KIND_DEVICE_TABLE, KIND_EDITS, KIND_SNAPSHOT,
+};
+use crate::log::RecordLog;
+use crate::{tech_fingerprint, Result, StoreError};
+use qwm_device::table::TableModel;
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// File name of the record log inside the store directory.
+pub const STORE_FILE: &str = "qwm.store";
+
+/// One recoverable session: its latest snapshot plus the edit
+/// scripts logged after it, in append order.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The latest snapshot.
+    pub snapshot: SessionSnapshot,
+    /// Edit scripts (shared `resize`/`load`/`slew` grammar) appended
+    /// after the snapshot; replaying them re-marks the dirty cone.
+    pub edits: Vec<String>,
+}
+
+/// Everything [`DesignStore::open`] recovered from the log.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Characterized device tables, deduplicated by fingerprint.
+    pub device_tables: Vec<TableModel>,
+    /// Live sessions, ordered by session id for determinism.
+    pub sessions: Vec<RecoveredSession>,
+}
+
+/// Point-in-time store counters for `store status` and the gauges.
+#[derive(Debug, Clone)]
+pub struct StoreStatus {
+    /// The store directory.
+    pub dir: PathBuf,
+    /// Log file size in bytes.
+    pub bytes: u64,
+    /// Complete records in the log.
+    pub records: u64,
+    /// Snapshot records appended over this store's lifetime in the
+    /// log (survivors at open, plus appends since).
+    pub snapshots: u64,
+    /// Sessions restored from this store at boot.
+    pub restores: u64,
+    /// Torn tails truncated when the log was opened (0 or 1).
+    pub truncated_tails: u64,
+    /// Distinct device-table fingerprints currently stored.
+    pub device_tables: u64,
+}
+
+/// The durable design store: an open record log plus the indexes
+/// needed to append without re-reading it.
+#[derive(Debug)]
+pub struct DesignStore {
+    log: RecordLog,
+    dir: PathBuf,
+    table_index: HashSet<u64>,
+    snapshots: u64,
+    restores: u64,
+}
+
+impl DesignStore {
+    /// Opens (creating if absent) the store in `dir` and replays its
+    /// log into a [`RecoveredState`].
+    ///
+    /// # Errors
+    ///
+    /// Structured [`StoreError`] on I/O failure or corruption — a
+    /// corrupted store must *open with an error*, never panic and
+    /// never serve partial state silently. Torn tails recover.
+    pub fn open(dir: &Path) -> Result<(DesignStore, RecoveredState)> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create_dir", e))?;
+        let opened = RecordLog::open(&dir.join(STORE_FILE))?;
+        let mut tables: BTreeMap<u64, TableModel> = BTreeMap::new();
+        let mut sessions: BTreeMap<String, RecoveredSession> = BTreeMap::new();
+        let mut snapshots = 0u64;
+        for rec in &opened.records {
+            match rec.kind {
+                KIND_DEVICE_TABLE => {
+                    let t = DeviceTableRecord::decode(&rec.body)?;
+                    tables.insert(t.fingerprint, t.model);
+                }
+                KIND_SNAPSHOT => {
+                    let snap = SessionSnapshot::decode(&rec.body)?;
+                    snapshots += 1;
+                    sessions.insert(
+                        snap.sid.clone(),
+                        RecoveredSession {
+                            snapshot: snap,
+                            edits: Vec::new(),
+                        },
+                    );
+                }
+                KIND_EDITS => {
+                    let (sid, script) = decode_sid_text(&rec.body, "session edits")?;
+                    if let Some(s) = sessions.get_mut(&sid) {
+                        s.edits.push(script);
+                    }
+                }
+                KIND_CLOSE => {
+                    let sid = decode_sid(&rec.body, "session close")?;
+                    sessions.remove(&sid);
+                }
+                other => {
+                    return Err(StoreError::Codec {
+                        context: "record",
+                        detail: format!("unknown record kind {other}"),
+                    });
+                }
+            }
+        }
+        let table_index: HashSet<u64> = tables.keys().copied().collect();
+        let state = RecoveredState {
+            device_tables: tables.into_values().collect(),
+            sessions: sessions.into_values().collect(),
+        };
+        Ok((
+            DesignStore {
+                log: opened.log,
+                dir: dir.to_path_buf(),
+                table_index,
+                snapshots,
+                restores: 0,
+            },
+            state,
+        ))
+    }
+
+    /// Appends every table whose fingerprint is not yet stored.
+    /// Returns how many were appended (cheap no-op when none are new).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log append failures.
+    pub fn sync_tables(&mut self, tables: &[TableModel]) -> Result<usize> {
+        let mut appended = 0;
+        for t in tables {
+            let fp = tech_fingerprint(t.tech(), t.polarity(), t.step());
+            if self.table_index.contains(&fp) {
+                continue;
+            }
+            let rec = DeviceTableRecord {
+                fingerprint: fp,
+                model: t.clone(),
+            };
+            self.log.append(KIND_DEVICE_TABLE, &rec.encode())?;
+            self.table_index.insert(fp);
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Appends a session snapshot (superseding the session's prior
+    /// snapshot and voiding its logged edits on the next recovery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log append failures.
+    pub fn append_snapshot(&mut self, snap: &SessionSnapshot) -> Result<()> {
+        self.log.append(KIND_SNAPSHOT, &snap.encode())?;
+        self.snapshots += 1;
+        qwm_obs::counter!("store.snapshots").incr();
+        Ok(())
+    }
+
+    /// Appends an edit script applied to `sid` after its latest
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log append failures.
+    pub fn append_edits(&mut self, sid: &str, script: &str) -> Result<()> {
+        self.log.append(KIND_EDITS, &encode_sid_text(sid, script))
+    }
+
+    /// Appends a close tombstone for `sid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log append failures.
+    pub fn append_close(&mut self, sid: &str) -> Result<()> {
+        self.log.append(KIND_CLOSE, &encode_sid(sid))
+    }
+
+    /// Records that `n` sessions were restored from this store at
+    /// boot (surfaced in [`StoreStatus`] and `store.restores`).
+    pub fn note_restored(&mut self, n: u64) {
+        self.restores += n;
+        qwm_obs::counter!("store.restores").add(n);
+    }
+
+    /// Explicit compaction: rewrites the log keeping only live
+    /// records — the latest device table per fingerprint, and for
+    /// each un-closed session its latest snapshot plus subsequent
+    /// edit scripts, in original append order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan/rewrite failures; the log is replaced
+    /// atomically (temp file + rename), so a failure leaves the
+    /// original intact.
+    pub fn compact(&mut self) -> Result<()> {
+        let opened = RecordLog::open(self.log.path())?;
+        // Pass 1: find the latest snapshot offset per live session
+        // and the latest table record per fingerprint.
+        let mut latest_table: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut latest_snapshot: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, rec) in opened.records.iter().enumerate() {
+            match rec.kind {
+                KIND_DEVICE_TABLE => {
+                    let t = DeviceTableRecord::decode(&rec.body)?;
+                    latest_table.insert(t.fingerprint, i);
+                }
+                KIND_SNAPSHOT => {
+                    let snap = SessionSnapshot::decode(&rec.body)?;
+                    latest_snapshot.insert(snap.sid, i);
+                }
+                KIND_CLOSE => {
+                    let sid = decode_sid(&rec.body, "session close")?;
+                    latest_snapshot.remove(&sid);
+                }
+                _ => {}
+            }
+        }
+        let live_tables: HashSet<usize> = latest_table.values().copied().collect();
+        // Pass 2: keep live records in original order.
+        let mut keep: Vec<(u8, Vec<u8>)> = Vec::new();
+        for (i, rec) in opened.records.iter().enumerate() {
+            let live = match rec.kind {
+                KIND_DEVICE_TABLE => live_tables.contains(&i),
+                KIND_SNAPSHOT => latest_snapshot.values().any(|&s| s == i),
+                KIND_EDITS => {
+                    let (sid, _) = decode_sid_text(&rec.body, "session edits")?;
+                    latest_snapshot.get(&sid).is_some_and(|&s| i > s)
+                }
+                KIND_CLOSE => false,
+                _ => false,
+            };
+            if live {
+                keep.push((rec.kind, rec.body.clone()));
+            }
+        }
+        drop(opened);
+        self.log.rewrite(&keep)?;
+        self.snapshots = latest_snapshot.len() as u64;
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            dir: self.dir.clone(),
+            bytes: self.log.bytes(),
+            records: self.log.records(),
+            snapshots: self.snapshots,
+            restores: self.restores,
+            truncated_tails: self.log.truncated_tails(),
+            device_tables: self.table_index.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qwm_circuit::waveform::TransitionKind;
+    use qwm_device::model::Polarity;
+    use qwm_device::Technology;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qwm-store-design-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(sid: &str, runs: u64) -> SessionSnapshot {
+        let tech = Technology::cmosp35();
+        SessionSnapshot {
+            sid: sid.into(),
+            direction: TransitionKind::Fall,
+            input_slew: 20e-12,
+            runs,
+            qwm_retries: 1,
+            stage_wall_ns: None,
+            last_report: Some(format!("report after run {runs}\n")),
+            netlist: qwm_sta::graph::inverter_chain(&tech, 3, 10e-15),
+            committed: None,
+            committed_corners: None,
+        }
+    }
+
+    // A coarse grid keeps table characterization fast in tests.
+    fn table(step: f64) -> TableModel {
+        TableModel::characterize(Technology::cmosp35(), Polarity::Nmos, step).unwrap()
+    }
+
+    #[test]
+    fn snapshot_edit_close_lifecycle_recovers() {
+        let dir = tmp("lifecycle");
+        {
+            let (mut store, state) = DesignStore::open(&dir).unwrap();
+            assert!(state.sessions.is_empty());
+            store.sync_tables(&[table(1.1)]).unwrap();
+            store.append_snapshot(&snap("a", 1)).unwrap();
+            store.append_edits("a", "resize MN2 1.2u\n").unwrap();
+            store.append_snapshot(&snap("b", 1)).unwrap();
+            store.append_edits("b", "load n2 20f\n").unwrap();
+            store.append_snapshot(&snap("b", 2)).unwrap(); // supersedes, voids the edit
+            store.append_edits("b", "slew 40\n").unwrap();
+            store.append_snapshot(&snap("c", 1)).unwrap();
+            store.append_close("c").unwrap();
+        }
+        let (store, state) = DesignStore::open(&dir).unwrap();
+        assert_eq!(state.device_tables.len(), 1);
+        assert_eq!(state.sessions.len(), 2, "c was closed");
+        let a = &state.sessions[0];
+        assert_eq!(a.snapshot.sid, "a");
+        assert_eq!(a.edits, vec!["resize MN2 1.2u\n"]);
+        let b = &state.sessions[1];
+        assert_eq!(b.snapshot.runs, 2);
+        assert_eq!(b.edits, vec!["slew 40\n"], "pre-snapshot edit voided");
+        let st = store.status();
+        assert_eq!(st.snapshots, 4);
+        assert_eq!(st.truncated_tails, 0);
+        assert_eq!(st.device_tables, 1);
+    }
+
+    #[test]
+    fn sync_tables_dedupes_by_fingerprint() {
+        let dir = tmp("dedupe");
+        let (mut store, _) = DesignStore::open(&dir).unwrap();
+        let t = table(1.1);
+        assert_eq!(store.sync_tables(std::slice::from_ref(&t)).unwrap(), 1);
+        assert_eq!(store.sync_tables(std::slice::from_ref(&t)).unwrap(), 0);
+        let other = table(0.55);
+        assert_eq!(store.sync_tables(&[t, other]).unwrap(), 1);
+        // The dedupe index survives a reopen.
+        drop(store);
+        let (mut store, state) = DesignStore::open(&dir).unwrap();
+        assert_eq!(state.device_tables.len(), 2);
+        assert_eq!(store.sync_tables(&[table(1.1)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_preserves_state() {
+        let dir = tmp("compact");
+        let (mut store, _) = DesignStore::open(&dir).unwrap();
+        store.sync_tables(&[table(1.1)]).unwrap();
+        for run in 1..=5 {
+            store.append_snapshot(&snap("a", run)).unwrap();
+            store.append_edits("a", &format!("slew {run}\n")).unwrap();
+        }
+        store.append_snapshot(&snap("dead", 1)).unwrap();
+        store.append_close("dead").unwrap();
+        let before = store.status();
+        store.compact().unwrap();
+        let after = store.status();
+        assert!(after.bytes < before.bytes);
+        // 1 table + a's latest snapshot + its one post-snapshot edit.
+        assert_eq!(after.records, 3);
+        let (_, state) = DesignStore::open(&dir).unwrap();
+        assert_eq!(state.sessions.len(), 1);
+        assert_eq!(state.sessions[0].snapshot.runs, 5);
+        assert_eq!(state.sessions[0].edits, vec!["slew 5\n"]);
+        assert_eq!(state.device_tables.len(), 1);
+    }
+
+    #[test]
+    fn corrupted_store_opens_with_structured_error() {
+        let dir = tmp("corrupt");
+        {
+            let (mut store, _) = DesignStore::open(&dir).unwrap();
+            store.append_snapshot(&snap("a", 1)).unwrap();
+            store.append_snapshot(&snap("b", 1)).unwrap();
+        }
+        let path = dir.join(STORE_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 3;
+        data[mid] ^= 0x10;
+        std::fs::write(&path, &data).unwrap();
+        let err = DesignStore::open(&dir).expect_err("corruption must surface");
+        let msg = err.to_string();
+        assert!(msg.contains("store"), "structured message, got: {msg}");
+    }
+}

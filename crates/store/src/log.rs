@@ -1,0 +1,462 @@
+//! The append-only checksummed record log — the durability substrate.
+//!
+//! One file, one writer. Layout:
+//!
+//! ```text
+//! offset 0   8 bytes   magic  b"QWMSTORE"
+//! offset 8   4 bytes   format version, u32 LE (currently 1)
+//! offset 12  records   [u32 LE len][u32 LE crc][payload: len bytes]
+//! ```
+//!
+//! `payload[0]` is the record kind; `crc` is CRC-32 (IEEE) over the
+//! whole payload, kind byte included. `len` counts the payload only,
+//! must be at least 1 (the kind byte) and at most [`MAX_RECORD`].
+//!
+//! # Recovery contract
+//!
+//! [`RecordLog::open`] scans the whole file once:
+//!
+//! * an *incomplete* record at EOF — a frame header with fewer than
+//!   `len` payload bytes behind it, or fewer than 8 trailing bytes —
+//!   is a **torn tail** (an append was in flight when the process
+//!   died): the file is truncated back to the last complete record
+//!   and the event counted, never erred;
+//! * a CRC mismatch on the **final** complete record is treated the
+//!   same way (a torn write can fill the full declared length with
+//!   garbage), so the tail rule has no blind spot;
+//! * everything else — CRC mismatch on an interior record, a
+//!   zero-length frame, an oversized frame — is a structured
+//!   [`StoreError`], never a panic and never silently skipped data.
+
+use crate::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Largest accepted record payload (64 MiB). A frame declaring more
+/// is corruption by definition — the biggest legitimate record (a
+/// characterized device table) is under 100 KiB.
+pub const MAX_RECORD: u64 = 64 * 1024 * 1024;
+
+const MAGIC: &[u8; 8] = b"QWMSTORE";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 12;
+const FRAME_LEN: u64 = 8;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One complete record read back from the log.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Record kind (`payload[0]`).
+    pub kind: u8,
+    /// Payload after the kind byte.
+    pub body: Vec<u8>,
+}
+
+/// The log plus every complete record it held at open time.
+#[derive(Debug)]
+pub struct OpenLog {
+    /// The log, positioned for appending.
+    pub log: RecordLog,
+    /// All complete records, in append order.
+    pub records: Vec<Record>,
+}
+
+/// An open record log positioned at its end, ready to append.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: u64,
+    truncated_tails: u64,
+}
+
+impl RecordLog {
+    /// Opens (creating if absent) and replays the log at `path`,
+    /// applying the recovery contract above.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`StoreError`] on I/O failure, bad magic/version,
+    /// or interior corruption. Torn tails recover, they don't err.
+    pub fn open(path: &Path) -> Result<OpenLog> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StoreError::io("open", e))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)
+            .map_err(|e| StoreError::io("read", e))?;
+        if data.is_empty() {
+            file.write_all(MAGIC)
+                .map_err(|e| StoreError::io("write", e))?;
+            file.write_all(&VERSION.to_le_bytes())
+                .map_err(|e| StoreError::io("write", e))?;
+            file.flush().map_err(|e| StoreError::io("flush", e))?;
+            return Ok(OpenLog {
+                log: RecordLog {
+                    file,
+                    path: path.to_path_buf(),
+                    bytes: HEADER_LEN,
+                    records: 0,
+                    truncated_tails: 0,
+                },
+                records: Vec::new(),
+            });
+        }
+        if data.len() < HEADER_LEN as usize || &data[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StoreError::BadVersion { found: version });
+        }
+
+        let mut records = Vec::new();
+        let mut offset = HEADER_LEN;
+        let total = data.len() as u64;
+        let mut truncate_at: Option<u64> = None;
+        while offset < total {
+            if total - offset < FRAME_LEN {
+                truncate_at = Some(offset);
+                break;
+            }
+            let o = offset as usize;
+            let len = u32::from_le_bytes(data[o..o + 4].try_into().expect("4 bytes")) as u64;
+            let crc = u32::from_le_bytes(data[o + 4..o + 8].try_into().expect("4 bytes"));
+            if len == 0 {
+                return Err(StoreError::ZeroLength { offset });
+            }
+            if len > MAX_RECORD {
+                return Err(StoreError::Oversized { offset, len });
+            }
+            if total - offset - FRAME_LEN < len {
+                truncate_at = Some(offset);
+                break;
+            }
+            let payload = &data[o + FRAME_LEN as usize..o + FRAME_LEN as usize + len as usize];
+            if crc32(payload) != crc {
+                let is_last = offset + FRAME_LEN + len == total;
+                if is_last {
+                    // A torn write can fill the declared length with
+                    // garbage; the tail record is the only one an
+                    // in-flight append can half-write.
+                    truncate_at = Some(offset);
+                    break;
+                }
+                return Err(StoreError::Corrupt {
+                    offset,
+                    detail: format!("crc mismatch ({crc:#010x} stored)"),
+                });
+            }
+            records.push(Record {
+                kind: payload[0],
+                body: payload[1..].to_vec(),
+            });
+            offset += FRAME_LEN + len;
+        }
+
+        let mut truncated_tails = 0;
+        let end = match truncate_at {
+            Some(at) => {
+                file.set_len(at)
+                    .map_err(|e| StoreError::io("truncate", e))?;
+                truncated_tails = 1;
+                qwm_obs::counter!("store.truncated_tails").incr();
+                at
+            }
+            None => total,
+        };
+        file.seek(SeekFrom::Start(end))
+            .map_err(|e| StoreError::io("seek", e))?;
+        Ok(OpenLog {
+            log: RecordLog {
+                file,
+                path: path.to_path_buf(),
+                bytes: end,
+                records: records.len() as u64,
+                truncated_tails,
+            },
+            records,
+        })
+    }
+
+    /// Appends one record (kind byte + body), flushing to the OS so
+    /// the bytes survive process death.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an oversized body; propagates I/O failures.
+    pub fn append(&mut self, kind: u8, body: &[u8]) -> Result<()> {
+        let len = 1 + body.len() as u64;
+        if len > MAX_RECORD {
+            return Err(StoreError::Oversized {
+                offset: self.bytes,
+                len,
+            });
+        }
+        let mut payload = Vec::with_capacity(len as usize);
+        payload.push(kind);
+        payload.extend_from_slice(body);
+        let crc = crc32(&payload);
+        let mut frame = Vec::with_capacity((FRAME_LEN + len) as usize);
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io("write", e))?;
+        self.file.flush().map_err(|e| StoreError::io("flush", e))?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        qwm_obs::counter!("store.records").incr();
+        qwm_obs::counter!("store.bytes").add(frame.len() as u64);
+        Ok(())
+    }
+
+    /// Atomically replaces the log's contents with `records`
+    /// (compaction): writes a sibling temp file, fsyncs it, renames
+    /// it over the log, and repositions for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the original log is untouched unless
+    /// the rename succeeded.
+    pub fn rewrite(&mut self, records: &[(u8, Vec<u8>)]) -> Result<()> {
+        let tmp = self.path.with_extension("compact");
+        let mut out = File::create(&tmp).map_err(|e| StoreError::io("create", e))?;
+        out.write_all(MAGIC)
+            .map_err(|e| StoreError::io("write", e))?;
+        out.write_all(&VERSION.to_le_bytes())
+            .map_err(|e| StoreError::io("write", e))?;
+        let mut bytes = HEADER_LEN;
+        for (kind, body) in records {
+            let mut payload = Vec::with_capacity(1 + body.len());
+            payload.push(*kind);
+            payload.extend_from_slice(body);
+            let crc = crc32(&payload);
+            out.write_all(&(payload.len() as u32).to_le_bytes())
+                .map_err(|e| StoreError::io("write", e))?;
+            out.write_all(&crc.to_le_bytes())
+                .map_err(|e| StoreError::io("write", e))?;
+            out.write_all(&payload)
+                .map_err(|e| StoreError::io("write", e))?;
+            bytes += FRAME_LEN + payload.len() as u64;
+        }
+        out.sync_all().map_err(|e| StoreError::io("sync", e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| StoreError::io("rename", e))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| StoreError::io("open", e))?;
+        file.seek(SeekFrom::Start(bytes))
+            .map_err(|e| StoreError::io("seek", e))?;
+        self.file = file;
+        self.bytes = bytes;
+        self.records = records.len() as u64;
+        Ok(())
+    }
+
+    /// Current file size in bytes (header + frames).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Complete records currently in the file.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Torn tails truncated by [`RecordLog::open`] (0 or 1).
+    pub fn truncated_tails(&self) -> u64 {
+        self.truncated_tails
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qwm-store-log-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("qwm.store")
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut open = RecordLog::open(&path).unwrap();
+        assert_eq!(open.log.records(), 0);
+        open.log.append(1, b"alpha").unwrap();
+        open.log.append(2, b"").unwrap();
+        open.log.append(3, &[0xff; 1000]).unwrap();
+        let reopened = RecordLog::open(&path).unwrap();
+        assert_eq!(reopened.log.records(), 3);
+        assert_eq!(reopened.log.truncated_tails(), 0);
+        assert_eq!(reopened.records[0].kind, 1);
+        assert_eq!(reopened.records[0].body, b"alpha");
+        assert_eq!(reopened.records[1].kind, 2);
+        assert!(reopened.records[1].body.is_empty());
+        assert_eq!(reopened.records[2].body.len(), 1000);
+    }
+
+    #[test]
+    fn torn_tail_truncates_cleanly() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut open = RecordLog::open(&path).unwrap();
+        open.log.append(1, b"keep me").unwrap();
+        open.log.append(2, b"torn away").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Chop mid-way through the second record's payload.
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        let reopened = RecordLog::open(&path).unwrap();
+        assert_eq!(reopened.log.truncated_tails(), 1);
+        assert_eq!(reopened.records.len(), 1);
+        assert_eq!(reopened.records[0].body, b"keep me");
+        // The truncation is durable: a third open sees a clean file.
+        let again = RecordLog::open(&path).unwrap();
+        assert_eq!(again.log.truncated_tails(), 0);
+        assert_eq!(again.records.len(), 1);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_structured_error() {
+        let path = tmp("interior");
+        let _ = std::fs::remove_file(&path);
+        let mut open = RecordLog::open(&path).unwrap();
+        open.log.append(1, b"first record").unwrap();
+        open.log.append(2, b"second record").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a payload bit of the *first* record.
+        data[HEADER_LEN as usize + FRAME_LEN as usize + 3] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        match RecordLog::open(&path) {
+            Err(StoreError::Corrupt { offset, .. }) => assert_eq!(offset, HEADER_LEN),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tail_crc_mismatch_recovers_as_torn() {
+        let path = tmp("tailcrc");
+        let _ = std::fs::remove_file(&path);
+        let mut open = RecordLog::open(&path).unwrap();
+        open.log.append(1, b"first record").unwrap();
+        open.log.append(2, b"last record").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+        let reopened = RecordLog::open(&path).unwrap();
+        assert_eq!(reopened.log.truncated_tails(), 1);
+        assert_eq!(reopened.records.len(), 1);
+    }
+
+    #[test]
+    fn zero_and_oversized_frames_err() {
+        let path = tmp("frames");
+        let _ = std::fs::remove_file(&path);
+        let mut open = RecordLog::open(&path).unwrap();
+        open.log.append(1, b"victim").unwrap();
+        let data = std::fs::read(&path).unwrap();
+        let mut zeroed = data.clone();
+        zeroed[HEADER_LEN as usize..HEADER_LEN as usize + 4].fill(0);
+        std::fs::write(&path, &zeroed).unwrap();
+        assert!(matches!(
+            RecordLog::open(&path),
+            Err(StoreError::ZeroLength { .. })
+        ));
+        let mut huge = data.clone();
+        huge[HEADER_LEN as usize..HEADER_LEN as usize + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &huge).unwrap();
+        assert!(matches!(
+            RecordLog::open(&path),
+            Err(StoreError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_err() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTASTORE-file").unwrap();
+        assert!(matches!(RecordLog::open(&path), Err(StoreError::BadMagic)));
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(MAGIC);
+        hdr.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &hdr).unwrap();
+        assert!(matches!(
+            RecordLog::open(&path),
+            Err(StoreError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn rewrite_compacts_and_stays_readable() {
+        let path = tmp("rewrite");
+        let _ = std::fs::remove_file(&path);
+        let mut open = RecordLog::open(&path).unwrap();
+        for i in 0..10u8 {
+            open.log.append(i, &[i; 64]).unwrap();
+        }
+        let before = open.log.bytes();
+        open.log
+            .rewrite(&[(7, vec![7; 64]), (9, vec![9; 64])])
+            .unwrap();
+        assert!(open.log.bytes() < before);
+        assert_eq!(open.log.records(), 2);
+        // Appends after a rewrite land after the compacted records.
+        open.log.append(11, b"after compaction").unwrap();
+        let reopened = RecordLog::open(&path).unwrap();
+        assert_eq!(reopened.records.len(), 3);
+        assert_eq!(reopened.records[0].kind, 7);
+        assert_eq!(reopened.records[2].body, b"after compaction");
+    }
+}

@@ -159,6 +159,13 @@ grep -q '"wait_p50_us"' BENCH_capacity_server.json
 # op log must be deterministic (the replay contract, end to end).
 ./target/release/server_capacity compare \
     BENCH_capacity_server.json BENCH_capacity_server.json
+# Cross-PR capacity gate: the fresh smoke artifact must not regress
+# more than 75% against the committed baseline (the smoke bounds are
+# tiny and time-boxed, so the generous margin absorbs machine noise
+# while still catching order-of-magnitude collapses).
+./target/release/server_capacity compare \
+    testdata/baseline/BENCH_capacity_server.json BENCH_capacity_server.json \
+    --max-regression-pct 75
 ./target/release/server_capacity plan \
     --workload testdata/workloads/mixed.deck --rps 20 > target/capacity_plan.a
 ./target/release/server_capacity plan \
@@ -167,6 +174,21 @@ diff target/capacity_plan.a target/capacity_plan.b
 ./target/release/qwm capacity-report BENCH_capacity_server.json \
     --out target/capacity_report.html --title "capacity smoke"
 test -s target/capacity_report.html
+
+# Durability gate, part 1: the store-corruption fuzz suite (fixed seed
+# baked into the test) — every mutated log recovers via torn-tail
+# truncation or fails with a structured error, never a panic.
+echo "==> store corruption fuzz (fixed seed)"
+cargo test -q --test store_fuzz
+
+# Durability gate, part 2: kill/restart smoke — SIGKILL a stored server
+# mid-session, restart it, and require byte-identical reports, an
+# incremental (not cold) first query, and zero re-characterizations.
+echo "==> restart smoke (server_restart)"
+./target/release/server_restart --qwm ./target/release/qwm \
+    --out target/BENCH_restart.json
+grep -q '"bitwise_identical": true' target/BENCH_restart.json
+grep -q '"incremental_first_query": true' target/BENCH_restart.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -40,6 +40,9 @@
 //! netlists and warm incremental engines across queries, heavy
 //! requests pass through admission control, and `SIGTERM`/`shutdown`
 //! drain gracefully. It prints `listening on <addr>` once bound.
+//! With `--store <dir>` sessions are durable: committed runs snapshot
+//! to an append-only checksummed log (cadence via `--snapshot-every`),
+//! and a killed-and-restarted server restores every session warm.
 
 use qwm::circuit::parser::parse_netlist;
 use qwm::circuit::waveform::TransitionKind;
@@ -72,6 +75,7 @@ fn usage() -> &'static str {
      \u{20}          [--fault-plan <spec>] [--edits <file>] [--corners <list>]\n\
      \u{20}      qwm serve [--addr <host:port>] [--max-inflight <n>]\n\
      \u{20}          [--session-ttl <secs>] [--engine-threads <n>] [--obs [summary|json]]\n\
+     \u{20}          [--store <dir>] [--snapshot-every <n>]\n\
      \u{20}      qwm obs-report <dump.jsonl> [--out <report.html>] [--title <text>]\n\
      \u{20}          [--check-only]\n\
      \u{20}      qwm capacity-report <BENCH_capacity_server.json> [--out <report.html>]\n\
@@ -207,6 +211,22 @@ fn serve(args: &[String]) -> Result<(), String> {
                     return Err("--engine-threads must be at least 1".to_string());
                 }
                 cfg.engine_threads = v;
+            }
+            "--store" => {
+                cfg.store_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--store needs a directory")?,
+                ));
+            }
+            "--snapshot-every" => {
+                let v: usize = it
+                    .next()
+                    .ok_or("--snapshot-every needs an edit-batch count")?
+                    .parse()
+                    .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+                if v == 0 {
+                    return Err("--snapshot-every must be at least 1".to_string());
+                }
+                cfg.snapshot_every = v;
             }
             "--obs" => {
                 let mode = match it.peek().map(|s| s.as_str()) {

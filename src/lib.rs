@@ -18,6 +18,7 @@
 //! | [`obs`] | zero-dependency telemetry: spans, counters, histograms, events (`QWM_OBS`) |
 //! | [`fault`] | deterministic fault injection at named sites (`QWM_FAULTS`) |
 //! | [`server`] | persistent timing-query server: sessions, admission control (`qwm serve`) |
+//! | [`store`] | durable design store: checksummed record log, crash-safe snapshots, warm restarts |
 //!
 //! # Quickstart
 //!
@@ -66,3 +67,4 @@ pub use qwm_obs as obs;
 pub use qwm_server as server;
 pub use qwm_spice as spice;
 pub use qwm_sta as sta;
+pub use qwm_store as store;

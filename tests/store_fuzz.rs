@@ -1,0 +1,230 @@
+//! Corruption fuzzing for the durable design store.
+//!
+//! The recovery contract (crates/store/src/log.rs) promises that *any*
+//! byte-level damage to the log resolves to exactly one of two
+//! outcomes: a clean torn-tail truncation (incomplete or CRC-damaged
+//! final record) or a structured [`StoreError`] — never a panic and
+//! never silently skipped interior data. This suite drives a pristine
+//! store containing every record kind (device tables, a snapshot with
+//! a committed book, edits, a close tombstone) through hundreds of
+//! seeded random mutations and asserts that contract, plus the
+//! idempotence of recovery: once an open succeeds, reopening performs
+//! no further truncation.
+//!
+//! The seed is fixed so a failure reproduces exactly; print the trial
+//! number to replay one mutation in isolation.
+
+use qwm::circuit::parser::parse_netlist;
+use qwm::circuit::waveform::TransitionKind;
+use qwm::server::shared_models;
+use qwm::sta::evaluator::QwmEvaluator;
+use qwm::sta::report::golden_report;
+use qwm::sta::StaEngine;
+use qwm::store::{DesignStore, SessionSnapshot, StoreError};
+use std::path::PathBuf;
+
+const DECK: &str = include_str!("../testdata/path4.sp");
+const SEED: u64 = 0x5eed_0051;
+
+/// xorshift64* — tiny, deterministic, good enough to scatter damage.
+struct Rng64(u64);
+
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qwm-store-fuzz-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    dir
+}
+
+/// Builds a store holding every record kind, with a real committed
+/// book inside the snapshot, and returns the log's pristine bytes.
+fn pristine_store(name: &str) -> (PathBuf, Vec<u8>) {
+    let dir = fresh_dir(name);
+    let models = shared_models().expect("models");
+    let netlist = parse_netlist(DECK).expect("deck");
+    let mut engine = StaEngine::new(netlist.clone(), models, TransitionKind::Fall).expect("engine");
+    engine.set_input_slew(20e-12).expect("slew");
+    let report = engine
+        .run_incremental(&QwmEvaluator::default())
+        .expect("run");
+    let golden = golden_report(&report, engine.netlist());
+
+    let (mut store, recovered) = DesignStore::open(&dir).expect("open fresh");
+    assert!(recovered.sessions.is_empty());
+    store
+        .sync_tables(&qwm::device::cached_tables())
+        .expect("sync tables");
+    let snap = SessionSnapshot {
+        sid: "fuzz".to_string(),
+        direction: TransitionKind::Fall,
+        input_slew: 20e-12,
+        runs: 1,
+        qwm_retries: 2,
+        stage_wall_ns: Some(5_000_000),
+        last_report: Some(golden),
+        netlist,
+        committed: engine.export_committed(),
+        committed_corners: None,
+    };
+    store.append_snapshot(&snap).expect("snapshot");
+    store
+        .append_edits("fuzz", "resize MN2 1.2u\nload n2 20f\n")
+        .expect("edits");
+    store.append_close("other").expect("close");
+    drop(store);
+    let bytes = std::fs::read(dir.join("qwm.store")).expect("read log");
+    (dir, bytes)
+}
+
+#[test]
+fn random_damage_recovers_or_errs_never_panics() {
+    let (dir, pristine) = pristine_store("random");
+    let mut rng = Rng64(SEED);
+    let mut outcomes = [0usize; 2]; // [recovered, structured error]
+    for trial in 0..300 {
+        let mut data = pristine.clone();
+        // 1-3 mutations per trial: damage compounds in real crashes.
+        for _ in 0..1 + rng.below(3) {
+            match rng.below(5) {
+                // Flip one bit anywhere (header, frame, payload).
+                0 => {
+                    let i = rng.below(data.len());
+                    data[i] ^= 1 << rng.below(8);
+                }
+                // Truncate to a random prefix.
+                1 => data.truncate(rng.below(data.len() + 1)),
+                // Splat a random u32 over a frame-sized window —
+                // manufactures zero-length and oversized frames.
+                2 => {
+                    if data.len() >= 4 {
+                        let i = rng.below(data.len() - 3);
+                        let v = (rng.next() as u32).to_le_bytes();
+                        data[i..i + 4].copy_from_slice(&v);
+                    }
+                }
+                // Zero a random span.
+                3 => {
+                    let i = rng.below(data.len());
+                    let n = rng.below(64).min(data.len() - i);
+                    data[i..i + n].fill(0);
+                }
+                // Append garbage — a torn in-flight append.
+                _ => {
+                    for _ in 0..1 + rng.below(32) {
+                        data.push(rng.next() as u8);
+                    }
+                }
+            }
+        }
+        std::fs::write(dir.join("qwm.store"), &data).expect("write damaged log");
+        match DesignStore::open(&dir) {
+            Ok((store, _recovered)) => {
+                outcomes[0] += 1;
+                let truncated = store.status().truncated_tails;
+                drop(store);
+                // Recovery is idempotent: a second open of the repaired
+                // file must be clean — no further truncation.
+                let (again, _) = DesignStore::open(&dir)
+                    .unwrap_or_else(|e| panic!("trial {trial}: reopen after repair: {e}"));
+                assert_eq!(
+                    again.status().truncated_tails,
+                    0,
+                    "trial {trial}: truncation (was {truncated}) must be durable"
+                );
+            }
+            Err(e) => {
+                outcomes[1] += 1;
+                assert!(
+                    !e.to_string().is_empty(),
+                    "trial {trial}: error must describe itself"
+                );
+            }
+        }
+    }
+    // The mutation mix must actually exercise both outcomes, or the
+    // fuzz is testing nothing.
+    assert!(outcomes[0] > 10, "too few recoveries: {outcomes:?}");
+    assert!(outcomes[1] > 10, "too few structured errors: {outcomes:?}");
+}
+
+#[test]
+fn torn_snapshot_tail_recovers_the_prefix() {
+    let (dir, pristine) = pristine_store("torn");
+    // Chop into the final record (the close tombstone) so the snapshot
+    // and edits survive but the tail is torn.
+    std::fs::write(dir.join("qwm.store"), &pristine[..pristine.len() - 3]).unwrap();
+    let (store, recovered) = DesignStore::open(&dir).expect("torn tail recovers");
+    assert_eq!(store.status().truncated_tails, 1);
+    assert_eq!(recovered.sessions.len(), 1, "snapshot survives");
+    let sess = &recovered.sessions[0];
+    assert_eq!(sess.snapshot.sid, "fuzz");
+    assert_eq!(sess.edits.len(), 1, "edit script survives");
+    assert!(sess.snapshot.committed.is_some(), "committed book survives");
+    // The store remains appendable after repair.
+    drop(store);
+    let (mut store, _) = DesignStore::open(&dir).expect("reopen");
+    store.append_close("fuzz").expect("append after repair");
+}
+
+#[test]
+fn interior_bitflip_is_corrupt_not_truncation() {
+    let (dir, pristine) = pristine_store("interior");
+    // Damage a payload byte of the very first record (a device table):
+    // interior corruption must be an error, never a silent skip.
+    let mut data = pristine.clone();
+    data[12 + 8 + 10] ^= 0x10;
+    std::fs::write(dir.join("qwm.store"), &data).unwrap();
+    match DesignStore::open(&dir) {
+        Err(StoreError::Corrupt { offset, .. }) => assert_eq!(offset, 12),
+        other => panic!("expected Corrupt at offset 12, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_and_oversized_frames_are_structured_errors() {
+    let (dir, pristine) = pristine_store("frames");
+    let mut zeroed = pristine.clone();
+    zeroed[12..16].fill(0);
+    std::fs::write(dir.join("qwm.store"), &zeroed).unwrap();
+    assert!(matches!(
+        DesignStore::open(&dir),
+        Err(StoreError::ZeroLength { offset: 12 })
+    ));
+    let mut huge = pristine.clone();
+    huge[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(dir.join("qwm.store"), &huge).unwrap();
+    assert!(matches!(
+        DesignStore::open(&dir),
+        Err(StoreError::Oversized { offset: 12, .. })
+    ));
+}
+
+#[test]
+fn orphan_edits_are_dropped_on_recovery() {
+    let dir = fresh_dir("orphan");
+    let (mut store, _) = DesignStore::open(&dir).expect("open");
+    store
+        .append_edits("never-snapshotted", "resize MN2 2u\n")
+        .expect("append");
+    drop(store);
+    let (_store, recovered) = DesignStore::open(&dir).expect("reopen");
+    assert!(
+        recovered.sessions.is_empty(),
+        "edits without a snapshot anchor must not invent a session"
+    );
+}
